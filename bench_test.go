@@ -1,0 +1,274 @@
+// Package rtecgen_test benchmarks the reproduction: one benchmark per
+// figure of the paper's evaluation (Figures 2a, 2b, 2c), plus the ablations
+// called out in DESIGN.md — RTEC's window-size/stream-size behaviour
+// (Section 2's "the cost of reasoning depends on ω, not the stream size"),
+// the Kuhn-Munkres assignment (Section 4.1; see internal/hungarian for the
+// O(n^3)-vs-naive comparison), the similarity metric, the preprocessing,
+// and the generation pipeline.
+//
+// Run with: go test -bench=. -benchmem
+package rtecgen_test
+
+import (
+	"fmt"
+	"testing"
+
+	"rtecgen/internal/correct"
+	"rtecgen/internal/eval"
+	"rtecgen/internal/intervals"
+	"rtecgen/internal/llm"
+	"rtecgen/internal/maritime"
+	"rtecgen/internal/prompt"
+	"rtecgen/internal/rtec"
+	"rtecgen/internal/similarity"
+	"rtecgen/internal/stream"
+)
+
+func allModels() []prompt.Model {
+	var out []prompt.Model
+	for _, m := range llm.AllModels() {
+		out = append(out, m)
+	}
+	return out
+}
+
+// BenchmarkFigure2a measures the full first experiment: generating event
+// descriptions with all six models under both prompting schemes and scoring
+// every one against the gold standard with the similarity metric.
+func BenchmarkFigure2a(b *testing.B) {
+	models := allModels()
+	for i := 0; i < b.N; i++ {
+		best, _, err := eval.Figure2a(models)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(best) != 6 {
+			b.Fatal("unexpected row count")
+		}
+	}
+}
+
+// BenchmarkFigure2b measures the correction experiment: applying the
+// minimal syntactic corrector to the top-three event descriptions and
+// re-scoring them.
+func BenchmarkFigure2b(b *testing.B) {
+	best, _, err := eval.Figure2a(allModels())
+	if err != nil {
+		b.Fatal(err)
+	}
+	top := eval.TopN(best, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.Figure2b(top)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 3 {
+			b.Fatal("unexpected row count")
+		}
+	}
+}
+
+// BenchmarkFigure2c measures the predictive-accuracy experiment: running
+// the three corrected event descriptions through RTEC over the synthetic
+// stream and scoring time-point-level f1 against the gold recognition.
+// Scenario generation and the gold run happen once, outside the timer.
+func BenchmarkFigure2c(b *testing.B) {
+	best, _, err := eval.Figure2a(allModels())
+	if err != nil {
+		b.Fatal(err)
+	}
+	corrected, err := eval.Figure2b(eval.TopN(best, 3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := eval.DefaultAccuracyConfig()
+	cfg.Scenario = maritime.ScenarioConfig{Vessels: 16, Seed: 7, IntervalSec: 60}
+	tb, err := eval.NewTestbed(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.Figure2c(tb, corrected)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 3 {
+			b.Fatal("unexpected row count")
+		}
+	}
+}
+
+// goldTestbed prepares a scenario stream and a loaded gold engine.
+func goldTestbed(b *testing.B, vessels int, interval int64) (*rtec.Engine, stream.Stream) {
+	b.Helper()
+	scen, err := maritime.BuildScenario(maritime.ScenarioConfig{Vessels: vessels, Seed: 7, IntervalSec: interval})
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := maritime.Preprocess(scen.Messages, scen.Map, maritime.DefaultPreprocessConfig())
+	ed := maritime.FullED(maritime.GoldED(), scen.Map, scen.Fleet, maritime.ObservedPairs(events))
+	eng, err := rtec.New(ed, rtec.Options{Strict: true, ExtraFacts: maritime.DynamicFacts(events, scen.Fleet)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng, events
+}
+
+// BenchmarkRTECWindowSweep is the ablation for RTEC's windowing: the same
+// stream recognised under different window sizes ω (0 = a single window
+// over the whole stream). Per-window cost shrinks with ω while total work
+// stays near-linear in the stream.
+func BenchmarkRTECWindowSweep(b *testing.B) {
+	eng, events := goldTestbed(b, 16, 60)
+	for _, window := range []int64{900, 1800, 3600, 7200, 0} {
+		name := fmt.Sprintf("window=%d", window)
+		if window == 0 {
+			name = "window=whole-stream"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportMetric(float64(len(events)), "events")
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(events, rtec.RunOptions{Window: window}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRTECStreamSweep scales the fleet (and with it the stream) at a
+// fixed window: recognition cost should grow near-linearly with the stream.
+func BenchmarkRTECStreamSweep(b *testing.B) {
+	for _, vessels := range []int{14, 30, 60} {
+		eng, events := goldTestbed(b, vessels, 60)
+		b.Run(fmt.Sprintf("vessels=%d", vessels), func(b *testing.B) {
+			b.ReportMetric(float64(len(events)), "events")
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(events, rtec.RunOptions{Window: 3600}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRTECCaching is the ablation of RTEC's hierarchical caching: the
+// same recognition run with intermediate FVP intervals cached bottom-up
+// (the RTEC optimisation) versus recomputed per dependent fluent.
+func BenchmarkRTECCaching(b *testing.B) {
+	scen, err := maritime.BuildScenario(maritime.ScenarioConfig{Vessels: 16, Seed: 7, IntervalSec: 60})
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := maritime.Preprocess(scen.Messages, scen.Map, maritime.DefaultPreprocessConfig())
+	ed := maritime.FullED(maritime.GoldED(), scen.Map, scen.Fleet, maritime.ObservedPairs(events))
+	facts := maritime.DynamicFacts(events, scen.Fleet)
+	for _, disable := range []bool{false, true} {
+		name := "cached"
+		if disable {
+			name = "uncached"
+		}
+		eng, err := rtec.New(ed, rtec.Options{Strict: true, ExtraFacts: facts, DisableCache: disable})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(events, rtec.RunOptions{Window: 3600}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimilarityEventDescriptions measures Definition 4.14 on whole
+// event descriptions (the dominant cost of the Figure 2a experiment).
+func BenchmarkSimilarityEventDescriptions(b *testing.B) {
+	gold := maritime.GoldED()
+	gen, err := prompt.RunPipeline(llm.MustNew("Gemma-2"), prompt.ChainOfThought,
+		maritime.PromptDomain(), maritime.CurriculumRequests())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cand := gen.ED()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := similarity.EventDescriptionSimilarity(gold, cand); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGenerationPipeline measures one model's full prompting session:
+// teaching plus sixteen activity generations.
+func BenchmarkGenerationPipeline(b *testing.B) {
+	domain := maritime.PromptDomain()
+	curriculum := maritime.CurriculumRequests()
+	m := llm.MustNew("o1")
+	for i := 0; i < b.N; i++ {
+		if _, err := prompt.RunPipeline(m, prompt.FewShot, domain, curriculum); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCorrection measures the syntactic corrector on a noisy model.
+func BenchmarkCorrection(b *testing.B) {
+	domain := maritime.PromptDomain()
+	gen, err := prompt.RunPipeline(llm.MustNew("Gemma-2"), prompt.FewShot, domain, maritime.CurriculumRequests())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		correct.Apply(gen, domain)
+	}
+}
+
+// BenchmarkPreprocess measures the AIS critical-event derivation.
+func BenchmarkPreprocess(b *testing.B) {
+	scen, err := maritime.BuildScenario(maritime.ScenarioConfig{Vessels: 30, Seed: 7, IntervalSec: 60})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := maritime.DefaultPreprocessConfig()
+	b.ReportMetric(float64(len(scen.Messages)), "messages")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		events := maritime.Preprocess(scen.Messages, scen.Map, cfg)
+		if len(events) == 0 {
+			b.Fatal("no events")
+		}
+	}
+}
+
+// BenchmarkIntervalAlgebra measures the three interval-manipulation
+// constructs on lists of 1000 intervals.
+func BenchmarkIntervalAlgebra(b *testing.B) {
+	mk := func(offset int64) intervals.List {
+		var ivs []intervals.Interval
+		for t := int64(0); t < 1000; t++ {
+			ivs = append(ivs, intervals.Interval{Start: offset + t*10, End: offset + t*10 + 6})
+		}
+		return intervals.Normalize(ivs)
+	}
+	a, c, d := mk(0), mk(3), mk(5)
+	b.Run("union_all", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			intervals.Union(a, c, d)
+		}
+	})
+	b.Run("intersect_all", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			intervals.Intersect(a, c, d)
+		}
+	})
+	b.Run("relative_complement_all", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			intervals.RelativeComplement(a, c, d)
+		}
+	})
+}

@@ -1,0 +1,65 @@
+// Command aisgen generates the synthetic Brest-like maritime scenario: raw
+// AIS position signals or the preprocessed RTEC input-event stream, as CSV
+// on stdout, plus the scenario's background knowledge as an RTEC fact file.
+//
+// Usage:
+//
+//	aisgen [-vessels N] [-seed S] [-interval SEC] [-raw] [-background out.rtec]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rtecgen/internal/maritime"
+	"rtecgen/internal/stream"
+)
+
+func main() {
+	vessels := flag.Int("vessels", 60, "fleet size")
+	seed := flag.Int64("seed", 7, "scenario seed")
+	interval := flag.Int64("interval", 60, "AIS reporting cadence in seconds")
+	raw := flag.Bool("raw", false, "emit raw AIS messages instead of derived input events")
+	background := flag.String("background", "", "also write the scenario background knowledge to this file")
+	flag.Parse()
+
+	if err := run(*vessels, *seed, *interval, *raw, *background); err != nil {
+		fmt.Fprintln(os.Stderr, "aisgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(vessels int, seed, interval int64, raw bool, background string) error {
+	scen, err := maritime.BuildScenario(maritime.ScenarioConfig{
+		Vessels: vessels, Seed: seed, IntervalSec: interval,
+	})
+	if err != nil {
+		return err
+	}
+
+	if raw {
+		for _, m := range scen.Messages {
+			fmt.Printf("%d,%s,%.4f,%.4f,%.2f,%.2f,%.2f\n",
+				m.Time, m.Vessel, m.Pos.X, m.Pos.Y, m.SpeedKn, m.COG, m.Heading)
+		}
+		return nil
+	}
+
+	events := maritime.Preprocess(scen.Messages, scen.Map, maritime.DefaultPreprocessConfig())
+	if background != "" {
+		pairs := maritime.ObservedPairs(events)
+		f, err := os.Create(background)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		for _, c := range maritime.BackgroundClauses(scen.Map, scen.Fleet, pairs) {
+			fmt.Fprintln(f, c)
+		}
+		for _, fact := range maritime.DynamicFacts(events, scen.Fleet) {
+			fmt.Fprintf(f, "%s.\n", fact)
+		}
+	}
+	return stream.Stream(events).WriteCSV(os.Stdout)
+}

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunDerivedEventsWithBackground(t *testing.T) {
+	bg := filepath.Join(t.TempDir(), "bg.rtec")
+	if err := run(14, 7, 120, false, bg); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"areaType(", "vesselType(", "thresholds(", "vessel("} {
+		if !strings.Contains(string(data), frag) {
+			t.Errorf("background file missing %q", frag)
+		}
+	}
+}
+
+func TestRunRaw(t *testing.T) {
+	if err := run(14, 7, 300, true, ""); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,193 @@
+// Command experiments regenerates the paper's evaluation (Section 5):
+// Figure 2a (similarity of LLM-generated event descriptions against the
+// hand-crafted gold standard), Figure 2b (similarity after minimal
+// syntactic corrections) and Figure 2c (predictive accuracy on composite
+// event recognition over the synthetic Brest-like stream), plus the
+// automated qualitative error assessment.
+//
+// Usage:
+//
+//	experiments [-fig 2a|2b|2c|all] [-errors] [-zeroshot] [-csv] [-vessels N] [-seed S] [-window W]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rtecgen/internal/check"
+	"rtecgen/internal/eval"
+	"rtecgen/internal/figures"
+	"rtecgen/internal/llm"
+	"rtecgen/internal/maritime"
+	"rtecgen/internal/prompt"
+	"rtecgen/internal/similarity"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 2a, 2b, 2c or all")
+	errorsFlag := flag.Bool("errors", false, "print the qualitative error assessment")
+	zeroShot := flag.Bool("zeroshot", false, "also report zero-shot prompting (excluded from the pipeline in the paper)")
+	csv := flag.Bool("csv", false, "emit CSV instead of bar charts")
+	vessels := flag.Int("vessels", 60, "fleet size of the synthetic scenario (Figure 2c)")
+	seed := flag.Int64("seed", 7, "scenario seed (Figure 2c)")
+	window := flag.Int64("window", 3600, "RTEC window size in seconds (Figure 2c)")
+	flag.Parse()
+
+	if err := run(*fig, *errorsFlag, *csv, *vessels, *seed, *window); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	if *zeroShot {
+		if err := runZeroShot(); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runZeroShot reports the finding of Section 3 that made the paper exclude
+// zero-shot prompting from the pipeline: with prompt F skipped, similarity
+// collapses for every model.
+func runZeroShot() error {
+	gold := maritime.GoldED()
+	domain := maritime.PromptDomain()
+	curriculum := maritime.CurriculumRequests()
+	rows := [][]string{{"model", "zero-shot", "few-shot", "chain-of-thought"}}
+	for _, m := range llm.AllModels() {
+		cells := []string{m.Name()}
+		for _, scheme := range []prompt.Scheme{prompt.ZeroShot, prompt.FewShot, prompt.ChainOfThought} {
+			gen, err := prompt.RunPipeline(m, scheme, domain, curriculum)
+			if err != nil {
+				return err
+			}
+			s, err := similarity.EventDescriptionSimilarity(gold, gen.ED())
+			if err != nil {
+				return err
+			}
+			cells = append(cells, fmt.Sprintf("%.3f", s))
+		}
+		rows = append(rows, cells)
+	}
+	fmt.Println("Zero-shot prompting (excluded from the pipeline, Section 3):")
+	fmt.Print(figures.Table(rows))
+	return nil
+}
+
+func run(fig string, errorsFlag, csv bool, vessels int, seed, window int64) error {
+	var models []prompt.Model
+	for _, m := range llm.AllModels() {
+		models = append(models, m)
+	}
+	best, _, err := eval.Figure2a(models)
+	if err != nil {
+		return err
+	}
+	corrected, err := eval.Figure2b(eval.TopN(best, 3))
+	if err != nil {
+		return err
+	}
+
+	groups := append(append([]string{}, eval.ActivityKeys...), "all")
+
+	if fig == "2a" || fig == "all" {
+		var series []figures.Series
+		var rows [][]string
+		rows = append(rows, append([]string{"event description"}, groups...))
+		for _, r := range best {
+			vals := make([]float64, 0, len(groups))
+			cells := []string{r.Label()}
+			for _, k := range eval.ActivityKeys {
+				vals = append(vals, r.PerActivity[k])
+				cells = append(cells, fmt.Sprintf("%.3f", r.PerActivity[k]))
+			}
+			vals = append(vals, r.Overall)
+			cells = append(cells, fmt.Sprintf("%.3f", r.Overall))
+			series = append(series, figures.Series{Name: r.Label(), Values: vals})
+			rows = append(rows, cells)
+		}
+		if csv {
+			fmt.Print(figures.CSV(rows))
+		} else {
+			fmt.Println(figures.BarChart("Figure 2a: similarity of LLM-generated definitions (best scheme per model)", groups, series, 40))
+		}
+	}
+
+	if fig == "2b" || fig == "all" {
+		var series []figures.Series
+		var rows [][]string
+		rows = append(rows, append([]string{"event description"}, groups...))
+		for _, r := range corrected {
+			vals := make([]float64, 0, len(groups))
+			cells := []string{r.Label()}
+			for _, k := range eval.ActivityKeys {
+				vals = append(vals, r.PerActivity[k])
+				cells = append(cells, fmt.Sprintf("%.3f", r.PerActivity[k]))
+			}
+			vals = append(vals, r.Overall)
+			cells = append(cells, fmt.Sprintf("%.3f", r.Overall))
+			series = append(series, figures.Series{Name: r.Label(), Values: vals})
+			rows = append(rows, cells)
+		}
+		if csv {
+			fmt.Print(figures.CSV(rows))
+		} else {
+			fmt.Println(figures.BarChart("Figure 2b: similarities after minimal syntactic changes", groups, series, 40))
+			for _, r := range corrected {
+				fmt.Printf("%s corrections: %s\n", r.Label(), r.Corrected.Summary())
+			}
+			fmt.Println()
+		}
+	}
+
+	if fig == "2c" || fig == "all" {
+		cfg := eval.AccuracyConfig{
+			Scenario:   maritime.ScenarioConfig{Vessels: vessels, Seed: seed},
+			Preprocess: maritime.DefaultPreprocessConfig(),
+			Window:     window,
+		}
+		tb, err := eval.NewTestbed(cfg)
+		if err != nil {
+			return err
+		}
+		rows2c, err := eval.Figure2c(tb, corrected)
+		if err != nil {
+			return err
+		}
+		var series []figures.Series
+		var rows [][]string
+		rows = append(rows, append([]string{"event description"}, eval.ActivityKeys...))
+		for _, r := range rows2c {
+			vals := make([]float64, 0, len(eval.ActivityKeys))
+			cells := []string{r.Label}
+			for _, k := range eval.ActivityKeys {
+				vals = append(vals, r.PerActivity[k].Score())
+				cells = append(cells, fmt.Sprintf("%.3f", r.PerActivity[k].Score()))
+			}
+			series = append(series, figures.Series{Name: r.Label, Values: vals})
+			rows = append(rows, cells)
+		}
+		if csv {
+			fmt.Print(figures.CSV(rows))
+		} else {
+			fmt.Println(figures.BarChart("Figure 2c: predictive accuracy (f1-score per activity)", eval.ActivityKeys, series, 40))
+		}
+	}
+
+	if errorsFlag {
+		gold := maritime.GoldED()
+		domain := maritime.PromptDomain()
+		fmt.Println("Qualitative error assessment (automated, Section 5.2):")
+		for _, r := range best {
+			findings := check.Analyze(r.Gen, gold, domain)
+			counts := check.CountByCategory(findings)
+			fmt.Printf("\n%s: %d findings (syntax %d, naming %d, kind %d, undefined %d, operator %d)\n",
+				r.Label(), len(findings), counts[check.Syntax], counts[check.Naming],
+				counts[check.FluentKind], counts[check.Undefined], counts[check.Operator])
+			for _, f := range findings {
+				fmt.Println("  ", f)
+			}
+		}
+	}
+	return nil
+}

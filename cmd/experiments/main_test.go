@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestRunFigures(t *testing.T) {
+	// The full pipeline on a small scenario: 2a and 2b plus the error
+	// report. 2c is exercised separately with a small fleet.
+	if err := run("2a", true, true, 14, 7, 3600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("2b", false, false, 14, 7, 3600); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFigure2c(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full recognition run")
+	}
+	if err := run("2c", false, true, 14, 7, 3600); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunZeroShotReport(t *testing.T) {
+	if err := runZeroShot(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,94 @@
+// Command gen runs the prompting pipeline of Section 3 against one of the
+// simulated models, printing the generated event description (optionally
+// after the minimal syntactic corrections of Section 5.2) or the full
+// prompt/response transcript.
+//
+// Usage:
+//
+//	gen -model o1 [-scheme few-shot|cot] [-correct] [-transcript] [-activity key]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rtecgen/internal/correct"
+	"rtecgen/internal/llm"
+	"rtecgen/internal/maritime"
+	"rtecgen/internal/prompt"
+)
+
+func main() {
+	model := flag.String("model", "o1", "model name (GPT-4, GPT-4o, o1, Llama-3, Mistral, Gemma-2)")
+	schemeName := flag.String("scheme", "few-shot", "prompting scheme: few-shot or cot")
+	applyCorrections := flag.Bool("correct", false, "apply the minimal syntactic corrector to the output")
+	transcript := flag.Bool("transcript", false, "print the full prompt/response transcript instead of the rules")
+	activity := flag.String("activity", "", "only print the result for this activity key (e.g. tr)")
+	flag.Parse()
+
+	if err := run(*model, *schemeName, *applyCorrections, *transcript, *activity); err != nil {
+		fmt.Fprintln(os.Stderr, "gen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(model, schemeName string, applyCorrections, transcript bool, activity string) error {
+	m, err := llm.New(model)
+	if err != nil {
+		return err
+	}
+	var scheme prompt.Scheme
+	switch schemeName {
+	case "few-shot":
+		scheme = prompt.FewShot
+	case "cot", "chain-of-thought":
+		scheme = prompt.ChainOfThought
+	default:
+		return fmt.Errorf("unknown scheme %q", schemeName)
+	}
+	domain := maritime.PromptDomain()
+
+	if transcript {
+		s := prompt.NewSession(m, scheme, domain)
+		if err := s.Teach(); err != nil {
+			return err
+		}
+		for _, req := range maritime.CurriculumRequests() {
+			if activity != "" && req.Key != activity {
+				continue
+			}
+			if _, err := s.Generate(req); err != nil {
+				return err
+			}
+		}
+		for _, msg := range s.History() {
+			fmt.Printf("--- %s ---\n%s\n\n", msg.Role, msg.Content)
+		}
+		return nil
+	}
+
+	gen, err := prompt.RunPipeline(m, scheme, domain, maritime.CurriculumRequests())
+	if err != nil {
+		return err
+	}
+	if applyCorrections {
+		cor := correct.Apply(gen, domain)
+		fmt.Fprintf(os.Stderr, "corrections: %s\n", cor.Summary())
+		gen = cor.Gen
+	}
+	for _, e := range gen.ParseErrors() {
+		fmt.Fprintln(os.Stderr, "parse error:", e)
+	}
+	for _, r := range gen.Results {
+		if activity != "" && r.Request.Key != activity {
+			continue
+		}
+		fmt.Printf("%% ----- %s (%s) -----\n", r.Request.Name, r.Request.Key)
+		for _, c := range r.Clauses {
+			fmt.Println(c)
+			fmt.Println()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+// Command rtec runs the Run-Time Event Calculus over an event stream: given
+// an event-description file (rules, declarations and background knowledge)
+// and a CSV stream of input events, it prints the maximal intervals of
+// every recognised fluent-value pair.
+//
+// Usage:
+//
+//	rtec -ed rules.rtec -stream events.csv [-window W] [-slide S] [-fluent name/arity] [-strict]
+//
+// Stream rows have the form "time,eventName,arg1,arg2,...".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rtecgen/internal/parser"
+	"rtecgen/internal/rtec"
+	"rtecgen/internal/stream"
+)
+
+func main() {
+	edPath := flag.String("ed", "", "event-description file (required)")
+	streamPath := flag.String("stream", "", "input event stream CSV (required)")
+	window := flag.Int64("window", 0, "window size ω in time-points (0 = whole stream)")
+	slide := flag.Int64("slide", 0, "slide between query times (0 = window)")
+	fluent := flag.String("fluent", "", "only print FVPs of this fluent indicator, e.g. trawling/1")
+	strict := flag.Bool("strict", false, "fail on any event-description problem instead of warning")
+	csvOut := flag.Bool("csv", false, "emit CSV (fluent,fvp,since,until) instead of holdsFor lines")
+	flag.Parse()
+
+	if err := run(*edPath, *streamPath, *window, *slide, *fluent, *strict, *csvOut); err != nil {
+		fmt.Fprintln(os.Stderr, "rtec:", err)
+		os.Exit(1)
+	}
+}
+
+func run(edPath, streamPath string, window, slide int64, fluent string, strict, csvOut bool) error {
+	if edPath == "" || streamPath == "" {
+		flag.Usage()
+		return fmt.Errorf("-ed and -stream are required")
+	}
+	src, err := os.ReadFile(edPath)
+	if err != nil {
+		return err
+	}
+	ed, err := parser.ParseEventDescription(string(src))
+	if err != nil {
+		return fmt.Errorf("%s: %w", edPath, err)
+	}
+	f, err := os.Open(streamPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := stream.ReadCSV(f)
+	if err != nil {
+		return err
+	}
+
+	eng, err := rtec.New(ed, rtec.Options{Strict: strict})
+	if err != nil {
+		return err
+	}
+	for _, w := range eng.Warnings() {
+		fmt.Fprintln(os.Stderr, "warning:", w)
+	}
+	rec, err := eng.Run(events, rtec.RunOptions{Window: window, Slide: slide})
+	if err != nil {
+		return err
+	}
+	for _, w := range rec.Warnings {
+		fmt.Fprintln(os.Stderr, "warning:", w)
+	}
+	if csvOut {
+		return rec.WriteCSV(os.Stdout)
+	}
+	for _, key := range rec.Keys() {
+		if fluent != "" {
+			fvp := rec.FVP(key)
+			if fvp.Args[0].Indicator() != fluent {
+				continue
+			}
+		}
+		fmt.Printf("holdsFor(%s, %s)\n", key, rec.IntervalsOfKey(key))
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const testED = `
+inputEvent(entersArea(_, _)).
+inputEvent(leavesArea(_, _)).
+areaType(a1, fishing).
+
+initiatedAt(withinArea(Vl, AreaType)=true, T) :-
+    happensAt(entersArea(Vl, AreaID), T),
+    areaType(AreaID, AreaType).
+
+terminatedAt(withinArea(Vl, AreaType)=true, T) :-
+    happensAt(leavesArea(Vl, AreaID), T),
+    areaType(AreaID, AreaType).
+`
+
+const testStream = `10,entersArea,v1,a1
+50,leavesArea,v1,a1
+`
+
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	ed := write(t, "ed.rtec", testED)
+	st := write(t, "events.csv", testStream)
+	if err := run(ed, st, 0, 0, "", true, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(ed, st, 20, 10, "withinArea/2", true, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	ed := write(t, "ed.rtec", testED)
+	st := write(t, "events.csv", testStream)
+	if err := run("", st, 0, 0, "", false, false); err == nil {
+		t.Fatal("missing -ed accepted")
+	}
+	if err := run(ed, "/nonexistent.csv", 0, 0, "", false, false); err == nil {
+		t.Fatal("missing stream accepted")
+	}
+	bad := write(t, "bad.rtec", "initiatedAt(((.")
+	if err := run(bad, st, 0, 0, "", false, false); err == nil {
+		t.Fatal("bad event description accepted")
+	}
+	badStream := write(t, "bad.csv", "notatime,foo\n")
+	if err := run(ed, badStream, 0, 0, "", false, false); err == nil {
+		t.Fatal("bad stream accepted")
+	}
+	// Strict mode surfaces unusable rules as errors.
+	lax := write(t, "lax.rtec", testED+`
+initiatedAt(broken(X)=true, T) :-
+    holdsAt(withinArea(X, fishing)=true, T).
+`)
+	if err := run(lax, st, 0, 0, "", true, false); err == nil {
+		t.Fatal("strict mode accepted an unusable rule")
+	}
+	if err := run(lax, st, 0, 0, "", false, false); err != nil {
+		t.Fatalf("lenient mode failed: %v", err)
+	}
+}

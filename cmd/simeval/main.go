@@ -1,0 +1,78 @@
+// Command simeval computes the paper's similarity metric (Section 4)
+// between two RTEC event descriptions: the distance of Definition 4.14 over
+// their temporal rules, and the per-rule optimal matching.
+//
+// Usage:
+//
+//	simeval [-rules] candidate.rtec gold.rtec
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rtecgen/internal/lang"
+	"rtecgen/internal/parser"
+	"rtecgen/internal/similarity"
+)
+
+func main() {
+	perRule := flag.Bool("rules", false, "also print the best-matching gold rule per candidate rule")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: simeval [-rules] candidate.rtec gold.rtec")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), flag.Arg(1), *perRule); err != nil {
+		fmt.Fprintln(os.Stderr, "simeval:", err)
+		os.Exit(1)
+	}
+}
+
+func run(candPath, goldPath string, perRule bool) error {
+	cand, err := load(candPath)
+	if err != nil {
+		return err
+	}
+	gold, err := load(goldPath)
+	if err != nil {
+		return err
+	}
+	d, err := similarity.EventDescriptionDistance(cand, gold)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("distance   = %.4f\n", d)
+	fmt.Printf("similarity = %.4f\n", 1-d)
+	if !perRule {
+		return nil
+	}
+	for _, cr := range cand.Rules() {
+		best, bestD := "", 2.0
+		for _, gr := range gold.Rules() {
+			rd, err := similarity.RuleDistance(cr, gr)
+			if err != nil {
+				return err
+			}
+			if rd < bestD {
+				bestD = rd
+				best = gr.Head.String()
+			}
+		}
+		fmt.Printf("\n%s\n  closest gold rule: %s (distance %.4f)\n", cr.Head, best, bestD)
+	}
+	return nil
+}
+
+func load(path string) (*lang.EventDescription, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	ed, err := parser.ParseEventDescription(string(src))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return ed, nil
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const ruleA = `initiatedAt(withinArea(Vl, AreaType)=true, T) :-
+    happensAt(entersArea(Vl, AreaID), T),
+    areaType(AreaID, AreaType).
+`
+
+const ruleB = `initiatedAt(withinArea(Vl, AreaType)=true, T) :-
+    happensAt(inArea(Vl, AreaID), T),
+    areaType(AreaID, AreaType).
+`
+
+func TestRunComparesFiles(t *testing.T) {
+	a := write(t, "a.rtec", ruleA)
+	b := write(t, "b.rtec", ruleB)
+	if err := run(a, b, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(a, b, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(a, a, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	a := write(t, "a.rtec", ruleA)
+	if err := run(a, "/nonexistent", false); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := write(t, "bad.rtec", "((((")
+	if err := run(a, bad, false); err == nil {
+		t.Fatal("unparseable file accepted")
+	}
+}

@@ -1,0 +1,77 @@
+// Quickstart: define a composite activity in RTEC, feed an event stream,
+// and read off the recognised maximal intervals — the minimal end-to-end
+// loop of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rtecgen/internal/parser"
+	"rtecgen/internal/rtec"
+	"rtecgen/internal/stream"
+)
+
+// The event description: rules (1)-(3) of the paper define 'withinArea' as
+// a simple fluent over entersArea/leavesArea/gap_start input events.
+const eventDescription = `
+inputEvent(entersArea(_, _)).
+inputEvent(leavesArea(_, _)).
+inputEvent(gap_start(_)).
+
+areaType(a1, fishing).
+areaType(a2, anchorage).
+
+initiatedAt(withinArea(Vl, AreaType)=true, T) :-
+    happensAt(entersArea(Vl, AreaID), T),
+    areaType(AreaID, AreaType).
+
+terminatedAt(withinArea(Vl, AreaType)=true, T) :-
+    happensAt(leavesArea(Vl, AreaID), T),
+    areaType(AreaID, AreaType).
+
+terminatedAt(withinArea(Vl, AreaType)=true, T) :-
+    happensAt(gap_start(Vl), T).
+`
+
+func main() {
+	// 1. Parse the event description.
+	ed, err := parser.ParseEventDescription(eventDescription)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Load it into an RTEC engine. Strict mode fails on any malformed
+	// rule instead of warning.
+	engine, err := rtec.New(ed, rtec.Options{Strict: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print("Loaded hierarchy:\n", engine.Describe(), "\n")
+
+	// 3. Build an input stream: vessel v42 enters the fishing area at 10,
+	// leaves at 60; vessel v7 enters the anchorage at 20 and goes silent at
+	// 80 (the gap terminates withinArea).
+	events := stream.Stream{
+		{Time: 10, Atom: parser.MustParseTerm("entersArea(v42, a1)")},
+		{Time: 20, Atom: parser.MustParseTerm("entersArea(v7, a2)")},
+		{Time: 60, Atom: parser.MustParseTerm("leavesArea(v42, a1)")},
+		{Time: 80, Atom: parser.MustParseTerm("gap_start(v7)")},
+		{Time: 100, Atom: parser.MustParseTerm("entersArea(v42, a2)")},
+	}
+
+	// 4. Run windowed recognition (window 50, tumbling).
+	rec, err := engine.Run(events, rtec.RunOptions{Window: 50})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Inspect the results.
+	fmt.Println("Recognised maximal intervals:")
+	for _, key := range rec.Keys() {
+		fmt.Printf("  holdsFor(%s, %s)\n", key, rec.IntervalsOfKey(key))
+	}
+	fvp := parser.MustParseTerm("withinArea(v42, fishing)=true")
+	fmt.Printf("\nholdsAt(withinArea(v42, fishing)=true, 30) = %v\n", rec.HoldsAt(fvp, 30))
+	fmt.Printf("holdsAt(withinArea(v42, fishing)=true, 70) = %v\n", rec.HoldsAt(fvp, 70))
+}

@@ -1,0 +1,58 @@
+// Streaming: the run-time consumption mode of RTEC — composite activities
+// are delivered per query time with one window of latency, the way a
+// maritime surveillance operator would consume them, instead of waiting for
+// the whole stream.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"rtecgen/internal/maritime"
+	"rtecgen/internal/rtec"
+)
+
+func main() {
+	scen, err := maritime.BuildScenario(maritime.ScenarioConfig{Vessels: 16, Seed: 7, IntervalSec: 60})
+	if err != nil {
+		log.Fatal(err)
+	}
+	events := maritime.Preprocess(scen.Messages, scen.Map, maritime.DefaultPreprocessConfig())
+	pairs := maritime.ObservedPairs(events)
+	ed := maritime.FullED(maritime.GoldED(), scen.Map, scen.Fleet, pairs)
+	engine, err := rtec.New(ed, rtec.Options{
+		Strict:     true,
+		ExtraFacts: maritime.DynamicFacts(events, scen.Fleet),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Watch for the composite activities of interest as the stream plays
+	// out, one-hour window at a time. Alert once per (activity, vessel).
+	watch := map[string]bool{}
+	for _, act := range maritime.CompositeActivities() {
+		watch[act.Primary()] = true
+	}
+	alerted := map[string]bool{}
+	alerts := 0
+
+	err = engine.RunWindows(events, rtec.RunOptions{Window: 3600}, func(wr rtec.WindowResult) error {
+		for key, list := range wr.Recognised {
+			fvp := wr.FVPs[key]
+			if !watch[fvp.Args[0].Indicator()] || alerted[key] {
+				continue
+			}
+			alerted[key] = true
+			alerts++
+			fmt.Printf("[q=%6d] ALERT %-45s first seen %s\n",
+				wr.QueryTime, key, strings.SplitN(list.String()[1:], ",", 2)[0])
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d alerts over %d events\n", alerts, len(events))
+}

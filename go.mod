@@ -1,0 +1,3 @@
+module rtecgen
+
+go 1.22

@@ -1,0 +1,179 @@
+package ais
+
+import (
+	"math"
+	"testing"
+
+	"rtecgen/internal/geo"
+)
+
+func TestSailToReachesDestination(t *testing.T) {
+	tr := NewTrack("v1", "cargo", geo.Point{X: 0, Y: 0}, 0, 60, 1)
+	tr.SailTo(geo.Point{X: 10, Y: 0}, 10)
+	if d := tr.Pos().Distance(geo.Point{X: 10, Y: 0}); d > 1e-9 {
+		t.Fatalf("final distance to dest = %v", d)
+	}
+	msgs := tr.Messages()
+	if len(msgs) == 0 {
+		t.Fatal("no messages emitted")
+	}
+	// 10 km at 10 kn is ~32 min; with 60 s interval expect ~32 messages.
+	if len(msgs) < 25 || len(msgs) > 40 {
+		t.Fatalf("message count = %d, want ~32", len(msgs))
+	}
+	for i, m := range msgs {
+		if m.Vessel != "v1" {
+			t.Fatal("wrong vessel id")
+		}
+		if i > 0 && m.Time != msgs[i-1].Time+60 {
+			t.Fatalf("non-uniform cadence at %d", i)
+		}
+		if m.SpeedKn < 9 || m.SpeedKn > 11 {
+			t.Fatalf("speed %v out of band", m.SpeedKn)
+		}
+		if math.Abs(m.Heading-90) > 5 && i < len(msgs)-2 {
+			t.Fatalf("heading %v far from 90", m.Heading)
+		}
+	}
+}
+
+func TestStopEmitsNearZeroSpeed(t *testing.T) {
+	tr := NewTrack("v1", "cargo", geo.Point{X: 5, Y: 5}, 0, 60, 2)
+	tr.Stop(600)
+	for _, m := range tr.Messages() {
+		if m.SpeedKn > 0.3 {
+			t.Fatalf("stopped speed = %v", m.SpeedKn)
+		}
+	}
+	if d := tr.Pos().Distance(geo.Point{X: 5, Y: 5}); d > 0.5 {
+		t.Fatalf("stopped vessel moved %v km", d)
+	}
+	if tr.Time() != 600 {
+		t.Fatalf("time = %d, want 600", tr.Time())
+	}
+}
+
+func TestGapSuppressesMessagesButMoves(t *testing.T) {
+	tr := NewTrack("v1", "cargo", geo.Point{X: 0, Y: 0}, 0, 60, 3)
+	tr.SailBearing(90, 10, 300)
+	n := len(tr.Messages())
+	tr.Gap(10, 600)
+	if len(tr.Messages()) != n {
+		t.Fatal("messages emitted during gap")
+	}
+	posAfterGap := tr.Pos()
+	if posAfterGap.Distance(geo.Point{X: 0, Y: 0}) < 2 {
+		t.Fatal("vessel did not move during gap")
+	}
+	tr.SailBearing(90, 10, 300)
+	msgs := tr.Messages()
+	if msgs[n].Time-msgs[n-1].Time != 600+60 {
+		t.Fatalf("gap duration = %d", msgs[n].Time-msgs[n-1].Time)
+	}
+}
+
+func TestDriftSeparatesHeadingFromCOG(t *testing.T) {
+	tr := NewTrack("v1", "cargo", geo.Point{X: 0, Y: 0}, 0, 60, 4)
+	tr.Drift(0, 45, 2, 600)
+	for _, m := range tr.Messages() {
+		diff := math.Abs(m.COG - m.Heading)
+		if diff > 180 {
+			diff = 360 - diff
+		}
+		if math.Abs(diff-45) > 3 {
+			t.Fatalf("cog-heading diff = %v, want ~45", diff)
+		}
+	}
+}
+
+func TestZigzagChangesHeading(t *testing.T) {
+	tr := NewTrack("v1", "fishingVessel", geo.Point{X: 20, Y: 20}, 0, 60, 5)
+	tr.Zigzag(90, 4, 40, 300, 3600)
+	msgs := tr.Messages()
+	turns := 0
+	for i := 1; i < len(msgs); i++ {
+		d := math.Abs(msgs[i].Heading - msgs[i-1].Heading)
+		if d > 180 {
+			d = 360 - d
+		}
+		if d > 30 {
+			turns++
+		}
+	}
+	if turns < 8 {
+		t.Fatalf("turns = %d, want >= 8", turns)
+	}
+}
+
+func TestZigzagSpeedsAlternates(t *testing.T) {
+	tr := NewTrack("v1", "sarVessel", geo.Point{X: 50, Y: 20}, 0, 60, 6)
+	tr.ZigzagSpeeds(0, 6, 14, 50, 300, 3600)
+	low, high := 0, 0
+	for _, m := range tr.Messages() {
+		if m.SpeedKn < 8 {
+			low++
+		} else {
+			high++
+		}
+	}
+	if low == 0 || high == 0 {
+		t.Fatalf("speeds did not alternate: low=%d high=%d", low, high)
+	}
+}
+
+func TestLoiterStaysNearAnchor(t *testing.T) {
+	start := geo.Point{X: 30, Y: 60}
+	tr := NewTrack("v1", "cargo", start, 0, 60, 7)
+	tr.Loiter(2.5, 7200)
+	for _, m := range tr.Messages() {
+		if m.Pos.Distance(start) > 3 {
+			t.Fatalf("loiterer wandered %v km away", m.Pos.Distance(start))
+		}
+		if m.SpeedKn > 4 {
+			t.Fatalf("loiter speed = %v", m.SpeedKn)
+		}
+	}
+}
+
+func TestWaitEmitsNothing(t *testing.T) {
+	tr := NewTrack("v1", "cargo", geo.Point{X: 0, Y: 0}, 0, 60, 8)
+	tr.Wait(3600)
+	if len(tr.Messages()) != 0 {
+		t.Fatal("Wait emitted messages")
+	}
+	if tr.Time() != 3600 {
+		t.Fatalf("time = %d", tr.Time())
+	}
+	if tr.Pos() != (geo.Point{X: 0, Y: 0}) {
+		t.Fatal("Wait moved the vessel")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	build := func() []Message {
+		tr := NewTrack("v1", "cargo", geo.Point{X: 0, Y: 0}, 0, 60, 42)
+		tr.SailTo(geo.Point{X: 5, Y: 5}, 8).Stop(300).Loiter(2, 600)
+		return tr.Messages()
+	}
+	a, b := build(), build()
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("messages differ at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSortMessages(t *testing.T) {
+	msgs := []Message{
+		{Time: 10, Vessel: "v2"},
+		{Time: 5, Vessel: "v1"},
+		{Time: 10, Vessel: "v1"},
+	}
+	SortMessages(msgs)
+	if msgs[0].Time != 5 || msgs[1].Vessel != "v1" || msgs[2].Vessel != "v2" {
+		t.Fatalf("sort order wrong: %v", msgs)
+	}
+}

@@ -1,0 +1,328 @@
+// Package check automates the qualitative error assessment of the paper's
+// Section 5.2: it classifies the defects of an LLM-generated event
+// description into the four published categories — (1) naming divergences,
+// (2) wrong fluent kind, (3) conditions over undefined activities, and
+// (4) misuse of the interval operators (disjunction/conjunction/negation) —
+// plus outright syntax errors.
+package check
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rtecgen/internal/lang"
+	"rtecgen/internal/parser"
+	"rtecgen/internal/prompt"
+)
+
+// Category is one of the paper's error categories.
+type Category int
+
+const (
+	// Syntax: the model output could not be parsed as RTEC rules.
+	Syntax Category = iota
+	// Naming: a minor divergence in the name chosen for an event, activity
+	// or background-knowledge expression (category 1).
+	Naming
+	// FluentKind: an activity modelled with a different type of fluent than
+	// the gold standard (category 2).
+	FluentKind
+	// Undefined: a condition over an activity that is not defined in the
+	// generated event description (category 3).
+	Undefined
+	// Operator: misuse of interval operations, e.g. intersect_all in place
+	// of union_all (category 4).
+	Operator
+)
+
+func (c Category) String() string {
+	switch c {
+	case Syntax:
+		return "syntax error"
+	case Naming:
+		return "naming divergence"
+	case FluentKind:
+		return "wrong fluent kind"
+	case Undefined:
+		return "undefined condition"
+	case Operator:
+		return "operator misuse"
+	}
+	return "unknown"
+}
+
+// Finding is one classified defect.
+type Finding struct {
+	Category Category
+	Activity string // curriculum key, or "" when not attributable
+	Detail   string
+}
+
+func (f Finding) String() string {
+	if f.Activity == "" {
+		return fmt.Sprintf("[%s] %s", f.Category, f.Detail)
+	}
+	return fmt.Sprintf("[%s] %s: %s", f.Category, f.Activity, f.Detail)
+}
+
+// Analyze classifies the defects of a generated event description against
+// the gold standard and the domain vocabulary.
+func Analyze(gen *prompt.GeneratedED, gold *lang.EventDescription, domain *prompt.Domain) []Finding {
+	var out []Finding
+
+	// Syntax errors recorded at parse time.
+	for _, r := range gen.Results {
+		for _, e := range r.Errors {
+			out = append(out, Finding{Category: Syntax, Activity: r.Request.Key, Detail: e})
+		}
+	}
+
+	vocab := vocabularyNames(domain)
+	aliasOf := map[string]string{}
+	for canonical, alts := range domain.Aliases {
+		for _, a := range alts {
+			aliasOf[a] = canonical
+		}
+	}
+
+	genED := gen.ED()
+	defined := map[string]bool{}
+	kindOf := map[string]lang.HeadKind{}
+	for _, c := range genED.Rules() {
+		if _, fl := c.HeadFVP(); fl != nil {
+			defined[fl.Functor] = true
+			if k, ok := kindOf[fl.Functor]; !ok || k != lang.KindHoldsFor {
+				kindOf[fl.Functor] = c.Kind()
+			}
+		}
+	}
+	goldKind := map[string]lang.HeadKind{}
+	for _, c := range gold.Rules() {
+		if _, fl := c.HeadFVP(); fl != nil {
+			if k, ok := goldKind[fl.Functor]; !ok || k != lang.KindHoldsFor {
+				goldKind[fl.Functor] = c.Kind()
+			}
+		}
+	}
+
+	for _, r := range gen.Results {
+		seenNaming := map[string]bool{}
+		seenUndef := map[string]bool{}
+		for _, c := range r.Clauses {
+			// Category 1: names mapped back by the alias table.
+			for name := range namesInClause(c) {
+				if seenNaming[name] || vocab[name] || defined[name] {
+					continue
+				}
+				if canonical, ok := aliasOf[name]; ok {
+					seenNaming[name] = true
+					out = append(out, Finding{Category: Naming, Activity: r.Request.Key,
+						Detail: fmt.Sprintf("%q should be %q", name, canonical)})
+				}
+			}
+			// Category 3: fluent references with no definition.
+			for _, l := range c.Body {
+				name, ok := fluentRef(l.Atom)
+				if !ok || defined[name] || vocab[name] || seenUndef[name] {
+					continue
+				}
+				if _, isAlias := aliasOf[name]; isAlias {
+					continue // a naming problem, not an undefined activity
+				}
+				seenUndef[name] = true
+				out = append(out, Finding{Category: Undefined, Activity: r.Request.Key,
+					Detail: fmt.Sprintf("condition refers to undefined activity %q", name)})
+			}
+		}
+		// Category 2: fluent kind differs from the gold standard.
+		for _, c := range r.Clauses {
+			_, fl := c.HeadFVP()
+			if fl == nil {
+				continue
+			}
+			gk, inGold := goldKind[fl.Functor]
+			if !inGold {
+				continue
+			}
+			genIsSD := kindOf[fl.Functor] == lang.KindHoldsFor
+			goldIsSD := gk == lang.KindHoldsFor
+			if genIsSD != goldIsSD {
+				out = append(out, Finding{Category: FluentKind, Activity: r.Request.Key,
+					Detail: fmt.Sprintf("%s modelled as %s but the gold standard uses %s",
+						fl.Functor, kindName(genIsSD), kindName(goldIsSD))})
+				break
+			}
+		}
+		// Category 4: interval-operator multiset differs for a shared fluent.
+		out = append(out, operatorFindings(r, gold)...)
+	}
+	return out
+}
+
+func kindName(sd bool) string {
+	if sd {
+		return "a statically determined fluent"
+	}
+	return "a simple fluent"
+}
+
+// operatorFindings compares the interval-operator usage of each holdsFor
+// rule against the gold rule for the same fluent.
+func operatorFindings(r prompt.ActivityResult, gold *lang.EventDescription) []Finding {
+	goldOps := map[string]map[string]int{}
+	for _, c := range gold.Rules() {
+		if c.Kind() != lang.KindHoldsFor {
+			continue
+		}
+		if _, fl := c.HeadFVP(); fl != nil {
+			goldOps[fl.Functor] = opCounts(c)
+		}
+	}
+	var out []Finding
+	for _, c := range r.Clauses {
+		if c.Kind() != lang.KindHoldsFor {
+			continue
+		}
+		_, fl := c.HeadFVP()
+		if fl == nil {
+			continue
+		}
+		want, ok := goldOps[fl.Functor]
+		if !ok {
+			continue
+		}
+		got := opCounts(c)
+		// Only flag swaps: same total construct count, different mix.
+		if total(got) == total(want) && !sameCounts(got, want) {
+			out = append(out, Finding{Category: Operator, Activity: r.Request.Key,
+				Detail: fmt.Sprintf("%s uses %s but the gold standard uses %s",
+					fl.Functor, fmtOps(got), fmtOps(want))})
+		}
+	}
+	return out
+}
+
+func opCounts(c *lang.Clause) map[string]int {
+	out := map[string]int{}
+	for _, l := range c.Body {
+		switch l.Atom.Functor {
+		case "union_all", "intersect_all", "relative_complement_all":
+			out[l.Atom.Functor]++
+		}
+	}
+	return out
+}
+
+func total(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func sameCounts(a, b map[string]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func fmtOps(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%dx %s", m[k], k)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func vocabularyNames(d *prompt.Domain) map[string]bool {
+	out := map[string]bool{
+		"initiatedAt": true, "terminatedAt": true, "holdsAt": true, "holdsFor": true,
+		"happensAt": true, "union_all": true, "intersect_all": true,
+		"relative_complement_all": true, "not": true, "=": true, "true": true,
+		"thresholds": true, "absAngleDiff": true, "abs": true,
+		"oneIsTug": true, "oneIsPilot": true, "vessel": true, "vesselPair": true,
+		"<": true, ">": true, ">=": true, "=<": true, "=:=": true, "=\\=": true,
+		"\\=": true, "+": true, "-": true, "*": true, "/": true,
+	}
+	addPattern := func(p string) {
+		if t, err := parser.ParseTerm(p); err == nil {
+			t.Walk(func(n *lang.Term) bool {
+				if n.Kind == lang.Compound || n.Kind == lang.Atom {
+					out[n.Functor] = true
+				}
+				return n.Kind == lang.Compound
+			})
+		}
+	}
+	for _, e := range d.Events {
+		addPattern(e.Pattern)
+	}
+	for _, b := range d.Background {
+		addPattern(b.Pattern)
+	}
+	for _, t := range d.Thresholds {
+		out[t.Name] = true
+	}
+	for _, v := range d.Values {
+		out[v] = true
+	}
+	for _, c := range []string{"fishing", "anchorage", "nearCoast", "nearPorts",
+		"fishingVessel", "cargo", "tanker", "tug", "pilotVessel", "sarVessel", "passenger"} {
+		out[c] = true
+	}
+	return out
+}
+
+func namesInClause(c *lang.Clause) map[string]bool {
+	out := map[string]bool{}
+	add := func(t *lang.Term) {
+		t.Walk(func(n *lang.Term) bool {
+			if n.Kind == lang.Atom || n.Kind == lang.Compound {
+				out[n.Functor] = true
+			}
+			return true
+		})
+	}
+	add(c.Head)
+	for _, l := range c.Body {
+		add(l.Atom)
+	}
+	return out
+}
+
+// fluentRef extracts the fluent functor of a holdsAt/holdsFor condition.
+func fluentRef(atom *lang.Term) (string, bool) {
+	if atom.Kind != lang.Compound || (atom.Functor != "holdsAt" && atom.Functor != "holdsFor") {
+		return "", false
+	}
+	if len(atom.Args) != 2 {
+		return "", false
+	}
+	fvp := atom.Args[0]
+	if fvp.Kind == lang.Compound && fvp.Functor == "=" && len(fvp.Args) == 2 && fvp.Args[0].IsCallable() {
+		return fvp.Args[0].Functor, true
+	}
+	return "", false
+}
+
+// CountByCategory aggregates findings per category.
+func CountByCategory(fs []Finding) map[Category]int {
+	out := map[Category]int{}
+	for _, f := range fs {
+		out[f.Category]++
+	}
+	return out
+}

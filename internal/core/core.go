@@ -1,0 +1,88 @@
+// Package core is the facade over the paper's primary contribution: one
+// entry point that runs the whole method — prompt a model into generating
+// an RTEC event description for a curriculum of composite activities, score
+// it against a gold standard with the similarity metric of Section 4,
+// optionally apply the minimal syntactic corrections, and (given a stream)
+// measure its predictive accuracy on composite event recognition.
+//
+// The underlying pieces remain available for fine-grained use:
+// internal/prompt (the pipeline), internal/similarity (the metric),
+// internal/correct (the corrector), internal/check (the error taxonomy),
+// internal/rtec (the recognition engine) and internal/maritime (the
+// evaluation domain).
+package core
+
+import (
+	"fmt"
+
+	"rtecgen/internal/check"
+	"rtecgen/internal/correct"
+	"rtecgen/internal/eval"
+	"rtecgen/internal/lang"
+	"rtecgen/internal/llm"
+	"rtecgen/internal/maritime"
+	"rtecgen/internal/prompt"
+)
+
+// Result bundles everything the method produces for one model and
+// prompting scheme.
+type Result struct {
+	// Generated is the raw pipeline output (per-activity rules and parse
+	// errors).
+	Generated *prompt.GeneratedED
+	// Similarity scores the generated description against the gold
+	// standard: per composite activity and overall (Definition 4.14).
+	Similarity eval.Row
+	// Corrected is the description after the minimal syntactic changes,
+	// with its change log.
+	Corrected *correct.Corrected
+	// CorrectedSimilarity re-scores the corrected description (Figure 2b).
+	CorrectedSimilarity eval.Row
+	// Findings is the automated qualitative error assessment.
+	Findings []check.Finding
+}
+
+// Generate runs the full method for one model name (one of GPT-4, GPT-4o,
+// o1, Llama-3, Mistral, Gemma-2 — or any prompt.Model via GenerateWith) and
+// prompting scheme, on the maritime domain of the paper's evaluation.
+func Generate(modelName string, scheme prompt.Scheme) (*Result, error) {
+	m, err := llm.New(modelName)
+	if err != nil {
+		return nil, err
+	}
+	return GenerateWith(m, scheme)
+}
+
+// GenerateWith is Generate for a caller-supplied model (e.g. a live API
+// client implementing prompt.Model).
+func GenerateWith(model prompt.Model, scheme prompt.Scheme) (*Result, error) {
+	domain := maritime.PromptDomain()
+	gold := maritime.GoldED()
+	gen, err := prompt.RunPipeline(model, scheme, domain, maritime.CurriculumRequests())
+	if err != nil {
+		return nil, fmt.Errorf("core: generation: %w", err)
+	}
+	row, err := eval.Score(gold, gen)
+	if err != nil {
+		return nil, fmt.Errorf("core: scoring: %w", err)
+	}
+	cor := correct.Apply(gen, domain)
+	corRow, err := eval.Score(gold, cor.Gen)
+	if err != nil {
+		return nil, fmt.Errorf("core: scoring corrected: %w", err)
+	}
+	return &Result{
+		Generated:           gen,
+		Similarity:          row,
+		Corrected:           cor,
+		CorrectedSimilarity: corRow,
+		Findings:            check.Analyze(gen, gold, domain),
+	}, nil
+}
+
+// GoldStandard returns the hand-crafted gold event description the method
+// scores against.
+func GoldStandard() *lang.EventDescription { return maritime.GoldED() }
+
+// Models returns the names of the bundled simulated models.
+func Models() []string { return llm.ModelNames() }

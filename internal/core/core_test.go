@@ -1,0 +1,44 @@
+package core
+
+import (
+	"testing"
+
+	"rtecgen/internal/prompt"
+)
+
+func TestGenerateEndToEnd(t *testing.T) {
+	res, err := Generate("o1", prompt.FewShot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generated == nil || len(res.Generated.Results) == 0 {
+		t.Fatal("no generated results")
+	}
+	if res.Similarity.Overall <= 0.9 {
+		t.Fatalf("o1 overall similarity = %v, want > 0.9", res.Similarity.Overall)
+	}
+	if res.CorrectedSimilarity.Overall < res.Similarity.Overall {
+		t.Fatal("correction decreased similarity")
+	}
+	if len(res.Corrected.Changes) == 0 {
+		t.Fatal("o1 needs at least the trawlingArea correction")
+	}
+	if len(res.Findings) == 0 {
+		t.Fatal("o1 has at least naming findings")
+	}
+}
+
+func TestGenerateUnknownModel(t *testing.T) {
+	if _, err := Generate("GPT-9", prompt.FewShot); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestGoldStandardAndModels(t *testing.T) {
+	if len(GoldStandard().Rules()) < 40 {
+		t.Fatal("gold standard too small")
+	}
+	if len(Models()) != 6 {
+		t.Fatalf("Models() = %v", Models())
+	}
+}

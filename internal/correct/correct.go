@@ -1,0 +1,312 @@
+// Package correct implements the manual error-correction step of the
+// paper's second experiment (Section 5.2): the "minimum required changes"
+// that make an LLM-generated event description compatible with RTEC —
+// renaming wrongly-spelled constants and predicates back to the domain
+// vocabulary (e.g. 'trawlingArea' to 'fishing'), exactly the first error
+// category of the qualitative analysis. Structural errors (wrong fluent
+// kind, undefined conditions, operator confusion) are deliberately left in
+// place: the paper's corrected event descriptions GPT-4o▲, o1■ and Llama-3■
+// retain them, which is why their similarity increase in Figure 2b is
+// small.
+package correct
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rtecgen/internal/lang"
+	"rtecgen/internal/parser"
+	"rtecgen/internal/prompt"
+)
+
+// Change records one applied correction.
+type Change struct {
+	From, To string
+	Reason   string
+}
+
+func (c Change) String() string {
+	return fmt.Sprintf("%s -> %s (%s)", c.From, c.To, c.Reason)
+}
+
+// vocabulary is the corrector's knowledge of valid names, derived from the
+// domain documentation (the same material prompts E and T taught the model).
+type vocabulary struct {
+	predicates map[string]bool // "name/arity"
+	predNames  map[string]bool // name only
+	constants  map[string]bool
+	aliases    map[string]string // wrong spelling -> canonical
+}
+
+func buildVocabulary(d *prompt.Domain) *vocabulary {
+	v := &vocabulary{
+		predicates: map[string]bool{},
+		predNames:  map[string]bool{},
+		constants:  map[string]bool{},
+		aliases:    map[string]string{},
+	}
+	addPred := func(pattern string) {
+		t, err := parser.ParseTerm(pattern)
+		if err != nil || !t.IsCallable() {
+			return
+		}
+		v.predicates[t.Indicator()] = true
+		v.predNames[t.Functor] = true
+	}
+	for _, e := range d.Events {
+		addPred(e.Pattern)
+	}
+	for _, b := range d.Background {
+		addPred(b.Pattern)
+	}
+	v.predicates["thresholds/2"] = true
+	v.predNames["thresholds"] = true
+	for _, t := range d.Thresholds {
+		v.constants[t.Name] = true
+	}
+	for _, val := range d.Values {
+		v.constants[val] = true
+	}
+	// Area and vessel type constants documented in the background prompts.
+	for _, c := range []string{"fishing", "anchorage", "nearCoast", "nearPorts",
+		"fishingVessel", "cargo", "tanker", "tug", "pilotVessel", "sarVessel", "passenger"} {
+		v.constants[c] = true
+	}
+	for canonical, alts := range d.Aliases {
+		for _, a := range alts {
+			v.aliases[a] = canonical
+		}
+	}
+	return v
+}
+
+// rtecKeywords never need correction.
+var rtecKeywords = map[string]bool{
+	"initiatedAt": true, "terminatedAt": true, "holdsAt": true, "holdsFor": true,
+	"happensAt": true, "union_all": true, "intersect_all": true,
+	"relative_complement_all": true, "not": true, "=": true,
+	"<": true, ">": true, ">=": true, "=<": true, "=:=": true, "=\\=": true,
+	"\\=": true, "+": true, "-": true, "*": true, "/": true,
+	"absAngleDiff": true, "abs": true, "oneIsTug": true, "oneIsPilot": true,
+}
+
+// Corrected is the outcome: the corrected per-activity results and the
+// change log.
+type Corrected struct {
+	Gen     *prompt.GeneratedED
+	Changes []Change
+}
+
+// Apply corrects a generated event description: every predicate or constant
+// name that is not in the domain vocabulary, not RTEC syntax, and not a
+// fluent the description itself defines, is renamed to the canonical
+// vocabulary name when a confident mapping exists (a documented alias, or
+// an edit distance of at most 2). The generated ED is not mutated; a
+// corrected copy is returned together with the change log.
+func Apply(gen *prompt.GeneratedED, domain *prompt.Domain) *Corrected {
+	v := buildVocabulary(domain)
+
+	// Names defined by the generated ED itself (its fluents) are valid.
+	selfDefined := map[string]bool{}
+	for _, r := range gen.Results {
+		for _, c := range r.Clauses {
+			if _, fl := c.HeadFVP(); fl != nil {
+				selfDefined[fl.Functor] = true
+			}
+		}
+	}
+
+	// Collect every name occurring in the ED, with a sample arity for
+	// predicates.
+	type occurrence struct {
+		arity    int
+		compound bool
+	}
+	occ := map[string]occurrence{}
+	for _, r := range gen.Results {
+		for _, c := range r.Clauses {
+			for _, t := range append([]*lang.Term{c.Head}, literalAtoms(c.Body)...) {
+				t.Walk(func(n *lang.Term) bool {
+					switch n.Kind {
+					case lang.Compound:
+						occ[n.Functor] = occurrence{arity: len(n.Args), compound: true}
+					case lang.Atom:
+						if _, ok := occ[n.Functor]; !ok {
+							occ[n.Functor] = occurrence{}
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+
+	// Decide the renames.
+	renames := map[string]Change{}
+	names := make([]string, 0, len(occ))
+	for n := range occ {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		o := occ[name]
+		if rtecKeywords[name] || selfDefined[name] {
+			continue
+		}
+		if o.compound {
+			if v.predNames[name] {
+				continue
+			}
+		} else if v.constants[name] {
+			continue
+		}
+		if canonical, ok := v.aliases[name]; ok {
+			renames[name] = Change{From: name, To: canonical, Reason: "documented alias"}
+			continue
+		}
+		if to, ok := closestName(name, v, o.compound); ok {
+			renames[name] = Change{From: name, To: to, Reason: "edit distance"}
+		}
+	}
+
+	out := &Corrected{Gen: &prompt.GeneratedED{ModelName: gen.ModelName, Scheme: gen.Scheme}}
+	for _, r := range gen.Results {
+		nr := prompt.ActivityResult{Request: r.Request, Raw: r.Raw, Errors: append([]string(nil), r.Errors...)}
+		for _, c := range r.Clauses {
+			cc := c.Clone()
+			for from, ch := range renames {
+				cc = renameClause(cc, from, ch.To)
+			}
+			nr.Clauses = append(nr.Clauses, cc)
+		}
+		out.Gen.Results = append(out.Gen.Results, nr)
+	}
+	for _, name := range names {
+		if ch, ok := renames[name]; ok {
+			out.Changes = append(out.Changes, ch)
+		}
+	}
+	return out
+}
+
+func literalAtoms(body []lang.Literal) []*lang.Term {
+	out := make([]*lang.Term, len(body))
+	for i, l := range body {
+		out[i] = l.Atom
+	}
+	return out
+}
+
+// closestName finds a vocabulary name within edit distance 2 (and at least
+// half the name's length in common), preferring predicates for compound
+// occurrences and constants otherwise.
+func closestName(name string, v *vocabulary, compound bool) (string, bool) {
+	pool := v.constants
+	if compound {
+		pool = v.predNames
+	}
+	best, bestDist := "", 3
+	cands := make([]string, 0, len(pool))
+	for c := range pool {
+		cands = append(cands, c)
+	}
+	sort.Strings(cands)
+	for _, c := range cands {
+		d := editDistance(name, c)
+		if d < bestDist {
+			best, bestDist = c, d
+		}
+	}
+	if best == "" || bestDist > 2 || bestDist*2 >= len(name) {
+		return "", false
+	}
+	return best, true
+}
+
+// editDistance is the Levenshtein distance.
+func editDistance(a, b string) int {
+	if a == b {
+		return 0
+	}
+	la, lb := len(a), len(b)
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[lb]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+func renameClause(c *lang.Clause, from, to string) *lang.Clause {
+	n := &lang.Clause{Head: renameTerm(c.Head, from, to)}
+	for _, l := range c.Body {
+		n.Body = append(n.Body, lang.Literal{Neg: l.Neg, Atom: renameTerm(l.Atom, from, to)})
+	}
+	return n
+}
+
+func renameTerm(t *lang.Term, from, to string) *lang.Term {
+	switch t.Kind {
+	case lang.Atom:
+		if t.Functor == from {
+			return lang.NewAtom(to)
+		}
+		return t
+	case lang.Compound, lang.List:
+		args := make([]*lang.Term, len(t.Args))
+		changed := false
+		for i, a := range t.Args {
+			args[i] = renameTerm(a, from, to)
+			if args[i] != a {
+				changed = true
+			}
+		}
+		name := t.Functor
+		if t.Kind == lang.Compound && name == from {
+			name, changed = to, true
+		}
+		if !changed {
+			return t
+		}
+		n := *t
+		n.Functor = name
+		n.Args = args
+		return &n
+	default:
+		return t
+	}
+}
+
+// Summary renders the change log.
+func (c *Corrected) Summary() string {
+	if len(c.Changes) == 0 {
+		return "no changes required"
+	}
+	parts := make([]string, len(c.Changes))
+	for i, ch := range c.Changes {
+		parts[i] = ch.String()
+	}
+	return strings.Join(parts, "; ")
+}

@@ -1,0 +1,161 @@
+package correct
+
+import (
+	"strings"
+	"testing"
+
+	"rtecgen/internal/maritime"
+	"rtecgen/internal/parser"
+	"rtecgen/internal/prompt"
+)
+
+// genFromSrc wraps rule text as a one-activity GeneratedED.
+func genFromSrc(t *testing.T, key, src string) *prompt.GeneratedED {
+	t.Helper()
+	ed, err := parser.ParseEventDescription(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &prompt.GeneratedED{
+		ModelName: "test",
+		Results: []prompt.ActivityResult{{
+			Request: prompt.ActivityRequest{Key: key, Name: key},
+			Clauses: ed.Clauses,
+		}},
+	}
+}
+
+func TestApplyFixesDocumentedAlias(t *testing.T) {
+	// The paper's own example: 'trawlingArea' must become 'fishing'.
+	gen := genFromSrc(t, "tr", `
+initiatedAt(trawlingMovement(Vl)=true, T) :-
+    happensAt(change_in_heading(Vl), T),
+    holdsAt(withinArea(Vl, trawlingArea)=true, T).
+`)
+	cor := Apply(gen, maritime.PromptDomain())
+	out := cor.Gen.ED().String()
+	if strings.Contains(out, "trawlingArea") {
+		t.Fatalf("trawlingArea not corrected:\n%s", out)
+	}
+	if !strings.Contains(out, "fishing") {
+		t.Fatalf("fishing not substituted:\n%s", out)
+	}
+	if len(cor.Changes) != 1 || cor.Changes[0].From != "trawlingArea" || cor.Changes[0].To != "fishing" {
+		t.Fatalf("changes = %v", cor.Changes)
+	}
+	if !strings.Contains(cor.Summary(), "trawlingArea -> fishing") {
+		t.Fatalf("summary = %q", cor.Summary())
+	}
+}
+
+func TestApplyFixesEditDistanceTypo(t *testing.T) {
+	gen := genFromSrc(t, "withinArea", `
+initiatedAt(withinArea(Vl, AreaType)=true, T) :-
+    happensAt(entersAreas(Vl, AreaID), T),
+    areaTyp(AreaID, AreaType).
+`)
+	cor := Apply(gen, maritime.PromptDomain())
+	out := cor.Gen.ED().String()
+	if !strings.Contains(out, "entersArea(") || !strings.Contains(out, "areaType(") {
+		t.Fatalf("typos not corrected:\n%s\nchanges: %v", out, cor.Changes)
+	}
+}
+
+func TestApplyLeavesSelfDefinedFluentsAlone(t *testing.T) {
+	// A fluent name the description defines itself is valid even if absent
+	// from the domain vocabulary.
+	gen := genFromSrc(t, "x", `
+initiatedAt(myCustomActivity(Vl)=true, T) :-
+    happensAt(stop_start(Vl), T).
+
+holdsFor(other(Vl)=true, I) :-
+    holdsFor(myCustomActivity(Vl)=true, I1),
+    union_all([I1], I).
+`)
+	cor := Apply(gen, maritime.PromptDomain())
+	if len(cor.Changes) != 0 {
+		t.Fatalf("unexpected changes: %v", cor.Changes)
+	}
+	if cor.Summary() != "no changes required" {
+		t.Fatalf("summary = %q", cor.Summary())
+	}
+}
+
+func TestApplyLeavesUndefinedHallucinationsAlone(t *testing.T) {
+	// Category-3 errors (undefined activities) are not syntactic and must
+	// survive correction, as in the paper.
+	gen := genFromSrc(t, "tr", `
+holdsFor(trawling(Vl)=true, I) :-
+    holdsFor(fishingGearDeployed(Vl)=true, I1),
+    intersect_all([I1], I).
+`)
+	cor := Apply(gen, maritime.PromptDomain())
+	if !strings.Contains(cor.Gen.ED().String(), "fishingGearDeployed") {
+		t.Fatal("structural error was 'corrected' away")
+	}
+}
+
+func TestApplyDoesNotMutateInput(t *testing.T) {
+	gen := genFromSrc(t, "tr", `
+initiatedAt(f(Vl)=true, T) :-
+    happensAt(gapStart(Vl), T).
+`)
+	before := gen.ED().String()
+	Apply(gen, maritime.PromptDomain())
+	if gen.ED().String() != before {
+		t.Fatal("Apply mutated its input")
+	}
+}
+
+func TestApplyFixesThresholdNames(t *testing.T) {
+	gen := genFromSrc(t, "h", `
+initiatedAt(highSpeedNearCoast(Vl)=true, T) :-
+    happensAt(velocity(Vl, Speed, C, H), T),
+    threshold(nearCoastSpeedMax, Max),
+    Speed > Max.
+`)
+	cor := Apply(gen, maritime.PromptDomain())
+	out := cor.Gen.ED().String()
+	if !strings.Contains(out, "thresholds(hcNearCoastMax, Max)") {
+		t.Fatalf("threshold not corrected:\n%s\nchanges: %v", out, cor.Changes)
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "abc", 0},
+		{"abc", "abd", 1},
+		{"abc", "ab", 1},
+		{"kitten", "sitting", 3},
+		{"", "abc", 3},
+	}
+	for _, c := range cases {
+		if got := editDistance(c.a, c.b); got != c.want {
+			t.Errorf("editDistance(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRoundTripOnRealPipeline(t *testing.T) {
+	// The corrected output of every model must still parse and must not
+	// contain any documented alias.
+	domain := maritime.PromptDomain()
+	gen := genFromSrc(t, "l", `
+holdsFor(loitering(Vl)=true, I) :-
+    holdsFor(lowSpeed(Vl)=true, Il),
+    holdsFor(stopped(Vl)=farFromPort, Is),
+    union_all([Il, Is], I).
+`)
+	cor := Apply(gen, domain)
+	out := cor.Gen.ED().String()
+	if strings.Contains(out, "farFromPort,") || strings.Contains(out, "farFromPort)") {
+		t.Fatalf("value alias not corrected:\n%s", out)
+	}
+	if _, err := parser.ParseEventDescription(out); err != nil {
+		t.Fatalf("corrected ED unparseable: %v", err)
+	}
+}

@@ -1,0 +1,215 @@
+package eval
+
+import (
+	"fmt"
+
+	"rtecgen/internal/intervals"
+	"rtecgen/internal/lang"
+	"rtecgen/internal/maritime"
+	"rtecgen/internal/prompt"
+	"rtecgen/internal/rtec"
+	"rtecgen/internal/stream"
+)
+
+// AccuracyConfig parameterises the predictive-accuracy experiment.
+type AccuracyConfig struct {
+	Scenario   maritime.ScenarioConfig
+	Preprocess maritime.PreprocessConfig
+	Window     int64 // RTEC window size in seconds
+}
+
+// DefaultAccuracyConfig returns the configuration of the reported runs.
+func DefaultAccuracyConfig() AccuracyConfig {
+	return AccuracyConfig{
+		Scenario:   maritime.DefaultScenarioConfig(),
+		Preprocess: maritime.DefaultPreprocessConfig(),
+		Window:     3600,
+	}
+}
+
+// F1 holds the predictive-accuracy metrics of one activity: time-point-level
+// true positives, false positives and false negatives of the LLM-generated
+// definition against the hand-crafted one (Section 5.2, "Performance on
+// CER").
+type F1 struct {
+	TP, FP, FN int64
+}
+
+// Precision returns TP/(TP+FP), or 0.
+func (f F1) Precision() float64 {
+	if f.TP+f.FP == 0 {
+		return 0
+	}
+	return float64(f.TP) / float64(f.TP+f.FP)
+}
+
+// Recall returns TP/(TP+FN), or 0.
+func (f F1) Recall() float64 {
+	if f.TP+f.FN == 0 {
+		return 0
+	}
+	return float64(f.TP) / float64(f.TP+f.FN)
+}
+
+// Score returns the f1-score.
+func (f F1) Score() float64 {
+	p, r := f.Precision(), f.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// AccuracyRow is one event description's f1 per composite activity.
+type AccuracyRow struct {
+	Label       string
+	PerActivity map[string]F1
+	Warnings    []string
+}
+
+// Average returns the mean f1 across the eight activities.
+func (r AccuracyRow) Average() float64 {
+	var sum float64
+	for _, k := range ActivityKeys {
+		sum += r.PerActivity[k].Score()
+	}
+	return sum / float64(len(ActivityKeys))
+}
+
+// Testbed is the prepared recognition environment: the scenario stream and
+// the gold recognition result, reused across candidate event descriptions.
+type Testbed struct {
+	cfg      AccuracyConfig
+	scenario *maritime.Scenario
+	events   stream.Stream
+	pairs    [][2]string
+	facts    []*lang.Term
+	goldRec  *rtec.Recognition
+}
+
+// NewTestbed builds the scenario, preprocesses it, and runs the gold
+// event description over it.
+func NewTestbed(cfg AccuracyConfig) (*Testbed, error) {
+	scen, err := maritime.BuildScenario(cfg.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	events := maritime.Preprocess(scen.Messages, scen.Map, cfg.Preprocess)
+	tb := &Testbed{
+		cfg:      cfg,
+		scenario: scen,
+		events:   events,
+		pairs:    maritime.ObservedPairs(events),
+		facts:    maritime.DynamicFacts(events, scen.Fleet),
+	}
+	tb.goldRec, err = tb.run(maritime.GoldED(), true)
+	if err != nil {
+		return nil, fmt.Errorf("eval: gold recognition: %w", err)
+	}
+	return tb, nil
+}
+
+// Events returns the preprocessed input stream.
+func (tb *Testbed) Events() stream.Stream { return tb.events }
+
+// GoldRecognition returns the gold recognition result.
+func (tb *Testbed) GoldRecognition() *rtec.Recognition { return tb.goldRec }
+
+// run executes an event description over the testbed stream.
+func (tb *Testbed) run(rules *lang.EventDescription, strict bool) (*rtec.Recognition, error) {
+	ed := maritime.FullED(rules, tb.scenario.Map, tb.scenario.Fleet, tb.pairs)
+	eng, err := rtec.New(ed, rtec.Options{Strict: strict, ExtraFacts: tb.facts})
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run(tb.events, rtec.RunOptions{Window: tb.cfg.Window})
+}
+
+// Evaluate runs a (corrected) generated event description on the testbed
+// and scores it against the gold recognition, per composite activity.
+// Detections are matched per entity (vessel or vessel pair) and per value;
+// TP/FP/FN count time-points (seconds), computed via interval overlap.
+func (tb *Testbed) Evaluate(gen *prompt.GeneratedED) (AccuracyRow, error) {
+	// Generated event descriptions routinely carry defects: load leniently.
+	genRec, err := tb.run(gen.ED(), false)
+	if err != nil {
+		return AccuracyRow{}, err
+	}
+	row := AccuracyRow{Label: gen.Label(), PerActivity: map[string]F1{}}
+	for _, w := range genRec.Warnings {
+		row.Warnings = append(row.Warnings, w.String())
+	}
+	for _, act := range maritime.CompositeActivities() {
+		goldName := act.PrimaryName()
+		genName := goldName
+		if res, ok := gen.ResultFor(act.Key); ok {
+			genName = generatedPrimaryName(res, act)
+		}
+		row.PerActivity[act.Key] = scoreActivity(tb.goldRec, genRec, goldName, genName)
+	}
+	return row, nil
+}
+
+// scoreActivity compares the recognised intervals of one activity: the gold
+// fluent goldName against the generated fluent genName, matched on entity
+// arguments and value.
+func scoreActivity(goldRec, genRec *rtec.Recognition, goldName, genName string) F1 {
+	start, end := goldRec.Start, goldRec.End
+	goldByEntity := entityIntervals(goldRec, goldName)
+	genByEntity := entityIntervals(genRec, genName)
+
+	var f F1
+	seen := map[string]bool{}
+	for entity, goldList := range goldByEntity {
+		seen[entity] = true
+		genList := genByEntity[entity]
+		f.TP += intervals.OverlapDuration(goldList, genList, start, end)
+		f.FN += intervals.RelativeComplement(intervals.Clip(goldList, start, end), genList).Duration()
+		f.FP += intervals.RelativeComplement(intervals.Clip(genList, start, end), goldList).Duration()
+	}
+	for entity, genList := range genByEntity {
+		if !seen[entity] {
+			f.FP += intervals.Clip(genList, start, end).Duration()
+		}
+	}
+	return f
+}
+
+// entityIntervals collects, for a fluent functor, the recognised intervals
+// keyed by the canonical entity-and-value signature (e.g. "(v1|v2)=true"),
+// which is name-independent so renamed fluents still align.
+func entityIntervals(rec *rtec.Recognition, functor string) map[string]intervals.List {
+	out := map[string]intervals.List{}
+	for _, key := range rec.Keys() {
+		fvp := rec.FVP(key)
+		fl := fvp.Args[0]
+		if !fl.IsCallable() || fl.Functor != functor {
+			continue
+		}
+		sig := ""
+		for i, a := range fl.Args {
+			if i > 0 {
+				sig += "|"
+			}
+			sig += a.String()
+		}
+		sig += "=" + fvp.Args[1].String()
+		out[sig] = intervals.Union(out[sig], rec.IntervalsOfKey(key))
+	}
+	return out
+}
+
+// Figure2c runs the corrected event descriptions of Figure 2b on the
+// testbed and reports their predictive accuracy.
+func Figure2c(tb *Testbed, corrected []CorrectedRow) ([]AccuracyRow, error) {
+	var out []AccuracyRow
+	for _, cr := range corrected {
+		row, err := tb.Evaluate(cr.Corrected.Gen)
+		if err != nil {
+			return nil, fmt.Errorf("eval: %s: %w", cr.Label(), err)
+		}
+		row.Label = cr.Label()
+		out = append(out, row)
+	}
+	return out, nil
+}

@@ -1,0 +1,126 @@
+package eval
+
+import (
+	"testing"
+
+	"rtecgen/internal/maritime"
+	"rtecgen/internal/parser"
+	"rtecgen/internal/prompt"
+)
+
+// genWith wraps custom rules for one composite activity, with every other
+// curriculum activity taken verbatim from the gold standard.
+func genWith(t *testing.T, key, src string) *prompt.GeneratedED {
+	t.Helper()
+	gold := maritime.GoldED()
+	gen := &prompt.GeneratedED{ModelName: "custom"}
+	for _, act := range maritime.Curriculum {
+		r := prompt.ActivityResult{Request: prompt.ActivityRequest{Key: act.Key, Name: act.Name}}
+		if act.Key == key {
+			ed, err := parser.ParseEventDescription(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r.Clauses = ed.Clauses
+		} else {
+			r.Clauses = maritime.RulesForActivity(gold, act)
+		}
+		gen.Results = append(gen.Results, r)
+	}
+	return gen
+}
+
+// TestArityMismatchScoresZero: a generated activity whose primary fluent
+// has a different arity than the gold one cannot match any detection.
+func TestArityMismatchScoresZero(t *testing.T) {
+	tb := testbed(t)
+	gen := genWith(t, "d", `
+initiatedAt(drifting(Vl, severe)=true, T) :-
+    happensAt(velocity(Vl, Speed, CoG, TrueHeading), T),
+    thresholds(driftingAngle, MinAngle),
+    absAngleDiff(CoG, TrueHeading, Diff),
+    Diff > MinAngle.
+
+terminatedAt(drifting(Vl, severe)=true, T) :-
+    happensAt(velocity(Vl, Speed, CoG, TrueHeading), T),
+    thresholds(driftingAngle, MinAngle),
+    absAngleDiff(CoG, TrueHeading, Diff),
+    Diff =< MinAngle.
+`)
+	row, err := tb.Evaluate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := row.PerActivity["d"].Score(); got != 0 {
+		t.Fatalf("arity-mismatched drifting f1 = %v, want 0", got)
+	}
+	// Other activities are untouched gold rules: still perfect.
+	if got := row.PerActivity["h"].Score(); got != 1 {
+		t.Fatalf("h f1 = %v, want 1", got)
+	}
+}
+
+// TestRenamedFluentStillScores: the f1 matching is name-independent (entity
+// signature based), so an activity formalised under a different fluent name
+// still scores if its semantics match.
+func TestRenamedFluentStillScores(t *testing.T) {
+	tb := testbed(t)
+	gen := genWith(t, "aM", `
+holdsFor(atAnchorOrBerth(Vl)=true, I) :-
+    holdsFor(stopped(Vl)=farFromPorts, Isf),
+    holdsFor(withinArea(Vl, anchorage)=true, Ia),
+    intersect_all([Isf, Ia], Isfa),
+    holdsFor(stopped(Vl)=nearPorts, Isn),
+    union_all([Isfa, Isn], I).
+`)
+	row, err := tb.Evaluate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := row.PerActivity["aM"].Score(); got != 1 {
+		t.Fatalf("renamed anchoredOrMoored f1 = %v, want 1", got)
+	}
+}
+
+// TestMissingActivityScoresZero: an activity with no generated rules has no
+// detections, so recall is zero.
+func TestMissingActivityScoresZero(t *testing.T) {
+	tb := testbed(t)
+	gen := genWith(t, "l", "% the model produced no usable rules for loitering\nvessel(placeholder).")
+	row, err := tb.Evaluate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := row.PerActivity["l"].Score(); got != 0 {
+		t.Fatalf("missing loitering f1 = %v, want 0", got)
+	}
+	f := row.PerActivity["l"]
+	if f.FN == 0 {
+		t.Fatal("missing activity must have false negatives")
+	}
+	if f.TP != 0 || f.FP != 0 {
+		t.Fatalf("missing activity TP/FP = %d/%d, want 0/0", f.TP, f.FP)
+	}
+}
+
+// TestScale runs the default-size experiment end to end (guarded by
+// -short); it matches the configuration recorded in EXPERIMENTS.md.
+func TestScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large scenario")
+	}
+	cfg := DefaultAccuracyConfig()
+	tb, err := NewTestbed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Events()) < 20000 {
+		t.Fatalf("default scenario too small: %d events", len(tb.Events()))
+	}
+	// Gold recognises every composite activity at scale.
+	for _, act := range maritime.CompositeActivities() {
+		if len(tb.GoldRecognition().FluentIntervals(act.Primary(), nil)) == 0 {
+			t.Errorf("no detections for %s at scale", act.Name)
+		}
+	}
+}

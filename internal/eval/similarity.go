@@ -1,0 +1,243 @@
+// Package eval is the experiment harness: it regenerates every figure of
+// the paper's evaluation (Section 5) — the similarity of LLM-generated
+// event descriptions (Figure 2a), the similarity after minimal syntactic
+// correction (Figure 2b), and the predictive accuracy of the corrected
+// descriptions on composite event recognition (Figure 2c) — plus the
+// automated version of the qualitative error assessment.
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rtecgen/internal/correct"
+	"rtecgen/internal/lang"
+	"rtecgen/internal/maritime"
+	"rtecgen/internal/prompt"
+	"rtecgen/internal/similarity"
+)
+
+// ActivityKeys are the Figure 2 x-axis labels, in order; "all" is the
+// average bar.
+var ActivityKeys = []string{"h", "aM", "tr", "tu", "p", "l", "s", "d"}
+
+// Row is one event description's scores: per-activity similarity and the
+// whole-description similarity ("all").
+type Row struct {
+	Model       string
+	Scheme      prompt.Scheme
+	PerActivity map[string]float64
+	Overall     float64
+	Gen         *prompt.GeneratedED
+}
+
+// Label renders the paper's notation (o1□, GPT-4o△, ...).
+func (r Row) Label() string { return r.Model + r.Scheme.Suffix() }
+
+// Average returns the mean of the per-activity similarities and the overall
+// score; it is the ranking criterion for "the prompting scheme with the
+// highest similarity" and "the three event descriptions with the highest
+// similarity values". (The "all" bar of Figure 2a itself is Overall.)
+func (r Row) Average() float64 {
+	sum, n := r.Overall, 1
+	for _, k := range ActivityKeys {
+		sum += r.PerActivity[k]
+		n++
+	}
+	return sum / float64(n)
+}
+
+// GenerateAll runs the prompting pipeline for every model and scheme.
+func GenerateAll(models []prompt.Model) ([]*prompt.GeneratedED, error) {
+	domain := maritime.PromptDomain()
+	curriculum := maritime.CurriculumRequests()
+	var out []*prompt.GeneratedED
+	for _, m := range models {
+		for _, scheme := range []prompt.Scheme{prompt.FewShot, prompt.ChainOfThought} {
+			gen, err := prompt.RunPipeline(m, scheme, domain, curriculum)
+			if err != nil {
+				return nil, fmt.Errorf("eval: %s %s: %w", m.Name(), scheme, err)
+			}
+			out = append(out, gen)
+		}
+	}
+	return out, nil
+}
+
+// Score computes the similarity row of one generated event description
+// against the gold standard: per composite activity, the rules of the
+// activity's primary fluent are compared (Definition 4.14 restricted to
+// that rule set); the "all" score compares the full rule sets.
+func Score(gold *lang.EventDescription, gen *prompt.GeneratedED) (Row, error) {
+	row := Row{
+		Model:       gen.ModelName,
+		Scheme:      gen.Scheme,
+		PerActivity: map[string]float64{},
+		Gen:         gen,
+	}
+	for _, act := range maritime.CompositeActivities() {
+		goldRules := primaryRules(gold.Rules(), act.PrimaryName())
+		var genRules []*lang.Clause
+		if res, ok := gen.ResultFor(act.Key); ok {
+			genRules = primaryRules(res.Clauses, generatedPrimaryName(res, act))
+		}
+		s, err := similarity.Similarity(goldRules, genRules)
+		if err != nil {
+			return Row{}, err
+		}
+		row.PerActivity[act.Key] = s
+	}
+	all, err := similarity.Similarity(gold.Rules(), gen.ED().Rules())
+	if err != nil {
+		return Row{}, err
+	}
+	row.Overall = all
+	return row, nil
+}
+
+// primaryRules selects the rules whose head fluent functor matches.
+func primaryRules(rules []*lang.Clause, functor string) []*lang.Clause {
+	var out []*lang.Clause
+	for _, c := range rules {
+		if _, fl := c.HeadFVP(); fl != nil && fl.Functor == functor {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// generatedPrimaryName determines the top-level fluent of a generated
+// activity result: the defined fluent that no other rule of the same result
+// references in its body; ties are broken in favour of the name closest to
+// the activity's own name, then by definition order (last wins, since
+// support fluents are produced first).
+func generatedPrimaryName(res prompt.ActivityResult, act maritime.Activity) string {
+	var order []string
+	defined := map[string]bool{}
+	referenced := map[string]bool{}
+	for _, c := range res.Clauses {
+		if _, fl := c.HeadFVP(); fl != nil {
+			if !defined[fl.Functor] {
+				defined[fl.Functor] = true
+				order = append(order, fl.Functor)
+			}
+		}
+		for _, l := range c.Body {
+			a := l.Atom
+			if (a.Functor == "holdsAt" || a.Functor == "holdsFor") && len(a.Args) == 2 {
+				fvp := a.Args[0]
+				if fvp.Kind == lang.Compound && fvp.Functor == "=" && fvp.Args[0].IsCallable() {
+					referenced[fvp.Args[0].Functor] = true
+				}
+			}
+		}
+	}
+	if len(order) == 0 {
+		return act.PrimaryName()
+	}
+	var tops []string
+	for _, f := range order {
+		if !referenced[f] {
+			tops = append(tops, f)
+		}
+	}
+	if len(tops) == 0 {
+		tops = order
+	}
+	if len(tops) == 1 {
+		return tops[0]
+	}
+	// Prefer the exact activity name, then the last defined.
+	for _, f := range tops {
+		if strings.EqualFold(f, act.PrimaryName()) {
+			return f
+		}
+	}
+	return tops[len(tops)-1]
+}
+
+// BestPerModel keeps, for each model, the row of the scheme with the higher
+// average similarity — the selection applied in Figure 2a ("for each LLM we
+// report only the prompting scheme with the highest similarity").
+func BestPerModel(rows []Row) []Row {
+	best := map[string]Row{}
+	var order []string
+	for _, r := range rows {
+		cur, ok := best[r.Model]
+		if !ok {
+			order = append(order, r.Model)
+			best[r.Model] = r
+			continue
+		}
+		if r.Average() > cur.Average() {
+			best[r.Model] = r
+		}
+	}
+	out := make([]Row, 0, len(order))
+	for _, m := range order {
+		out = append(out, best[m])
+	}
+	return out
+}
+
+// TopN returns the n rows with the highest average similarity, in
+// descending order.
+func TopN(rows []Row, n int) []Row {
+	sorted := append([]Row(nil), rows...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Average() > sorted[j].Average() })
+	if n > len(sorted) {
+		n = len(sorted)
+	}
+	return sorted[:n]
+}
+
+// Figure2a generates all event descriptions, scores them, and returns the
+// best row per model (the published figure's contents) plus all rows.
+func Figure2a(models []prompt.Model) (best, all []Row, err error) {
+	gold := maritime.GoldED()
+	gens, err := GenerateAll(models)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, g := range gens {
+		row, err := Score(gold, g)
+		if err != nil {
+			return nil, nil, err
+		}
+		all = append(all, row)
+	}
+	return BestPerModel(all), all, nil
+}
+
+// CorrectedRow pairs a corrected event description's scores with the
+// change log that produced it.
+type CorrectedRow struct {
+	Row
+	Corrected *correct.Corrected
+}
+
+// Label renders the paper's filled-marker notation (o1■, GPT-4o▲).
+func (r CorrectedRow) Label() string {
+	if r.Scheme == prompt.FewShot {
+		return r.Model + "■"
+	}
+	return r.Model + "▲"
+}
+
+// Figure2b applies the minimal syntactic corrector to the given rows
+// (the paper corrects the top three of Figure 2a) and re-scores them.
+func Figure2b(rows []Row) ([]CorrectedRow, error) {
+	gold := maritime.GoldED()
+	domain := maritime.PromptDomain()
+	var out []CorrectedRow
+	for _, r := range rows {
+		cor := correct.Apply(r.Gen, domain)
+		scored, err := Score(gold, cor.Gen)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, CorrectedRow{Row: scored, Corrected: cor})
+	}
+	return out, nil
+}

@@ -1,0 +1,300 @@
+// Package fleet is a second application domain for the activity-definition
+// generation method — commercial vehicle fleet management, the domain the
+// paper's further-work section names (citing Tsilionis et al., JAIR 2022).
+// It demonstrates the claim that "prompt R may be re-used as it is, while
+// the prompts F, E, and T may be customised with domain-specific
+// knowledge": the package provides the domain's input events, thresholds,
+// gold-standard event description, generation curriculum and a synthetic
+// telematics-event generator, all pluggable into the same pipeline,
+// similarity metric and RTEC engine as the maritime domain.
+package fleet
+
+import (
+	"strings"
+	"sync"
+
+	"rtecgen/internal/lang"
+	"rtecgen/internal/llm"
+	"rtecgen/internal/parser"
+	"rtecgen/internal/prompt"
+)
+
+// Vehicle type constants.
+const (
+	TypeTruck = "truck"
+	TypeVan   = "van"
+	TypeBus   = "bus"
+)
+
+// goldSrc is the hand-crafted gold-standard event description for fleet
+// management: ignition and motion tracking, geofences, speeding, idling
+// (engine on while stationary), and idling away from any depot.
+const goldSrc = `
+% Input events from the on-board telematics unit.
+inputEvent(speedSignal(_, _)).
+inputEvent(ignition_on(_)).
+inputEvent(ignition_off(_)).
+inputEvent(motionless_start(_)).
+inputEvent(motionless_end(_)).
+inputEvent(entersZone(_, _)).
+inputEvent(leavesZone(_, _)).
+inputEvent(signal_lost(_)).
+inputEvent(signal_found(_)).
+
+grounding(idling(V)) :- vehicle(V).
+grounding(offDepotIdling(V)) :- vehicle(V).
+grounding(urbanSpeeding(V)) :- vehicle(V).
+
+% ------------------------------------------------------------------
+% ignitionOn: the engine is running.
+% ------------------------------------------------------------------
+initiatedAt(ignitionOn(V)=true, T) :-
+    happensAt(ignition_on(V), T).
+
+terminatedAt(ignitionOn(V)=true, T) :-
+    happensAt(ignition_off(V), T).
+
+terminatedAt(ignitionOn(V)=true, T) :-
+    happensAt(signal_lost(V), T).
+
+% ------------------------------------------------------------------
+% moving: the vehicle is in motion.
+% ------------------------------------------------------------------
+initiatedAt(moving(V)=true, T) :-
+    happensAt(motionless_end(V), T).
+
+terminatedAt(moving(V)=true, T) :-
+    happensAt(motionless_start(V), T).
+
+terminatedAt(moving(V)=true, T) :-
+    happensAt(signal_lost(V), T).
+
+% ------------------------------------------------------------------
+% withinZone: the vehicle is inside a zone of some kind (depot, urban,
+% highway).
+% ------------------------------------------------------------------
+initiatedAt(withinZone(V, ZoneKind)=true, T) :-
+    happensAt(entersZone(V, ZoneID), T),
+    zoneKind(ZoneID, ZoneKind).
+
+terminatedAt(withinZone(V, ZoneKind)=true, T) :-
+    happensAt(leavesZone(V, ZoneID), T),
+    zoneKind(ZoneID, ZoneKind).
+
+terminatedAt(withinZone(V, ZoneKind)=true, T) :-
+    happensAt(signal_lost(V), T).
+
+% ------------------------------------------------------------------
+% speeding: the vehicle exceeds the speed limit of its vehicle type.
+% ------------------------------------------------------------------
+initiatedAt(speeding(V)=true, T) :-
+    happensAt(speedSignal(V, Speed), T),
+    vehicleType(V, Type),
+    typeSpeedLimit(Type, Limit),
+    Speed > Limit.
+
+terminatedAt(speeding(V)=true, T) :-
+    happensAt(speedSignal(V, Speed), T),
+    vehicleType(V, Type),
+    typeSpeedLimit(Type, Limit),
+    Speed =< Limit.
+
+terminatedAt(speeding(V)=true, T) :-
+    happensAt(signal_lost(V), T).
+
+% ------------------------------------------------------------------
+% idling: the engine is running while the vehicle is not moving.
+% ------------------------------------------------------------------
+holdsFor(idling(V)=true, I) :-
+    holdsFor(ignitionOn(V)=true, Ion),
+    holdsFor(moving(V)=true, Im),
+    relative_complement_all(Ion, [Im], I).
+
+% ------------------------------------------------------------------
+% offDepotIdling: idling away from every depot (wasted fuel on route).
+% ------------------------------------------------------------------
+holdsFor(offDepotIdling(V)=true, I) :-
+    holdsFor(idling(V)=true, Ii),
+    holdsFor(withinZone(V, depot)=true, Id),
+    relative_complement_all(Ii, [Id], I).
+
+% ------------------------------------------------------------------
+% urbanSpeeding: speeding inside an urban zone.
+% ------------------------------------------------------------------
+holdsFor(urbanSpeeding(V)=true, I) :-
+    holdsFor(speeding(V)=true, Is),
+    holdsFor(withinZone(V, urban)=true, Iu),
+    intersect_all([Is, Iu], I).
+`
+
+var (
+	goldOnce sync.Once
+	goldED   *lang.EventDescription
+)
+
+// GoldED returns the parsed fleet gold standard (cloned).
+func GoldED() *lang.EventDescription {
+	goldOnce.Do(func() { goldED = parser.MustParseEventDescription(goldSrc) })
+	return goldED.Clone()
+}
+
+// TypeSpeedLimits are the per-type speed limits in km/h.
+var TypeSpeedLimits = map[string]float64{
+	TypeTruck: 80,
+	TypeVan:   100,
+	TypeBus:   90,
+}
+
+// Activity mirrors maritime.Activity for the fleet curriculum.
+type Activity struct {
+	Key         string
+	Name        string
+	Fluents     []string // indicators; primary last
+	Composite   bool
+	Description string
+}
+
+// Primary returns the indicator of the activity's top-level fluent.
+func (a Activity) Primary() string { return a.Fluents[len(a.Fluents)-1] }
+
+// PrimaryName returns the functor of the primary fluent.
+func (a Activity) PrimaryName() string {
+	return strings.SplitN(a.Primary(), "/", 2)[0]
+}
+
+// Curriculum is the ordered generation curriculum, lower-level first.
+var Curriculum = []Activity{
+	{
+		Key: "ignitionOn", Name: "ignitionOn", Fluents: []string{"ignitionOn/1"},
+		Description: "Ignition on: the engine of a vehicle is running from the moment the ignition is switched on until it is switched off, or until the telematics signal is lost.",
+	},
+	{
+		Key: "moving", Name: "moving", Fluents: []string{"moving/1"},
+		Description: "Moving: a vehicle is in motion from the moment it stops being motionless until it becomes motionless again, or until the telematics signal is lost.",
+	},
+	{
+		Key: "withinZone", Name: "withinZone", Fluents: []string{"withinZone/2"},
+		Description: "Within zone: this activity starts when a vehicle enters a zone of interest of some kind. It ends when the vehicle leaves the zone that it had entered, or when the telematics signal is lost.",
+	},
+	{
+		Key: "sp", Name: "speeding", Fluents: []string{"speeding/1"}, Composite: true,
+		Description: "Speeding: a vehicle is speeding while its reported speed exceeds the speed limit of its vehicle type. The activity ends when the speed drops to the limit, or when the telematics signal is lost.",
+	},
+	{
+		Key: "id", Name: "idling", Fluents: []string{"idling/1"}, Composite: true,
+		Description: "Idling: a vehicle is idling while its engine is running and, at the same time, it is not moving.",
+	},
+	{
+		Key: "odi", Name: "offDepotIdling", Fluents: []string{"offDepotIdling/1"}, Composite: true,
+		Description: "Off-depot idling: a vehicle idles away from every depot, i.e. it is idling, excluding the periods during which it is within a depot zone.",
+	},
+	{
+		Key: "us", Name: "urbanSpeeding", Fluents: []string{"urbanSpeeding/1"}, Composite: true,
+		Description: "Urban speeding: a vehicle is speeding while it is within an urban zone.",
+	},
+}
+
+// CompositeActivities returns the reported activities.
+func CompositeActivities() []Activity {
+	var out []Activity
+	for _, a := range Curriculum {
+		if a.Composite {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// RulesForActivity extracts from an event description the rules whose head
+// fluent belongs to the activity.
+func RulesForActivity(ed *lang.EventDescription, act Activity) []*lang.Clause {
+	want := map[string]bool{}
+	for _, f := range act.Fluents {
+		want[f] = true
+	}
+	var out []*lang.Clause
+	for _, c := range ed.Rules() {
+		if _, fl := c.HeadFVP(); fl != nil && want[fl.Indicator()] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// PromptDomain builds the prompt-pipeline domain for fleet management:
+// prompt R is reused verbatim; prompts E and T carry this content instead
+// of the maritime one.
+func PromptDomain() *prompt.Domain {
+	return &prompt.Domain{
+		Name: "vehicle fleet management",
+		Events: []prompt.EventDoc{
+			{Pattern: "speedSignal(Vehicle, Speed)", Meaning: "'Vehicle' reported its speed (km/h)."},
+			{Pattern: "ignition_on(Vehicle)", Meaning: "The ignition of 'Vehicle' was switched on."},
+			{Pattern: "ignition_off(Vehicle)", Meaning: "The ignition of 'Vehicle' was switched off."},
+			{Pattern: "motionless_start(Vehicle)", Meaning: "'Vehicle' became motionless."},
+			{Pattern: "motionless_end(Vehicle)", Meaning: "'Vehicle' started moving."},
+			{Pattern: "entersZone(Vehicle, Zone)", Meaning: "'Vehicle' entered the zone with identifier 'Zone'."},
+			{Pattern: "leavesZone(Vehicle, Zone)", Meaning: "'Vehicle' left the zone with identifier 'Zone'."},
+			{Pattern: "signal_lost(Vehicle)", Meaning: "The telematics unit of 'Vehicle' stopped transmitting."},
+			{Pattern: "signal_found(Vehicle)", Meaning: "The telematics unit of 'Vehicle' resumed transmitting."},
+		},
+		Background: []prompt.BackgroundDoc{
+			{Pattern: "zoneKind(Zone, ZoneKind)",
+				Meaning: "zone 'Zone' is of the given kind; the zone kinds are depot, urban and highway."},
+			{Pattern: "vehicleType(Vehicle, Type)",
+				Meaning: "'Vehicle' is of the given type; the vehicle types are truck, van and bus."},
+			{Pattern: "typeSpeedLimit(Type, Limit)",
+				Meaning: "the speed limit of vehicle type 'Type' is 'Limit' km/h."},
+		},
+		Thresholds: []prompt.ThresholdDoc{
+			{Name: "idlingMin", Meaning: "The minimum duration of a stop that counts as idling (seconds)."},
+		},
+		Values: []string{"true", "depot", "urban", "highway"},
+		Aliases: map[string][]string{
+			"speedSignal":      {"velocity", "speedReport"},
+			"ignition_on":      {"ignitionOn", "engineOn"},
+			"ignition_off":     {"ignitionOff", "engineOff"},
+			"motionless_start": {"stopStart", "motionlessStart"},
+			"motionless_end":   {"stopEnd", "motionlessEnd"},
+			"entersZone":       {"entersArea", "enterZone"},
+			"leavesZone":       {"leavesArea", "leaveZone"},
+			"signal_lost":      {"gapStart", "signalLost"},
+			"signal_found":     {"gapEnd", "signalFound"},
+			"zoneKind":         {"zoneType", "areaType"},
+			"vehicleType":      {"typeOfVehicle"},
+			"typeSpeedLimit":   {"speedLimit"},
+			"depot":            {"depotZone"},
+			"urban":            {"urbanZone", "city"},
+		},
+	}
+}
+
+// CurriculumRequests converts the curriculum into pipeline requests.
+func CurriculumRequests() []prompt.ActivityRequest {
+	out := make([]prompt.ActivityRequest, len(Curriculum))
+	for i, a := range Curriculum {
+		out[i] = prompt.ActivityRequest{Key: a.Key, Name: a.Name, Description: a.Description}
+	}
+	return out
+}
+
+// Knowledge builds the simulated-model knowledge base for the fleet domain,
+// so the same six models can generate fleet definitions.
+func Knowledge() *llm.Knowledge {
+	k := &llm.Knowledge{Domain: PromptDomain()}
+	gold := GoldED()
+	for _, act := range Curriculum {
+		fluents := make([]string, 0, len(act.Fluents))
+		for _, f := range act.Fluents {
+			fluents = append(fluents, strings.SplitN(f, "/", 2)[0])
+		}
+		k.Activities = append(k.Activities, llm.ActivityKnowledge{
+			Key:     act.Key,
+			Name:    act.Name,
+			Primary: act.PrimaryName(),
+			Fluents: fluents,
+			Clauses: RulesForActivity(gold, act),
+		})
+	}
+	return k
+}

@@ -1,0 +1,147 @@
+package fleet
+
+import (
+	"testing"
+
+	"rtecgen/internal/llm"
+	"rtecgen/internal/prompt"
+	"rtecgen/internal/rtec"
+	"rtecgen/internal/similarity"
+)
+
+func TestGoldEDLoadsStrict(t *testing.T) {
+	e, err := rtec.New(GoldED(), rtec.Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k, _ := e.FluentKindOf("idling/1"); k != rtec.SD {
+		t.Error("idling must be statically determined")
+	}
+	if k, _ := e.FluentKindOf("speeding/1"); k != rtec.Simple {
+		t.Error("speeding must be simple")
+	}
+}
+
+func TestCurriculumCoversGold(t *testing.T) {
+	ed := GoldED()
+	covered := map[string]bool{}
+	for _, a := range Curriculum {
+		if len(RulesForActivity(ed, a)) == 0 {
+			t.Errorf("activity %s has no gold rules", a.Key)
+		}
+		for _, f := range a.Fluents {
+			covered[f] = true
+		}
+	}
+	for f := range ed.RulesByFluent() {
+		if !covered[f] {
+			t.Errorf("gold fluent %s not covered by the curriculum", f)
+		}
+	}
+	if len(CompositeActivities()) != 4 {
+		t.Fatalf("composite activities = %d", len(CompositeActivities()))
+	}
+}
+
+// TestScenarioRecognition: the synthetic telematics day must make the gold
+// definitions fire on all composite fleet activities with the scripted
+// ground truth.
+func TestScenarioRecognition(t *testing.T) {
+	scen := BuildScenario(ScenarioConfig{Vehicles: 8, Seed: 3})
+	if len(scen.Events) == 0 {
+		t.Fatal("no events")
+	}
+	if !scen.Events.IsSorted() {
+		t.Fatal("events not sorted")
+	}
+	ed := scen.FullED(GoldED())
+	eng, err := rtec.New(ed, rtec.Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := eng.Run(scen.Events, rtec.RunOptions{Window: 1800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Warnings) != 0 {
+		t.Fatalf("warnings: %v", rec.Warnings)
+	}
+
+	mustHold := []struct {
+		key    string
+		minDur int64
+	}{
+		{"urbanSpeeding(truck01)=true", 200},  // 95 km/h in the city centre
+		{"speeding(van02)=true", 600},         // 115 km/h on the motorway
+		{"idling(truck01)=true", 1200},        // depot warm-up + delivery stop
+		{"offDepotIdling(truck01)=true", 600}, // the delivery stop only
+		{"idling(bus03)=true", 600},           // bus stops
+		{"withinZone(truck01, urban)=true", 600},
+	}
+	for _, c := range mustHold {
+		if got := rec.IntervalsOfKey(c.key); got.Duration() < c.minDur {
+			t.Errorf("%s held %d s (%s), want >= %d", c.key, got.Duration(), got, c.minDur)
+		}
+	}
+
+	// van02 speeds on the highway, never in town.
+	if got := rec.IntervalsOfKey("urbanSpeeding(van02)=true"); len(got) != 0 {
+		t.Errorf("urbanSpeeding(van02) = %s, want none", got)
+	}
+	// Bus stops happen in the city, away from depots: off-depot idling.
+	if got := rec.IntervalsOfKey("offDepotIdling(bus03)=true"); got.Duration() < 300 {
+		t.Errorf("offDepotIdling(bus03) = %s, want bus-stop idles", got)
+	}
+
+	// The signal gap must break van02's ignitionOn.
+	ign := rec.IntervalsOfKey("ignitionOn(van02)=true")
+	if len(ign) < 2 {
+		t.Errorf("ignitionOn(van02) = %s, want the gap to split it", ign)
+	}
+}
+
+// TestGenerationPipelineOnFleetDomain demonstrates the paper's further-work
+// claim: the same prompting method and simulated models work on a second
+// domain by swapping the domain content of prompts E/T and the knowledge
+// base.
+func TestGenerationPipelineOnFleetDomain(t *testing.T) {
+	domain := PromptDomain()
+	gold := GoldED()
+	for _, name := range []string{"o1", "Gemma-2"} {
+		m, err := llm.NewWithKnowledge(name, Knowledge())
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen, err := prompt.RunPipeline(m, prompt.FewShot, domain, CurriculumRequests())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(gen.ED().Rules()) < 8 {
+			t.Fatalf("%s generated only %d rules", name, len(gen.ED().Rules()))
+		}
+		sim, err := similarity.EventDescriptionSimilarity(gold, gen.ED())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if name == "o1" && sim < 0.85 {
+			t.Errorf("o1 fleet similarity = %v, want high", sim)
+		}
+		if name == "Gemma-2" && sim >= 0.97 {
+			t.Errorf("Gemma-2 fleet similarity = %v, want noticeably degraded", sim)
+		}
+		t.Logf("%s fleet similarity: %.3f", name, sim)
+	}
+}
+
+func TestScenarioDeterminism(t *testing.T) {
+	a := BuildScenario(ScenarioConfig{Vehicles: 8, Seed: 3})
+	b := BuildScenario(ScenarioConfig{Vehicles: 8, Seed: 3})
+	if len(a.Events) != len(b.Events) {
+		t.Fatal("non-deterministic scenario")
+	}
+	for i := range a.Events {
+		if a.Events[i].Time != b.Events[i].Time || !a.Events[i].Atom.Equal(b.Events[i].Atom) {
+			t.Fatalf("events differ at %d", i)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rtecgen/internal/lang"
+	"rtecgen/internal/parser"
+	"rtecgen/internal/stream"
+)
+
+// Vehicle describes one vehicle of the fleet.
+type Vehicle struct {
+	ID   string
+	Type string
+}
+
+// ScenarioConfig parameterises the synthetic telematics scenario.
+type ScenarioConfig struct {
+	Vehicles int
+	Seed     int64
+}
+
+// Scenario holds the fleet and its synthesised telematics event stream.
+// Unlike the maritime scenario there is no geometry: telematics units
+// report semantic events directly, so the generator scripts event timelines
+// per vehicle.
+type Scenario struct {
+	Fleet  []Vehicle
+	Events stream.Stream
+	Zones  map[string]string // zone ID -> kind
+}
+
+// BuildScenario synthesises a working day of fleet telematics: every
+// scripted vehicle leaves its depot, drives urban and highway legs
+// (sometimes speeding), idles at delivery stops, and returns; extra
+// vehicles are randomised over the same building blocks.
+func BuildScenario(cfg ScenarioConfig) *Scenario {
+	if cfg.Vehicles < 3 {
+		cfg.Vehicles = 3
+	}
+	s := &Scenario{Zones: map[string]string{
+		"depotA": "depot", "depotB": "depot",
+		"cityCentre": "urban", "suburbs": "urban",
+		"m1": "highway",
+	}}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Scripted vehicles with known ground truth.
+	s.addVehicle("truck01", TypeTruck, func(b *timeline) {
+		b.at("depotA").ignitionOn().idle(600). // warms up at the depot: idling, but not off-depot
+							drive(900, 60).
+							zone("cityCentre").drive(600, 45).drive(300, 95). // urban speeding (limit 80)
+							leaveZone("cityCentre").
+							zone("m1").drive(1800, 75).leaveZone("m1").
+							stopFor(900). // delivery stop, engine on: off-depot idling
+							drive(600, 50).
+							at("depotA").ignitionOff()
+	})
+	s.addVehicle("van02", TypeVan, func(b *timeline) {
+		b.at("depotB").ignitionOn().drive(300, 40).
+			zone("m1").drive(1200, 115). // highway speeding (limit 100), not urban
+			leaveZone("m1").
+			signalGap(2400). // coverage hole
+			drive(900, 60).
+			at("depotB").ignitionOff()
+	})
+	s.addVehicle("bus03", TypeBus, func(b *timeline) {
+		b.at("depotA").ignitionOn().drive(300, 40).
+			zone("cityCentre").
+			repeatStops(6, 420, 120). // bus stops: many short idles in the city
+			leaveZone("cityCentre").
+			at("depotA").ignitionOff()
+	})
+
+	types := []string{TypeTruck, TypeVan, TypeBus}
+	for i := 3; i < cfg.Vehicles; i++ {
+		id := fmt.Sprintf("veh%03d", i)
+		vtype := types[rng.Intn(len(types))]
+		s.addVehicle(id, vtype, func(b *timeline) {
+			b.at("depotA").ignitionOn().drive(int64(300+rng.Intn(600)), 40+rng.Float64()*30)
+			if rng.Intn(2) == 0 {
+				b.zone("cityCentre").drive(int64(300+rng.Intn(600)), 40+rng.Float64()*60).leaveZone("cityCentre")
+			}
+			if rng.Intn(3) == 0 {
+				b.stopFor(int64(300 + rng.Intn(900)))
+			}
+			b.drive(int64(300+rng.Intn(600)), 50).at("depotA").ignitionOff()
+		})
+	}
+	s.Events.Sort()
+	return s
+}
+
+// BackgroundClauses builds the domain facts for the scenario.
+func (s *Scenario) BackgroundClauses() []*lang.Clause {
+	var out []*lang.Clause
+	fact := func(format string, args ...any) {
+		out = append(out, &lang.Clause{Head: parser.MustParseTerm(fmt.Sprintf(format, args...))})
+	}
+	for _, zone := range []string{"cityCentre", "depotA", "depotB", "m1", "suburbs"} {
+		fact("zoneKind(%s, %s)", zone, s.Zones[zone])
+	}
+	for _, v := range s.Fleet {
+		fact("vehicle(%s)", v.ID)
+		fact("vehicleType(%s, %s)", v.ID, v.Type)
+	}
+	for _, ty := range []string{TypeTruck, TypeVan, TypeBus} {
+		fact("typeSpeedLimit(%s, %g)", ty, TypeSpeedLimits[ty])
+	}
+	fact("thresholds(idlingMin, 60)")
+	return out
+}
+
+// FullED composes the rules with the scenario background.
+func (s *Scenario) FullED(rules *lang.EventDescription) *lang.EventDescription {
+	out := rules.Clone()
+	out.Clauses = append(out.Clauses, s.BackgroundClauses()...)
+	return out
+}
+
+// timeline scripts one vehicle's event stream.
+type timeline struct {
+	s       *Scenario
+	vehicle string
+	t       int64
+	zone0   string // current depot/zone used by at()
+	inZone  map[string]bool
+	moving  bool
+}
+
+func (s *Scenario) addVehicle(id, vtype string, script func(*timeline)) {
+	s.Fleet = append(s.Fleet, Vehicle{ID: id, Type: vtype})
+	b := &timeline{s: s, vehicle: id, inZone: map[string]bool{}}
+	script(b)
+}
+
+func (b *timeline) emit(format string, args ...any) *timeline {
+	atom := parser.MustParseTerm(fmt.Sprintf(format, args...))
+	b.s.Events = append(b.s.Events, stream.Event{Time: b.t, Atom: atom})
+	return b
+}
+
+// at teleports the vehicle into a named depot zone (used at route ends).
+func (b *timeline) at(zone string) *timeline {
+	if b.zone0 != "" && b.zone0 != zone && b.inZone[b.zone0] {
+		b.leaveZone(b.zone0)
+	}
+	if !b.inZone[zone] {
+		b.emit("entersZone(%s, %s)", b.vehicle, zone)
+		b.inZone[zone] = true
+	}
+	b.zone0 = zone
+	return b
+}
+
+func (b *timeline) zone(zone string) *timeline {
+	if b.zone0 != "" && b.inZone[b.zone0] {
+		b.leaveZone(b.zone0)
+		b.zone0 = ""
+	}
+	b.emit("entersZone(%s, %s)", b.vehicle, zone)
+	b.inZone[zone] = true
+	return b
+}
+
+func (b *timeline) leaveZone(zone string) *timeline {
+	if b.inZone[zone] {
+		b.emit("leavesZone(%s, %s)", b.vehicle, zone)
+		delete(b.inZone, zone)
+	}
+	return b
+}
+
+func (b *timeline) ignitionOn() *timeline {
+	b.emit("ignition_on(%s)", b.vehicle)
+	b.t += 5
+	return b
+}
+
+func (b *timeline) ignitionOff() *timeline {
+	if b.moving {
+		b.emit("motionless_start(%s)", b.vehicle)
+		b.moving = false
+		b.t += 5
+	}
+	b.emit("ignition_off(%s)", b.vehicle)
+	b.t += 5
+	return b
+}
+
+// idle keeps the vehicle stationary with the engine running.
+func (b *timeline) idle(dur int64) *timeline {
+	if b.moving {
+		b.emit("motionless_start(%s)", b.vehicle)
+		b.moving = false
+	}
+	b.emit("speedSignal(%s, 0.0)", b.vehicle)
+	b.t += dur
+	return b
+}
+
+// drive moves at the given speed for the duration, emitting periodic speed
+// signals.
+func (b *timeline) drive(dur int64, speed float64) *timeline {
+	if !b.moving {
+		b.emit("motionless_end(%s)", b.vehicle)
+		b.moving = true
+	}
+	const cadence = 60
+	for elapsed := int64(0); elapsed < dur; elapsed += cadence {
+		b.emit("speedSignal(%s, %.1f)", b.vehicle, speed)
+		step := int64(cadence)
+		if dur-elapsed < step {
+			step = dur - elapsed
+		}
+		b.t += step
+	}
+	return b
+}
+
+// stopFor is a mid-route delivery stop with the engine running.
+func (b *timeline) stopFor(dur int64) *timeline { return b.idle(dur) }
+
+// repeatStops alternates short drives with short idles (bus stops).
+func (b *timeline) repeatStops(n int, driveDur, stopDur int64) *timeline {
+	for i := 0; i < n; i++ {
+		b.drive(driveDur, 35)
+		b.idle(stopDur)
+	}
+	return b
+}
+
+// signalGap loses the telematics signal for the duration.
+func (b *timeline) signalGap(dur int64) *timeline {
+	b.emit("signal_lost(%s)", b.vehicle)
+	b.t += dur
+	b.emit("signal_found(%s)", b.vehicle)
+	// After a gap the unit re-reports its state.
+	for zone := range b.inZone {
+		b.emit("entersZone(%s, %s)", b.vehicle, zone)
+	}
+	if b.moving {
+		b.emit("motionless_end(%s)", b.vehicle)
+	}
+	b.emit("ignition_on(%s)", b.vehicle)
+	b.t += 5
+	return b
+}

@@ -1,0 +1,153 @@
+// Package geo provides the planar geometry the maritime substrate needs:
+// points, polygons, point-in-polygon tests, distances and bearings. The
+// synthetic Brest-area map uses a local planar approximation with
+// coordinates in kilometres, which is accurate enough at the ~50 km scale
+// of the monitored area.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a position on the planar map, in kilometres.
+type Point struct {
+	X, Y float64
+}
+
+// Add returns p translated by (dx, dy).
+func (p Point) Add(dx, dy float64) Point { return Point{p.X + dx, p.Y + dy} }
+
+// Distance returns the Euclidean distance to q in kilometres.
+func (p Point) Distance(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// BearingTo returns the compass bearing from p to q in degrees [0, 360),
+// with 0 = north (+Y) and 90 = east (+X).
+func (p Point) BearingTo(q Point) float64 {
+	b := math.Atan2(q.X-p.X, q.Y-p.Y) * 180 / math.Pi
+	if b < 0 {
+		b += 360
+	}
+	return b
+}
+
+// Step returns the point reached from p by travelling dist kilometres on
+// the given compass bearing.
+func (p Point) Step(bearing, dist float64) Point {
+	rad := bearing * math.Pi / 180
+	return Point{p.X + dist*math.Sin(rad), p.Y + dist*math.Cos(rad)}
+}
+
+// Lerp linearly interpolates between p and q; t in [0, 1].
+func (p Point) Lerp(q Point, t float64) Point {
+	return Point{p.X + (q.X-p.X)*t, p.Y + (q.Y-p.Y)*t}
+}
+
+// Polygon is a simple (non-self-intersecting) polygon given by its vertices
+// in order; the closing edge from the last vertex to the first is implicit.
+type Polygon []Point
+
+// Contains reports whether pt lies inside the polygon (ray casting; points
+// exactly on an edge count as inside for our purposes).
+func (pg Polygon) Contains(pt Point) bool {
+	n := len(pg)
+	if n < 3 {
+		return false
+	}
+	inside := false
+	for i, j := 0, n-1; i < n; j, i = i, i+1 {
+		pi, pj := pg[i], pg[j]
+		if (pi.Y > pt.Y) != (pj.Y > pt.Y) {
+			xCross := (pj.X-pi.X)*(pt.Y-pi.Y)/(pj.Y-pi.Y) + pi.X
+			if pt.X < xCross {
+				inside = !inside
+			}
+		}
+	}
+	return inside
+}
+
+// BoundingBox returns the min and max corners of the polygon.
+func (pg Polygon) BoundingBox() (min, max Point) {
+	if len(pg) == 0 {
+		return Point{}, Point{}
+	}
+	min, max = pg[0], pg[0]
+	for _, p := range pg[1:] {
+		min.X = math.Min(min.X, p.X)
+		min.Y = math.Min(min.Y, p.Y)
+		max.X = math.Max(max.X, p.X)
+		max.Y = math.Max(max.Y, p.Y)
+	}
+	return min, max
+}
+
+// Centroid returns the vertex average (adequate for well-shaped areas).
+func (pg Polygon) Centroid() Point {
+	var c Point
+	for _, p := range pg {
+		c.X += p.X
+		c.Y += p.Y
+	}
+	n := float64(len(pg))
+	return Point{c.X / n, c.Y / n}
+}
+
+// Rect builds the rectangle polygon [x0,x1] x [y0,y1].
+func Rect(x0, y0, x1, y1 float64) Polygon {
+	return Polygon{{x0, y0}, {x1, y0}, {x1, y1}, {x0, y1}}
+}
+
+// Area is a named region of interest with a type (fishing, anchorage,
+// nearCoast, nearPorts, ...).
+type Area struct {
+	ID      string
+	Type    string
+	Polygon Polygon
+}
+
+// Map is the set of areas of interest of the monitored region.
+type Map struct {
+	Areas []Area
+}
+
+// AreasAt returns the areas containing pt.
+func (m *Map) AreasAt(pt Point) []Area {
+	var out []Area
+	for _, a := range m.Areas {
+		if a.Polygon.Contains(pt) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// AreaByID returns the area with the given ID.
+func (m *Map) AreaByID(id string) (Area, bool) {
+	for _, a := range m.Areas {
+		if a.ID == id {
+			return a, true
+		}
+	}
+	return Area{}, false
+}
+
+// Validate checks that area IDs are unique and polygons are well-formed.
+func (m *Map) Validate() error {
+	seen := map[string]bool{}
+	for _, a := range m.Areas {
+		if a.ID == "" || a.Type == "" {
+			return fmt.Errorf("geo: area with empty id or type")
+		}
+		if seen[a.ID] {
+			return fmt.Errorf("geo: duplicate area id %q", a.ID)
+		}
+		seen[a.ID] = true
+		if len(a.Polygon) < 3 {
+			return fmt.Errorf("geo: area %q has fewer than 3 vertices", a.ID)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+package geo
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPointOps(t *testing.T) {
+	p := Point{0, 0}
+	q := Point{3, 4}
+	if d := p.Distance(q); d != 5 {
+		t.Fatalf("Distance = %v, want 5", d)
+	}
+	if got := p.Add(1, 2); got != (Point{1, 2}) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := p.Lerp(q, 0.5); got != (Point{1.5, 2}) {
+		t.Fatalf("Lerp = %v", got)
+	}
+}
+
+func TestBearing(t *testing.T) {
+	p := Point{0, 0}
+	cases := []struct {
+		q    Point
+		want float64
+	}{
+		{Point{0, 1}, 0},    // north
+		{Point{1, 0}, 90},   // east
+		{Point{0, -1}, 180}, // south
+		{Point{-1, 0}, 270}, // west
+		{Point{1, 1}, 45},
+	}
+	for _, c := range cases {
+		if got := p.BearingTo(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("BearingTo(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestStepInvertsBearing(t *testing.T) {
+	p := Point{10, 20}
+	for _, b := range []float64{0, 45, 90, 135, 222.5, 359} {
+		q := p.Step(b, 7)
+		if d := p.Distance(q); math.Abs(d-7) > 1e-9 {
+			t.Fatalf("Step distance = %v", d)
+		}
+		if got := p.BearingTo(q); math.Abs(got-b) > 1e-9 {
+			t.Fatalf("bearing after Step(%v) = %v", b, got)
+		}
+	}
+}
+
+func TestPolygonContains(t *testing.T) {
+	sq := Rect(0, 0, 10, 10)
+	inside := []Point{{5, 5}, {1, 1}, {9.9, 9.9}}
+	outside := []Point{{-1, 5}, {11, 5}, {5, -0.1}, {5, 10.1}}
+	for _, p := range inside {
+		if !sq.Contains(p) {
+			t.Errorf("Contains(%v) = false, want true", p)
+		}
+	}
+	for _, p := range outside {
+		if sq.Contains(p) {
+			t.Errorf("Contains(%v) = true, want false", p)
+		}
+	}
+	// Non-convex polygon (an L shape).
+	l := Polygon{{0, 0}, {10, 0}, {10, 5}, {5, 5}, {5, 10}, {0, 10}}
+	if !l.Contains(Point{2, 8}) {
+		t.Error("L shape: (2,8) should be inside")
+	}
+	if l.Contains(Point{8, 8}) {
+		t.Error("L shape: (8,8) should be outside")
+	}
+	// Degenerate.
+	if (Polygon{{0, 0}, {1, 1}}).Contains(Point{0, 0}) {
+		t.Error("degenerate polygon contains nothing")
+	}
+}
+
+func TestBoundingBoxAndCentroid(t *testing.T) {
+	pg := Rect(1, 2, 5, 8)
+	min, max := pg.BoundingBox()
+	if min != (Point{1, 2}) || max != (Point{5, 8}) {
+		t.Fatalf("BoundingBox = %v, %v", min, max)
+	}
+	if c := pg.Centroid(); c != (Point{3, 5}) {
+		t.Fatalf("Centroid = %v", c)
+	}
+	emin, emax := (Polygon{}).BoundingBox()
+	if emin != (Point{}) || emax != (Point{}) {
+		t.Fatal("empty polygon bbox")
+	}
+}
+
+func TestMap(t *testing.T) {
+	m := &Map{Areas: []Area{
+		{ID: "a1", Type: "fishing", Polygon: Rect(0, 0, 10, 10)},
+		{ID: "a2", Type: "anchorage", Polygon: Rect(5, 5, 15, 15)},
+	}}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := m.AreasAt(Point{7, 7})
+	if len(got) != 2 {
+		t.Fatalf("AreasAt = %v", got)
+	}
+	got = m.AreasAt(Point{12, 12})
+	if len(got) != 1 || got[0].ID != "a2" {
+		t.Fatalf("AreasAt = %v", got)
+	}
+	if _, ok := m.AreaByID("a1"); !ok {
+		t.Fatal("AreaByID failed")
+	}
+	if _, ok := m.AreaByID("zz"); ok {
+		t.Fatal("AreaByID found missing area")
+	}
+}
+
+func TestMapValidateErrors(t *testing.T) {
+	bad := []*Map{
+		{Areas: []Area{{ID: "", Type: "x", Polygon: Rect(0, 0, 1, 1)}}},
+		{Areas: []Area{{ID: "a", Type: "", Polygon: Rect(0, 0, 1, 1)}}},
+		{Areas: []Area{{ID: "a", Type: "x", Polygon: Rect(0, 0, 1, 1)}, {ID: "a", Type: "y", Polygon: Rect(0, 0, 1, 1)}}},
+		{Areas: []Area{{ID: "a", Type: "x", Polygon: Polygon{{0, 0}}}}},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid map", i)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package kb
+
+import (
+	"fmt"
+	"math"
+
+	"rtecgen/internal/lang"
+)
+
+// This file implements the arithmetic and comparison builtins of the RTEC
+// dialect: the comparison operators <, >, =<, >=, =:= and =\=, unification
+// (=) and non-unifiability (\=), and the native helper absAngleDiff/3 used
+// by the maritime 'drifting' definition to compare course-over-ground with
+// heading on the circle.
+
+// comparisonOps maps each comparison functor to its semantics over floats.
+var comparisonOps = map[string]func(a, b float64) bool{
+	"<":    func(a, b float64) bool { return a < b },
+	">":    func(a, b float64) bool { return a > b },
+	"=<":   func(a, b float64) bool { return a <= b },
+	">=":   func(a, b float64) bool { return a >= b },
+	"=:=":  func(a, b float64) bool { return a == b },
+	"=\\=": func(a, b float64) bool { return a != b },
+}
+
+// IsBuiltin reports whether the indicator names a builtin predicate.
+func IsBuiltin(indicator string) bool {
+	switch indicator {
+	case "</2", ">/2", "=</2", ">=/2", "=:=/2", "=\\=/2", "=/2", "\\=/2", "absAngleDiff/3":
+		return true
+	}
+	return false
+}
+
+// EvalArith evaluates a ground arithmetic expression: numbers, + - * /, and
+// abs/1.
+func EvalArith(t *lang.Term) (float64, error) {
+	if v, ok := t.Number(); ok {
+		return v, nil
+	}
+	if t.Kind == lang.Compound {
+		switch {
+		case len(t.Args) == 2:
+			a, err := EvalArith(t.Args[0])
+			if err != nil {
+				return 0, err
+			}
+			b, err := EvalArith(t.Args[1])
+			if err != nil {
+				return 0, err
+			}
+			switch t.Functor {
+			case "+":
+				return a + b, nil
+			case "-":
+				return a - b, nil
+			case "*":
+				return a * b, nil
+			case "/":
+				if b == 0 {
+					return 0, fmt.Errorf("kb: division by zero in %s", t)
+				}
+				return a / b, nil
+			}
+		case len(t.Args) == 1 && t.Functor == "abs":
+			a, err := EvalArith(t.Args[0])
+			if err != nil {
+				return 0, err
+			}
+			return math.Abs(a), nil
+		}
+	}
+	return 0, fmt.Errorf("kb: %s is not an arithmetic expression", t)
+}
+
+// AngleDiff returns the minimal absolute difference between two angles in
+// degrees, in [0, 180].
+func AngleDiff(a, b float64) float64 {
+	d := math.Mod(math.Abs(a-b), 360)
+	if d > 180 {
+		d = 360 - d
+	}
+	return d
+}
+
+// SolveBuiltin attempts to solve atom as a builtin under substitution s.
+// handled reports whether the atom names a builtin at all; when handled, the
+// returned substitutions are the solutions (empty means failure). Comparison
+// operands must be ground arithmetic expressions; otherwise an error is
+// returned.
+func SolveBuiltin(atom *lang.Term, s lang.Subst) (substs []lang.Subst, handled bool, err error) {
+	if atom.Kind != lang.Compound {
+		return nil, false, nil
+	}
+	if !IsBuiltin(atom.Indicator()) {
+		return nil, false, nil
+	}
+	resolved := s.Resolve(atom)
+	switch atom.Functor {
+	case "=":
+		if n, ok := s.UnifyInto(resolved.Args[0], resolved.Args[1]); ok {
+			return []lang.Subst{n}, true, nil
+		}
+		return nil, true, nil
+	case "\\=":
+		if _, ok := s.UnifyInto(resolved.Args[0], resolved.Args[1]); ok {
+			return nil, true, nil
+		}
+		return []lang.Subst{s}, true, nil
+	case "absAngleDiff":
+		a, err := EvalArith(resolved.Args[0])
+		if err != nil {
+			return nil, true, fmt.Errorf("kb: absAngleDiff: %w", err)
+		}
+		b, err := EvalArith(resolved.Args[1])
+		if err != nil {
+			return nil, true, fmt.Errorf("kb: absAngleDiff: %w", err)
+		}
+		d := AngleDiff(a, b)
+		if n, ok := s.UnifyInto(resolved.Args[2], lang.NewFloat(d)); ok {
+			return []lang.Subst{n}, true, nil
+		}
+		return nil, true, nil
+	default: // comparison
+		cmp := comparisonOps[atom.Functor]
+		a, err := EvalArith(resolved.Args[0])
+		if err != nil {
+			return nil, true, fmt.Errorf("kb: %s: %w", atom.Functor, err)
+		}
+		b, err := EvalArith(resolved.Args[1])
+		if err != nil {
+			return nil, true, fmt.Errorf("kb: %s: %w", atom.Functor, err)
+		}
+		if cmp(a, b) {
+			return []lang.Subst{s}, true, nil
+		}
+		return nil, true, nil
+	}
+}

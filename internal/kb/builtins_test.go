@@ -1,0 +1,146 @@
+package kb
+
+import (
+	"math"
+	"testing"
+
+	"rtecgen/internal/lang"
+	"rtecgen/internal/parser"
+)
+
+func TestEvalArith(t *testing.T) {
+	cases := []struct {
+		src  string
+		want float64
+	}{
+		{"3", 3},
+		{"2.5", 2.5},
+		{"1 + 2", 3},
+		{"2 * 3 + 1", 7},
+		{"10 - 4 - 3", 3},
+		{"10 / 4", 2.5},
+		{"abs(3 - 10)", 7},
+		{"-5", -5},
+	}
+	for _, c := range cases {
+		got, err := EvalArith(parser.MustParseTerm(c.src))
+		if err != nil {
+			t.Errorf("EvalArith(%q): %v", c.src, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("EvalArith(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+	if _, err := EvalArith(parser.MustParseTerm("foo")); err == nil {
+		t.Fatal("atom evaluated as arithmetic")
+	}
+	if _, err := EvalArith(parser.MustParseTerm("1 / 0")); err == nil {
+		t.Fatal("division by zero succeeded")
+	}
+	if _, err := EvalArith(parser.MustParseTerm("X + 1")); err == nil {
+		t.Fatal("unbound variable evaluated")
+	}
+}
+
+func TestAngleDiff(t *testing.T) {
+	cases := []struct{ a, b, want float64 }{
+		{0, 0, 0},
+		{10, 350, 20},
+		{350, 10, 20},
+		{0, 180, 180},
+		{90, 270, 180},
+		{45, 90, 45},
+		{720, 0, 0},
+	}
+	for _, c := range cases {
+		if got := AngleDiff(c.a, c.b); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("AngleDiff(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSolveBuiltinComparisons(t *testing.T) {
+	s := lang.NewSubst()
+	substs, handled, err := SolveBuiltin(parser.MustParseTerm("3 < 5"), s)
+	if !handled || err != nil || len(substs) != 1 {
+		t.Fatalf("3 < 5: handled=%v err=%v n=%d", handled, err, len(substs))
+	}
+	substs, handled, err = SolveBuiltin(parser.MustParseTerm("5 =< 3"), s)
+	if !handled || err != nil || len(substs) != 0 {
+		t.Fatalf("5 =< 3: handled=%v err=%v n=%d", handled, err, len(substs))
+	}
+	substs, _, err = SolveBuiltin(parser.MustParseTerm("2 =:= 2.0"), s)
+	if err != nil || len(substs) != 1 {
+		t.Fatalf("2 =:= 2.0 failed: %v", err)
+	}
+	substs, _, err = SolveBuiltin(parser.MustParseTerm("2 =\\= 3"), s)
+	if err != nil || len(substs) != 1 {
+		t.Fatalf("2 =\\= 3 failed: %v", err)
+	}
+}
+
+func TestSolveBuiltinUnification(t *testing.T) {
+	s := lang.NewSubst()
+	substs, handled, err := SolveBuiltin(parser.MustParseTerm("X = f(a)"), s)
+	if !handled || err != nil || len(substs) != 1 {
+		t.Fatalf("X = f(a): %v %v %d", handled, err, len(substs))
+	}
+	if got := substs[0].Resolve(lang.NewVar("X")); got.String() != "f(a)" {
+		t.Fatalf("X = %s", got)
+	}
+	substs, _, _ = SolveBuiltin(parser.MustParseTerm("a \\= b"), s)
+	if len(substs) != 1 {
+		t.Fatal("a \\= b should succeed")
+	}
+	substs, _, _ = SolveBuiltin(parser.MustParseTerm("a \\= a"), s)
+	if len(substs) != 0 {
+		t.Fatal("a \\= a should fail")
+	}
+}
+
+func TestSolveBuiltinAbsAngleDiff(t *testing.T) {
+	s := lang.NewSubst()
+	substs, handled, err := SolveBuiltin(parser.MustParseTerm("absAngleDiff(350, 10, D)"), s)
+	if !handled || err != nil || len(substs) != 1 {
+		t.Fatalf("absAngleDiff: %v %v %d", handled, err, len(substs))
+	}
+	if got := substs[0].Resolve(lang.NewVar("D")); got.Float != 20 {
+		t.Fatalf("D = %s, want 20", got)
+	}
+	// Checking mode: third argument bound.
+	substs, _, err = SolveBuiltin(parser.MustParseTerm("absAngleDiff(350, 10, 20.0)"), s)
+	if err != nil || len(substs) != 1 {
+		t.Fatalf("checking mode failed: %v", err)
+	}
+	substs, _, err = SolveBuiltin(parser.MustParseTerm("absAngleDiff(350, 10, 21)"), s)
+	if err != nil || len(substs) != 0 {
+		t.Fatal("wrong diff accepted")
+	}
+	// Unbound angle is an error.
+	if _, _, err = SolveBuiltin(parser.MustParseTerm("absAngleDiff(A, 10, D)"), s); err == nil {
+		t.Fatal("unbound angle accepted")
+	}
+}
+
+func TestSolveBuiltinNotABuiltin(t *testing.T) {
+	_, handled, _ := SolveBuiltin(parser.MustParseTerm("areaType(a1, fishing)"), lang.NewSubst())
+	if handled {
+		t.Fatal("areaType treated as builtin")
+	}
+	_, handled, _ = SolveBuiltin(parser.MustParseTerm("foo"), lang.NewSubst())
+	if handled {
+		t.Fatal("atom treated as builtin")
+	}
+}
+
+func TestIsBuiltin(t *testing.T) {
+	for _, ind := range []string{"</2", ">/2", "=</2", ">=/2", "=:=/2", "=\\=/2", "=/2", "\\=/2", "absAngleDiff/3"} {
+		if !IsBuiltin(ind) {
+			t.Errorf("IsBuiltin(%q) = false", ind)
+		}
+	}
+	if IsBuiltin("happensAt/2") || IsBuiltin("=/3") {
+		t.Fatal("false positive")
+	}
+}

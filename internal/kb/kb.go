@@ -1,0 +1,230 @@
+// Package kb implements the atemporal background knowledge base of an RTEC
+// event description: ground facts (area types, vessel types, thresholds),
+// non-temporal auxiliary rules (e.g. "one of the pair is a tug"), and their
+// materialisation to a fixpoint, together with conjunctive query evaluation
+// with negation-by-failure and arithmetic builtins. Both the RTEC engine and
+// the grounding of statically determined fluents query the KB.
+package kb
+
+import (
+	"fmt"
+	"sort"
+
+	"rtecgen/internal/lang"
+)
+
+// KB is a background knowledge base. Populate with AddFact/AddRule (or
+// FromEventDescription), call Materialize once, then Query freely. A KB is
+// not safe for concurrent mutation; queries after materialisation are
+// read-only and may run concurrently.
+type KB struct {
+	facts   map[string][]*lang.Term // by indicator
+	byFirst map[string][]*lang.Term // by indicator + ground first argument
+	present map[string]bool         // canonical strings, for dedup
+	rules   []*lang.Clause
+}
+
+// New returns an empty knowledge base.
+func New() *KB {
+	return &KB{
+		facts:   map[string][]*lang.Term{},
+		byFirst: map[string][]*lang.Term{},
+		present: map[string]bool{},
+	}
+}
+
+// firstArgKey builds the first-argument index key for a callable term whose
+// first argument is ground, or "" when the index does not apply.
+func firstArgKey(t *lang.Term) string {
+	if len(t.Args) == 0 || !t.Args[0].IsGround() {
+		return ""
+	}
+	return t.Indicator() + "|" + t.Args[0].String()
+}
+
+// AddFact inserts a ground fact; duplicates are ignored. Non-ground or
+// non-callable terms are rejected.
+func (k *KB) AddFact(t *lang.Term) error {
+	if !t.IsCallable() {
+		return fmt.Errorf("kb: fact %s is not callable", t)
+	}
+	if !t.IsGround() {
+		return fmt.Errorf("kb: fact %s is not ground", t)
+	}
+	key := t.String()
+	if k.present[key] {
+		return nil
+	}
+	k.present[key] = true
+	ind := t.Indicator()
+	k.facts[ind] = append(k.facts[ind], t)
+	if fk := firstArgKey(t); fk != "" {
+		k.byFirst[fk] = append(k.byFirst[fk], t)
+	}
+	return nil
+}
+
+// AddRule registers a non-temporal rule for materialisation.
+func (k *KB) AddRule(c *lang.Clause) { k.rules = append(k.rules, c) }
+
+// Has reports whether the exact ground fact is present.
+func (k *KB) Has(t *lang.Term) bool { return k.present[t.String()] }
+
+// FactsOf returns the facts with the given indicator ("functor/arity").
+func (k *KB) FactsOf(indicator string) []*lang.Term { return k.facts[indicator] }
+
+// Indicators returns the sorted indicators of all stored facts.
+func (k *KB) Indicators() []string {
+	out := make([]string, 0, len(k.facts))
+	for ind := range k.facts {
+		out = append(out, ind)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns the total number of stored facts.
+func (k *KB) Size() int { return len(k.present) }
+
+// Materialize evaluates the registered rules to a fixpoint, adding every
+// derivable ground head as a fact. Background rules must not recurse through
+// negation; with such rules the fixpoint may depend on rule order.
+func (k *KB) Materialize() error {
+	for round := 0; ; round++ {
+		if round > 10000 {
+			return fmt.Errorf("kb: materialisation did not converge after %d rounds", round)
+		}
+		added := false
+		for _, r := range k.rules {
+			ren := r.RenameApart(fmt.Sprintf("_m%d", round))
+			substs, err := k.Query(ren.Body, lang.NewSubst())
+			if err != nil {
+				return fmt.Errorf("kb: rule %s: %w", r.Head, err)
+			}
+			for _, s := range substs {
+				h := s.Resolve(ren.Head)
+				if !h.IsGround() {
+					return fmt.Errorf("kb: rule for %s derived non-ground fact %s", r.Head, h)
+				}
+				if !k.present[h.String()] {
+					if err := k.AddFact(h); err != nil {
+						return err
+					}
+					added = true
+				}
+			}
+		}
+		if !added {
+			return nil
+		}
+	}
+}
+
+// Match returns the extensions of s that unify goal with a stored fact.
+// Goals whose first argument is ground use the first-argument index, so
+// e.g. vesselType(v17, Type) is a constant-time lookup regardless of fleet
+// size.
+func (k *KB) Match(goal *lang.Term, s lang.Subst) []lang.Subst {
+	resolved := s.Resolve(goal)
+	candidates := k.facts[resolved.Indicator()]
+	if fk := firstArgKey(resolved); fk != "" {
+		candidates = k.byFirst[fk]
+	}
+	var out []lang.Subst
+	for _, f := range candidates {
+		if n, ok := s.UnifyInto(resolved, f); ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Query evaluates a conjunction of literals over the KB with backtracking,
+// handling builtins and negation-by-failure, and returns all answer
+// substitutions. Negated literals and builtin comparisons must be ground at
+// evaluation time (after resolving earlier bindings); otherwise an error is
+// returned, mirroring the safety requirement of negation-by-failure.
+func (k *KB) Query(body []lang.Literal, s lang.Subst) ([]lang.Subst, error) {
+	if len(body) == 0 {
+		return []lang.Subst{s}, nil
+	}
+	lit := body[0]
+	rest := body[1:]
+	var out []lang.Subst
+
+	if lit.Neg {
+		matches, handled, err := k.solveOne(lit.Atom, s)
+		if err != nil {
+			return nil, err
+		}
+		_ = handled
+		if len(matches) > 0 {
+			return nil, nil
+		}
+		return k.Query(rest, s)
+	}
+
+	matches, _, err := k.solveOne(lit.Atom, s)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range matches {
+		sub, err := k.Query(rest, m)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sub...)
+	}
+	return out, nil
+}
+
+// solveOne solves a single positive goal: builtin first, then fact lookup.
+func (k *KB) solveOne(atom *lang.Term, s lang.Subst) ([]lang.Subst, bool, error) {
+	if substs, handled, err := SolveBuiltin(atom, s); handled {
+		return substs, true, err
+	}
+	return k.Match(atom, s), false, nil
+}
+
+// IsDeclaration reports whether a fact head is an event-description
+// declaration (inputEvent/1, simpleFluent/1, sdFluent/1) rather than
+// background knowledge. Declarations are typically non-ground.
+func IsDeclaration(head *lang.Term) bool {
+	switch head.Indicator() {
+	case "inputEvent/1", "simpleFluent/1", "sdFluent/1":
+		return true
+	}
+	return false
+}
+
+// FromEventDescription builds a KB from the facts and background rules of an
+// event description (declaration facts such as inputEvent/1 are skipped;
+// the engine interprets those directly) and materialises it. Extra facts,
+// e.g. the dynamic entity registry extracted from a stream, are added before
+// materialisation.
+func FromEventDescription(ed *lang.EventDescription, extra ...*lang.Term) (*KB, error) {
+	k := New()
+	for _, c := range ed.Facts() {
+		if IsDeclaration(c.Head) {
+			continue // engine declarations, not background knowledge
+		}
+		if err := k.AddFact(c.Head); err != nil {
+			return nil, err
+		}
+	}
+	for _, c := range ed.BackgroundRules() {
+		if c.Head.Functor == "grounding" {
+			continue // grounding declarations are handled by the engine
+		}
+		k.AddRule(c)
+	}
+	for _, f := range extra {
+		if err := k.AddFact(f); err != nil {
+			return nil, err
+		}
+	}
+	if err := k.Materialize(); err != nil {
+		return nil, err
+	}
+	return k, nil
+}

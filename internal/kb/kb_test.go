@@ -1,0 +1,208 @@
+package kb
+
+import (
+	"strings"
+	"testing"
+
+	"rtecgen/internal/lang"
+	"rtecgen/internal/parser"
+)
+
+func mustKB(t *testing.T, src string, extra ...*lang.Term) *KB {
+	t.Helper()
+	ed, err := parser.ParseEventDescription(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := FromEventDescription(ed, extra...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestAddFactValidation(t *testing.T) {
+	k := New()
+	if err := k.AddFact(parser.MustParseTerm("areaType(a1, fishing)")); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.AddFact(parser.MustParseTerm("areaType(a1, fishing)")); err != nil {
+		t.Fatal(err)
+	}
+	if k.Size() != 1 {
+		t.Fatalf("Size = %d, want 1 (dedup)", k.Size())
+	}
+	if err := k.AddFact(parser.MustParseTerm("areaType(X, fishing)")); err == nil {
+		t.Fatal("non-ground fact accepted")
+	}
+	if err := k.AddFact(parser.MustParseTerm("42")); err == nil {
+		t.Fatal("non-callable fact accepted")
+	}
+	if !k.Has(parser.MustParseTerm("areaType(a1, fishing)")) {
+		t.Fatal("Has() = false for stored fact")
+	}
+}
+
+func TestMatch(t *testing.T) {
+	k := mustKB(t, `
+areaType(a1, fishing).
+areaType(a2, anchorage).
+areaType(a3, fishing).
+`)
+	got := k.Match(parser.MustParseTerm("areaType(A, fishing)"), lang.NewSubst())
+	if len(got) != 2 {
+		t.Fatalf("matches = %d, want 2", len(got))
+	}
+	got = k.Match(parser.MustParseTerm("areaType(a2, T)"), lang.NewSubst())
+	if len(got) != 1 || !got[0].Resolve(lang.NewVar("T")).Equal(lang.NewAtom("anchorage")) {
+		t.Fatalf("bound match wrong: %v", got)
+	}
+	if got := k.Match(parser.MustParseTerm("noSuch(X)"), lang.NewSubst()); len(got) != 0 {
+		t.Fatalf("match on unknown predicate = %d", len(got))
+	}
+}
+
+func TestQueryConjunctionAndNegation(t *testing.T) {
+	k := mustKB(t, `
+vessel(v1).
+vessel(v2).
+vesselType(v1, tug).
+vesselType(v2, fishingVessel).
+`)
+	c := parser.MustParseClause("q(V) :- vessel(V), not vesselType(V, tug).")
+	substs, err := k.Query(c.Body, lang.NewSubst())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(substs) != 1 {
+		t.Fatalf("answers = %d, want 1", len(substs))
+	}
+	if got := substs[0].Resolve(lang.NewVar("V")); !got.Equal(lang.NewAtom("v2")) {
+		t.Fatalf("V = %s, want v2", got)
+	}
+}
+
+func TestQueryComparisons(t *testing.T) {
+	k := mustKB(t, `
+thresholds(hcNearCoastMax, 5).
+thresholds(trawlSpeedMin, 1).
+`)
+	c := parser.MustParseClause("q :- thresholds(hcNearCoastMax, Max), 7 > Max.")
+	substs, err := k.Query(c.Body, lang.NewSubst())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(substs) != 1 {
+		t.Fatal("7 > 5 should succeed")
+	}
+	c = parser.MustParseClause("q :- thresholds(hcNearCoastMax, Max), 3 > Max.")
+	substs, err = k.Query(c.Body, lang.NewSubst())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(substs) != 0 {
+		t.Fatal("3 > 5 should fail")
+	}
+	// Arithmetic inside comparisons.
+	c = parser.MustParseClause("q :- thresholds(hcNearCoastMax, M), thresholds(trawlSpeedMin, L), M + L =:= 6.")
+	substs, err = k.Query(c.Body, lang.NewSubst())
+	if err != nil || len(substs) != 1 {
+		t.Fatalf("arith comparison: %v, %v", substs, err)
+	}
+	// Unbound comparison operand is an error.
+	c = parser.MustParseClause("q :- X > 3.")
+	if _, err = k.Query(c.Body, lang.NewSubst()); err == nil {
+		t.Fatal("unbound comparison must error")
+	}
+}
+
+func TestMaterializeDerivedFacts(t *testing.T) {
+	k := mustKB(t, `
+vessel(v1).
+vessel(v2).
+vessel(v3).
+vesselType(v1, tug).
+oneIsTug(V1, V2) :- vesselType(V1, tug), vessel(V2), V1 \= V2.
+oneIsTug(V1, V2) :- vesselType(V2, tug), vessel(V1), V1 \= V2.
+`)
+	if !k.Has(parser.MustParseTerm("oneIsTug(v1, v2)")) {
+		t.Fatal("missing oneIsTug(v1, v2)")
+	}
+	if !k.Has(parser.MustParseTerm("oneIsTug(v3, v1)")) {
+		t.Fatal("missing oneIsTug(v3, v1)")
+	}
+	if k.Has(parser.MustParseTerm("oneIsTug(v1, v1)")) {
+		t.Fatal("oneIsTug(v1, v1) should be excluded by \\=")
+	}
+	if k.Has(parser.MustParseTerm("oneIsTug(v2, v3)")) {
+		t.Fatal("neither v2 nor v3 is a tug")
+	}
+}
+
+func TestMaterializeChainedRules(t *testing.T) {
+	k := mustKB(t, `
+edge(a, b).
+edge(b, c).
+edge(c, d).
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- path(X, Y), edge(Y, Z).
+`)
+	for _, f := range []string{"path(a, b)", "path(a, c)", "path(a, d)", "path(b, d)"} {
+		if !k.Has(parser.MustParseTerm(f)) {
+			t.Fatalf("missing %s", f)
+		}
+	}
+	if k.Has(parser.MustParseTerm("path(d, a)")) {
+		t.Fatal("wrong direction derived")
+	}
+}
+
+func TestMaterializeNonGroundHeadFails(t *testing.T) {
+	ed, err := parser.ParseEventDescription(`
+vessel(v1).
+bad(X, Y) :- vessel(X).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromEventDescription(ed); err == nil {
+		t.Fatal("non-ground derived head must fail materialisation")
+	} else if !strings.Contains(err.Error(), "non-ground") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestFromEventDescriptionSkipsGroundingRules(t *testing.T) {
+	k := mustKB(t, `
+vessel(v1).
+grounding(underWay(Vl)) :- vessel(Vl).
+`)
+	if k.Has(parser.MustParseTerm("grounding(underWay(v1))")) {
+		t.Fatal("grounding declarations must not be materialised as facts")
+	}
+}
+
+func TestExtraFacts(t *testing.T) {
+	ed, err := parser.ParseEventDescription("areaType(a1, fishing).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := FromEventDescription(ed, parser.MustParseTerm("vessel(v9)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k.Has(parser.MustParseTerm("vessel(v9)")) {
+		t.Fatal("extra fact missing")
+	}
+}
+
+func TestIndicators(t *testing.T) {
+	k := mustKB(t, `
+vessel(v1).
+areaType(a1, fishing).
+`)
+	inds := k.Indicators()
+	if len(inds) != 2 || inds[0] != "areaType/2" || inds[1] != "vessel/1" {
+		t.Fatalf("Indicators = %v", inds)
+	}
+}

@@ -1,0 +1,170 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestClauseKindClassification(t *testing.T) {
+	cases := []struct {
+		c    *Clause
+		want HeadKind
+	}{
+		{rule1(), KindInitiatedAt},
+		{&Clause{Head: NewCompound("terminatedAt", FVP(NewCompound("f", NewVar("X")), NewAtom("true")), NewVar("T")),
+			Body: []Literal{Pos(NewCompound("happensAt", NewAtom("e"), NewVar("T")))}}, KindTerminatedAt},
+		{&Clause{Head: NewCompound("holdsFor", FVP(NewCompound("f", NewVar("X")), NewAtom("true")), NewVar("I")),
+			Body: []Literal{Pos(NewCompound("holdsFor", FVP(NewCompound("g", NewVar("X")), NewAtom("true")), NewVar("I")))}}, KindHoldsFor},
+		{&Clause{Head: NewCompound("areaType", NewAtom("a1"), NewAtom("fishing"))}, KindFact},
+		{&Clause{Head: NewCompound("oneIsTug", NewVar("A"), NewVar("B")),
+			Body: []Literal{Pos(NewCompound("vesselType", NewVar("A"), NewAtom("tug")))}}, KindBackgroundRule},
+	}
+	for _, c := range cases {
+		if got := c.c.Kind(); got != c.want {
+			t.Errorf("Kind(%s) = %v, want %v", c.c.Head, got, c.want)
+		}
+	}
+}
+
+func TestHeadFVP(t *testing.T) {
+	r := rule1()
+	fvp, fl := r.HeadFVP()
+	if fvp == nil || fl == nil {
+		t.Fatal("HeadFVP returned nil for a temporal rule")
+	}
+	if fl.Indicator() != "withinArea/2" {
+		t.Fatalf("fluent indicator = %q", fl.Indicator())
+	}
+	if fvp.Functor != "=" {
+		t.Fatalf("fvp functor = %q", fvp.Functor)
+	}
+	fact := &Clause{Head: NewCompound("areaType", NewAtom("a1"), NewAtom("fishing"))}
+	if f, _ := fact.HeadFVP(); f != nil {
+		t.Fatal("HeadFVP on a fact must be nil")
+	}
+}
+
+func TestClauseStringLayout(t *testing.T) {
+	got := rule1().String()
+	want := "initiatedAt(withinArea(Vl, AreaType)=true, T) :-\n" +
+		"    happensAt(entersArea(Vl, AreaID), T),\n" +
+		"    areaType(AreaID, AreaType)."
+	if got != want {
+		t.Fatalf("String() =\n%s\nwant\n%s", got, want)
+	}
+	fact := &Clause{Head: NewCompound("vessel", NewAtom("v1"))}
+	if fact.String() != "vessel(v1)." {
+		t.Fatalf("fact String() = %q", fact.String())
+	}
+}
+
+func TestClauseVarsAndClone(t *testing.T) {
+	r := rule1()
+	vars := r.Vars()
+	want := []string{"Vl", "AreaType", "T", "AreaID"}
+	if strings.Join(vars, ",") != strings.Join(want, ",") {
+		t.Fatalf("Vars() = %v, want %v", vars, want)
+	}
+	cl := r.Clone()
+	if cl.String() != r.String() {
+		t.Fatal("clone differs from original")
+	}
+	cl.Body[0].Atom.Args[1] = NewInt(9)
+	if r.Body[0].Atom.Args[1].Kind == Int {
+		t.Fatal("mutating clone affected original")
+	}
+}
+
+func TestEventDescriptionPartitions(t *testing.T) {
+	ed := &EventDescription{Clauses: []*Clause{
+		rule1(),
+		{Head: NewCompound("areaType", NewAtom("a1"), NewAtom("fishing"))},
+		{Head: NewCompound("oneIsTug", NewVar("A"), NewVar("B")),
+			Body: []Literal{Pos(NewCompound("vesselType", NewVar("A"), NewAtom("tug")))}},
+	}}
+	if n := len(ed.Rules()); n != 1 {
+		t.Fatalf("Rules() = %d, want 1", n)
+	}
+	if n := len(ed.Facts()); n != 1 {
+		t.Fatalf("Facts() = %d, want 1", n)
+	}
+	if n := len(ed.BackgroundRules()); n != 1 {
+		t.Fatalf("BackgroundRules() = %d, want 1", n)
+	}
+	by := ed.RulesByFluent()
+	if len(by["withinArea/2"]) != 1 {
+		t.Fatalf("RulesByFluent missing withinArea/2: %v", by)
+	}
+	cl := ed.Clone()
+	if len(cl.Clauses) != 3 || cl.String() != ed.String() {
+		t.Fatal("Clone() mismatch")
+	}
+}
+
+func TestLiteralTermWrapsNegation(t *testing.T) {
+	a := NewCompound("holdsAt", NewAtom("f"), NewVar("T"))
+	if got := Neg(a).Term().Functor; got != "not" {
+		t.Fatalf("negated literal term functor = %q", got)
+	}
+	if got := Pos(a).Term(); got != a {
+		t.Fatal("positive literal term must be the atom itself")
+	}
+	if got := Neg(a).String(); got != "not holdsAt(f, T)" {
+		t.Fatalf("literal String() = %q", got)
+	}
+}
+
+func TestKindAndHeadKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		Var: "var", Atom: "atom", Int: "int", Float: "float",
+		Str: "string", Compound: "compound", List: "list", Kind(99): "unknown",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	for k, want := range map[HeadKind]string{
+		KindFact: "fact", KindInitiatedAt: "initiatedAt",
+		KindTerminatedAt: "terminatedAt", KindHoldsFor: "holdsFor",
+		KindBackgroundRule: "backgroundRule", HeadKind(99): "unknown",
+	} {
+		if k.String() != want {
+			t.Errorf("HeadKind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestSortTermsAndSmallAccessors(t *testing.T) {
+	ts := []*Term{NewAtom("b"), NewInt(1), NewAtom("a")}
+	SortTerms(ts)
+	if ts[0].Int != 1 || ts[1].Functor != "a" || ts[2].Functor != "b" {
+		t.Fatalf("SortTerms order: %v", ts)
+	}
+	if NewCompound("f", NewInt(1)).Arity() != 1 || NewAtom("a").Arity() != 0 {
+		t.Fatal("Arity wrong")
+	}
+	if !NewStr("s").IsConst() || NewVar("X").IsConst() || NewList().IsConst() {
+		t.Fatal("IsConst wrong")
+	}
+}
+
+func TestVarInstancesString(t *testing.T) {
+	vi := InstancesOfRule(rule1())
+	s := vi.String()
+	if !strings.Contains(s, "AreaID: [(areaType,1)]") {
+		t.Fatalf("VarInstances.String missing content:\n%s", s)
+	}
+}
+
+func TestNodeLabelsInPaths(t *testing.T) {
+	// List containers label their path steps "[]", so positions inside
+	// construct argument lists are part of a variable's concept identity.
+	e := NewCompound("union_all", NewList(NewVar("I1"), NewVar("I2")), NewVar("I"))
+	vi := InstancesOfExpr(e)
+	if got := vi["I1"][0].String(); got != "[(union_all,1), ([],1)]" {
+		t.Fatalf("list path = %q", got)
+	}
+	if got := vi["I"][0].String(); got != "[(union_all,2)]" {
+		t.Fatalf("direct path = %q", got)
+	}
+}

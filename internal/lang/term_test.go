@@ -1,0 +1,185 @@
+package lang
+
+import (
+	"testing"
+)
+
+func TestTermConstructorsAndKinds(t *testing.T) {
+	cases := []struct {
+		term *Term
+		kind Kind
+		str  string
+	}{
+		{NewVar("Vl"), Var, "Vl"},
+		{NewAtom("true"), Atom, "true"},
+		{NewInt(23), Int, "23"},
+		{NewFloat(2.5), Float, "2.5"},
+		{NewFloat(90), Float, "90.0"},
+		{NewStr("hi"), Str, `"hi"`},
+		{NewCompound("entersArea", NewVar("Vl"), NewAtom("a1")), Compound, "entersArea(Vl, a1)"},
+		{NewCompound("noArgs"), Atom, "noArgs"},
+		{NewList(NewInt(1), NewInt(2)), List, "[1, 2]"},
+		{NewList(), List, "[]"},
+		{FVP(NewCompound("withinArea", NewVar("Vl")), NewAtom("true")), Compound, "withinArea(Vl)=true"},
+	}
+	for _, c := range cases {
+		if c.term.Kind != c.kind {
+			t.Errorf("%s: kind = %v, want %v", c.str, c.term.Kind, c.kind)
+		}
+		if got := c.term.String(); got != c.str {
+			t.Errorf("String() = %q, want %q", got, c.str)
+		}
+	}
+}
+
+func TestTermEqual(t *testing.T) {
+	a := NewCompound("happensAt", NewCompound("entersArea", NewVar("Vl"), NewAtom("a1")), NewInt(23))
+	b := NewCompound("happensAt", NewCompound("entersArea", NewVar("Vl"), NewAtom("a1")), NewInt(23))
+	if !a.Equal(b) {
+		t.Fatal("structurally equal terms reported unequal")
+	}
+	c := NewCompound("happensAt", NewCompound("entersArea", NewVar("Vl"), NewAtom("a2")), NewInt(23))
+	if a.Equal(c) {
+		t.Fatal("different terms reported equal")
+	}
+	if a.Equal(nil) {
+		t.Fatal("term equal to nil")
+	}
+	if !a.Equal(a) {
+		t.Fatal("term not equal to itself")
+	}
+	if NewInt(1).Equal(NewFloat(1)) {
+		t.Fatal("Equal must be structural: int 1 != float 1.0")
+	}
+}
+
+func TestCloneIsDeepAndEqual(t *testing.T) {
+	a := NewCompound("f", NewList(NewVar("X"), NewInt(1)), NewAtom("c"))
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone not equal to original")
+	}
+	b.Args[0].Args[0] = NewAtom("mutated")
+	if a.Args[0].Args[0].Kind != Var {
+		t.Fatal("mutating clone affected original")
+	}
+}
+
+func TestVarsOrderAndDedup(t *testing.T) {
+	tm := NewCompound("f", NewVar("B"), NewCompound("g", NewVar("A"), NewVar("B")), NewVar("C"))
+	got := tm.Vars()
+	want := []string{"B", "A", "C"}
+	if len(got) != len(want) {
+		t.Fatalf("Vars() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Vars() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestIsGround(t *testing.T) {
+	if !NewCompound("f", NewAtom("a"), NewInt(1)).IsGround() {
+		t.Fatal("ground term reported non-ground")
+	}
+	if NewCompound("f", NewAtom("a"), NewVar("X")).IsGround() {
+		t.Fatal("non-ground term reported ground")
+	}
+}
+
+func TestIndicator(t *testing.T) {
+	if got := NewCompound("entersArea", NewVar("V"), NewVar("A")).Indicator(); got != "entersArea/2" {
+		t.Fatalf("Indicator() = %q", got)
+	}
+	if got := NewAtom("foo").Indicator(); got != "foo/0" {
+		t.Fatalf("Indicator() = %q", got)
+	}
+	if got := NewInt(7).Indicator(); got != "int" {
+		t.Fatalf("Indicator() = %q", got)
+	}
+}
+
+func TestCompareTotalOrder(t *testing.T) {
+	ordered := []*Term{
+		NewVar("A"),
+		NewVar("B"),
+		NewInt(1),
+		NewFloat(1.5),
+		NewInt(2),
+		NewAtom("a"),
+		NewAtom("b"),
+		NewStr("s"),
+		NewCompound("f", NewInt(1)),
+		NewCompound("g", NewInt(1)),
+		NewCompound("f", NewInt(1), NewInt(2)),
+	}
+	for i := range ordered {
+		for j := range ordered {
+			got := Compare(ordered[i], ordered[j])
+			switch {
+			case i < j && got >= 0:
+				t.Errorf("Compare(%s, %s) = %d, want < 0", ordered[i], ordered[j], got)
+			case i > j && got <= 0:
+				t.Errorf("Compare(%s, %s) = %d, want > 0", ordered[i], ordered[j], got)
+			case i == j && got != 0:
+				t.Errorf("Compare(%s, %s) = %d, want 0", ordered[i], ordered[j], got)
+			}
+		}
+	}
+}
+
+func TestStringInfixParenthesisation(t *testing.T) {
+	// (A + B) * C must keep parentheses to round-trip.
+	tm := NewCompound("*", NewCompound("+", NewVar("A"), NewVar("B")), NewVar("C"))
+	if got := tm.String(); got != "(A + B) * C" {
+		t.Fatalf("String() = %q", got)
+	}
+	cmp := NewCompound(">", NewVar("Speed"), NewVar("Max"))
+	if got := cmp.String(); got != "Speed > Max" {
+		t.Fatalf("String() = %q", got)
+	}
+	neg := NewCompound("not", NewCompound("holdsAt", NewVar("F"), NewVar("T")))
+	if got := neg.String(); got != "not holdsAt(F, T)" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestNumber(t *testing.T) {
+	if v, ok := NewInt(3).Number(); !ok || v != 3 {
+		t.Fatalf("Number(3) = %v, %v", v, ok)
+	}
+	if v, ok := NewFloat(2.5).Number(); !ok || v != 2.5 {
+		t.Fatalf("Number(2.5) = %v, %v", v, ok)
+	}
+	if _, ok := NewAtom("x").Number(); ok {
+		t.Fatal("atom reported numeric")
+	}
+}
+
+func TestWalkPreOrder(t *testing.T) {
+	tm := NewCompound("f", NewCompound("g", NewVar("X")), NewAtom("a"))
+	var visited []string
+	tm.Walk(func(t *Term) bool {
+		visited = append(visited, t.Functor)
+		return true
+	})
+	want := []string{"f", "g", "X", "a"}
+	if len(visited) != len(want) {
+		t.Fatalf("visited %v, want %v", visited, want)
+	}
+	for i := range want {
+		if visited[i] != want[i] {
+			t.Fatalf("visited %v, want %v", visited, want)
+		}
+	}
+	// Pruning: stop at g.
+	visited = nil
+	tm.Walk(func(t *Term) bool {
+		visited = append(visited, t.Functor)
+		return t.Functor != "g"
+	})
+	if len(visited) != 3 { // f, g, a
+		t.Fatalf("pruned walk visited %v", visited)
+	}
+}

@@ -1,0 +1,174 @@
+package lang
+
+// Subst is a substitution: a binding of variable names to terms. Bound terms
+// may themselves contain variables bound elsewhere in the substitution;
+// Resolve follows such chains.
+type Subst map[string]*Term
+
+// NewSubst returns an empty substitution.
+func NewSubst() Subst { return Subst{} }
+
+// Clone returns a shallow copy of the substitution (terms are immutable and
+// shared).
+func (s Subst) Clone() Subst {
+	n := make(Subst, len(s))
+	for k, v := range s {
+		n[k] = v
+	}
+	return n
+}
+
+// walk dereferences t while it is a variable bound in s.
+func (s Subst) walk(t *Term) *Term {
+	for t.Kind == Var {
+		b, ok := s[t.Functor]
+		if !ok {
+			return t
+		}
+		t = b
+	}
+	return t
+}
+
+// Resolve applies the substitution to t, returning a term in which every
+// bound variable has been replaced by its (recursively resolved) binding.
+func (s Subst) Resolve(t *Term) *Term {
+	t = s.walk(t)
+	if len(t.Args) == 0 {
+		return t
+	}
+	changed := false
+	args := make([]*Term, len(t.Args))
+	for i, a := range t.Args {
+		args[i] = s.Resolve(a)
+		if args[i] != a {
+			changed = true
+		}
+	}
+	if !changed {
+		return t
+	}
+	n := *t
+	n.Args = args
+	return &n
+}
+
+// occurs reports whether variable name occurs in t under substitution s —
+// the occurs check that keeps substitutions acyclic (binding X to f(X)
+// would make Resolve diverge).
+func (s Subst) occurs(name string, t *Term) bool {
+	t = s.walk(t)
+	if t.Kind == Var {
+		return t.Functor == name
+	}
+	for _, a := range t.Args {
+		if s.occurs(name, a) {
+			return true
+		}
+	}
+	return false
+}
+
+// Unify attempts to unify a and b under substitution s, extending s in place.
+// It reports whether unification succeeded; on failure s may contain partial
+// bindings, so callers that need backtracking should Clone first or use
+// UnifyInto. Unification is performed with the occurs check, so the
+// resulting substitution is always acyclic.
+func (s Subst) Unify(a, b *Term) bool {
+	a, b = s.walk(a), s.walk(b)
+	if a.Kind == Var {
+		if b.Kind == Var && a.Functor == b.Functor {
+			return true
+		}
+		if s.occurs(a.Functor, b) {
+			return false
+		}
+		s[a.Functor] = b
+		return true
+	}
+	if b.Kind == Var {
+		if s.occurs(b.Functor, a) {
+			return false
+		}
+		s[b.Functor] = a
+		return true
+	}
+	if a.Kind != b.Kind {
+		// Permit int/float numeric identity (5 unifies with 5.0).
+		na, aok := a.Number()
+		nb, bok := b.Number()
+		return aok && bok && na == nb
+	}
+	switch a.Kind {
+	case Atom:
+		return a.Functor == b.Functor
+	case Int:
+		return a.Int == b.Int
+	case Float:
+		return a.Float == b.Float
+	case Str:
+		return a.Text == b.Text
+	case Compound:
+		if a.Functor != b.Functor || len(a.Args) != len(b.Args) {
+			return false
+		}
+	case List:
+		if len(a.Args) != len(b.Args) {
+			return false
+		}
+	}
+	for i := range a.Args {
+		if !s.Unify(a.Args[i], b.Args[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// UnifyInto unifies a and b under a copy of s, returning the extended copy
+// and true on success, or nil and false on failure. s itself is unchanged.
+func (s Subst) UnifyInto(a, b *Term) (Subst, bool) {
+	n := s.Clone()
+	if n.Unify(a, b) {
+		return n, true
+	}
+	return nil, false
+}
+
+// RenameApart returns a copy of the clause whose variables have been renamed
+// with the given suffix, so that evaluating the clause cannot capture
+// variables of the caller's query.
+func (c *Clause) RenameApart(suffix string) *Clause {
+	ren := func(t *Term) *Term { return renameVars(t, suffix) }
+	n := &Clause{Head: ren(c.Head)}
+	if len(c.Body) > 0 {
+		n.Body = make([]Literal, len(c.Body))
+		for i, l := range c.Body {
+			n.Body[i] = Literal{Neg: l.Neg, Atom: ren(l.Atom)}
+		}
+	}
+	return n
+}
+
+func renameVars(t *Term, suffix string) *Term {
+	if t.Kind == Var {
+		return NewVar(t.Functor + suffix)
+	}
+	if len(t.Args) == 0 {
+		return t
+	}
+	changed := false
+	args := make([]*Term, len(t.Args))
+	for i, a := range t.Args {
+		args[i] = renameVars(a, suffix)
+		if args[i] != a {
+			changed = true
+		}
+	}
+	if !changed {
+		return t
+	}
+	n := *t
+	n.Args = args
+	return &n
+}

@@ -1,0 +1,144 @@
+package lang
+
+import "testing"
+
+func TestUnifyBasics(t *testing.T) {
+	s := NewSubst()
+	a := NewCompound("entersArea", NewVar("Vl"), NewVar("Area"))
+	b := NewCompound("entersArea", NewAtom("v42"), NewAtom("a1"))
+	if !s.Unify(a, b) {
+		t.Fatal("unification failed")
+	}
+	if got := s.Resolve(a); !got.Equal(b) {
+		t.Fatalf("Resolve = %s, want %s", got, b)
+	}
+}
+
+func TestUnifyOccursSharedVariable(t *testing.T) {
+	s := NewSubst()
+	a := NewCompound("f", NewVar("X"), NewVar("X"))
+	b := NewCompound("f", NewAtom("a"), NewAtom("b"))
+	if s.Unify(a, b) {
+		t.Fatal("f(X,X) must not unify with f(a,b)")
+	}
+	s = NewSubst()
+	c := NewCompound("f", NewAtom("a"), NewAtom("a"))
+	if !s.Unify(a, c) {
+		t.Fatal("f(X,X) must unify with f(a,a)")
+	}
+}
+
+func TestUnifyFunctorArityMismatch(t *testing.T) {
+	s := NewSubst()
+	if s.Unify(NewCompound("f", NewInt(1)), NewCompound("g", NewInt(1))) {
+		t.Fatal("different functors unified")
+	}
+	s = NewSubst()
+	if s.Unify(NewCompound("f", NewInt(1)), NewCompound("f", NewInt(1), NewInt(2))) {
+		t.Fatal("different arities unified")
+	}
+}
+
+func TestUnifyNumericIdentity(t *testing.T) {
+	s := NewSubst()
+	if !s.Unify(NewInt(5), NewFloat(5)) {
+		t.Fatal("5 and 5.0 should unify numerically")
+	}
+	s = NewSubst()
+	if s.Unify(NewInt(5), NewFloat(5.5)) {
+		t.Fatal("5 and 5.5 unified")
+	}
+}
+
+func TestUnifyVariableChains(t *testing.T) {
+	s := NewSubst()
+	if !s.Unify(NewVar("X"), NewVar("Y")) {
+		t.Fatal("var-var unification failed")
+	}
+	if !s.Unify(NewVar("Y"), NewAtom("a")) {
+		t.Fatal("binding chained var failed")
+	}
+	if got := s.Resolve(NewVar("X")); !got.Equal(NewAtom("a")) {
+		t.Fatalf("Resolve(X) = %s, want a", got)
+	}
+}
+
+func TestUnifyIntoPreservesOriginal(t *testing.T) {
+	s := NewSubst()
+	s["Z"] = NewAtom("z")
+	n, ok := s.UnifyInto(NewVar("X"), NewAtom("a"))
+	if !ok {
+		t.Fatal("UnifyInto failed")
+	}
+	if _, bound := s["X"]; bound {
+		t.Fatal("UnifyInto mutated the receiver")
+	}
+	if !n["X"].Equal(NewAtom("a")) || !n["Z"].Equal(NewAtom("z")) {
+		t.Fatal("UnifyInto result missing bindings")
+	}
+	if _, ok := s.UnifyInto(NewAtom("a"), NewAtom("b")); ok {
+		t.Fatal("UnifyInto of distinct atoms succeeded")
+	}
+}
+
+func TestUnifyLists(t *testing.T) {
+	s := NewSubst()
+	a := NewList(NewVar("A"), NewVar("B"))
+	b := NewList(NewInt(1), NewInt(2))
+	if !s.Unify(a, b) {
+		t.Fatal("list unification failed")
+	}
+	if !s.Resolve(NewVar("B")).Equal(NewInt(2)) {
+		t.Fatal("list element binding wrong")
+	}
+	s = NewSubst()
+	if s.Unify(NewList(NewInt(1)), NewList(NewInt(1), NewInt(2))) {
+		t.Fatal("lists of different length unified")
+	}
+}
+
+func TestRenameApart(t *testing.T) {
+	c := &Clause{
+		Head: NewCompound("p", NewVar("X")),
+		Body: []Literal{Pos(NewCompound("q", NewVar("X"), NewVar("Y")))},
+	}
+	r := c.RenameApart("_1")
+	if r.Head.Args[0].Functor != "X_1" {
+		t.Fatalf("head var = %q", r.Head.Args[0].Functor)
+	}
+	if r.Body[0].Atom.Args[1].Functor != "Y_1" {
+		t.Fatalf("body var = %q", r.Body[0].Atom.Args[1].Functor)
+	}
+	// Original untouched.
+	if c.Head.Args[0].Functor != "X" {
+		t.Fatal("RenameApart mutated original")
+	}
+}
+
+func TestResolveSharesUnchangedSubtrees(t *testing.T) {
+	s := NewSubst()
+	ground := NewCompound("g", NewAtom("a"))
+	tm := NewCompound("f", ground, NewVar("X"))
+	s["X"] = NewInt(1)
+	r := s.Resolve(tm)
+	if r.Args[0] != ground {
+		t.Fatal("Resolve copied an unchanged ground subtree")
+	}
+}
+
+func TestUnifyOccursCheck(t *testing.T) {
+	s := NewSubst()
+	x := NewVar("X")
+	fx := NewCompound("f", NewVar("X"))
+	if s.Unify(x, fx) {
+		t.Fatal("X must not unify with f(X)")
+	}
+	// Indirect cycle: X = Y, Y = f(X).
+	s = NewSubst()
+	if !s.Unify(NewVar("X"), NewVar("Y")) {
+		t.Fatal("var-var unification failed")
+	}
+	if s.Unify(NewVar("Y"), NewCompound("f", NewVar("X"))) {
+		t.Fatal("indirect cycle accepted")
+	}
+}

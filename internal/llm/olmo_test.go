@@ -1,0 +1,44 @@
+package llm
+
+import (
+	"testing"
+
+	"rtecgen/internal/maritime"
+	"rtecgen/internal/prompt"
+	"rtecgen/internal/similarity"
+)
+
+// TestOLMoExtensionModel covers the further-work extension: an OLMo profile
+// is available alongside the six published models, behaves deterministically
+// and lands mid-field.
+func TestOLMoExtensionModel(t *testing.T) {
+	if _, err := New("OLMo"); err != nil {
+		t.Fatal(err)
+	}
+	// Not part of the published figure set.
+	for _, n := range ModelNames() {
+		if n == "OLMo" {
+			t.Fatal("OLMo must not be in the published model list")
+		}
+	}
+	gold := maritime.GoldED()
+	score := func(name string) float64 {
+		gen, err := prompt.RunPipeline(MustNew(name), prompt.FewShot,
+			maritime.PromptDomain(), maritime.CurriculumRequests())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := similarity.EventDescriptionSimilarity(gold, gen.ED())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	olmo := score("OLMo")
+	if olmo >= score("o1") {
+		t.Errorf("OLMo (%v) must score below o1", olmo)
+	}
+	if olmo <= score("Gemma-2") {
+		t.Errorf("OLMo (%v) must score above Gemma-2", olmo)
+	}
+}

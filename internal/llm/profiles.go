@@ -1,0 +1,220 @@
+package llm
+
+import "rtecgen/internal/prompt"
+
+// Rates are per-activity probabilities of each generic error class. They
+// are sampled once per activity with a seed derived from (model, scheme,
+// activity), so generation is fully deterministic.
+type Rates struct {
+	Rename    float64 // category 1: wrong name for an event/background predicate
+	ValueName float64 // category 1: wrong name for a constant value
+	Drop      float64 // missing condition (typically a gap_start termination)
+	Undefined float64 // category 3: condition over an undefined activity
+	OpSwap    float64 // category 4: union/intersect confusion
+	Extra     float64 // redundant conditions added to rules
+}
+
+// Profile is the calibrated error model of one simulated LLM: generic error
+// rates per prompting scheme plus the named special errors the paper
+// attributes to specific models and activities (Section 5.2).
+type Profile struct {
+	Rates map[prompt.Scheme]Rates
+	// Special maps activity key -> scheme -> named mutations, applied
+	// before the generic ones. See applySpecial for the catalogue.
+	Special map[string]map[prompt.Scheme][]string
+}
+
+func specialBoth(muts ...string) map[prompt.Scheme][]string {
+	return map[prompt.Scheme][]string{
+		prompt.FewShot:        muts,
+		prompt.ChainOfThought: muts,
+	}
+}
+
+// Profiles is the calibration table of the six models evaluated in the
+// paper. The per-model shapes implement the published analysis:
+//
+//   - o1: only naming divergences (e.g. 'trawlingArea' for 'fishing');
+//     loitering expressed as a different but semantically equivalent
+//     disjunction. Few-shot is its better scheme (o1□).
+//   - GPT-4o: movingSpeed modelled as statically determined (category 2);
+//     loitering uses intersect_all for union_all; one redundant condition
+//     in trawling; pilot boarding misses the 'stopped' disjunct.
+//     Chain-of-thought is its better scheme (GPT-4o△).
+//   - Llama-3: loitering conjunction error; redundant trawling condition;
+//     pilot boarding checks only one vessel. Few-shot better (Llama-3□).
+//   - GPT-4: trawling invented from conditions that match nothing in the
+//     gold definition; moderate naming noise. Few-shot better (GPT-4□).
+//   - Mistral: trawling defined over entirely undefined activities; high
+//     noise. Chain-of-thought better (Mistral△).
+//   - Gemma-2: trawling as a simple fluent (similarity 0); heaviest noise,
+//     including a syntactically broken rule in few-shot mode.
+//     Chain-of-thought better (Gemma-2△).
+var Profiles = map[string]Profile{
+	"o1": {
+		Rates: map[prompt.Scheme]Rates{
+			prompt.FewShot:        {Rename: 0.10, ValueName: 0.08},
+			prompt.ChainOfThought: {Rename: 0.22, ValueName: 0.15, Drop: 0.20},
+		},
+		Special: map[string]map[prompt.Scheme][]string{
+			"tr": specialBoth("const:trawlingArea", "redundant:underWay"),
+			"l":  specialBoth("equivalent:loitering"),
+		},
+	},
+	"GPT-4o": {
+		Rates: map[prompt.Scheme]Rates{
+			prompt.ChainOfThought: {Rename: 0.14, ValueName: 0.10},
+			prompt.FewShot:        {Rename: 0.30, ValueName: 0.22, Drop: 0.30, Undefined: 0.25, Extra: 0.25},
+		},
+		Special: map[string]map[prompt.Scheme][]string{
+			"movingSpeed": specialBoth("kindflip:movingSpeed"),
+			"l":           specialBoth("opswap"),
+			"tr":          specialBoth("redundant:underWay"),
+			"p":           specialBoth("pb:lowSpeedOnly"),
+		},
+	},
+	"Llama-3": {
+		Rates: map[prompt.Scheme]Rates{
+			prompt.FewShot:        {Rename: 0.22, ValueName: 0.16, Extra: 0.12},
+			prompt.ChainOfThought: {Rename: 0.35, ValueName: 0.28, Drop: 0.30, Undefined: 0.30, Extra: 0.30},
+		},
+		Special: map[string]map[prompt.Scheme][]string{
+			"l":  specialBoth("opswap"),
+			"tr": specialBoth("redundant:underWay"),
+			"p":  specialBoth("pb:singleVessel"),
+		},
+	},
+	"GPT-4": {
+		Rates: map[prompt.Scheme]Rates{
+			prompt.FewShot:        {Rename: 0.40, ValueName: 0.35, Drop: 0.45, Undefined: 0.45, Extra: 0.45},
+			prompt.ChainOfThought: {Rename: 0.55, ValueName: 0.45, Drop: 0.55, Undefined: 0.55, Extra: 0.55},
+		},
+		Special: map[string]map[prompt.Scheme][]string{
+			"tr": specialBoth("invented:trawlingGPT4"),
+		},
+	},
+	"Mistral": {
+		Rates: map[prompt.Scheme]Rates{
+			prompt.ChainOfThought: {Rename: 0.50, ValueName: 0.42, Drop: 0.55, Undefined: 0.55, OpSwap: 0.15, Extra: 0.55},
+			prompt.FewShot:        {Rename: 0.65, ValueName: 0.55, Drop: 0.70, Undefined: 0.70, OpSwap: 0.30, Extra: 0.65},
+		},
+		Special: map[string]map[prompt.Scheme][]string{
+			"tr": specialBoth("invented:trawlingMistral"),
+		},
+	},
+	"Gemma-2": {
+		Rates: map[prompt.Scheme]Rates{
+			prompt.ChainOfThought: {Rename: 0.55, ValueName: 0.50, Drop: 0.55, Undefined: 0.60, OpSwap: 0.30, Extra: 0.55},
+			prompt.FewShot:        {Rename: 0.70, ValueName: 0.65, Drop: 0.70, Undefined: 0.75, OpSwap: 0.45, Extra: 0.65},
+		},
+		Special: map[string]map[prompt.Scheme][]string{
+			"tr": specialBoth("kindflip:trawling"),
+			"aM": {prompt.FewShot: {"syntax"}},
+			"s":  {prompt.FewShot: {"syntax"}},
+		},
+	},
+}
+
+// ModelNames returns the six model names in the paper's presentation order.
+// OLMo (below) is an extension — the open foundational model the paper's
+// further-work section plans to adopt — and is not part of the published
+// figures.
+func ModelNames() []string {
+	return []string{"GPT-4", "GPT-4o", "o1", "Llama-3", "Mistral", "Gemma-2"}
+}
+
+// olmoProfile is the extension model: a mid-tier open model with mostly
+// naming noise plus occasional missing conditions — between Llama-3 and
+// GPT-4 in the calibrated ordering.
+var olmoProfile = Profile{
+	Rates: map[prompt.Scheme]Rates{
+		prompt.FewShot:        {Rename: 0.28, ValueName: 0.22, Drop: 0.20, Undefined: 0.15, Extra: 0.20},
+		prompt.ChainOfThought: {Rename: 0.40, ValueName: 0.32, Drop: 0.35, Undefined: 0.30, Extra: 0.35},
+	},
+	Special: map[string]map[prompt.Scheme][]string{
+		"l": specialBoth("opswap"),
+	},
+}
+
+func init() { Profiles["OLMo"] = olmoProfile }
+
+// Replacement rule texts for the named special mutations.
+
+const sdMovingSpeedSrc = `
+holdsFor(movingSpeed(Vl)=below, I) :-
+    holdsFor(speedBelowService(Vl)=true, I1),
+    union_all([I1], I).
+
+holdsFor(movingSpeed(Vl)=normal, I) :-
+    holdsFor(speedWithinService(Vl)=true, I1),
+    union_all([I1], I).
+
+holdsFor(movingSpeed(Vl)=above, I) :-
+    holdsFor(speedAboveService(Vl)=true, I1),
+    union_all([I1], I).
+`
+
+const equivalentLoiteringSrc = `
+holdsFor(loitering(Vl)=true, I) :-
+    holdsFor(lowSpeed(Vl)=true, Il),
+    holdsFor(stopped(Vl)=farFromPorts, Is),
+    union_all([Il, Is], Iu),
+    holdsFor(withinArea(Vl, nearPorts)=true, Ip),
+    relative_complement_all(Iu, [Ip], Ix),
+    holdsFor(anchoredOrMoored(Vl)=true, Ia),
+    relative_complement_all(Ix, [Ia], I).
+`
+
+const pbLowSpeedOnlySrc = `
+holdsFor(pilotBoarding(V1, V2)=true, I) :-
+    oneIsPilot(V1, V2),
+    holdsFor(proximity(V1, V2)=true, Ip),
+    holdsFor(lowSpeed(V1)=true, Il1),
+    holdsFor(lowSpeed(V2)=true, Il2),
+    intersect_all([Ip, Il1, Il2], Ib),
+    holdsFor(withinArea(V1, nearCoast)=true, Inc),
+    relative_complement_all(Ib, [Inc], I).
+`
+
+const pbSingleVesselSrc = `
+holdsFor(pilotBoarding(V1, V2)=true, I) :-
+    oneIsPilot(V1, V2),
+    holdsFor(proximity(V1, V2)=true, Ip),
+    holdsFor(lowSpeed(V1)=true, Il1),
+    holdsFor(stopped(V1)=farFromPorts, Is1),
+    union_all([Il1, Is1], I1),
+    intersect_all([Ip, I1], I).
+`
+
+const inventedTrawlingGPT4Src = `
+holdsFor(trawling(Vl)=true, I) :-
+    holdsFor(fishingGearDeployed(Vl)=true, I1),
+    holdsFor(steadyCourse(Vl)=true, I2),
+    holdsFor(engineLoadHigh(Vl)=true, I3),
+    holdsFor(inFishery(Vl)=true, I4),
+    holdsFor(crewOnDeck(Vl)=true, I5),
+    holdsFor(netTension(Vl)=true, I6),
+    intersect_all([I1, I2, I3, I4, I5, I6], I).
+`
+
+const inventedTrawlingMistralSrc = `
+holdsFor(trawling(Vl)=true, I) :-
+    holdsFor(fishingOperation(Vl)=true, I1),
+    holdsFor(deployedNets(Vl)=true, I2),
+    holdsFor(movingSlow(Vl)=true, I3),
+    holdsFor(nearFishingGrounds(Vl)=true, I4),
+    holdsFor(activeSonar(Vl)=true, I5),
+    intersect_all([I1, I2, I3, I4, I5], I).
+`
+
+const simpleTrawlingSrc = `
+initiatedAt(trawling(Vl)=true, T) :-
+    happensAt(change_in_heading(Vl), T),
+    holdsAt(withinArea(Vl, fishing)=true, T).
+
+terminatedAt(trawling(Vl)=true, T) :-
+    happensAt(leavesArea(Vl, Area), T).
+
+terminatedAt(trawling(Vl)=true, T) :-
+    happensAt(gap_start(Vl), T).
+`

@@ -1,0 +1,456 @@
+package llm
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"rtecgen/internal/lang"
+	"rtecgen/internal/maritime"
+	"rtecgen/internal/parser"
+	"rtecgen/internal/prompt"
+)
+
+// ActivityKnowledge is a model's internal notion of one activity's intended
+// formalisation: what a competent model "understands" the description to
+// mean, before its error profile corrupts it.
+type ActivityKnowledge struct {
+	Key     string   // short identifier, used to look up special errors
+	Name    string   // activity name matched against the prompt G header
+	Primary string   // functor of the top-level fluent
+	Fluents []string // functors of all fluents the formalisation defines
+	Clauses []*lang.Clause
+}
+
+// Knowledge packages a domain's activity understanding and vocabulary for a
+// simulated model. MaritimeKnowledge is the default; other domains (e.g.
+// internal/fleet) provide their own.
+type Knowledge struct {
+	Activities []ActivityKnowledge
+	Domain     *prompt.Domain
+}
+
+// byName finds an activity by the name in the prompt G header, falling back
+// to substring matching as a model would.
+func (k *Knowledge) byName(name string) (ActivityKnowledge, bool) {
+	lname := strings.ToLower(strings.TrimSpace(name))
+	for _, a := range k.Activities {
+		if strings.ToLower(a.Name) == lname || strings.ToLower(a.Key) == lname {
+			return a, true
+		}
+	}
+	for _, a := range k.Activities {
+		if strings.Contains(lname, strings.ToLower(a.Name)) {
+			return a, true
+		}
+	}
+	return ActivityKnowledge{}, false
+}
+
+// MaritimeKnowledge builds the default knowledge base from the maritime
+// curriculum and gold standard.
+func MaritimeKnowledge() *Knowledge {
+	k := &Knowledge{Domain: maritime.PromptDomain()}
+	gold := maritime.GoldED()
+	for _, act := range maritime.Curriculum {
+		fluents := make([]string, 0, len(act.Fluents))
+		for _, f := range act.Fluents {
+			fluents = append(fluents, strings.SplitN(f, "/", 2)[0])
+		}
+		k.Activities = append(k.Activities, ActivityKnowledge{
+			Key:     act.Key,
+			Name:    act.Name,
+			Primary: act.PrimaryName(),
+			Fluents: fluents,
+			Clauses: maritime.RulesForActivity(gold, act),
+		})
+	}
+	return k
+}
+
+// Simulated is a deterministic stand-in for a pre-trained LLM. It keeps no
+// mutable state: everything it "knows" at each turn is re-derived from the
+// conversation history, like a real chat model.
+type Simulated struct {
+	name    string
+	profile Profile
+	know    *Knowledge
+}
+
+// New returns the simulated model with the given name on the maritime
+// domain, or an error for an unknown name. Known names: GPT-4, GPT-4o, o1,
+// Llama-3, Mistral, Gemma-2.
+func New(name string) (*Simulated, error) {
+	return NewWithKnowledge(name, MaritimeKnowledge())
+}
+
+// NewWithKnowledge returns the simulated model with the given name over a
+// custom domain knowledge base (the paper's further work: applying the
+// method to other domains by swapping the prompts' domain content).
+func NewWithKnowledge(name string, know *Knowledge) (*Simulated, error) {
+	p, ok := Profiles[name]
+	if !ok {
+		return nil, fmt.Errorf("llm: unknown model %q", name)
+	}
+	return &Simulated{name: name, profile: p, know: know}, nil
+}
+
+// MustNew is New for known-good names.
+func MustNew(name string) *Simulated {
+	m, err := New(name)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// AllModels returns the six simulated models in presentation order.
+func AllModels() []*Simulated {
+	out := make([]*Simulated, 0, len(ModelNames()))
+	for _, n := range ModelNames() {
+		out = append(out, MustNew(n))
+	}
+	return out
+}
+
+// Name implements prompt.Model.
+func (m *Simulated) Name() string { return m.name }
+
+// Chat implements prompt.Model. Teaching prompts are acknowledged; a prompt
+// G request produces an activity formalisation derived from the model's
+// internal notion of the intended definition, perturbed by its error
+// profile. The model only uses vocabulary that the conversation actually
+// taught it, and it infers the prompting scheme from the shape of prompt F.
+func (m *Simulated) Chat(history []prompt.Message, user string) (string, error) {
+	if idx := strings.Index(user, prompt.ActivityMarker); idx >= 0 {
+		rest := user[idx+len(prompt.ActivityMarker):]
+		colon := strings.Index(rest, ":")
+		if colon < 0 {
+			return "I could not identify the requested activity.", nil
+		}
+		name := strings.TrimSpace(rest[:colon])
+		return m.generate(history, name)
+	}
+	return fmt.Sprintf("Understood. I will use this information when formalising composite activities for %s.",
+		m.know.Domain.Name), nil
+}
+
+// taughtVocabulary extracts the event and threshold names taught by prompts
+// E and T from the conversation.
+func taughtVocabulary(history []prompt.Message, current string) (events map[string]bool, thresholds map[string]bool) {
+	events = map[string]bool{}
+	thresholds = map[string]bool{}
+	scan := func(content string) {
+		for _, line := range strings.Split(content, "\n") {
+			line = strings.TrimSpace(line)
+			if rest, ok := cutPrefixAfter(line, "Input Event ", ": "); ok {
+				if t, err := parser.ParseTerm(rest); err == nil && t.IsCallable() {
+					events[t.Indicator()] = true
+				}
+			}
+			if rest, ok := cutPrefixAfter(line, "Background Predicate ", ": "); ok {
+				if t, err := parser.ParseTerm(rest); err == nil && t.IsCallable() {
+					events[t.Indicator()] = true
+				}
+			}
+			if rest, ok := cutPrefixAfter(line, "Threshold ", ": "); ok {
+				if t, err := parser.ParseTerm(rest); err == nil && t.Functor == "thresholds" && len(t.Args) == 2 {
+					if t.Args[0].Kind == lang.Atom {
+						thresholds[t.Args[0].Functor] = true
+					}
+				}
+			}
+		}
+	}
+	for _, msg := range history {
+		if msg.Role == "user" {
+			scan(msg.Content)
+		}
+	}
+	scan(current)
+	return events, thresholds
+}
+
+// cutPrefixAfter matches lines like "<prefix>N<sep><rest>" and returns rest.
+func cutPrefixAfter(line, prefix, sep string) (string, bool) {
+	if !strings.HasPrefix(line, prefix) {
+		return "", false
+	}
+	rest := line[len(prefix):]
+	i := strings.Index(rest, sep)
+	if i < 0 {
+		return "", false
+	}
+	return strings.TrimSpace(rest[i+len(sep):]), true
+}
+
+// schemeOf infers the prompting scheme from the conversation: prompt F
+// (chain-of-thought) contains the step-by-step explanations, prompt F*
+// (few-shot) only the examples; if neither was sent the session is
+// zero-shot and the model has never seen a fluent definition.
+func schemeOf(history []prompt.Message) prompt.Scheme {
+	sawF := false
+	for _, msg := range history {
+		if msg.Role != "user" {
+			continue
+		}
+		if strings.Contains(msg.Content, "The activity 'withinArea' is expressed as a simple") {
+			return prompt.ChainOfThought
+		}
+		if strings.Contains(msg.Content, "There are two ways in which a composite activity may be defined") {
+			sawF = true
+		}
+	}
+	if sawF {
+		return prompt.FewShot
+	}
+	return prompt.ZeroShot
+}
+
+// generate produces the formalisation of the named activity.
+func (m *Simulated) generate(history []prompt.Message, name string) (string, error) {
+	act, ok := m.know.byName(name)
+	if !ok {
+		return fmt.Sprintf("I am not familiar with an activity named '%s'.", name), nil
+	}
+	scheme := schemeOf(history)
+	if scheme == prompt.ZeroShot {
+		// Without prompt F the model has never seen the shape of a fluent
+		// definition: it improvises a plausible but non-RTEC notation — the
+		// "poor results" that made the paper drop zero-shot from the
+		// pipeline (Section 3).
+		return m.generateZeroShot(act), nil
+	}
+	events, thresholds := taughtVocabulary(history, "")
+	rng := rand.New(rand.NewSource(fnvSeed(m.name, scheme.String(), act.Key)))
+
+	clauses := cloneClauses(act.Clauses)
+
+	// Honesty gate: the model cannot use input events or thresholds it was
+	// never taught. Untaught names are hallucinated variants.
+	clauses = m.maskUntaught(clauses, events, thresholds)
+
+	// Named special errors for this (model, scheme, activity).
+	syntaxErr := false
+	if byScheme, ok := m.profile.Special[act.Key]; ok {
+		for _, special := range byScheme[scheme] {
+			if special == "syntax" {
+				syntaxErr = true
+				continue
+			}
+			clauses = m.applySpecial(special, act, clauses)
+		}
+	}
+
+	// Generic rate-based errors.
+	clauses = m.applyGeneric(rng, scheme, act, clauses)
+
+	text := renderResponse(scheme, act, clauses)
+	if syntaxErr {
+		text = corruptSyntax(text)
+	}
+	return text, nil
+}
+
+// maskUntaught renames input events and thresholds that were not taught.
+func (m *Simulated) maskUntaught(clauses []*lang.Clause, events, thresholds map[string]bool) []*lang.Clause {
+	known := map[string]bool{}
+	for _, e := range m.know.Domain.Events {
+		if t, err := parser.ParseTerm(e.Pattern); err == nil {
+			known[t.Indicator()] = true
+		}
+	}
+	for _, c := range clauses {
+		for _, l := range c.Body {
+			a := l.Atom
+			if a.Functor == "happensAt" && len(a.Args) == 2 && a.Args[0].IsCallable() {
+				ind := a.Args[0].Indicator()
+				if known[ind] && !events[ind] {
+					renameInBodies(clauses, a.Args[0].Functor, a.Args[0].Functor+"Evt")
+				}
+			}
+			if a.Functor == "thresholds" && len(a.Args) == 2 && a.Args[0].Kind == lang.Atom {
+				if !thresholds[a.Args[0].Functor] {
+					renameInBodies(clauses, a.Args[0].Functor, a.Args[0].Functor+"Thr")
+				}
+			}
+		}
+	}
+	return clauses
+}
+
+// applySpecial executes one named special mutation.
+func (m *Simulated) applySpecial(special string, act ActivityKnowledge, clauses []*lang.Clause) []*lang.Clause {
+	primary := act.Primary
+	switch special {
+	case "const:trawlingArea":
+		renameName(clauses, "fishing", "trawlingArea")
+	case "equivalent:loitering":
+		clauses = replaceFluentRules(clauses, map[string]bool{"loitering": true}, equivalentLoiteringSrc)
+	case "opswap":
+		swapIntervalOp(clauses, primary)
+	case "redundant:underWay":
+		addRedundantIntersect(clauses, primary)
+	case "kindflip:movingSpeed":
+		clauses = replaceFluentRules(clauses, map[string]bool{"movingSpeed": true}, sdMovingSpeedSrc)
+	case "kindflip:trawling":
+		clauses = replaceFluentRules(clauses,
+			map[string]bool{"trawling": true, "trawlSpeed": true, "trawlingMovement": true}, simpleTrawlingSrc)
+	case "invented:trawlingGPT4":
+		clauses = replaceFluentRules(clauses,
+			map[string]bool{"trawling": true, "trawlSpeed": true, "trawlingMovement": true}, inventedTrawlingGPT4Src)
+	case "invented:trawlingMistral":
+		clauses = replaceFluentRules(clauses,
+			map[string]bool{"trawling": true, "trawlSpeed": true, "trawlingMovement": true}, inventedTrawlingMistralSrc)
+	case "pb:lowSpeedOnly":
+		clauses = replaceFluentRules(clauses, map[string]bool{"pilotBoarding": true}, pbLowSpeedOnlySrc)
+	case "pb:singleVessel":
+		clauses = replaceFluentRules(clauses, map[string]bool{"pilotBoarding": true}, pbSingleVesselSrc)
+	}
+	return clauses
+}
+
+// applyGeneric samples the generic error classes per the profile's rates.
+func (m *Simulated) applyGeneric(rng *rand.Rand, scheme prompt.Scheme, act ActivityKnowledge, clauses []*lang.Clause) []*lang.Clause {
+	rates := m.profile.Rates[scheme]
+	own := map[string]bool{}
+	for _, f := range act.Fluents {
+		own[f] = true
+	}
+	protected := map[string]bool{}
+	for k := range protectedNames {
+		protected[k] = true
+	}
+	for k := range own {
+		protected[k] = true
+	}
+
+	// Predicate renames: each event/background predicate present in the
+	// rules is independently misremembered with probability Rename.
+	predicateNames := map[string]bool{}
+	for _, e := range m.know.Domain.Events {
+		if t, err := parser.ParseTerm(e.Pattern); err == nil {
+			predicateNames[t.Functor] = true
+		}
+	}
+	for _, b := range m.know.Domain.Background {
+		if t, err := parser.ParseTerm(b.Pattern); err == nil {
+			predicateNames[t.Functor] = true
+		}
+	}
+	applyRenames(rng, clauses, m.know.Domain.Aliases, predicateNames, protected, rates.Rename)
+
+	// Constant renames: values, area/vessel types and threshold names.
+	constantNames := map[string]bool{}
+	for _, v := range m.know.Domain.Values {
+		constantNames[v] = true
+	}
+	for _, t := range m.know.Domain.Thresholds {
+		constantNames[t.Name] = true
+	}
+	for _, extra := range []string{"fishing", "anchorage", "nearCoast", "fishingVessel", "pilotVessel", "sarVessel"} {
+		constantNames[extra] = true
+	}
+	applyRenames(rng, clauses, m.know.Domain.Aliases, constantNames, protected, rates.ValueName)
+
+	// Drops: surplus termination rules and per-rule body conditions are
+	// independently forgotten.
+	for rng.Float64() < rates.Drop {
+		var dropped bool
+		clauses, dropped = dropGapTermination(clauses)
+		if !dropped {
+			break
+		}
+	}
+	dropConditions(rng, clauses, rates.Drop)
+	dropSDConditions(rng, clauses, rates.Drop)
+	addExtraConditions(rng, clauses, act.Primary, rates.Extra)
+	undefineReferences(rng, clauses, own, rates.Undefined)
+	swapOpsAll(rng, clauses, rates.OpSwap)
+	return clauses
+}
+
+// applyRenames walks the candidate names present in the clauses and renames
+// each to one of its plausible aliases with the given probability.
+func applyRenames(rng *rand.Rand, clauses []*lang.Clause, aliases map[string][]string,
+	restrictTo, protected map[string]bool, p float64) {
+	if p <= 0 {
+		return
+	}
+	present := namesIn(clauses)
+	var candidates []string
+	for name := range present {
+		if protected[name] || !restrictTo[name] || len(aliases[name]) == 0 {
+			continue
+		}
+		candidates = append(candidates, name)
+	}
+	sortStrings(candidates)
+	for _, from := range candidates {
+		if rng.Float64() < p {
+			alts := aliases[from]
+			renameName(clauses, from, alts[rng.Intn(len(alts))])
+		}
+	}
+}
+
+// generateZeroShot renders the activity's intended logic in an improvised,
+// non-RTEC notation. The output reads plausibly but defines no temporal
+// rules: parsed leniently it contributes only inert clauses, so the
+// similarity against any gold standard collapses.
+func (m *Simulated) generateZeroShot(act ActivityKnowledge) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Here is a logical specification of '%s':\n\n", act.Name)
+	for i, c := range act.Clauses {
+		if i >= 3 {
+			break
+		}
+		switch c.Kind() {
+		case lang.KindInitiatedAt:
+			fvp, _ := c.HeadFVP()
+			fmt.Fprintf(&b, "starts(%s) :-\n    %s.\n\n", fvp.Args[0], bodyOf(c))
+		case lang.KindTerminatedAt:
+			fvp, _ := c.HeadFVP()
+			fmt.Fprintf(&b, "ends(%s) :-\n    %s.\n\n", fvp.Args[0], bodyOf(c))
+		case lang.KindHoldsFor:
+			fvp, _ := c.HeadFVP()
+			fmt.Fprintf(&b, "activity(%s) :-\n    %s.\n\n", fvp.Args[0], bodyOf(c))
+		}
+	}
+	b.WriteString("This captures the described behaviour.")
+	return b.String()
+}
+
+func bodyOf(c *lang.Clause) string {
+	parts := make([]string, 0, len(c.Body))
+	for _, l := range c.Body {
+		parts = append(parts, l.String())
+	}
+	return strings.Join(parts, ",\n    ")
+}
+
+// renderResponse wraps the rules in the prose a model would produce.
+func renderResponse(scheme prompt.Scheme, act ActivityKnowledge, clauses []*lang.Clause) string {
+	var b strings.Builder
+	kind := "simple fluent"
+	for _, c := range clauses {
+		if c.Kind() == lang.KindHoldsFor {
+			if _, fl := c.HeadFVP(); fl != nil && fl.Functor == act.Primary {
+				kind = "statically determined fluent"
+			}
+		}
+	}
+	if scheme == prompt.ChainOfThought {
+		fmt.Fprintf(&b, "Answer: The activity '%s' is expressed as a %s. ", act.Name, kind)
+		b.WriteString("Following the input events, fluents and thresholds provided, the rules in the language of RTEC are:\n\n")
+	} else {
+		b.WriteString("Answer:\n\n")
+	}
+	for i, c := range clauses {
+		if i > 0 {
+			b.WriteString("\n\n")
+		}
+		b.WriteString(c.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,207 @@
+package llm
+
+import (
+	"strings"
+	"testing"
+
+	"rtecgen/internal/lang"
+	"rtecgen/internal/maritime"
+	"rtecgen/internal/prompt"
+)
+
+func runPipeline(t *testing.T, model string, scheme prompt.Scheme) *prompt.GeneratedED {
+	t.Helper()
+	gen, err := prompt.RunPipeline(MustNew(model), scheme, maritime.PromptDomain(), maritime.CurriculumRequests())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gen
+}
+
+func TestNewRejectsUnknownModel(t *testing.T) {
+	if _, err := New("GPT-17"); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	if m := MustNew("o1"); m.Name() != "o1" {
+		t.Fatal("Name() wrong")
+	}
+	if len(AllModels()) != 6 {
+		t.Fatal("AllModels() != 6")
+	}
+}
+
+func TestGenerationIsDeterministic(t *testing.T) {
+	a := runPipeline(t, "Llama-3", prompt.FewShot)
+	b := runPipeline(t, "Llama-3", prompt.FewShot)
+	if a.ED().String() != b.ED().String() {
+		t.Fatal("generation is not deterministic")
+	}
+}
+
+func TestSchemesProduceDifferentOutput(t *testing.T) {
+	fs := runPipeline(t, "GPT-4o", prompt.FewShot)
+	cot := runPipeline(t, "GPT-4o", prompt.ChainOfThought)
+	if fs.ED().String() == cot.ED().String() {
+		t.Fatal("few-shot and chain-of-thought outputs identical")
+	}
+}
+
+func TestModelsProduceDifferentOutput(t *testing.T) {
+	a := runPipeline(t, "o1", prompt.FewShot)
+	b := runPipeline(t, "Gemma-2", prompt.FewShot)
+	if a.ED().String() == b.ED().String() {
+		t.Fatal("different models produced identical output")
+	}
+}
+
+func TestO1SpecialsPresent(t *testing.T) {
+	gen := runPipeline(t, "o1", prompt.FewShot)
+	// trawlingArea naming error (category 1).
+	res, _ := gen.ResultFor("tr")
+	var text strings.Builder
+	for _, c := range res.Clauses {
+		text.WriteString(c.String())
+	}
+	if !strings.Contains(text.String(), "trawlingArea") {
+		t.Error("o1 trawling must use the 'trawlingArea' constant")
+	}
+	// Equivalent loitering restructure: two relative complements.
+	lres, _ := gen.ResultFor("l")
+	complements := 0
+	for _, c := range lres.Clauses {
+		for _, lit := range c.Body {
+			if lit.Atom.Functor == "relative_complement_all" {
+				complements++
+			}
+		}
+	}
+	if complements != 2 {
+		t.Errorf("o1 loitering must use two relative complements, found %d", complements)
+	}
+}
+
+func TestGPT4oLoiteringConjunctionError(t *testing.T) {
+	gen := runPipeline(t, "GPT-4o", prompt.ChainOfThought)
+	res, _ := gen.ResultFor("l")
+	hasIntersect, hasUnion := false, false
+	for _, c := range res.Clauses {
+		for _, lit := range c.Body {
+			switch lit.Atom.Functor {
+			case "intersect_all":
+				hasIntersect = true
+			case "union_all":
+				hasUnion = true
+			}
+		}
+	}
+	if !hasIntersect || hasUnion {
+		t.Fatalf("GPT-4o loitering must confuse union_all with intersect_all (intersect=%v union=%v)",
+			hasIntersect, hasUnion)
+	}
+}
+
+func TestGPT4oMovingSpeedKindFlip(t *testing.T) {
+	gen := runPipeline(t, "GPT-4o", prompt.ChainOfThought)
+	res, _ := gen.ResultFor("movingSpeed")
+	for _, c := range res.Clauses {
+		if c.Kind() != lang.KindHoldsFor {
+			t.Fatalf("GPT-4o movingSpeed must be statically determined, found %v", c.Kind())
+		}
+	}
+}
+
+func TestGemma2TrawlingKindFlip(t *testing.T) {
+	gen := runPipeline(t, "Gemma-2", prompt.ChainOfThought)
+	res, _ := gen.ResultFor("tr")
+	for _, c := range res.Clauses {
+		if c.Kind() == lang.KindHoldsFor {
+			t.Fatal("Gemma-2 trawling must be a simple fluent")
+		}
+	}
+}
+
+func TestGemma2FewShotSyntaxError(t *testing.T) {
+	gen := runPipeline(t, "Gemma-2", prompt.FewShot)
+	if len(gen.ParseErrors()) == 0 {
+		t.Fatal("Gemma-2 few-shot must produce at least one syntax error")
+	}
+}
+
+func TestHonestyGateMasksUntaughtVocabulary(t *testing.T) {
+	// Teach the fluent kinds (prompt F*) but not the input events (prompt
+	// E): the model knows the rule shapes yet must hallucinate event names
+	// it was never taught.
+	m := MustNew("o1")
+	history := []prompt.Message{{Role: "user", Content: prompt.BuildF(prompt.FewShot)}}
+	reply, err := m.Chat(history, prompt.ActivityMarker+"withinArea: a vessel is within an area.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(reply, "entersAreaEvt") {
+		t.Fatalf("untaught event must be hallucinated; reply:\n%s", reply)
+	}
+	// With a proper session the real names appear.
+	gen := runPipeline(t, "o1", prompt.FewShot)
+	res, _ := gen.ResultFor("withinArea")
+	found := false
+	for _, c := range res.Clauses {
+		if strings.Contains(c.String(), "entersArea(") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("taught event name missing from output")
+	}
+}
+
+func TestUnknownActivityPolitelyRefused(t *testing.T) {
+	m := MustNew("o1")
+	reply, err := m.Chat(nil, prompt.ActivityMarker+"teleportation: vessels teleport.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(reply, ":-") {
+		t.Fatalf("unknown activity produced rules: %s", reply)
+	}
+}
+
+func TestTeachingPromptsAcknowledged(t *testing.T) {
+	m := MustNew("Mistral")
+	reply, err := m.Chat(nil, prompt.BuildR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(reply, ":-") {
+		t.Fatal("teaching prompt must not produce rules")
+	}
+}
+
+func TestAllModelOutputsMostlyParse(t *testing.T) {
+	for _, name := range ModelNames() {
+		for _, scheme := range []prompt.Scheme{prompt.FewShot, prompt.ChainOfThought} {
+			gen := runPipeline(t, name, scheme)
+			if len(gen.ED().Rules()) < 20 {
+				t.Errorf("%s %s produced only %d rules", name, scheme, len(gen.ED().Rules()))
+			}
+			// Syntax errors are allowed only where the profile injects them.
+			if name != "Gemma-2" && len(gen.ParseErrors()) > 0 {
+				t.Errorf("%s %s unexpected parse errors: %v", name, scheme, gen.ParseErrors())
+			}
+		}
+	}
+}
+
+func TestFnvSeedStability(t *testing.T) {
+	a := fnvSeed("o1", "few-shot", "tr")
+	b := fnvSeed("o1", "few-shot", "tr")
+	c := fnvSeed("o1", "few-shot", "tu")
+	if a != b {
+		t.Fatal("seed not stable")
+	}
+	if a == c {
+		t.Fatal("seed collision across activities")
+	}
+	if a < 0 {
+		t.Fatal("seed must be non-negative")
+	}
+}

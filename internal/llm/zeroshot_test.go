@@ -1,0 +1,59 @@
+package llm
+
+import (
+	"testing"
+
+	"rtecgen/internal/maritime"
+	"rtecgen/internal/prompt"
+	"rtecgen/internal/similarity"
+)
+
+// TestZeroShotProducesPoorResults reproduces the paper's Section 3 finding:
+// "in our empirical analysis we found that zero-shot prompting produced
+// poor results, and thus we do not include it in our pipeline". Skipping
+// prompt F leaves the model without the shape of fluent definitions, and
+// the generated output is far worse than under either included scheme.
+func TestZeroShotProducesPoorResults(t *testing.T) {
+	domain := maritime.PromptDomain()
+	curriculum := maritime.CurriculumRequests()
+	gold := maritime.GoldED()
+
+	for _, name := range []string{"o1", "GPT-4o"} {
+		scores := map[prompt.Scheme]float64{}
+		for _, scheme := range []prompt.Scheme{prompt.ZeroShot, prompt.FewShot, prompt.ChainOfThought} {
+			gen, err := prompt.RunPipeline(MustNew(name), scheme, domain, curriculum)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := similarity.EventDescriptionSimilarity(gold, gen.ED())
+			if err != nil {
+				t.Fatal(err)
+			}
+			scores[scheme] = s
+		}
+		if scores[prompt.ZeroShot] >= 0.2 {
+			t.Errorf("%s zero-shot similarity = %v, want poor (< 0.2)", name, scores[prompt.ZeroShot])
+		}
+		if scores[prompt.ZeroShot] >= scores[prompt.FewShot] ||
+			scores[prompt.ZeroShot] >= scores[prompt.ChainOfThought] {
+			t.Errorf("%s zero-shot (%v) must be far below few-shot (%v) and chain-of-thought (%v)",
+				name, scores[prompt.ZeroShot], scores[prompt.FewShot], scores[prompt.ChainOfThought])
+		}
+	}
+}
+
+// TestZeroShotTeachSkipsPromptF: the session sends only three teaching
+// prompts under zero-shot.
+func TestZeroShotTeachSkipsPromptF(t *testing.T) {
+	m := MustNew("o1")
+	s := prompt.NewSession(m, prompt.ZeroShot, maritime.PromptDomain())
+	if err := s.Teach(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.History()); got != 6 { // 3 prompts + 3 replies
+		t.Fatalf("history = %d messages, want 6 (R, E, T)", got)
+	}
+	if prompt.ZeroShot.String() != "zero-shot" || prompt.ZeroShot.Suffix() != "○" {
+		t.Fatal("zero-shot notation wrong")
+	}
+}

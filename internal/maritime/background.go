@@ -1,0 +1,165 @@
+// Package maritime is the application substrate of the paper's evaluation:
+// the Brest-like map of areas of interest, the fleet and its vessel types,
+// the preprocessing that turns AIS position signals into RTEC input events,
+// the background knowledge (thresholds, area and vessel types), and the
+// hand-crafted gold-standard event description following Pitsikalis et al.
+// (DEBS 2019).
+package maritime
+
+import (
+	"fmt"
+	"sort"
+
+	"rtecgen/internal/geo"
+	"rtecgen/internal/lang"
+	"rtecgen/internal/parser"
+	"rtecgen/internal/stream"
+)
+
+// Vessel type constants.
+const (
+	TypeFishing   = "fishingVessel"
+	TypeCargo     = "cargo"
+	TypeTanker    = "tanker"
+	TypeTug       = "tug"
+	TypePilot     = "pilotVessel"
+	TypeSAR       = "sarVessel"
+	TypePassenger = "passenger"
+)
+
+// Area type constants.
+const (
+	AreaFishing   = "fishing"
+	AreaAnchorage = "anchorage"
+	AreaNearCoast = "nearCoast"
+	AreaNearPorts = "nearPorts"
+	AreaProtected = "protected"
+)
+
+// TypeSpeed holds the service-speed band of a vessel type in knots: sailing
+// below Min is 'below', within [Min, Max] 'normal', above Max 'above'.
+type TypeSpeed struct {
+	Min, Max float64
+}
+
+// TypeSpeeds is the service-speed table of the domain.
+var TypeSpeeds = map[string]TypeSpeed{
+	TypeFishing:   {8, 14},
+	TypeCargo:     {10, 20},
+	TypeTanker:    {8, 16},
+	TypeTug:       {4, 10},
+	TypePilot:     {10, 25},
+	TypeSAR:       {8, 20},
+	TypePassenger: {14, 28},
+}
+
+// Thresholds is the background threshold table (prompt T of the paper): the
+// named constants that composite-activity definitions compare speeds and
+// angles against.
+var Thresholds = map[string]float64{
+	"movingMin":      0.5, // below this a vessel counts as not moving (kn)
+	"hcNearCoastMax": 5,   // max safe speed near the coastline (kn)
+	"trawlSpeedMin":  2,   // trawling speed band (kn)
+	"trawlSpeedMax":  6,
+	"tuggingMin":     1, // towing speed band (kn)
+	"tuggingMax":     6,
+	"sarMinSpeed":    1,  // minimal speed during a SAR sweep (kn)
+	"driftingAngle":  25, // min |COG - heading| while drifting (deg)
+}
+
+// Vessel describes one vessel of the fleet.
+type Vessel struct {
+	ID   string
+	Type string
+}
+
+// BackgroundClauses builds the background-knowledge clauses of an event
+// description for a concrete map and fleet: areaType/2, vesselType/2,
+// typeSpeed/3, thresholds/2 and vessel/1 facts, plus vesselPair/2 facts for
+// the given observed pairs (the dynamic entity registry for two-vessel
+// activities such as tugging and pilot boarding).
+func BackgroundClauses(m *geo.Map, fleet []Vessel, pairs [][2]string) []*lang.Clause {
+	var out []*lang.Clause
+	fact := func(format string, args ...any) {
+		head, err := parseFact(fmt.Sprintf(format, args...))
+		if err != nil {
+			panic(fmt.Sprintf("maritime: bad background fact: %v", err))
+		}
+		out = append(out, &lang.Clause{Head: head})
+	}
+	for _, a := range m.Areas {
+		fact("areaType(%s, %s)", a.ID, a.Type)
+	}
+	for _, v := range fleet {
+		fact("vessel(%s)", v.ID)
+		fact("vesselType(%s, %s)", v.ID, v.Type)
+	}
+	types := make([]string, 0, len(TypeSpeeds))
+	for ty := range TypeSpeeds {
+		types = append(types, ty)
+	}
+	sort.Strings(types)
+	for _, ty := range types {
+		ts := TypeSpeeds[ty]
+		fact("typeSpeed(%s, %g, %g)", ty, ts.Min, ts.Max)
+	}
+	names := make([]string, 0, len(Thresholds))
+	for n := range Thresholds {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fact("thresholds(%s, %g)", n, Thresholds[n])
+	}
+	for _, p := range pairs {
+		fact("vesselPair(%s, %s)", p[0], p[1])
+	}
+	// Auxiliary background rules shared by every event description: "one of
+	// the pair is a tug/pilot vessel", materialised over the observed pairs.
+	for _, src := range []string{
+		"oneIsTug(V1, V2) :- vesselPair(V1, V2), vesselType(V1, tug).",
+		"oneIsTug(V1, V2) :- vesselPair(V1, V2), vesselType(V2, tug).",
+		"oneIsPilot(V1, V2) :- vesselPair(V1, V2), vesselType(V1, pilotVessel).",
+		"oneIsPilot(V1, V2) :- vesselPair(V1, V2), vesselType(V2, pilotVessel).",
+	} {
+		c, err := parser.ParseClause(src)
+		if err != nil {
+			panic(fmt.Sprintf("maritime: bad background rule: %v", err))
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// FullED composes an event description from activity rules/declarations and
+// the background facts of a concrete map and fleet. The rules argument is
+// not mutated.
+func FullED(rules *lang.EventDescription, m *geo.Map, fleet []Vessel, pairs [][2]string) *lang.EventDescription {
+	out := rules.Clone()
+	out.Clauses = append(out.Clauses, BackgroundClauses(m, fleet, pairs)...)
+	return out
+}
+
+// ObservedPairs extracts the ordered vessel pairs appearing in
+// proximity_start events of a stream: the dynamic domain of two-vessel
+// activities.
+func ObservedPairs(events stream.Stream) [][2]string {
+	seen := map[[2]string]bool{}
+	var out [][2]string
+	for _, e := range events {
+		if e.Atom.Functor == "proximity_start" && len(e.Atom.Args) == 2 {
+			p := [2]string{e.Atom.Args[0].Functor, e.Atom.Args[1].Functor}
+			if !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}

@@ -1,0 +1,582 @@
+package maritime
+
+import (
+	"sync"
+
+	"rtecgen/internal/lang"
+	"rtecgen/internal/parser"
+)
+
+func parseFact(src string) (*lang.Term, error) { return parser.ParseTerm(src) }
+
+// goldSrc is the hand-crafted gold-standard event description for maritime
+// situational awareness, following the structure of the event description of
+// Pitsikalis et al. (DEBS 2019) that the paper uses as its gold standard.
+// Rules (1)-(4) of the paper appear verbatim. Background facts (areaType,
+// vesselType, typeSpeed, thresholds, vessel, vesselPair) are supplied per
+// scenario by BackgroundClauses.
+const goldSrc = `
+% ------------------------------------------------------------------
+% Input events (critical points derived from AIS signals).
+% ------------------------------------------------------------------
+inputEvent(velocity(_, _, _, _)).
+inputEvent(change_in_speed_start(_)).
+inputEvent(change_in_speed_end(_)).
+inputEvent(change_in_heading(_)).
+inputEvent(stop_start(_)).
+inputEvent(stop_end(_)).
+inputEvent(slow_motion_start(_)).
+inputEvent(slow_motion_end(_)).
+inputEvent(gap_start(_)).
+inputEvent(gap_end(_)).
+inputEvent(entersArea(_, _)).
+inputEvent(leavesArea(_, _)).
+inputEvent(proximity_start(_, _)).
+inputEvent(proximity_end(_, _)).
+
+% ------------------------------------------------------------------
+% Grounding declarations. (The auxiliary predicates oneIsTug/oneIsPilot
+% are part of the domain background knowledge; see BackgroundClauses.)
+% ------------------------------------------------------------------
+grounding(underWay(Vl)) :- vessel(Vl).
+grounding(anchoredOrMoored(Vl)) :- vessel(Vl).
+grounding(trawling(Vl)) :- vesselType(Vl, fishingVessel).
+grounding(tugging(V1, V2)) :- oneIsTug(V1, V2).
+grounding(pilotBoarding(V1, V2)) :- oneIsPilot(V1, V2).
+grounding(loitering(Vl)) :- vessel(Vl).
+grounding(searchAndRescue(Vl)) :- vesselType(Vl, sarVessel).
+
+% ------------------------------------------------------------------
+% withinArea: rules (1)-(3) of the paper.
+% ------------------------------------------------------------------
+initiatedAt(withinArea(Vl, AreaType)=true, T) :-
+    happensAt(entersArea(Vl, AreaID), T),
+    areaType(AreaID, AreaType).
+
+terminatedAt(withinArea(Vl, AreaType)=true, T) :-
+    happensAt(leavesArea(Vl, AreaID), T),
+    areaType(AreaID, AreaType).
+
+terminatedAt(withinArea(Vl, AreaType)=true, T) :-
+    happensAt(gap_start(Vl), T).
+
+% ------------------------------------------------------------------
+% Communication gap, distinguished near/far from ports (prompt G).
+% ------------------------------------------------------------------
+initiatedAt(gap(Vl)=nearPorts, T) :-
+    happensAt(gap_start(Vl), T),
+    holdsAt(withinArea(Vl, nearPorts)=true, T).
+
+initiatedAt(gap(Vl)=farFromPorts, T) :-
+    happensAt(gap_start(Vl), T),
+    not holdsAt(withinArea(Vl, nearPorts)=true, T).
+
+terminatedAt(gap(Vl)=nearPorts, T) :-
+    happensAt(gap_end(Vl), T).
+
+terminatedAt(gap(Vl)=farFromPorts, T) :-
+    happensAt(gap_end(Vl), T).
+
+% ------------------------------------------------------------------
+% stopped, near/far from ports.
+% ------------------------------------------------------------------
+initiatedAt(stopped(Vl)=nearPorts, T) :-
+    happensAt(stop_start(Vl), T),
+    holdsAt(withinArea(Vl, nearPorts)=true, T).
+
+initiatedAt(stopped(Vl)=farFromPorts, T) :-
+    happensAt(stop_start(Vl), T),
+    not holdsAt(withinArea(Vl, nearPorts)=true, T).
+
+terminatedAt(stopped(Vl)=nearPorts, T) :-
+    happensAt(stop_end(Vl), T).
+
+terminatedAt(stopped(Vl)=farFromPorts, T) :-
+    happensAt(stop_end(Vl), T).
+
+terminatedAt(stopped(Vl)=nearPorts, T) :-
+    happensAt(gap_start(Vl), T).
+
+terminatedAt(stopped(Vl)=farFromPorts, T) :-
+    happensAt(gap_start(Vl), T).
+
+% ------------------------------------------------------------------
+% lowSpeed: sailing slowly (between stopped and service speed).
+% ------------------------------------------------------------------
+initiatedAt(lowSpeed(Vl)=true, T) :-
+    happensAt(slow_motion_start(Vl), T).
+
+terminatedAt(lowSpeed(Vl)=true, T) :-
+    happensAt(slow_motion_end(Vl), T).
+
+terminatedAt(lowSpeed(Vl)=true, T) :-
+    happensAt(gap_start(Vl), T).
+
+% ------------------------------------------------------------------
+% changingSpeed.
+% ------------------------------------------------------------------
+initiatedAt(changingSpeed(Vl)=true, T) :-
+    happensAt(change_in_speed_start(Vl), T).
+
+terminatedAt(changingSpeed(Vl)=true, T) :-
+    happensAt(change_in_speed_end(Vl), T).
+
+terminatedAt(changingSpeed(Vl)=true, T) :-
+    happensAt(gap_start(Vl), T).
+
+% ------------------------------------------------------------------
+% movingSpeed: sailing speed relative to the vessel-type service band.
+% ------------------------------------------------------------------
+initiatedAt(movingSpeed(Vl)=below, T) :-
+    happensAt(velocity(Vl, Speed, CoG, TrueHeading), T),
+    thresholds(movingMin, MovingMin),
+    Speed > MovingMin,
+    vesselType(Vl, Type),
+    typeSpeed(Type, Min, Max),
+    Speed < Min.
+
+initiatedAt(movingSpeed(Vl)=normal, T) :-
+    happensAt(velocity(Vl, Speed, CoG, TrueHeading), T),
+    vesselType(Vl, Type),
+    typeSpeed(Type, Min, Max),
+    Speed >= Min,
+    Speed =< Max.
+
+initiatedAt(movingSpeed(Vl)=above, T) :-
+    happensAt(velocity(Vl, Speed, CoG, TrueHeading), T),
+    vesselType(Vl, Type),
+    typeSpeed(Type, Min, Max),
+    Speed > Max.
+
+terminatedAt(movingSpeed(Vl)=below, T) :-
+    happensAt(velocity(Vl, Speed, CoG, TrueHeading), T),
+    thresholds(movingMin, MovingMin),
+    Speed =< MovingMin.
+
+terminatedAt(movingSpeed(Vl)=normal, T) :-
+    happensAt(velocity(Vl, Speed, CoG, TrueHeading), T),
+    thresholds(movingMin, MovingMin),
+    Speed =< MovingMin.
+
+terminatedAt(movingSpeed(Vl)=above, T) :-
+    happensAt(velocity(Vl, Speed, CoG, TrueHeading), T),
+    thresholds(movingMin, MovingMin),
+    Speed =< MovingMin.
+
+terminatedAt(movingSpeed(Vl)=below, T) :-
+    happensAt(gap_start(Vl), T).
+
+terminatedAt(movingSpeed(Vl)=normal, T) :-
+    happensAt(gap_start(Vl), T).
+
+terminatedAt(movingSpeed(Vl)=above, T) :-
+    happensAt(gap_start(Vl), T).
+
+% ------------------------------------------------------------------
+% underWay: the vessel is not stopped (prompt F, statically determined).
+% ------------------------------------------------------------------
+holdsFor(underWay(Vl)=true, I) :-
+    holdsFor(movingSpeed(Vl)=below, I1),
+    holdsFor(movingSpeed(Vl)=normal, I2),
+    holdsFor(movingSpeed(Vl)=above, I3),
+    union_all([I1, I2, I3], I).
+
+% ------------------------------------------------------------------
+% proximity of two vessels.
+% ------------------------------------------------------------------
+initiatedAt(proximity(V1, V2)=true, T) :-
+    happensAt(proximity_start(V1, V2), T).
+
+terminatedAt(proximity(V1, V2)=true, T) :-
+    happensAt(proximity_end(V1, V2), T).
+
+terminatedAt(proximity(V1, V2)=true, T) :-
+    happensAt(gap_start(V1), T).
+
+terminatedAt(proximity(V1, V2)=true, T) :-
+    happensAt(gap_start(V2), T).
+
+% ------------------------------------------------------------------
+% h: high speed near coast.
+% ------------------------------------------------------------------
+initiatedAt(highSpeedNearCoast(Vl)=true, T) :-
+    happensAt(velocity(Vl, Speed, CoG, TrueHeading), T),
+    thresholds(hcNearCoastMax, Max),
+    Speed > Max,
+    holdsAt(withinArea(Vl, nearCoast)=true, T).
+
+terminatedAt(highSpeedNearCoast(Vl)=true, T) :-
+    happensAt(velocity(Vl, Speed, CoG, TrueHeading), T),
+    thresholds(hcNearCoastMax, Max),
+    Speed =< Max.
+
+terminatedAt(highSpeedNearCoast(Vl)=true, T) :-
+    happensAt(leavesArea(Vl, AreaID), T),
+    areaType(AreaID, nearCoast).
+
+terminatedAt(highSpeedNearCoast(Vl)=true, T) :-
+    happensAt(gap_start(Vl), T).
+
+% ------------------------------------------------------------------
+% aM: anchored or moored — rule (4) of the paper.
+% ------------------------------------------------------------------
+holdsFor(anchoredOrMoored(Vl)=true, I) :-
+    holdsFor(stopped(Vl)=farFromPorts, Isf),
+    holdsFor(withinArea(Vl, anchorage)=true, Ia),
+    intersect_all([Isf, Ia], Isfa),
+    holdsFor(stopped(Vl)=nearPorts, Isn),
+    union_all([Isfa, Isn], I).
+
+% ------------------------------------------------------------------
+% tr: trawling — trawling speed and trawling movement in a fishing area.
+% ------------------------------------------------------------------
+initiatedAt(trawlSpeed(Vl)=true, T) :-
+    happensAt(velocity(Vl, Speed, CoG, TrueHeading), T),
+    vesselType(Vl, fishingVessel),
+    thresholds(trawlSpeedMin, Min),
+    thresholds(trawlSpeedMax, Max),
+    Speed >= Min,
+    Speed =< Max.
+
+terminatedAt(trawlSpeed(Vl)=true, T) :-
+    happensAt(velocity(Vl, Speed, CoG, TrueHeading), T),
+    thresholds(trawlSpeedMin, Min),
+    Speed < Min.
+
+terminatedAt(trawlSpeed(Vl)=true, T) :-
+    happensAt(velocity(Vl, Speed, CoG, TrueHeading), T),
+    thresholds(trawlSpeedMax, Max),
+    Speed > Max.
+
+terminatedAt(trawlSpeed(Vl)=true, T) :-
+    happensAt(gap_start(Vl), T).
+
+initiatedAt(trawlingMovement(Vl)=true, T) :-
+    happensAt(change_in_heading(Vl), T),
+    holdsAt(withinArea(Vl, fishing)=true, T).
+
+terminatedAt(trawlingMovement(Vl)=true, T) :-
+    happensAt(leavesArea(Vl, AreaID), T),
+    areaType(AreaID, fishing).
+
+terminatedAt(trawlingMovement(Vl)=true, T) :-
+    happensAt(gap_start(Vl), T).
+
+holdsFor(trawling(Vl)=true, I) :-
+    holdsFor(trawlSpeed(Vl)=true, Its),
+    holdsFor(trawlingMovement(Vl)=true, Itm),
+    intersect_all([Its, Itm], I).
+
+% ------------------------------------------------------------------
+% tu: tugging — a tug and its tow move together at towing speed.
+% ------------------------------------------------------------------
+initiatedAt(tuggingSpeed(Vl)=true, T) :-
+    happensAt(velocity(Vl, Speed, CoG, TrueHeading), T),
+    thresholds(tuggingMin, Min),
+    thresholds(tuggingMax, Max),
+    Speed >= Min,
+    Speed =< Max.
+
+terminatedAt(tuggingSpeed(Vl)=true, T) :-
+    happensAt(velocity(Vl, Speed, CoG, TrueHeading), T),
+    thresholds(tuggingMin, Min),
+    Speed < Min.
+
+terminatedAt(tuggingSpeed(Vl)=true, T) :-
+    happensAt(velocity(Vl, Speed, CoG, TrueHeading), T),
+    thresholds(tuggingMax, Max),
+    Speed > Max.
+
+terminatedAt(tuggingSpeed(Vl)=true, T) :-
+    happensAt(gap_start(Vl), T).
+
+holdsFor(tugging(V1, V2)=true, I) :-
+    oneIsTug(V1, V2),
+    holdsFor(proximity(V1, V2)=true, Ip),
+    holdsFor(tuggingSpeed(V1)=true, I1),
+    holdsFor(tuggingSpeed(V2)=true, I2),
+    intersect_all([Ip, I1, I2], I).
+
+% ------------------------------------------------------------------
+% p: pilot boarding — a pilot vessel alongside a vessel, both stopped or
+% slow, away from the coastline.
+% ------------------------------------------------------------------
+holdsFor(pilotBoarding(V1, V2)=true, I) :-
+    oneIsPilot(V1, V2),
+    holdsFor(proximity(V1, V2)=true, Ip),
+    holdsFor(lowSpeed(V1)=true, Il1),
+    holdsFor(stopped(V1)=farFromPorts, Is1),
+    union_all([Il1, Is1], I1),
+    holdsFor(lowSpeed(V2)=true, Il2),
+    holdsFor(stopped(V2)=farFromPorts, Is2),
+    union_all([Il2, Is2], I2),
+    intersect_all([Ip, I1, I2], Ib),
+    holdsFor(withinArea(V1, nearCoast)=true, Inc),
+    relative_complement_all(Ib, [Inc], I).
+
+% ------------------------------------------------------------------
+% l: loitering — stopped or sailing at low speed, away from ports, and not
+% anchored or moored.
+% ------------------------------------------------------------------
+holdsFor(loitering(Vl)=true, I) :-
+    holdsFor(lowSpeed(Vl)=true, Il),
+    holdsFor(stopped(Vl)=farFromPorts, Is),
+    union_all([Il, Is], Ils),
+    holdsFor(withinArea(Vl, nearPorts)=true, Inp),
+    holdsFor(anchoredOrMoored(Vl)=true, Iam),
+    relative_complement_all(Ils, [Inp, Iam], I).
+
+% ------------------------------------------------------------------
+% s: search and rescue — a SAR vessel manoeuvring with changes of heading
+% and speed.
+% ------------------------------------------------------------------
+initiatedAt(sarSpeed(Vl)=true, T) :-
+    happensAt(velocity(Vl, Speed, CoG, TrueHeading), T),
+    vesselType(Vl, sarVessel),
+    thresholds(sarMinSpeed, Min),
+    Speed >= Min.
+
+terminatedAt(sarSpeed(Vl)=true, T) :-
+    happensAt(velocity(Vl, Speed, CoG, TrueHeading), T),
+    thresholds(sarMinSpeed, Min),
+    Speed < Min.
+
+terminatedAt(sarSpeed(Vl)=true, T) :-
+    happensAt(gap_start(Vl), T).
+
+initiatedAt(sarMovement(Vl)=true, T) :-
+    happensAt(change_in_heading(Vl), T),
+    vesselType(Vl, sarVessel).
+
+initiatedAt(sarMovement(Vl)=true, T) :-
+    happensAt(change_in_speed_start(Vl), T),
+    vesselType(Vl, sarVessel).
+
+terminatedAt(sarMovement(Vl)=true, T) :-
+    happensAt(stop_start(Vl), T).
+
+terminatedAt(sarMovement(Vl)=true, T) :-
+    happensAt(gap_start(Vl), T).
+
+holdsFor(searchAndRescue(Vl)=true, I) :-
+    holdsFor(sarSpeed(Vl)=true, Iss),
+    holdsFor(sarMovement(Vl)=true, Ism),
+    intersect_all([Iss, Ism], I).
+
+% ------------------------------------------------------------------
+% d: drifting — course over ground deviates from heading while under way.
+% ------------------------------------------------------------------
+initiatedAt(drifting(Vl)=true, T) :-
+    happensAt(velocity(Vl, Speed, CoG, TrueHeading), T),
+    thresholds(driftingAngle, MinAngle),
+    absAngleDiff(CoG, TrueHeading, Diff),
+    Diff > MinAngle,
+    holdsAt(underWay(Vl)=true, T).
+
+terminatedAt(drifting(Vl)=true, T) :-
+    happensAt(velocity(Vl, Speed, CoG, TrueHeading), T),
+    thresholds(driftingAngle, MinAngle),
+    absAngleDiff(CoG, TrueHeading, Diff),
+    Diff =< MinAngle.
+
+terminatedAt(drifting(Vl)=true, T) :-
+    happensAt(stop_start(Vl), T).
+
+terminatedAt(drifting(Vl)=true, T) :-
+    happensAt(gap_start(Vl), T).
+`
+
+var (
+	goldOnce sync.Once
+	goldED   *lang.EventDescription
+)
+
+// GoldED returns the parsed gold-standard event description (rules and
+// declarations only; add BackgroundClauses for a concrete scenario). The
+// result is cloned so callers may mutate freely.
+func GoldED() *lang.EventDescription {
+	goldOnce.Do(func() {
+		goldED = parser.MustParseEventDescription(goldSrc)
+	})
+	return goldED.Clone()
+}
+
+// GoldSource returns the concrete-syntax text of the gold event description.
+func GoldSource() string { return goldSrc }
+
+// extensionSrc adds the motivating example of the paper's introduction:
+// illegal fishing — "a vessel performs several consecutive turns while
+// sailing in an environmentally protected area at a speed that is typical
+// for fishing". It builds on the trawling hierarchy of the gold standard.
+const extensionSrc = `
+grounding(illegalFishing(Vl)) :- vesselType(Vl, fishingVessel).
+
+% Trawling movement also counts inside protected areas.
+initiatedAt(trawlingMovement(Vl)=true, T) :-
+    happensAt(change_in_heading(Vl), T),
+    holdsAt(withinArea(Vl, protected)=true, T).
+
+terminatedAt(trawlingMovement(Vl)=true, T) :-
+    happensAt(leavesArea(Vl, AreaID), T),
+    areaType(AreaID, protected),
+    not holdsAt(withinArea(Vl, fishing)=true, T).
+
+holdsFor(illegalFishing(Vl)=true, I) :-
+    holdsFor(trawlSpeed(Vl)=true, Its),
+    holdsFor(trawlingMovement(Vl)=true, Itm),
+    holdsFor(withinArea(Vl, protected)=true, Ipr),
+    intersect_all([Its, Itm, Ipr], I).
+`
+
+// ExtensionED returns the gold event description extended with the
+// illegal-fishing definition of the paper's introduction. It is not part of
+// the eight activities of Figure 2; the figures use GoldED.
+func ExtensionED() *lang.EventDescription {
+	ed := GoldED()
+	ext := parser.MustParseEventDescription(extensionSrc)
+	ed.Clauses = append(ed.Clauses, ext.Clauses...)
+	return ed
+}
+
+// Activity is one entry of the generation curriculum: a composite maritime
+// activity (or lower-level support fluent) with its natural-language
+// description (the payload of prompt G) and the fluent indicators its
+// gold-standard formalisation comprises.
+type Activity struct {
+	// Key is the short label of Figure 2 ("h", "aM", ...) for the eight
+	// composite activities, or a descriptive name for lower-level ones.
+	Key string
+	// Name is the primary fluent name.
+	Name string
+	// Fluents are the indicators of all fluents belonging to the activity's
+	// formalisation (the primary fluent plus dedicated support fluents).
+	Fluents []string
+	// Composite marks the eight activities reported in Figure 2.
+	Composite bool
+	// Description is the natural-language description given to the LLM.
+	Description string
+}
+
+// Curriculum is the ordered list of activity descriptions presented to the
+// LLM (prompt G), lower-level fluents first so that later definitions may
+// use earlier ones, mirroring the hierarchical knowledge-base construction
+// of Section 3.3.
+var Curriculum = []Activity{
+	{
+		Key: "withinArea", Name: "withinArea", Fluents: []string{"withinArea/2"},
+		Description: "Within area: this activity starts when a vessel enters an area of interest of some type. It ends when the vessel leaves the area that it had entered, or when there is a gap in signal transmissions, as we can then no longer assume that the vessel remains in the same area.",
+	},
+	{
+		Key: "gap", Name: "gap", Fluents: []string{"gap/1"},
+		Description: "Communication gap: a communication gap starts when we stop receiving messages from a vessel. We would like to distinguish the cases where a communication gap starts (i) near some port and (ii) far from all ports. A communication gap ends when we resume receiving messages from a vessel.",
+	},
+	{
+		Key: "stopped", Name: "stopped", Fluents: []string{"stopped/1"},
+		Description: "Stopped: a vessel is stopped when it is idle. We would like to distinguish the cases where the vessel is stopped (i) near some port and (ii) far from all ports. The activity ends when the vessel starts moving again, or on a communication gap.",
+	},
+	{
+		Key: "lowSpeed", Name: "lowSpeed", Fluents: []string{"lowSpeed/1"},
+		Description: "Low speed: a vessel sails at low speed while it is in slow motion, i.e. between the stopped threshold and its service speed. The activity ends when the slow motion ends or on a communication gap.",
+	},
+	{
+		Key: "changingSpeed", Name: "changingSpeed", Fluents: []string{"changingSpeed/1"},
+		Description: "Changing speed: a vessel is changing its speed between the start and the end of a change in speed, and not during a communication gap.",
+	},
+	{
+		Key: "movingSpeed", Name: "movingSpeed", Fluents: []string{"movingSpeed/1"},
+		Description: "Moving speed: while a vessel is moving, classify its sailing speed as below, within (normal) or above the service-speed range of its vessel type. Each classification ends when the speed leaves the range, when the vessel stops moving, or on a communication gap.",
+	},
+	{
+		Key: "underWay", Name: "underWay", Fluents: []string{"underWay/1"},
+		Description: "Under way: this activity lasts as long as a vessel is not stopped, i.e. as long as it is moving at any speed.",
+	},
+	{
+		Key: "proximity", Name: "proximity", Fluents: []string{"proximity/2"},
+		Description: "Proximity: two vessels are in proximity from the moment they come close to each other until they move apart, or until a communication gap starts on either vessel.",
+	},
+	{
+		Key: "h", Name: "highSpeedNearCoast", Fluents: []string{"highSpeedNearCoast/1"}, Composite: true,
+		Description: "High speed near coast: a vessel sails dangerously fast close to the coastline, i.e. its speed exceeds the maximum safe sailing speed for coastal areas while it is within an area near the coast. The activity ends when the speed drops to the allowed limit, when the vessel leaves the coastal area, or on a communication gap.",
+	},
+	{
+		Key: "aM", Name: "anchoredOrMoored", Fluents: []string{"anchoredOrMoored/1"}, Composite: true,
+		Description: "Anchored or moored: a vessel is anchored when it is stopped far from all ports within an anchorage area, and moored when it is stopped near some port. The activity holds while the vessel is anchored or moored.",
+	},
+	{
+		Key: "tr", Name: "trawling", Fluents: []string{"trawlSpeed/1", "trawlingMovement/1", "trawling/1"}, Composite: true,
+		Description: "Trawling: a fishing vessel is trawling while it sails at trawling speed, i.e. within the trawling speed range, and at the same time exhibits trawling movement, i.e. it performs consecutive turns inside a fishing area. Trawling movement ends when the vessel leaves the fishing area or on a communication gap; trawling speed ends when the speed leaves the trawling range.",
+	},
+	{
+		Key: "tu", Name: "tugging", Fluents: []string{"tuggingSpeed/1", "tugging/2"}, Composite: true,
+		Description: "Tugging: a tug tows another vessel. Two vessels, one of which is a tug, are tugging while they are in proximity and both sail at towing speed, i.e. within the tugging speed range.",
+	},
+	{
+		Key: "p", Name: "pilotBoarding", Fluents: []string{"pilotBoarding/2"}, Composite: true,
+		Description: "Pilot boarding: a pilot vessel comes alongside another vessel to transfer the pilot. Two vessels, one of which is a pilot vessel, perform pilot boarding while they are in proximity, each of them is stopped far from ports or sails at low speed, and they are not within the coastal area.",
+	},
+	{
+		Key: "l", Name: "loitering", Fluents: []string{"loitering/1"}, Composite: true,
+		Description: "Loitering: a vessel is loitering while it is stopped far from all ports or it sails at low speed, excluding the periods during which it is near some port and the periods during which it is anchored or moored.",
+	},
+	{
+		Key: "s", Name: "searchAndRescue", Fluents: []string{"sarSpeed/1", "sarMovement/1", "searchAndRescue/1"}, Composite: true,
+		Description: "Search and rescue: a search-and-rescue vessel performs a search-and-rescue operation while it sails at search-and-rescue speed, i.e. above the minimal operational speed, and at the same time exhibits search-and-rescue movement, i.e. it performs changes of heading and changes of speed. The movement ends when the vessel stops or on a communication gap.",
+	},
+	{
+		Key: "d", Name: "drifting", Fluents: []string{"drifting/1"}, Composite: true,
+		Description: "Drifting: a vessel is drifting while its course over ground deviates from its true heading by more than the drifting angle threshold, while the vessel is under way. The activity ends when the deviation drops within the threshold, when the vessel stops, or on a communication gap.",
+	},
+}
+
+// Primary returns the indicator of the activity's top-level fluent (the
+// last entry of Fluents; support fluents precede it). Figure 2a compares
+// the rules of the primary fluent against the gold standard.
+func (a Activity) Primary() string { return a.Fluents[len(a.Fluents)-1] }
+
+// PrimaryName returns the functor of the primary fluent, without arity.
+func (a Activity) PrimaryName() string {
+	p := a.Primary()
+	for i := range p {
+		if p[i] == '/' {
+			return p[:i]
+		}
+	}
+	return p
+}
+
+// CompositeActivities returns the eight activities of Figure 2, in order.
+func CompositeActivities() []Activity {
+	var out []Activity
+	for _, a := range Curriculum {
+		if a.Composite {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ActivityByKey returns the curriculum entry with the given key.
+func ActivityByKey(key string) (Activity, bool) {
+	for _, a := range Curriculum {
+		if a.Key == key {
+			return a, true
+		}
+	}
+	return Activity{}, false
+}
+
+// RulesForActivity extracts from an event description the temporal rules
+// whose head fluent belongs to the activity.
+func RulesForActivity(ed *lang.EventDescription, act Activity) []*lang.Clause {
+	want := map[string]bool{}
+	for _, f := range act.Fluents {
+		want[f] = true
+	}
+	var out []*lang.Clause
+	for _, c := range ed.Rules() {
+		if _, fl := c.HeadFVP(); fl != nil && want[fl.Indicator()] {
+			out = append(out, c)
+		}
+	}
+	return out
+}

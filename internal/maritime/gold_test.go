@@ -1,0 +1,113 @@
+package maritime
+
+import (
+	"strings"
+	"testing"
+
+	"rtecgen/internal/rtec"
+	"rtecgen/internal/similarity"
+)
+
+func TestGoldEDParsesAndClassifies(t *testing.T) {
+	ed := GoldED()
+	if len(ed.Rules()) < 40 {
+		t.Fatalf("gold ED has %d rules, expected a rich event description", len(ed.Rules()))
+	}
+	byFluent := ed.RulesByFluent()
+	wantFluents := []string{
+		"withinArea/2", "gap/1", "stopped/1", "lowSpeed/1", "changingSpeed/1",
+		"movingSpeed/1", "underWay/1", "proximity/2",
+		"highSpeedNearCoast/1", "anchoredOrMoored/1",
+		"trawlSpeed/1", "trawlingMovement/1", "trawling/1",
+		"tuggingSpeed/1", "tugging/2", "pilotBoarding/2",
+		"loitering/1", "sarSpeed/1", "sarMovement/1", "searchAndRescue/1",
+		"drifting/1",
+	}
+	for _, f := range wantFluents {
+		if len(byFluent[f]) == 0 {
+			t.Errorf("gold ED missing rules for %s", f)
+		}
+	}
+}
+
+func TestGoldEDLoadsStrict(t *testing.T) {
+	e, err := rtec.New(GoldED(), rtec.Options{Strict: true})
+	if err != nil {
+		t.Fatalf("gold ED must load with no warnings: %v", err)
+	}
+	// Kind checks: the paper's examples.
+	if k, _ := e.FluentKindOf("withinArea/2"); k != rtec.Simple {
+		t.Error("withinArea must be simple")
+	}
+	if k, _ := e.FluentKindOf("underWay/1"); k != rtec.SD {
+		t.Error("underWay must be statically determined")
+	}
+	if k, _ := e.FluentKindOf("anchoredOrMoored/1"); k != rtec.SD {
+		t.Error("anchoredOrMoored must be statically determined")
+	}
+	if k, _ := e.FluentKindOf("movingSpeed/1"); k != rtec.Simple {
+		t.Error("movingSpeed must be simple")
+	}
+}
+
+func TestGoldEDSelfSimilarityIsOne(t *testing.T) {
+	s, err := similarity.EventDescriptionSimilarity(GoldED(), GoldED())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 1 {
+		t.Fatalf("self similarity = %v", s)
+	}
+}
+
+func TestCurriculumCoversGoldFluents(t *testing.T) {
+	ed := GoldED()
+	covered := map[string]bool{}
+	for _, a := range Curriculum {
+		for _, f := range a.Fluents {
+			covered[f] = true
+		}
+		if len(RulesForActivity(ed, a)) == 0 {
+			t.Errorf("activity %s has no gold rules", a.Key)
+		}
+		if a.Description == "" {
+			t.Errorf("activity %s has no description", a.Key)
+		}
+	}
+	for f := range ed.RulesByFluent() {
+		if !covered[f] {
+			t.Errorf("gold fluent %s not covered by any curriculum activity", f)
+		}
+	}
+	if got := len(CompositeActivities()); got != 8 {
+		t.Fatalf("composite activities = %d, want 8", got)
+	}
+	keys := []string{"h", "aM", "tr", "tu", "p", "l", "s", "d"}
+	for i, a := range CompositeActivities() {
+		if a.Key != keys[i] {
+			t.Fatalf("composite order = %v", CompositeActivities())
+		}
+	}
+	if _, ok := ActivityByKey("tr"); !ok {
+		t.Fatal("ActivityByKey failed")
+	}
+	if _, ok := ActivityByKey("nope"); ok {
+		t.Fatal("ActivityByKey found ghost")
+	}
+}
+
+func TestGoldSourceContainsPaperRules(t *testing.T) {
+	src := GoldSource()
+	// Rule (1) and rule (4) of the paper must appear verbatim (modulo
+	// whitespace normalisation applied here).
+	for _, frag := range []string{
+		"initiatedAt(withinArea(Vl, AreaType)=true, T)",
+		"holdsFor(anchoredOrMoored(Vl)=true, I)",
+		"intersect_all([Isf, Ia], Isfa)",
+		"union_all([I1, I2, I3], I)",
+	} {
+		if !strings.Contains(src, frag) {
+			t.Errorf("gold source missing %q", frag)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package maritime
+
+import "rtecgen/internal/prompt"
+
+// PromptDomain builds the prompt-pipeline domain for maritime situational
+// awareness: the input-event and threshold documentation of prompts E and T,
+// and the vocabulary (with plausible wrong spellings) that the syntactic
+// corrector maps unknown names back to.
+func PromptDomain() *prompt.Domain {
+	return &prompt.Domain{
+		Name: "maritime situational awareness",
+		Events: []prompt.EventDoc{
+			{Pattern: "velocity(Vessel, Speed, CourseOverGround, TrueHeading)",
+				Meaning: "'Vessel' reported its speed over ground (knots), course over ground and true heading (degrees)."},
+			{Pattern: "change_in_speed_start(Vessel)", Meaning: "'Vessel' started changing its speed."},
+			{Pattern: "change_in_speed_end(Vessel)", Meaning: "'Vessel' stopped changing its speed."},
+			{Pattern: "change_in_heading(Vessel)", Meaning: "'Vessel' changed its heading."},
+			{Pattern: "stop_start(Vessel)", Meaning: "'Vessel' became idle."},
+			{Pattern: "stop_end(Vessel)", Meaning: "'Vessel' stopped being idle."},
+			{Pattern: "slow_motion_start(Vessel)", Meaning: "'Vessel' started moving at low speed."},
+			{Pattern: "slow_motion_end(Vessel)", Meaning: "'Vessel' stopped moving at low speed."},
+			{Pattern: "gap_start(Vessel)", Meaning: "'Vessel' stopped transmitting position signals."},
+			{Pattern: "gap_end(Vessel)", Meaning: "'Vessel' resumed transmitting position signals."},
+			{Pattern: "entersArea(Vessel, Area)", Meaning: "'Vessel' entered the area with identifier 'Area'."},
+			{Pattern: "leavesArea(Vessel, Area)", Meaning: "'Vessel' left the area with identifier 'Area'."},
+			{Pattern: "proximity_start(Vessel1, Vessel2)", Meaning: "'Vessel1' and 'Vessel2' came close to each other."},
+			{Pattern: "proximity_end(Vessel1, Vessel2)", Meaning: "'Vessel1' and 'Vessel2' moved apart."},
+		},
+		Background: []prompt.BackgroundDoc{
+			{Pattern: "areaType(Area, AreaType)",
+				Meaning: "area 'Area' has type 'AreaType'; the area types are fishing, anchorage, nearCoast and nearPorts."},
+			{Pattern: "vesselType(Vessel, Type)",
+				Meaning: "'Vessel' is of the given type; the vessel types include fishingVessel, cargo, tanker, tug, pilotVessel, sarVessel and passenger."},
+			{Pattern: "typeSpeed(Type, Min, Max)",
+				Meaning: "the service-speed range of vessel type 'Type' is [Min, Max] knots."},
+		},
+		Thresholds: []prompt.ThresholdDoc{
+			{Name: "movingMin", Meaning: "The speed below which a vessel counts as not moving."},
+			{Name: "hcNearCoastMax", Meaning: "The maximum sailing speed that is safe for a vessel to have in a coastal area."},
+			{Name: "trawlSpeedMin", Meaning: "The minimum speed of a vessel engaged in trawling."},
+			{Name: "trawlSpeedMax", Meaning: "The maximum speed of a vessel engaged in trawling."},
+			{Name: "tuggingMin", Meaning: "The minimum speed of vessels engaged in tugging."},
+			{Name: "tuggingMax", Meaning: "The maximum speed of vessels engaged in tugging."},
+			{Name: "sarMinSpeed", Meaning: "The minimum speed of a vessel engaged in search and rescue."},
+			{Name: "driftingAngle", Meaning: "The minimum deviation between course over ground and heading while drifting."},
+		},
+		Values: []string{"true", "below", "normal", "above", "nearPorts", "farFromPorts"},
+		Aliases: map[string][]string{
+			// input events
+			"entersArea":            {"inArea", "enterArea", "entersRegion"},
+			"leavesArea":            {"exitsArea", "leaveArea"},
+			"gap_start":             {"gapStart", "commGapStart"},
+			"gap_end":               {"gapEnd", "commGapEnd"},
+			"stop_start":            {"stopStart"},
+			"stop_end":              {"stopEnd"},
+			"slow_motion_start":     {"slowMotionStart", "slow_start"},
+			"slow_motion_end":       {"slowMotionEnd", "slow_end"},
+			"change_in_speed_start": {"changeInSpeedStart", "speedChangeStart"},
+			"change_in_speed_end":   {"changeInSpeedEnd", "speedChangeEnd"},
+			"change_in_heading":     {"changeInHeading", "headingChange"},
+			"velocity":              {"speedSignal"},
+			"proximity_start":       {"proximityStart"},
+			"proximity_end":         {"proximityEnd"},
+			// background predicates
+			"areaType":   {"typeOfArea"},
+			"vesselType": {"typeOfVessel", "shipType"},
+			"typeSpeed":  {"serviceSpeed"},
+			"thresholds": {"threshold"},
+			// area-type and value constants
+			"fishing":      {"trawlingArea", "fishingArea"},
+			"anchorage":    {"anchorageArea"},
+			"nearCoast":    {"coastalArea", "nearCoastline"},
+			"nearPorts":    {"nearPort", "portArea"},
+			"farFromPorts": {"farFromPort", "awayFromPorts"},
+			"below":        {"belowNormal"},
+			"above":        {"aboveNormal"},
+			// vessel types
+			"fishingVessel": {"fishingShip"},
+			"pilotVessel":   {"pilotBoat"},
+			"sarVessel":     {"rescueVessel"},
+			// threshold names
+			"movingMin":      {"minMovingSpeed"},
+			"hcNearCoastMax": {"nearCoastSpeedMax", "maxCoastSpeed"},
+			"trawlSpeedMin":  {"trawlingSpeedMin"},
+			"trawlSpeedMax":  {"trawlingSpeedMax"},
+			"tuggingMin":     {"tugSpeedMin"},
+			"tuggingMax":     {"tugSpeedMax"},
+			"sarMinSpeed":    {"sarSpeedMin"},
+			"driftingAngle":  {"driftAngleThreshold"},
+		},
+	}
+}
+
+// CurriculumRequests converts the activity curriculum into the pipeline's
+// request format.
+func CurriculumRequests() []prompt.ActivityRequest {
+	out := make([]prompt.ActivityRequest, len(Curriculum))
+	for i, a := range Curriculum {
+		out[i] = prompt.ActivityRequest{Key: a.Key, Name: a.Name, Description: a.Description}
+	}
+	return out
+}

@@ -1,0 +1,219 @@
+package maritime
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rtecgen/internal/ais"
+	"rtecgen/internal/geo"
+)
+
+// ScenarioConfig parameterises the synthetic Brest-like scenario.
+type ScenarioConfig struct {
+	// Vessels is the total fleet size (scripted vessels plus filler
+	// traffic). Minimum 14 (the scripted core).
+	Vessels int
+	// Seed drives all randomness; equal seeds give identical scenarios.
+	Seed int64
+	// IntervalSec is the AIS reporting cadence. Default 60.
+	IntervalSec int64
+}
+
+// DefaultScenarioConfig returns the configuration used by the experiments:
+// 60 vessels reporting every 60 s over roughly six simulated hours.
+func DefaultScenarioConfig() ScenarioConfig {
+	return ScenarioConfig{Vessels: 60, Seed: 7, IntervalSec: 60}
+}
+
+// Scenario is a generated synthetic scenario: the map, the fleet and the
+// raw AIS messages.
+type Scenario struct {
+	Config   ScenarioConfig
+	Map      *geo.Map
+	Fleet    []Vessel
+	Messages []ais.Message
+}
+
+// BrestMap builds the synthetic map of the monitored region: a 100x100 km
+// planar chart with a coastal strip on the east, the port of Brest, an
+// anchorage and two fishing areas.
+func BrestMap() *geo.Map {
+	return &geo.Map{Areas: []geo.Area{
+		{ID: "coastZone", Type: AreaNearCoast, Polygon: geo.Rect(80, 0, 100, 100)},
+		{ID: "brestPort", Type: AreaNearPorts, Polygon: geo.Rect(86, 44, 96, 56)},
+		{ID: "anchorageA", Type: AreaAnchorage, Polygon: geo.Rect(68, 38, 78, 48)},
+		{ID: "fishingA", Type: AreaFishing, Polygon: geo.Rect(10, 10, 40, 40)},
+		{ID: "fishingB", Type: AreaFishing, Polygon: geo.Rect(15, 55, 40, 80)},
+		// An environmentally protected area overlapping fishingA: trawling
+		// inside it is the illegal-fishing example of the paper's
+		// introduction (see ExtensionED).
+		{ID: "natura1", Type: AreaProtected, Polygon: geo.Rect(20, 15, 38, 35)},
+	}}
+}
+
+// portPoint is the berth position inside the port area.
+var portPoint = geo.Point{X: 91, Y: 50}
+
+// BuildScenario generates the scenario: a scripted core that exercises all
+// eight composite activities of Figure 2 (trawling sweeps, a tug convoy, a
+// pilot rendezvous, anchored and moored vessels, a loiterer, a SAR sweep, a
+// drifter, coastal speeders and communication gaps) plus filler traffic up
+// to the requested fleet size.
+func BuildScenario(cfg ScenarioConfig) (*Scenario, error) {
+	if cfg.IntervalSec <= 0 {
+		cfg.IntervalSec = 60
+	}
+	const scriptedCount = 14
+	if cfg.Vessels < scriptedCount {
+		cfg.Vessels = scriptedCount
+	}
+	m := BrestMap()
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+
+	s := &Scenario{Config: cfg, Map: m}
+	iv := cfg.IntervalSec
+	seed := cfg.Seed
+
+	track := func(id, vtype string, start geo.Point, t0 int64) *ais.Track {
+		s.Fleet = append(s.Fleet, Vessel{ID: id, Type: vtype})
+		seed++
+		return ais.NewTrack(id, vtype, start, t0, iv, seed)
+	}
+	finish := func(tr *ais.Track) { s.Messages = append(s.Messages, tr.Messages()...) }
+
+	// --- trawlers -------------------------------------------------------
+	t1 := track("trawler1", TypeFishing, portPoint, 0)
+	t1.SailTo(geo.Point{X: 25, Y: 25}, 10).
+		Zigzag(90, 4, 45, 600, 3*3600).
+		SailTo(portPoint, 10)
+	finish(t1)
+
+	t2 := track("trawler2", TypeFishing, geo.Point{X: 45, Y: 67}, 600)
+	t2.SailTo(geo.Point{X: 28, Y: 67}, 11).
+		Zigzag(180, 4, 45, 540, 3600).
+		Gap(4, 2400). // mid-trawl communication gap, far from ports
+		Zigzag(0, 4, 45, 540, 3600).
+		SailTo(geo.Point{X: 45, Y: 67}, 11)
+	finish(t2)
+
+	// --- tug convoy -----------------------------------------------------
+	tug := track("tug1", TypeTug, geo.Point{X: 30, Y: 80}, 0)
+	tug.SailTo(geo.Point{X: 30, Y: 86}, 7).
+		SailTo(geo.Point{X: 62, Y: 70}, 3.5).
+		SailTo(geo.Point{X: 70, Y: 86}, 7)
+	finish(tug)
+
+	barge := track("barge1", TypeCargo, geo.Point{X: 30.2, Y: 80.2}, 0)
+	barge.SailTo(geo.Point{X: 30.2, Y: 86.2}, 7).
+		SailTo(geo.Point{X: 62.2, Y: 70.2}, 3.5).
+		Stop(1800)
+	finish(barge)
+
+	// --- pilot rendezvous ------------------------------------------------
+	cargoIn := track("cargoIn1", TypeCargo, geo.Point{X: 10, Y: 50}, 0)
+	cargoIn.SailTo(geo.Point{X: 57, Y: 50}, 14).
+		SailTo(geo.Point{X: 60, Y: 50}, 3). // slow approach, arrives ~t=8500
+		Stop(4800).                         // waits for the pilot
+		SailTo(geo.Point{X: 87, Y: 50}, 10).
+		SailTo(portPoint, 4)
+	finish(cargoIn)
+
+	// The pilot leaves port after the cargo has settled at the rendezvous
+	// point (~t=8500) and reaches it in ~3300 s.
+	pilot := track("pilot1", TypePilot, portPoint, 7800)
+	pilot.SailTo(geo.Point{X: 79, Y: 50}, 18). // speeding through the coastal strip
+							SailTo(geo.Point{X: 60.3, Y: 50.2}, 18).
+							Stop(1500). // alongside cargoIn1: the boarding
+							SailTo(portPoint, 12)
+	finish(pilot)
+
+	// --- anchored and moored ---------------------------------------------
+	anchor := track("anchor1", TypeTanker, geo.Point{X: 50, Y: 20}, 0)
+	anchor.SailTo(geo.Point{X: 73, Y: 43}, 10).
+		Stop(2*3600+1800).
+		SailTo(geo.Point{X: 50, Y: 20}, 10)
+	finish(anchor)
+
+	moor := track("moor1", TypeCargo, geo.Point{X: 60, Y: 70}, 0)
+	moor.SailTo(geo.Point{X: 88, Y: 54}, 12).
+		SailTo(portPoint, 3).
+		Stop(2*3600).
+		SailTo(geo.Point{X: 60, Y: 70}, 12)
+	finish(moor)
+
+	// --- loiterer ---------------------------------------------------------
+	loiter := track("loiter1", TypeCargo, geo.Point{X: 30, Y: 60}, 1200)
+	loiter.Loiter(2.5, 2*3600+1800).
+		SailTo(geo.Point{X: 10, Y: 90}, 12)
+	finish(loiter)
+
+	// --- search and rescue -------------------------------------------------
+	sar := track("sar1", TypeSAR, geo.Point{X: 50, Y: 12}, 900)
+	sar.SailTo(geo.Point{X: 52, Y: 16}, 15).
+		ZigzagSpeeds(0, 6, 14, 50, 420, 2*3600+1800).
+		SailTo(geo.Point{X: 50, Y: 12}, 15)
+	finish(sar)
+
+	// --- drifter ------------------------------------------------------------
+	drift := track("drift1", TypeTanker, geo.Point{X: 20, Y: 45}, 0)
+	drift.SailTo(geo.Point{X: 33, Y: 45}, 10).
+		Drift(90, 40, 2.5, 3600+1800).
+		SailTo(geo.Point{X: 55, Y: 45}, 10)
+	finish(drift)
+
+	// --- coastal speeder ------------------------------------------------------
+	speeder := track("speeder1", TypePassenger, geo.Point{X: 95, Y: 8}, 0)
+	speeder.SailTo(geo.Point{X: 95, Y: 40}, 16).
+		SailTo(geo.Point{X: 84, Y: 70}, 16).
+		SailTo(geo.Point{X: 70, Y: 95}, 16)
+	finish(speeder)
+
+	// --- gap vessels -------------------------------------------------------------
+	g1 := track("gapper1", TypeCargo, geo.Point{X: 15, Y: 15}, 0)
+	g1.SailTo(geo.Point{X: 45, Y: 35}, 12).
+		Gap(12, 3600). // silent far from ports
+		SailTo(geo.Point{X: 70, Y: 60}, 12)
+	finish(g1)
+
+	g2 := track("gapper2", TypeCargo, geo.Point{X: 70, Y: 30}, 0)
+	g2.SailTo(geo.Point{X: 89, Y: 47}, 11).
+		SailTo(portPoint, 3).
+		Gap(0.1, 2700). // silent while berthed near the port
+		Stop(1200).
+		SailTo(geo.Point{X: 70, Y: 30}, 11)
+	finish(g2)
+
+	// --- filler traffic ------------------------------------------------------------
+	rng := rand.New(rand.NewSource(cfg.Seed * 104729))
+	types := []string{TypeCargo, TypeTanker, TypePassenger, TypeCargo, TypeFishing}
+	for i := scriptedCount; i < cfg.Vessels; i++ {
+		id := fmt.Sprintf("v%03d", i)
+		vtype := types[rng.Intn(len(types))]
+		start := geo.Point{X: 5 + rng.Float64()*70, Y: 5 + rng.Float64()*90}
+		tr := track(id, vtype, start, int64(rng.Intn(1800)))
+		ts := TypeSpeeds[vtype]
+		speed := ts.Min + rng.Float64()*(ts.Max-ts.Min)
+		legs := 2 + rng.Intn(3)
+		for l := 0; l < legs; l++ {
+			dest := geo.Point{X: 5 + rng.Float64()*70, Y: 5 + rng.Float64()*90}
+			tr.SailTo(dest, speed)
+			switch rng.Intn(4) {
+			case 0:
+				tr.Stop(int64(600 + rng.Intn(1800)))
+			case 1:
+				tr.Gap(speed, int64(2400+rng.Intn(2400)))
+			}
+		}
+		finish(tr)
+	}
+
+	ais.SortMessages(s.Messages)
+	return s, nil
+}
+
+// Pairs of vessels scripted to come into proximity, for tests.
+func (s *Scenario) scriptedPairs() [][2]string {
+	return [][2]string{{"barge1", "tug1"}, {"cargoIn1", "pilot1"}}
+}

@@ -1,0 +1,185 @@
+package maritime
+
+import (
+	"testing"
+
+	"rtecgen/internal/intervals"
+	"rtecgen/internal/rtec"
+)
+
+func TestBuildScenarioDeterministic(t *testing.T) {
+	cfg := ScenarioConfig{Vessels: 20, Seed: 3, IntervalSec: 60}
+	a, err := BuildScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Messages) != len(b.Messages) {
+		t.Fatalf("non-deterministic: %d vs %d messages", len(a.Messages), len(b.Messages))
+	}
+	for i := range a.Messages {
+		if a.Messages[i] != b.Messages[i] {
+			t.Fatalf("messages differ at %d", i)
+		}
+	}
+	if len(a.Fleet) != 20 {
+		t.Fatalf("fleet = %d, want 20", len(a.Fleet))
+	}
+}
+
+func TestBuildScenarioMinimumFleet(t *testing.T) {
+	s, err := BuildScenario(ScenarioConfig{Vessels: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Fleet) < 14 {
+		t.Fatalf("fleet = %d, want >= 14 scripted vessels", len(s.Fleet))
+	}
+}
+
+// TestGoldDetectsAllCompositeActivities is the headline integration test:
+// the synthetic scenario must make the gold-standard event description fire
+// on every one of the eight composite activities of Figure 2, on the
+// scripted vessels.
+func TestGoldDetectsAllCompositeActivities(t *testing.T) {
+	scen, err := BuildScenario(ScenarioConfig{Vessels: 16, Seed: 7, IntervalSec: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := Preprocess(scen.Messages, scen.Map, DefaultPreprocessConfig())
+	if len(events) == 0 {
+		t.Fatal("no events")
+	}
+	pairs := ObservedPairs(events)
+	ed := FullED(GoldED(), scen.Map, scen.Fleet, pairs)
+	eng, err := rtec.New(ed, rtec.Options{Strict: true, ExtraFacts: DynamicFacts(events, scen.Fleet)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := eng.Run(events, rtec.RunOptions{Window: 3600})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mustHold := []struct {
+		key    string
+		minDur int64
+	}{
+		{"highSpeedNearCoast(pilot1)=true", 120},
+		{"highSpeedNearCoast(speeder1)=true", 600},
+		{"anchoredOrMoored(anchor1)=true", 3600},
+		{"anchoredOrMoored(moor1)=true", 3600},
+		{"trawling(trawler1)=true", 3600},
+		{"trawling(trawler2)=true", 1200},
+		{"tugging(barge1, tug1)=true", 3600},
+		{"pilotBoarding(cargoIn1, pilot1)=true", 600},
+		{"loitering(loiter1)=true", 3600},
+		{"searchAndRescue(sar1)=true", 3600},
+		{"drifting(drift1)=true", 1800},
+		{"gap(trawler2)=farFromPorts", 1200},
+		{"gap(gapper2)=nearPorts", 1200},
+		{"underWay(speeder1)=true", 3600},
+	}
+	for _, c := range mustHold {
+		got := rec.IntervalsOfKey(c.key)
+		if got.Duration() < c.minDur {
+			t.Errorf("%s held %d s (intervals %s), want >= %d s",
+				c.key, got.Duration(), got, c.minDur)
+		}
+	}
+
+	mustNotHold := []string{
+		"trawling(tug1)=true",             // tugs do not trawl
+		"anchoredOrMoored(speeder1)=true", // never stops
+		"searchAndRescue(trawler1)=true",  // zigzags, but not a SAR vessel
+		"drifting(speeder1)=true",
+	}
+	for _, key := range mustNotHold {
+		if got := rec.IntervalsOfKey(key); len(got) != 0 {
+			t.Errorf("%s = %s, want none", key, got)
+		}
+	}
+	if len(rec.Warnings) != 0 {
+		t.Errorf("unexpected runtime warnings: %v", rec.Warnings)
+	}
+}
+
+// TestGoldWindowInsensitivity: recognition with tumbling windows must agree
+// with a single whole-stream window (RTEC's windowing is lossless when no
+// events are forgotten mid-activity).
+func TestGoldWindowInsensitivity(t *testing.T) {
+	scen, err := BuildScenario(ScenarioConfig{Vessels: 14, Seed: 11, IntervalSec: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := Preprocess(scen.Messages, scen.Map, DefaultPreprocessConfig())
+	pairs := ObservedPairs(events)
+	ed := FullED(GoldED(), scen.Map, scen.Fleet, pairs)
+	eng, err := rtec.New(ed, rtec.Options{Strict: true, ExtraFacts: DynamicFacts(events, scen.Fleet)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := eng.Run(events, rtec.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	windowed, err := eng.Run(events, rtec.RunOptions{Window: 7200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range single.Keys() {
+		a, b := single.IntervalsOfKey(key), windowed.IntervalsOfKey(key)
+		if !a.Equal(b) {
+			// Tolerate sub-minute boundary effects on statically determined
+			// fluents whose parts are clipped at window edges.
+			if diffDuration(a, b) > 0 {
+				t.Errorf("%s: single %s vs windowed %s", key, a, b)
+			}
+		}
+	}
+}
+
+func diffDuration(a, b intervals.List) int64 {
+	onlyA := intervals.RelativeComplement(a, b)
+	onlyB := intervals.RelativeComplement(b, a)
+	return onlyA.Duration() + onlyB.Duration()
+}
+
+// TestExtensionIllegalFishing covers the motivating example of the paper's
+// introduction: a fishing vessel trawling inside an environmentally
+// protected area is detected as illegal fishing, while trawling outside the
+// protected area is not.
+func TestExtensionIllegalFishing(t *testing.T) {
+	scen, err := BuildScenario(ScenarioConfig{Vessels: 14, Seed: 7, IntervalSec: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := Preprocess(scen.Messages, scen.Map, DefaultPreprocessConfig())
+	pairs := ObservedPairs(events)
+	ed := FullED(ExtensionED(), scen.Map, scen.Fleet, pairs)
+	eng, err := rtec.New(ed, rtec.Options{Strict: true, ExtraFacts: DynamicFacts(events, scen.Fleet)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := eng.Run(events, rtec.RunOptions{Window: 3600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// trawler1 sweeps through the natura1 protected area inside fishingA.
+	illegal := rec.IntervalsOfKey("illegalFishing(trawler1)=true")
+	if illegal.Duration() < 600 {
+		t.Fatalf("illegalFishing(trawler1) = %s, want a substantial detection", illegal)
+	}
+	// Illegal fishing is a strict subset of the overall trawling activity.
+	trawling := rec.IntervalsOfKey("trawling(trawler1)=true")
+	if !intervals.Intersect(illegal, trawling).Equal(illegal) {
+		t.Fatalf("illegal fishing %s not contained in trawling %s", illegal, trawling)
+	}
+	// trawler2 works in fishingB, away from the protected area.
+	if got := rec.IntervalsOfKey("illegalFishing(trawler2)=true"); len(got) != 0 {
+		t.Fatalf("illegalFishing(trawler2) = %s, want none", got)
+	}
+}

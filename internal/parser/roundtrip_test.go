@@ -1,0 +1,108 @@
+package parser
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rtecgen/internal/lang"
+)
+
+// genTerm builds a random well-formed term of bounded depth with the
+// vocabulary the RTEC dialect uses.
+func genTerm(r *rand.Rand, depth int, allowInfix bool) *lang.Term {
+	if depth == 0 {
+		switch r.Intn(5) {
+		case 0:
+			return lang.NewVar([]string{"X", "Y", "Vl", "AreaType", "T", "I1"}[r.Intn(6)])
+		case 1:
+			return lang.NewAtom([]string{"a", "fishing", "true", "v42", "nearPorts"}[r.Intn(5)])
+		case 2:
+			return lang.NewInt(int64(r.Intn(100)))
+		case 3:
+			return lang.NewFloat([]float64{0.5, 2.5, 90, 12.25}[r.Intn(4)])
+		default:
+			return lang.NewStr("s")
+		}
+	}
+	switch r.Intn(6) {
+	case 0: // list
+		n := r.Intn(3)
+		elems := make([]*lang.Term, n)
+		for i := range elems {
+			elems[i] = genTerm(r, depth-1, false)
+		}
+		return lang.NewList(elems...)
+	case 1: // infix comparison or FVP
+		if allowInfix {
+			op := []string{"=", "<", ">", ">=", "=<", "+", "-", "*"}[r.Intn(8)]
+			return lang.NewCompound(op, genTerm(r, depth-1, false), genTerm(r, depth-1, false))
+		}
+		fallthrough
+	default: // compound
+		n := 1 + r.Intn(3)
+		args := make([]*lang.Term, n)
+		for i := range args {
+			args[i] = genTerm(r, depth-1, false)
+		}
+		return lang.NewCompound([]string{"f", "happensAt", "entersArea", "holdsAt"}[r.Intn(4)], args...)
+	}
+}
+
+// TestPropTermRoundTrip: print ∘ parse = identity on random ASTs.
+func TestPropTermRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		term := genTerm(r, 1+r.Intn(3), true)
+		printed := term.String()
+		parsed, err := ParseTerm(printed)
+		if err != nil {
+			t.Logf("seed %d: %q failed to parse: %v", seed, printed, err)
+			return false
+		}
+		if !parsed.Equal(term) {
+			t.Logf("seed %d: %q reparsed as %q", seed, printed, parsed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropClauseRoundTrip: random clauses survive print-parse.
+func TestPropClauseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		head := lang.NewCompound("initiatedAt",
+			lang.FVP(genCallable(r), lang.NewAtom("true")), lang.NewVar("T"))
+		c := &lang.Clause{Head: head}
+		for i := 0; i < r.Intn(4); i++ {
+			lit := lang.Pos(genCallable(r))
+			if r.Intn(3) == 0 {
+				lit = lang.Neg(genCallable(r))
+			}
+			c.Body = append(c.Body, lit)
+		}
+		printed := c.String()
+		parsed, err := ParseClause(printed)
+		if err != nil {
+			t.Logf("seed %d: %q failed: %v", seed, printed, err)
+			return false
+		}
+		return parsed.String() == printed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func genCallable(r *rand.Rand) *lang.Term {
+	n := 1 + r.Intn(3)
+	args := make([]*lang.Term, n)
+	for i := range args {
+		args[i] = genTerm(r, 1, false)
+	}
+	return lang.NewCompound([]string{"p", "q", "happensAt", "areaType"}[r.Intn(4)], args...)
+}

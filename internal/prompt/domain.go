@@ -1,0 +1,122 @@
+// Package prompt implements the prompting method of the paper (Section 3):
+// the construction of prompts R (RTEC syntax), F/F* (chain-of-thought and
+// few-shot demonstrations of simple and statically determined fluents), E
+// (input events), T (thresholds) and G (rule generation), the chat session
+// that drives a model through them, and the parsing of model responses back
+// into event-description clauses.
+package prompt
+
+import "fmt"
+
+// Scheme selects between the prompting routes of Figure 1. The paper's
+// pipeline offers few-shot (prompt F*) and chain-of-thought (prompt F);
+// zero-shot — skipping the fluent-kind demonstrations entirely — "produced
+// poor results" in the paper's empirical analysis and is provided here so
+// that finding can be reproduced (see TestZeroShotProducesPoorResults).
+type Scheme int
+
+const (
+	// FewShot provides example descriptions and formalisations without
+	// explanations (prompt F*).
+	FewShot Scheme = iota
+	// ChainOfThought additionally explains each example formalisation step
+	// by step (prompt F).
+	ChainOfThought
+	// ZeroShot skips prompt F/F* altogether: the model is never shown what
+	// simple and statically determined fluent definitions look like.
+	ZeroShot
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case FewShot:
+		return "few-shot"
+	case ChainOfThought:
+		return "chain-of-thought"
+	case ZeroShot:
+		return "zero-shot"
+	}
+	return "unknown"
+}
+
+// Suffix returns the paper's notation for a model/scheme combination:
+// squares for few-shot, triangles for chain-of-thought (zero-shot has no
+// published notation; a circle is used).
+func (s Scheme) Suffix() string {
+	switch s {
+	case FewShot:
+		return "□"
+	case ChainOfThought:
+		return "△"
+	default:
+		return "○"
+	}
+}
+
+// Message is one turn of a chat with a model.
+type Message struct {
+	Role    string // "user" or "assistant"
+	Content string
+}
+
+// Model is a chat-completion model: given the conversation so far and the
+// next user message, it returns the assistant response. Implemented by the
+// simulated models of internal/llm; an OpenAI/Groq API client would
+// implement the same interface.
+type Model interface {
+	Name() string
+	Chat(history []Message, user string) (string, error)
+}
+
+// EventDoc documents one input event for prompt E.
+type EventDoc struct {
+	Pattern string // e.g. "entersArea(Vessel, Area)"
+	Meaning string
+}
+
+// ThresholdDoc documents one threshold for prompt T.
+type ThresholdDoc struct {
+	Name    string // e.g. "hcNearCoastMax"
+	Meaning string
+}
+
+// BackgroundDoc documents one background predicate available to rules.
+type BackgroundDoc struct {
+	Pattern string // e.g. "areaType(Area, AreaType)"
+	Meaning string
+}
+
+// Domain packages the application-specific content of the prompts: the
+// input stream items (prompt E), the thresholds (prompt T) and the
+// background predicates, together with the domain vocabulary used by the
+// syntactic corrector: canonical constants and the plausible wrong names
+// ("aliases") a generator might use for them.
+type Domain struct {
+	Name       string
+	Events     []EventDoc
+	Thresholds []ThresholdDoc
+	Background []BackgroundDoc
+	// Values are the constant values fluents may take (true, below, ...).
+	Values []string
+	// Aliases maps a canonical name (predicate, constant or fluent) to
+	// plausible wrong spellings. The corrector uses it to map unknown names
+	// back to vocabulary, modelling the human that renamed 'trawlingArea'
+	// to 'fishing' in the paper's evaluation.
+	Aliases map[string][]string
+}
+
+// ActivityRequest is one generation step of the pipeline: a composite
+// activity to formalise, given by name and natural-language description.
+type ActivityRequest struct {
+	Key         string // short label, e.g. "tr"
+	Name        string // fluent name, e.g. "trawling"
+	Description string // natural-language description for prompt G
+}
+
+// Validate checks the domain is usable.
+func (d *Domain) Validate() error {
+	if len(d.Events) == 0 {
+		return fmt.Errorf("prompt: domain %q has no input events", d.Name)
+	}
+	return nil
+}

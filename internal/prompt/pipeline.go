@@ -1,0 +1,183 @@
+package prompt
+
+import (
+	"fmt"
+	"strings"
+
+	"rtecgen/internal/lang"
+	"rtecgen/internal/parser"
+)
+
+// Session drives a model through the prompting pipeline of Figure 1: teach
+// the RTEC syntax (prompt R), the fluent kinds (prompt F or F*), the input
+// events (prompt E) and the thresholds (prompt T), then request activity
+// formalisations one by one (prompt G).
+type Session struct {
+	model   Model
+	scheme  Scheme
+	domain  *Domain
+	history []Message
+	taught  bool
+}
+
+// NewSession creates a session for a model and prompting scheme.
+func NewSession(model Model, scheme Scheme, domain *Domain) *Session {
+	return &Session{model: model, scheme: scheme, domain: domain}
+}
+
+// send delivers a user message and records the exchange.
+func (s *Session) send(user string) (string, error) {
+	reply, err := s.model.Chat(s.history, user)
+	if err != nil {
+		return "", fmt.Errorf("prompt: model %s: %w", s.model.Name(), err)
+	}
+	s.history = append(s.history, Message{Role: "user", Content: user},
+		Message{Role: "assistant", Content: reply})
+	return reply, nil
+}
+
+// Teach runs prompts R, F/F*, E and T, in order. Under zero-shot prompting
+// the fluent-kind demonstration (prompt F/F*) is skipped.
+func (s *Session) Teach() error {
+	if err := s.domain.Validate(); err != nil {
+		return err
+	}
+	prompts := []string{BuildR()}
+	if s.scheme != ZeroShot {
+		prompts = append(prompts, BuildF(s.scheme))
+	}
+	prompts = append(prompts, BuildE(s.domain), BuildT(s.domain))
+	for _, p := range prompts {
+		if _, err := s.send(p); err != nil {
+			return err
+		}
+	}
+	s.taught = true
+	return nil
+}
+
+// Generate runs prompt G for one activity and returns the raw model output.
+func (s *Session) Generate(req ActivityRequest) (string, error) {
+	if !s.taught {
+		return "", fmt.Errorf("prompt: Generate before Teach")
+	}
+	return s.send(BuildG(req))
+}
+
+// History returns the transcript so far.
+func (s *Session) History() []Message { return append([]Message(nil), s.history...) }
+
+// ActivityResult is the outcome of one generation step: the raw response,
+// the clauses that parsed, and the chunks that failed to parse.
+type ActivityResult struct {
+	Request ActivityRequest
+	Raw     string
+	Clauses []*lang.Clause
+	Errors  []string
+}
+
+// GeneratedED is the full result of running the pipeline over a curriculum:
+// the per-activity results in order, and the combined event description.
+type GeneratedED struct {
+	ModelName string
+	Scheme    Scheme
+	Results   []ActivityResult
+}
+
+// Label renders the paper's notation for this event description, e.g.
+// "o1□" or "GPT-4o△".
+func (g *GeneratedED) Label() string { return g.ModelName + g.Scheme.Suffix() }
+
+// ED returns the combined event description: all parsed clauses, in
+// curriculum order.
+func (g *GeneratedED) ED() *lang.EventDescription {
+	ed := &lang.EventDescription{}
+	for _, r := range g.Results {
+		ed.Clauses = append(ed.Clauses, r.Clauses...)
+	}
+	return ed
+}
+
+// ResultFor returns the result for an activity key.
+func (g *GeneratedED) ResultFor(key string) (ActivityResult, bool) {
+	for _, r := range g.Results {
+		if r.Request.Key == key {
+			return r, true
+		}
+	}
+	return ActivityResult{}, false
+}
+
+// ParseErrors returns all parse errors across activities.
+func (g *GeneratedED) ParseErrors() []string {
+	var out []string
+	for _, r := range g.Results {
+		for _, e := range r.Errors {
+			out = append(out, r.Request.Key+": "+e)
+		}
+	}
+	return out
+}
+
+// RunPipeline teaches the model and generates a definition for every
+// curriculum entry, parsing each response. Model-side errors abort; parse
+// errors are recorded per activity and skipped, since a human would discard
+// unusable output (Section 4 measures exactly this correction effort).
+func RunPipeline(model Model, scheme Scheme, domain *Domain, curriculum []ActivityRequest) (*GeneratedED, error) {
+	s := NewSession(model, scheme, domain)
+	if err := s.Teach(); err != nil {
+		return nil, err
+	}
+	out := &GeneratedED{ModelName: model.Name(), Scheme: scheme}
+	for _, req := range curriculum {
+		raw, err := s.Generate(req)
+		if err != nil {
+			return nil, err
+		}
+		clauses, errs := ParseResponse(raw)
+		out.Results = append(out.Results, ActivityResult{
+			Request: req, Raw: raw, Clauses: clauses, Errors: errs,
+		})
+	}
+	return out, nil
+}
+
+// ParseResponse extracts RTEC clauses from a model response. The response
+// may interleave prose with rules; chunks are delimited by blank lines and
+// a chunk is kept when it parses as a clause sequence. Chunks that look
+// like rules (contain ':-') but fail to parse are reported as errors.
+func ParseResponse(raw string) (clauses []*lang.Clause, errs []string) {
+	for _, chunk := range splitChunks(raw) {
+		ed, err := parser.ParseEventDescription(chunk)
+		if err == nil {
+			clauses = append(clauses, ed.Clauses...)
+			continue
+		}
+		if strings.Contains(chunk, ":-") {
+			errs = append(errs, fmt.Sprintf("unparseable rule chunk: %v", err))
+		}
+	}
+	return clauses, errs
+}
+
+// splitChunks splits a response on blank lines, keeping multi-line rules
+// together (a rule continues until a line ending with '.').
+func splitChunks(raw string) []string {
+	var chunks []string
+	var cur []string
+	flush := func() {
+		if len(cur) > 0 {
+			chunks = append(chunks, strings.Join(cur, "\n"))
+			cur = nil
+		}
+	}
+	for _, line := range strings.Split(raw, "\n") {
+		if strings.TrimSpace(line) == "" {
+			flush()
+			continue
+		}
+		cur = append(cur, line)
+	}
+	flush()
+	return chunks
+}

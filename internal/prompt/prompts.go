@@ -1,0 +1,251 @@
+package prompt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Marker strings that structure the prompts. The simulated models key off
+// ActivityMarker to find the activity they are asked to formalise, exactly
+// as a live model would read the description header.
+const (
+	// ActivityMarker precedes the "<name>: <description>" payload of
+	// prompt G.
+	ActivityMarker = "Composite Maritime Activity Description - "
+)
+
+// BuildR renders prompt R: the syntax of the language of RTEC, based on
+// Definitions 2.2 and 2.4 of the paper.
+func BuildR() string {
+	return `You will construct composite activity definitions in the language of the
+Run-Time Event Calculus (RTEC). RTEC employs a linear time-line with
+non-negative integer time-points. A fluent-value pair (FVP) F=V denotes that
+fluent F has value V. The main predicates are:
+
+  happensAt(E, T)        event E occurs at time-point T.
+  initiatedAt(F=V, T)    a period during which F=V holds is initiated at T.
+  terminatedAt(F=V, T)   a period during which F=V holds is terminated at T.
+  holdsAt(F=V, T)        F=V holds at time-point T.
+  holdsFor(F=V, I)       F=V holds in the maximal intervals of list I.
+
+Rules are written in logic-programming syntax: 'Head :- Body.' where the
+body is a comma-separated conjunction of conditions and 'not' expresses
+negation-by-failure. Variables start with an upper-case letter; constants
+with a lower-case letter.
+
+The body of an initiatedAt(F=V, T) or terminatedAt(F=V, T) rule starts with
+a positive happensAt predicate, followed by a possibly empty set of
+positive or negative happensAt and holdsAt predicates, all evaluated on the
+same time-point T.
+
+A rule with head holdsFor(F=V, I) defines F=V in terms of the maximal
+intervals of other FVPs: its body is a sequence of holdsFor(F'=V', I')
+conditions, where F'=V' differs from F=V, and of the interval manipulation
+constructs union_all(L, I), intersect_all(L, I) and
+relative_complement_all(I', L, I), where L is a list of interval lists
+computed earlier in the body.`
+}
+
+// fStarHeader and the examples implement prompts F (chain-of-thought) and
+// F* (few-shot) of Section 3.1. In chain-of-thought mode each example
+// formalisation is preceded by a step-by-step explanation; in few-shot mode
+// only the description and the formalisation are given.
+
+const exampleWithinArea = `Example 1: Given a composite maritime activity description, provide the
+rules in the language of RTEC. Composite Maritime Activity Description:
+'withinArea'. This activity starts when a vessel enters an area of
+interest. The activity ends when the vessel leaves the area that it had
+entered. When there is a gap in signal transmissions, we can no longer
+assume that the vessel remains in the same area.`
+
+const explainWithinArea = `Answer: The activity 'withinArea' is expressed as a simple fluent. This
+activity starts when a vessel enters an area of interest. We use an
+'initiatedAt' rule to express this initiation condition. The output is a
+boolean fluent named 'withinArea' with two arguments, i.e. 'Vessel' and
+'AreaType'. We use one input event named 'entersArea' with two arguments
+'Vessel' and 'Area' and one background predicate named 'areaType' with two
+arguments 'Area' and 'AreaType'. This rule in the language of RTEC is the
+following:`
+
+const ruleWithinArea1 = `initiatedAt(withinArea(Vl, AreaType)=true, T) :-
+    happensAt(entersArea(Vl, AreaID), T),
+    areaType(AreaID, AreaType).`
+
+const explainWithinArea2 = `The activity 'withinArea' ends when a vessel leaves the area that it had
+entered. We use a 'terminatedAt' rule to describe this termination
+condition:`
+
+const ruleWithinArea2 = `terminatedAt(withinArea(Vl, AreaType)=true, T) :-
+    happensAt(leavesArea(Vl, AreaID), T),
+    areaType(AreaID, AreaType).`
+
+const explainWithinArea3 = `The activity 'withinArea' ends when a communication gap starts. We use a
+'terminatedAt' rule to express this termination condition:`
+
+const ruleWithinArea3 = `terminatedAt(withinArea(Vl, AreaType)=true, T) :-
+    happensAt(gap_start(Vl), T).`
+
+const exampleStopped = `Example 2: Given a composite maritime activity description, provide the
+rules in the language of RTEC. Composite Maritime Activity Description:
+'stopped'. This activity starts when a vessel becomes idle and ends when
+the vessel starts moving again or on a communication gap.`
+
+const ruleStopped = `initiatedAt(stopped(Vl)=true, T) :-
+    happensAt(stop_start(Vl), T).
+
+terminatedAt(stopped(Vl)=true, T) :-
+    happensAt(stop_end(Vl), T).
+
+terminatedAt(stopped(Vl)=true, T) :-
+    happensAt(gap_start(Vl), T).`
+
+const exampleUnderWay = `Example 1: Given a composite maritime activity description, provide the
+rules in the language of RTEC. Composite Maritime Activity Description:
+'underWay'. This activity lasts as long as a vessel is not stopped.`
+
+const explainUnderWay = `Answer: The activity 'underWay' is expressed as a statically determined
+fluent. Rules with 'holdsFor' in the head specify the conditions in which a
+fluent holds. We use a 'holdsFor' rule to describe that the 'underWay'
+activity lasts as long as a vessel is not stopped. The output is a boolean
+fluent named 'underWay' with one argument, i.e. 'Vessel'. We specify
+'underWay' with the use of the fluent 'movingSpeed'. More precisely, we
+express 'underWay' as the disjunction of the three values of 'movingSpeed',
+i.e. 'below', 'normal' and 'above'. Disjunction in 'holdsFor' rules is
+expressed by means of 'union_all'. This rule is expressed in the language
+of RTEC as follows:`
+
+const ruleUnderWay = `holdsFor(underWay(Vessel)=true, I) :-
+    holdsFor(movingSpeed(Vessel)=below, I1),
+    holdsFor(movingSpeed(Vessel)=normal, I2),
+    holdsFor(movingSpeed(Vessel)=above, I3),
+    union_all([I1, I2, I3], I).`
+
+const exampleIdle = `Example 2: Given a composite maritime activity description, provide the
+rules in the language of RTEC. Composite Maritime Activity Description:
+'idleOrSlow'. This activity lasts as long as a vessel is stopped or moves
+at low speed.`
+
+const ruleIdle = `holdsFor(idleOrSlow(Vl)=true, I) :-
+    holdsFor(stopped(Vl)=true, Is),
+    holdsFor(lowSpeed(Vl)=true, Il),
+    union_all([Is, Il], I).`
+
+// BuildF renders prompt F (chain-of-thought) or F* (few-shot): the
+// demonstration of the two ways in which a composite activity may be
+// defined (Section 3.1).
+func BuildF(scheme Scheme) string {
+	var b strings.Builder
+	b.WriteString(`There are two ways in which a composite activity may be defined in the
+language of RTEC. In the first case, a composite activity definition may be
+specified by means of rules with initiatedAt(F=V,T) or terminatedAt(F=V,T)
+in their head. This is called a simple fluent definition.
+
+The first body literal of an initiatedAt(F=V,T) rule is a positive
+happensAt predicate; this is followed by a possibly empty set of
+positive/negative happensAt and holdsAt predicates. Negative predicates are
+prefixed with 'not' which expresses negation-by-failure. Below you may find
+two examples of composite activity definitions expressed as simple fluents.
+
+`)
+	b.WriteString(exampleWithinArea)
+	b.WriteString("\n\n")
+	if scheme == ChainOfThought {
+		b.WriteString(explainWithinArea)
+		b.WriteString("\n")
+	} else {
+		b.WriteString("Answer:\n")
+	}
+	b.WriteString(ruleWithinArea1)
+	b.WriteString("\n\n")
+	if scheme == ChainOfThought {
+		b.WriteString(explainWithinArea2)
+		b.WriteString("\n")
+	}
+	b.WriteString(ruleWithinArea2)
+	b.WriteString("\n\n")
+	if scheme == ChainOfThought {
+		b.WriteString(explainWithinArea3)
+		b.WriteString("\n")
+	}
+	b.WriteString(ruleWithinArea3)
+	b.WriteString("\n\n")
+	b.WriteString(exampleStopped)
+	b.WriteString("\n\nAnswer:\n")
+	b.WriteString(ruleStopped)
+	b.WriteString("\n\n")
+	b.WriteString(`A composite activity definition may be specified by means of one rule with
+holdsFor(F=V, I) in its head. The body of such a rule may include
+holdsFor(F'=V', I') conditions, where F'=V' is different from F=V, as well
+as the interval manipulation constructs of RTEC, i.e. union_all,
+intersect_all, and relative_complement_all. A rule with holdsFor(F=V, I) in
+the head is called a statically determined fluent definition. Below you may
+find two examples of composite maritime activities expressed as statically
+determined fluents.
+
+`)
+	b.WriteString(exampleUnderWay)
+	b.WriteString("\n\n")
+	if scheme == ChainOfThought {
+		b.WriteString(explainUnderWay)
+		b.WriteString("\n")
+	} else {
+		b.WriteString("Answer:\n")
+	}
+	b.WriteString(ruleUnderWay)
+	b.WriteString("\n\n")
+	b.WriteString(exampleIdle)
+	b.WriteString("\n\nAnswer:\n")
+	b.WriteString(ruleIdle)
+	return b.String()
+}
+
+// BuildE renders prompt E: the input events of the stream (Section 3.2).
+func BuildE(d *Domain) string {
+	var b strings.Builder
+	b.WriteString("You may use the following input events:\n")
+	for i, e := range d.Events {
+		fmt.Fprintf(&b, "\nInput Event %d: %s\nMeaning: %s\n", i+1, e.Pattern, e.Meaning)
+	}
+	if len(d.Background) > 0 {
+		b.WriteString("\nYou may also use the following atemporal background predicates:\n")
+		for i, p := range d.Background {
+			fmt.Fprintf(&b, "\nBackground Predicate %d: %s\nMeaning: %s\n", i+1, p.Pattern, p.Meaning)
+		}
+	}
+	return b.String()
+}
+
+// BuildT renders prompt T: the threshold values (Section 3.2).
+func BuildT(d *Domain) string {
+	var b strings.Builder
+	b.WriteString(`You may use a predicate named 'thresholds' with two arguments. The first
+argument refers to the threshold type and the second one to the threshold
+value. Threshold values can be used to perform mathematical operations and
+comparisons.
+`)
+	for i, t := range d.Thresholds {
+		fmt.Fprintf(&b, "\nThreshold %d: thresholds(%s, %s)\nMeaning: %s\n",
+			i+1, t.Name, exportVar(t.Name), t.Meaning)
+	}
+	return b.String()
+}
+
+// exportVar turns a threshold name into the conventional variable spelling,
+// e.g. hcNearCoastMax -> HcNearCoastMax.
+func exportVar(name string) string {
+	if name == "" {
+		return "X"
+	}
+	return strings.ToUpper(name[:1]) + name[1:]
+}
+
+// BuildG renders prompt G: the rule-generation request for one composite
+// activity (Section 3.3).
+func BuildG(req ActivityRequest) string {
+	return fmt.Sprintf(`Given a composite maritime activity description, provide the rules in RTEC
+formalization. You may use any of the aforementioned input events and
+fluents, and threshold values thresholds. You may use any of the output
+fluents that you have already learned.
+
+%s%s: %s`, ActivityMarker, req.Name, req.Description)
+}

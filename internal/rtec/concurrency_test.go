@@ -1,0 +1,56 @@
+package rtec
+
+import (
+	"sync"
+	"testing"
+
+	"rtecgen/internal/parser"
+	"rtecgen/internal/stream"
+)
+
+// TestConcurrentRuns verifies the documented guarantee that an Engine is
+// immutable after New and safe for concurrent Run calls (run the package
+// with -race to exercise the detector).
+func TestConcurrentRuns(t *testing.T) {
+	ed, err := parser.ParseEventDescription(withinAreaED)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(ed, Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := stream.Stream{
+		ev(10, "entersArea(v1, a1)"),
+		ev(40, "leavesArea(v1, a1)"),
+		ev(60, "entersArea(v1, a2)"),
+		ev(90, "gap_start(v1)"),
+		ev(120, "entersArea(v2, a1)"),
+		ev(150, "leavesArea(v2, a1)"),
+	}
+
+	var wg sync.WaitGroup
+	results := make([]string, 8)
+	errs := make([]error, 8)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rec, err := e.Run(events, RunOptions{Window: 30})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i] = rec.IntervalsOfKey("withinArea(v1, fishing)=true").String()
+		}(i)
+	}
+	wg.Wait()
+	for i := range results {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if results[i] != results[0] {
+			t.Fatalf("concurrent runs diverged: %q vs %q", results[0], results[i])
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package rtec
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"rtecgen/internal/intervals"
+	"rtecgen/internal/parser"
+	"rtecgen/internal/stream"
+)
+
+func TestRecognitionWriteCSV(t *testing.T) {
+	ed, err := parser.ParseEventDescription(withinAreaED)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(ed, Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := stream.Stream{
+		ev(10, "entersArea(v1, a1)"),
+		ev(20, "leavesArea(v1, a1)"),
+		ev(30, "entersArea(v1, a2)"),
+		ev(40, "leavesArea(v1, a2)"),
+		ev(50, "gap_start(v9)"),
+	}
+	rec, err := e.Run(events, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "fluent,fvp,since,until" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 3 { // header + two intervals
+		t.Fatalf("lines = %d:\n%s", len(lines), buf.String())
+	}
+	// (since, until] display convention: initiated at 10 and terminated at
+	// 20 means (10, 20].
+	want := `withinArea/2,"withinArea(v1, anchorage)=true",30,40`
+	if lines[1] != want {
+		t.Fatalf("row = %q, want %q", lines[1], want)
+	}
+}
+
+func TestRunWindowsStreamsResults(t *testing.T) {
+	ed, err := parser.ParseEventDescription(withinAreaED)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(ed, Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := stream.Stream{
+		ev(10, "entersArea(v1, a1)"),
+		ev(120, "leavesArea(v1, a1)"),
+		ev(150, "entersArea(v2, a2)"),
+		ev(199, "gap_start(v2)"),
+	}
+	var windows []WindowResult
+	err = e.RunWindows(events, RunOptions{Window: 50}, func(wr WindowResult) error {
+		windows = append(windows, wr)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(windows) != 4 { // time-line [10, 200), window 50
+		t.Fatalf("windows = %d, want 4", len(windows))
+	}
+	// Union of the per-window deliveries equals the batch Run result.
+	batch, err := e.Run(events, RunOptions{Window: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := map[string]intervals.List{}
+	for _, wr := range windows {
+		if wr.QueryTime <= wr.WindowStart {
+			t.Fatalf("bad window bounds: %+v", wr)
+		}
+		for key, list := range wr.Recognised {
+			merged[key] = intervals.Union(merged[key], list)
+			if wr.FVPs[key] == nil {
+				t.Fatalf("missing FVP term for %s", key)
+			}
+		}
+	}
+	for _, key := range batch.Keys() {
+		if !batch.IntervalsOfKey(key).Equal(merged[key]) {
+			t.Fatalf("%s: merged %s vs batch %s", key, merged[key], batch.IntervalsOfKey(key))
+		}
+	}
+	if len(merged) != len(batch.Keys()) {
+		t.Fatalf("merged keys %d vs batch %d", len(merged), len(batch.Keys()))
+	}
+}
+
+func TestRunWindowsEarlyAbort(t *testing.T) {
+	ed, err := parser.ParseEventDescription(withinAreaED)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(ed, Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := stream.Stream{
+		ev(10, "entersArea(v1, a1)"),
+		ev(199, "leavesArea(v1, a1)"),
+	}
+	calls := 0
+	sentinel := fmt.Errorf("stop")
+	err = e.RunWindows(events, RunOptions{Window: 50}, func(WindowResult) error {
+		calls++
+		return sentinel
+	})
+	if err != sentinel {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (aborted)", calls)
+	}
+}

@@ -1,0 +1,427 @@
+// Package rtec implements the Run-Time Event Calculus: windowed recognition
+// of composite activities over event streams, based on an event description
+// with simple fluents (initiatedAt/terminatedAt rules, subject to the law of
+// inertia) and statically determined fluents (holdsFor rules over the
+// interval-manipulation constructs), organised in a hierarchy that is
+// computed bottom-up and cached per window (Artikis et al., TKDE 2015).
+package rtec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rtecgen/internal/kb"
+	"rtecgen/internal/lang"
+)
+
+// FluentKind distinguishes the two ways a composite activity may be defined.
+type FluentKind int
+
+const (
+	// Simple fluents are defined by initiatedAt/terminatedAt rules and are
+	// subject to the commonsense law of inertia.
+	Simple FluentKind = iota
+	// SD fluents are statically determined: defined by a holdsFor rule over
+	// the maximal intervals of other fluents.
+	SD
+)
+
+func (k FluentKind) String() string {
+	if k == Simple {
+		return "simple"
+	}
+	return "statically determined"
+}
+
+// Warning records a non-fatal problem found while loading or evaluating an
+// event description: a rule that had to be skipped, an unknown predicate, a
+// cyclic definition. LLM-generated event descriptions routinely trigger
+// warnings; the engine keeps going with the usable subset, mirroring how a
+// human would salvage a partially correct specification.
+type Warning struct {
+	Fluent string
+	Msg    string
+}
+
+func (w Warning) String() string {
+	if w.Fluent == "" {
+		return w.Msg
+	}
+	return w.Fluent + ": " + w.Msg
+}
+
+// fluentDef aggregates everything the engine knows about one fluent
+// (identified by its indicator, e.g. "withinArea/2").
+type fluentDef struct {
+	ind        string
+	kind       FluentKind
+	inits      []*lang.Clause // simple: initiatedAt rules
+	terms      []*lang.Clause // simple: terminatedAt rules
+	holdsFor   []*lang.Clause // sd: holdsFor rules (one per value)
+	groundings []*lang.Clause // grounding declarations for this fluent
+	deps       map[string]bool
+	level      int
+}
+
+// Engine is a loaded RTEC reasoner. Build one with New, then call Run.
+// An Engine is immutable after New and safe for concurrent Runs.
+type Engine struct {
+	ed          *lang.EventDescription
+	kb          *kb.KB
+	opts        Options
+	fluents     map[string]*fluentDef
+	order       []string // fluent indicators in dependency (stratum) order
+	inputEvents map[string]bool
+	warnings    []Warning
+}
+
+// KB returns the engine's background knowledge base.
+func (e *Engine) KB() *kb.KB { return e.kb }
+
+// Warnings returns the problems found while loading the event description.
+func (e *Engine) Warnings() []Warning { return e.warnings }
+
+// Fluents returns the indicators of the defined fluents in evaluation order.
+func (e *Engine) Fluents() []string { return append([]string(nil), e.order...) }
+
+// FluentKindOf returns the kind of a defined fluent and whether it exists.
+func (e *Engine) FluentKindOf(ind string) (FluentKind, bool) {
+	f, ok := e.fluents[ind]
+	if !ok {
+		return 0, false
+	}
+	return f.kind, true
+}
+
+// Options configure engine construction.
+type Options struct {
+	// Strict makes New fail on any problem that would otherwise produce a
+	// warning and a skipped rule (useful for validating the gold standard).
+	Strict bool
+	// ExtraFacts are added to the background KB before materialisation,
+	// e.g. the dynamic entity registry extracted from a stream.
+	ExtraFacts []*lang.Term
+	// DisableCache turns off the hierarchical caching of intermediate FVP
+	// intervals within a window: the dependencies of each fluent are
+	// recomputed from scratch instead of being computed once bottom-up.
+	// This is the ablation of RTEC's caching optimisation (Section 2 of
+	// the paper credits hierarchies with "paving the way for caching");
+	// results are identical, only slower.
+	DisableCache bool
+}
+
+// New analyses and loads an event description: it classifies the fluents,
+// validates rule shapes, builds the background KB, and stratifies the
+// fluent hierarchy bottom-up. In non-strict mode, unusable rules and cyclic
+// definitions are dropped with warnings instead of failing the load.
+func New(ed *lang.EventDescription, opts Options) (*Engine, error) {
+	background, err := kb.FromEventDescription(ed, opts.ExtraFacts...)
+	if err != nil {
+		return nil, fmt.Errorf("rtec: background KB: %w", err)
+	}
+	e := &Engine{
+		ed:          ed,
+		kb:          background,
+		opts:        opts,
+		fluents:     map[string]*fluentDef{},
+		inputEvents: map[string]bool{},
+	}
+
+	for _, c := range ed.Facts() {
+		if c.Head.Functor == "inputEvent" && len(c.Head.Args) == 1 && c.Head.Args[0].IsCallable() {
+			e.inputEvents[c.Head.Args[0].Indicator()] = true
+		}
+	}
+
+	groundings := map[string][]*lang.Clause{}
+	for _, c := range ed.BackgroundRules() {
+		if c.Head.Functor == "grounding" && len(c.Head.Args) == 1 && c.Head.Args[0].IsCallable() {
+			ind := c.Head.Args[0].Indicator()
+			groundings[ind] = append(groundings[ind], c)
+		}
+	}
+
+	warn := func(fluent, format string, args ...any) error {
+		w := Warning{Fluent: fluent, Msg: fmt.Sprintf(format, args...)}
+		if opts.Strict {
+			return fmt.Errorf("rtec: %s", w)
+		}
+		e.warnings = append(e.warnings, w)
+		return nil
+	}
+
+	for _, c := range ed.Rules() {
+		_, fl := c.HeadFVP()
+		if fl == nil {
+			if err := warn("", "rule head %s has no F=V fluent-value pair; rule dropped", c.Head); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		ind := fl.Indicator()
+		def := e.fluents[ind]
+		if def == nil {
+			def = &fluentDef{ind: ind, deps: map[string]bool{}}
+			e.fluents[ind] = def
+		}
+		switch c.Kind() {
+		case lang.KindInitiatedAt:
+			if msg := checkSimpleRule(c); msg != "" {
+				if err := warn(ind, "initiatedAt rule dropped: %s", msg); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			def.inits = append(def.inits, c)
+		case lang.KindTerminatedAt:
+			if msg := checkSimpleRule(c); msg != "" {
+				if err := warn(ind, "terminatedAt rule dropped: %s", msg); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			def.terms = append(def.terms, c)
+		case lang.KindHoldsFor:
+			if msg := checkSDRule(c); msg != "" {
+				if err := warn(ind, "holdsFor rule dropped: %s", msg); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			def.holdsFor = append(def.holdsFor, c)
+		}
+	}
+
+	// Classify fluent kinds; mixing initiatedAt/terminatedAt with holdsFor
+	// for the same fluent is invalid, keep the majority shape.
+	for ind, def := range e.fluents {
+		switch {
+		case len(def.holdsFor) > 0 && len(def.inits)+len(def.terms) > 0:
+			if err := warn(ind, "fluent defined both as simple and statically determined; keeping the %s rules",
+				map[bool]string{true: "holdsFor", false: "initiatedAt/terminatedAt"}[len(def.holdsFor) >= len(def.inits)+len(def.terms)]); err != nil {
+				return nil, err
+			}
+			if len(def.holdsFor) >= len(def.inits)+len(def.terms) {
+				def.kind, def.inits, def.terms = SD, nil, nil
+			} else {
+				def.kind, def.holdsFor = Simple, nil
+			}
+		case len(def.holdsFor) > 0:
+			def.kind = SD
+		default:
+			def.kind = Simple
+		}
+		def.groundings = groundings[ind]
+	}
+
+	// Drop fluents left with no rules at all.
+	for ind, def := range e.fluents {
+		if len(def.inits)+len(def.terms)+len(def.holdsFor) == 0 {
+			delete(e.fluents, ind)
+			if err := warn(ind, "no usable rules remain; fluent dropped"); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Dependency graph: fluent -> fluents referenced in holdsAt/holdsFor
+	// body conditions of its rules.
+	for _, def := range e.fluents {
+		for _, c := range append(append(append([]*lang.Clause{}, def.inits...), def.terms...), def.holdsFor...) {
+			for _, l := range c.Body {
+				if dep, ok := bodyFluentRef(l.Atom); ok {
+					if _, defined := e.fluents[dep]; defined && dep != def.ind {
+						def.deps[dep] = true
+					}
+					if dep == def.ind && c.Kind() == lang.KindHoldsFor {
+						// Self-reference in a holdsFor body is a cycle by
+						// construction; handled below via the graph.
+						def.deps[dep] = true
+					}
+				}
+			}
+		}
+	}
+
+	if err := e.stratify(warn); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// bodyFluentRef extracts the fluent indicator referenced by a holdsAt or
+// holdsFor body condition.
+func bodyFluentRef(atom *lang.Term) (string, bool) {
+	if atom.Kind != lang.Compound || len(atom.Args) != 2 {
+		return "", false
+	}
+	if atom.Functor != "holdsAt" && atom.Functor != "holdsFor" {
+		return "", false
+	}
+	fvp := atom.Args[0]
+	if fvp.Kind == lang.Compound && fvp.Functor == "=" && len(fvp.Args) == 2 && fvp.Args[0].IsCallable() {
+		return fvp.Args[0].Indicator(), true
+	}
+	return "", false
+}
+
+// checkSimpleRule validates the shape of an initiatedAt/terminatedAt rule:
+// it must contain at least one positive happensAt condition to anchor
+// event-driven evaluation (Definition 2.2 requires it to come first; the
+// engine tolerates any position).
+func checkSimpleRule(c *lang.Clause) string {
+	fvp, _ := c.HeadFVP()
+	if fvp == nil {
+		return "head has no F=V fluent-value pair"
+	}
+	for _, l := range c.Body {
+		if !l.Neg && l.Atom.Functor == "happensAt" && len(l.Atom.Args) == 2 {
+			return ""
+		}
+	}
+	return "no positive happensAt condition to anchor evaluation"
+}
+
+// checkSDRule validates the shape of a holdsFor rule: the head interval
+// argument must be a variable that is produced by the body.
+func checkSDRule(c *lang.Clause) string {
+	fvp, _ := c.HeadFVP()
+	if fvp == nil {
+		return "head has no F=V fluent-value pair"
+	}
+	if c.Head.Args[1].Kind != lang.Var {
+		return "head interval argument must be a variable"
+	}
+	if len(c.Body) == 0 {
+		return "empty body"
+	}
+	for _, l := range c.Body {
+		if l.Atom.Functor == "happensAt" || l.Atom.Functor == "holdsAt" {
+			return fmt.Sprintf("condition %s is not allowed in a statically determined definition", l.Atom)
+		}
+	}
+	return ""
+}
+
+// stratify orders fluents bottom-up by dependencies. Cyclic fluents are
+// dropped with a warning in non-strict mode.
+func (e *Engine) stratify(warn func(fluent, format string, args ...any) error) error {
+	const (
+		unvisited = 0
+		inStack   = 1
+		done      = 2
+	)
+	state := map[string]int{}
+	var order []string
+	var cyclic []string
+
+	var visit func(ind string, trail []string) bool
+	visit = func(ind string, trail []string) bool {
+		switch state[ind] {
+		case done:
+			return true
+		case inStack:
+			return false
+		}
+		state[ind] = inStack
+		def := e.fluents[ind]
+		deps := make([]string, 0, len(def.deps))
+		for d := range def.deps {
+			deps = append(deps, d)
+		}
+		sort.Strings(deps)
+		ok := true
+		for _, d := range deps {
+			if _, exists := e.fluents[d]; !exists {
+				continue
+			}
+			if !visit(d, append(trail, ind)) {
+				ok = false
+			}
+		}
+		if !ok {
+			state[ind] = done
+			cyclic = append(cyclic, ind)
+			return false
+		}
+		state[ind] = done
+		def.level = len(order)
+		order = append(order, ind)
+		return true
+	}
+
+	inds := make([]string, 0, len(e.fluents))
+	for ind := range e.fluents {
+		inds = append(inds, ind)
+	}
+	sort.Strings(inds)
+	for _, ind := range inds {
+		visit(ind, nil)
+	}
+	for _, ind := range cyclic {
+		delete(e.fluents, ind)
+		if err := warn(ind, "cyclic definition; fluent dropped (RTEC hierarchies must be acyclic)"); err != nil {
+			return err
+		}
+	}
+	// Remove dropped fluents from the order.
+	e.order = e.order[:0]
+	for _, ind := range order {
+		if _, ok := e.fluents[ind]; ok {
+			e.order = append(e.order, ind)
+		}
+	}
+	return nil
+}
+
+// depsClosure returns the transitive dependencies of a fluent, in stratum
+// order (lowest first), excluding the fluent itself.
+func (e *Engine) depsClosure(ind string) []string {
+	seen := map[string]bool{}
+	var visit func(string)
+	visit = func(i string) {
+		if seen[i] {
+			return
+		}
+		seen[i] = true
+		if def, ok := e.fluents[i]; ok {
+			for d := range def.deps {
+				visit(d)
+			}
+		}
+	}
+	visit(ind)
+	delete(seen, ind)
+	var out []string
+	for _, i := range e.order {
+		if seen[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// fvpKey returns the canonical cache key of a ground FVP term '='(F, V).
+func fvpKey(fvp *lang.Term) string { return fvp.String() }
+
+// fluentKeyOf returns the indicator of the fluent inside an FVP term.
+func fluentKeyOf(fvp *lang.Term) string {
+	if fvp.Kind == lang.Compound && fvp.Functor == "=" && len(fvp.Args) == 2 && fvp.Args[0].IsCallable() {
+		return fvp.Args[0].Indicator()
+	}
+	return ""
+}
+
+// describe renders the hierarchy for debugging and documentation.
+func (e *Engine) describe() string {
+	var b strings.Builder
+	for _, ind := range e.order {
+		def := e.fluents[ind]
+		fmt.Fprintf(&b, "%s (%s, level %d)\n", ind, def.kind, def.level)
+	}
+	return b.String()
+}
+
+// Describe returns a human-readable summary of the loaded hierarchy.
+func (e *Engine) Describe() string { return e.describe() }

@@ -1,0 +1,657 @@
+package rtec
+
+import (
+	"fmt"
+	"sort"
+
+	"rtecgen/internal/intervals"
+	"rtecgen/internal/kb"
+	"rtecgen/internal/lang"
+	"rtecgen/internal/stream"
+)
+
+// cacheEntry holds the computed maximal intervals of one ground FVP within
+// the current window.
+type cacheEntry struct {
+	fvp  *lang.Term // ground '='(F, V)
+	list intervals.List
+}
+
+// windowState is the per-window evaluation context: the indexed events of
+// the window and the bottom-up cache of FVP interval lists.
+type windowState struct {
+	eng       *Engine
+	ws, we    int64 // window covers [ws, we)
+	byIndTime map[string]map[int64][]*lang.Term
+	byInd     map[string][]stream.Event
+	cache     map[string]*cacheEntry   // by fvpKey
+	byFluent  map[string][]*cacheEntry // fluent indicator -> entries
+	prevOpen  map[string]*lang.Term    // fvpKey -> fvp, simple FVPs holding at window start
+	warnings  map[string]bool          // dedup of runtime warnings
+	warnSink  *[]Warning
+}
+
+func newWindowState(e *Engine, events stream.Stream, ws, we int64, prevOpen map[string]*lang.Term, warnSink *[]Warning) *windowState {
+	w := &windowState{
+		eng:       e,
+		ws:        ws,
+		we:        we,
+		byIndTime: map[string]map[int64][]*lang.Term{},
+		byInd:     map[string][]stream.Event{},
+		cache:     map[string]*cacheEntry{},
+		byFluent:  map[string][]*cacheEntry{},
+		prevOpen:  prevOpen,
+		warnings:  map[string]bool{},
+		warnSink:  warnSink,
+	}
+	for _, ev := range events {
+		ind := ev.Atom.Indicator()
+		w.byInd[ind] = append(w.byInd[ind], ev)
+		byTime := w.byIndTime[ind]
+		if byTime == nil {
+			byTime = map[int64][]*lang.Term{}
+			w.byIndTime[ind] = byTime
+		}
+		byTime[ev.Time] = append(byTime[ev.Time], ev.Atom)
+	}
+	return w
+}
+
+func (w *windowState) warnf(fluent, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	key := fluent + "|" + msg
+	if w.warnings[key] {
+		return
+	}
+	w.warnings[key] = true
+	if w.warnSink != nil {
+		*w.warnSink = append(*w.warnSink, Warning{Fluent: fluent, Msg: msg})
+	}
+}
+
+// store unions list into the cache entry for the ground FVP.
+func (w *windowState) store(fvp *lang.Term, list intervals.List) {
+	key := fvpKey(fvp)
+	if ent, ok := w.cache[key]; ok {
+		ent.list = intervals.Union(ent.list, list)
+		return
+	}
+	ent := &cacheEntry{fvp: fvp, list: list}
+	w.cache[key] = ent
+	fl := fluentKeyOf(fvp)
+	w.byFluent[fl] = append(w.byFluent[fl], ent)
+}
+
+// listOf returns the cached intervals of a ground FVP (nil when unknown —
+// an undefined or never-holding FVP has no intervals).
+func (w *windowState) listOf(fvp *lang.Term) intervals.List {
+	if ent, ok := w.cache[fvpKey(fvp)]; ok {
+		return ent.list
+	}
+	return nil
+}
+
+// evaluate computes every fluent of the hierarchy bottom-up, caching each
+// fluent's intervals for the window so higher-level definitions reuse them.
+func (w *windowState) evaluate() {
+	if w.eng.opts.DisableCache {
+		w.evaluateUncached()
+		return
+	}
+	for _, ind := range w.eng.order {
+		w.evalFluent(ind)
+	}
+}
+
+func (w *windowState) evalFluent(ind string) {
+	def := w.eng.fluents[ind]
+	if def.kind == Simple {
+		w.evalSimple(def)
+	} else {
+		w.evalSD(def)
+	}
+}
+
+// evaluateUncached is the caching ablation: for every fluent, its full
+// dependency closure is recomputed from scratch instead of being shared
+// bottom-up. Results are identical to the cached evaluation.
+func (w *windowState) evaluateUncached() {
+	finalCache := map[string]*cacheEntry{}
+	finalByFluent := map[string][]*cacheEntry{}
+	for _, ind := range w.eng.order {
+		w.cache = map[string]*cacheEntry{}
+		w.byFluent = map[string][]*cacheEntry{}
+		for _, dep := range w.eng.depsClosure(ind) {
+			w.evalFluent(dep)
+		}
+		w.evalFluent(ind)
+		for key, ent := range w.cache {
+			if fluentKeyOf(ent.fvp) != ind {
+				continue
+			}
+			finalCache[key] = ent
+			finalByFluent[ind] = append(finalByFluent[ind], ent)
+		}
+	}
+	w.cache, w.byFluent = finalCache, finalByFluent
+}
+
+// --- simple fluents --------------------------------------------------------
+
+// fvpPoints accumulates initiation and termination points per ground FVP.
+type fvpPoints struct {
+	fvp        *lang.Term
+	fluentPart string // canonical string of the fluent term F (without =V)
+	inits      []int64
+	terms      []int64
+}
+
+func (w *windowState) evalSimple(def *fluentDef) {
+	points := map[string]*fvpPoints{}
+	get := func(fvp *lang.Term) *fvpPoints {
+		key := fvpKey(fvp)
+		p, ok := points[key]
+		if !ok {
+			p = &fvpPoints{fvp: fvp, fluentPart: fvp.Args[0].String()}
+			points[key] = p
+		}
+		return p
+	}
+
+	// Inertia: FVPs open at the window start behave as if initiated just
+	// before it, so their interval resumes at ws.
+	for _, fvp := range w.prevOpen {
+		if fluentKeyOf(fvp) == def.ind {
+			get(fvp).inits = append(get(fvp).inits, w.ws-1)
+		}
+	}
+
+	// Initiations must be ground: an unbound variable in the head of an
+	// initiatedAt rule is unsafe. Terminations may be non-ground — e.g.
+	// rule (3) of the paper terminates withinArea(Vl, AreaType)=true for
+	// every AreaType on a communication gap — and act as wildcards over all
+	// matching FVPs of the fluent.
+	type wildcard struct {
+		pattern *lang.Term
+		t       int64
+	}
+	var wildcards []wildcard
+	for _, rule := range def.inits {
+		w.evalSimpleRule(def, rule, func(fvp *lang.Term, t int64) {
+			if !fvp.IsGround() {
+				w.warnf(def.ind, "initiatedAt rule derives non-ground FVP %s; occurrence dropped", fvp)
+				return
+			}
+			p := get(fvp)
+			p.inits = append(p.inits, t)
+		})
+	}
+	for _, rule := range def.terms {
+		w.evalSimpleRule(def, rule, func(fvp *lang.Term, t int64) {
+			if !fvp.IsGround() {
+				wildcards = append(wildcards, wildcard{pattern: fvp, t: t})
+				return
+			}
+			p := get(fvp)
+			p.terms = append(p.terms, t)
+		})
+	}
+	for _, wc := range wildcards {
+		for _, p := range points {
+			if _, ok := lang.NewSubst().UnifyInto(wc.pattern, p.fvp); ok {
+				p.terms = append(p.terms, wc.t)
+			}
+		}
+	}
+
+	// Values of a simple fluent are mutually exclusive: initiating F=V'
+	// breaks any current interval of F=V (V != V').
+	keys := make([]string, 0, len(points))
+	for k := range points {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	extraTerms := map[string][]int64{}
+	for _, k := range keys {
+		p := points[k]
+		for _, k2 := range keys {
+			if k2 == k {
+				continue
+			}
+			q := points[k2]
+			if q.fluentPart == p.fluentPart {
+				extraTerms[k] = append(extraTerms[k], q.inits...)
+			}
+		}
+	}
+	for _, k := range keys {
+		p := points[k]
+		list := intervals.FromPoints(p.inits, append(p.terms, extraTerms[k]...))
+		if len(list) > 0 {
+			w.store(p.fvp, list)
+		}
+	}
+}
+
+// evalSimpleRule evaluates one initiatedAt/terminatedAt rule event-driven:
+// it anchors on the rule's first positive happensAt condition, iterates the
+// matching events of the window, and checks the remaining conditions.
+func (w *windowState) evalSimpleRule(def *fluentDef, rule *lang.Clause, emit func(fvp *lang.Term, t int64)) {
+	r := rule.RenameApart("_r")
+	anchorIdx := -1
+	for i, l := range r.Body {
+		if !l.Neg && l.Atom.Functor == "happensAt" && len(l.Atom.Args) == 2 {
+			anchorIdx = i
+			break
+		}
+	}
+	if anchorIdx < 0 {
+		return // validated at load; defensive
+	}
+	anchor := r.Body[anchorIdx].Atom
+	rest := make([]lang.Literal, 0, len(r.Body)-1)
+	rest = append(rest, r.Body[:anchorIdx]...)
+	rest = append(rest, r.Body[anchorIdx+1:]...)
+
+	pattern, timeArg := anchor.Args[0], anchor.Args[1]
+	if !pattern.IsCallable() {
+		w.warnf(def.ind, "happensAt pattern %s is not callable; rule skipped", pattern)
+		return
+	}
+	for _, ev := range w.byInd[pattern.Indicator()] {
+		s := lang.NewSubst()
+		if !s.Unify(pattern, ev.Atom) {
+			continue
+		}
+		if !s.Unify(timeArg, lang.NewInt(ev.Time)) {
+			continue
+		}
+		w.solveConditions(def, rest, s, func(final lang.Subst) {
+			emit(final.Resolve(r.Head.Args[0]), ev.Time)
+		})
+	}
+}
+
+// solveConditions evaluates the remaining body conditions of a simple-fluent
+// rule with backtracking, invoking yield for every solution.
+func (w *windowState) solveConditions(def *fluentDef, lits []lang.Literal, s lang.Subst, yield func(lang.Subst)) {
+	if len(lits) == 0 {
+		yield(s)
+		return
+	}
+	lit := lits[0]
+	rest := lits[1:]
+	atom := lit.Atom
+
+	// Builtins (comparisons, =, absAngleDiff).
+	if atom.Kind == lang.Compound && kb.IsBuiltin(atom.Indicator()) {
+		substs, _, err := kb.SolveBuiltin(atom, s)
+		if err != nil {
+			w.warnf(def.ind, "condition %s: %v", atom, err)
+			return
+		}
+		if lit.Neg {
+			if len(substs) == 0 {
+				w.solveConditions(def, rest, s, yield)
+			}
+			return
+		}
+		for _, n := range substs {
+			w.solveConditions(def, rest, n, yield)
+		}
+		return
+	}
+
+	switch {
+	case atom.Functor == "happensAt" && len(atom.Args) == 2:
+		if lit.Neg {
+			if w.anyEventMatch(atom, s) {
+				return
+			}
+			w.solveConditions(def, rest, s, yield)
+			return
+		}
+		w.eachEventMatch(atom, s, func(n lang.Subst) {
+			w.solveConditions(def, rest, n, yield)
+		})
+
+	case atom.Functor == "holdsAt" && len(atom.Args) == 2:
+		if t := s.Resolve(atom.Args[1]); t.Kind == lang.Var {
+			// An unbound time-point makes the condition unsafe: negation
+			// would succeed vacuously. Fail the rule and say why.
+			w.warnf(def.ind, "holdsAt condition %s has an unbound time-point; rule fails", atom)
+			return
+		}
+		if lit.Neg {
+			if w.anyHoldsAt(atom, s) {
+				return
+			}
+			w.solveConditions(def, rest, s, yield)
+			return
+		}
+		w.eachHoldsAt(atom, s, func(n lang.Subst) {
+			w.solveConditions(def, rest, n, yield)
+		})
+
+	case atom.Functor == "holdsFor":
+		w.warnf(def.ind, "holdsFor condition %s is not allowed in a simple-fluent rule; rule fails", atom)
+		return
+
+	default: // atemporal background knowledge
+		matches := w.eng.kb.Match(atom, s)
+		if lit.Neg {
+			if len(matches) > 0 {
+				return
+			}
+			w.solveConditions(def, rest, s, yield)
+			return
+		}
+		if len(matches) == 0 && len(w.eng.kb.FactsOf(atom.Indicator())) == 0 {
+			w.warnf(def.ind, "unknown predicate %s; condition fails", atom.Indicator())
+		}
+		for _, n := range matches {
+			w.solveConditions(def, rest, n, yield)
+		}
+	}
+}
+
+// eachEventMatch enumerates the window events unifying with a happensAt
+// condition. When the time argument is bound, only that time-point's events
+// are scanned.
+func (w *windowState) eachEventMatch(atom *lang.Term, s lang.Subst, yield func(lang.Subst)) {
+	pattern := s.Resolve(atom.Args[0])
+	timeArg := s.Resolve(atom.Args[1])
+	if !pattern.IsCallable() {
+		return
+	}
+	ind := pattern.Indicator()
+	if t, ok := timeArg.Number(); ok {
+		for _, ev := range w.byIndTime[ind][int64(t)] {
+			if n, ok := s.UnifyInto(pattern, ev); ok {
+				yield(n)
+			}
+		}
+		return
+	}
+	for _, ev := range w.byInd[ind] {
+		n, ok := s.UnifyInto(pattern, ev.Atom)
+		if !ok {
+			continue
+		}
+		if n.Unify(timeArg, lang.NewInt(ev.Time)) {
+			yield(n)
+		}
+	}
+}
+
+func (w *windowState) anyEventMatch(atom *lang.Term, s lang.Subst) bool {
+	found := false
+	w.eachEventMatch(atom, s, func(lang.Subst) { found = true })
+	return found
+}
+
+// eachHoldsAt enumerates the solutions of a holdsAt(F=V, T) condition
+// against the window cache. T must be bound (it always is in simple-fluent
+// rules, where every predicate shares the rule's time-point).
+func (w *windowState) eachHoldsAt(atom *lang.Term, s lang.Subst, yield func(lang.Subst)) {
+	fvp := s.Resolve(atom.Args[0])
+	timeArg := s.Resolve(atom.Args[1])
+	tNum, ok := timeArg.Number()
+	if !ok {
+		return // unbound time: unsafe, fail
+	}
+	t := int64(tNum)
+	if fvp.IsGround() {
+		if w.listOf(fvp).Contains(t) {
+			yield(s)
+		}
+		return
+	}
+	fl := fluentKeyOf(fvp)
+	if fl == "" {
+		return
+	}
+	for _, ent := range w.byFluent[fl] {
+		if !ent.list.Contains(t) {
+			continue
+		}
+		if n, ok := s.UnifyInto(fvp, ent.fvp); ok {
+			yield(n)
+		}
+	}
+}
+
+func (w *windowState) anyHoldsAt(atom *lang.Term, s lang.Subst) bool {
+	found := false
+	w.eachHoldsAt(atom, s, func(lang.Subst) { found = true })
+	return found
+}
+
+// --- statically determined fluents -----------------------------------------
+
+// intervalEnv binds interval variables (I, I1, ...) to interval lists during
+// the evaluation of a holdsFor rule body. Interval variables live in their
+// own namespace, distinct from the term substitution.
+type intervalEnv map[string]intervals.List
+
+func (env intervalEnv) clone() intervalEnv {
+	n := make(intervalEnv, len(env))
+	for k, v := range env {
+		n[k] = v
+	}
+	return n
+}
+
+func (w *windowState) evalSD(def *fluentDef) {
+	for _, rule := range def.holdsFor {
+		w.evalSDRule(def, rule)
+	}
+}
+
+func (w *windowState) evalSDRule(def *fluentDef, rule *lang.Clause) {
+	r := rule.RenameApart("_r")
+	headFVP := r.Head.Args[0]
+	headIvar := r.Head.Args[1]
+
+	for _, s := range w.sdCandidates(def, r, headFVP) {
+		w.solveSDBody(def, r.Body, s, intervalEnv{}, func(final lang.Subst, env intervalEnv) {
+			fvp := final.Resolve(headFVP)
+			if !fvp.IsGround() {
+				w.warnf(def.ind, "holdsFor rule derives non-ground FVP %s; dropped", fvp)
+				return
+			}
+			out, ok := env[headIvar.Functor]
+			if !ok {
+				w.warnf(def.ind, "head interval variable %s is not produced by the body; dropped", headIvar)
+				return
+			}
+			if len(out) > 0 {
+				w.store(fvp, out)
+			}
+		})
+	}
+}
+
+// sdCandidates enumerates the candidate substitutions over which a holdsFor
+// rule is evaluated. With grounding declarations, the declared entity
+// domains are used. Otherwise candidates are derived from the cache: every
+// grounding of any positive holdsFor body condition contributes one, so
+// unions over fluent values see every relevant entity even when a
+// particular conjunct has no intervals (its list is then empty).
+func (w *windowState) sdCandidates(def *fluentDef, r *lang.Clause, headFVP *lang.Term) []lang.Subst {
+	if len(def.groundings) > 0 {
+		var out []lang.Subst
+		headFluent := headFVP.Args[0]
+		for gi, g := range def.groundings {
+			gr := g.RenameApart(fmt.Sprintf("_g%d", gi))
+			s0, ok := lang.NewSubst().UnifyInto(gr.Head.Args[0], headFluent)
+			if !ok {
+				continue
+			}
+			substs, err := w.eng.kb.Query(gr.Body, s0)
+			if err != nil {
+				w.warnf(def.ind, "grounding declaration: %v", err)
+				continue
+			}
+			out = append(out, substs...)
+		}
+		return out
+	}
+
+	seen := map[string]bool{}
+	var out []lang.Subst
+	for _, l := range r.Body {
+		if l.Neg || l.Atom.Functor != "holdsFor" || len(l.Atom.Args) != 2 {
+			continue
+		}
+		condFVP := l.Atom.Args[0]
+		fl := fluentKeyOf(condFVP)
+		for _, ent := range w.byFluent[fl] {
+			n, ok := lang.NewSubst().UnifyInto(condFVP, ent.fvp)
+			if !ok {
+				continue
+			}
+			key := n.Resolve(headFVP).String() + "|" + n.Resolve(condFVP).String()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out = append(out, n)
+		}
+	}
+	if len(out) == 0 {
+		// A rule whose conditions are all interval constructs or atemporal
+		// (unusual) still gets one empty candidate.
+		out = append(out, lang.NewSubst())
+	}
+	return out
+}
+
+// solveSDBody evaluates the body of a holdsFor rule under substitution s and
+// interval environment env.
+func (w *windowState) solveSDBody(def *fluentDef, lits []lang.Literal, s lang.Subst, env intervalEnv, yield func(lang.Subst, intervalEnv)) {
+	if len(lits) == 0 {
+		yield(s, env)
+		return
+	}
+	lit := lits[0]
+	rest := lits[1:]
+	atom := lit.Atom
+
+	if atom.Kind == lang.Compound && kb.IsBuiltin(atom.Indicator()) {
+		substs, _, err := kb.SolveBuiltin(atom, s)
+		if err != nil {
+			w.warnf(def.ind, "condition %s: %v", atom, err)
+			return
+		}
+		if lit.Neg {
+			if len(substs) == 0 {
+				w.solveSDBody(def, rest, s, env, yield)
+			}
+			return
+		}
+		for _, n := range substs {
+			w.solveSDBody(def, rest, n, env, yield)
+		}
+		return
+	}
+
+	switch atom.Functor {
+	case "holdsFor":
+		if lit.Neg {
+			w.warnf(def.ind, "negated holdsFor is not supported; use relative_complement_all")
+			return
+		}
+		if len(atom.Args) != 2 || atom.Args[1].Kind != lang.Var {
+			w.warnf(def.ind, "holdsFor condition %s must bind a fresh interval variable", atom)
+			return
+		}
+		ivar := atom.Args[1].Functor
+		fvp := s.Resolve(atom.Args[0])
+		if fvp.IsGround() {
+			n := env.clone()
+			n[ivar] = w.listOf(fvp)
+			w.solveSDBody(def, rest, s, n, yield)
+			return
+		}
+		fl := fluentKeyOf(fvp)
+		for _, ent := range w.byFluent[fl] {
+			if n, ok := s.UnifyInto(fvp, ent.fvp); ok {
+				ne := env.clone()
+				ne[ivar] = ent.list
+				w.solveSDBody(def, rest, n, ne, yield)
+			}
+		}
+
+	case "union_all", "intersect_all":
+		if len(atom.Args) != 2 || atom.Args[0].Kind != lang.List || atom.Args[1].Kind != lang.Var {
+			w.warnf(def.ind, "malformed interval construct %s", atom)
+			return
+		}
+		lists, ok := w.resolveIntervalLists(def, atom.Args[0].Args, env)
+		if !ok {
+			return
+		}
+		var out intervals.List
+		if atom.Functor == "union_all" {
+			out = intervals.Union(lists...)
+		} else {
+			out = intervals.Intersect(lists...)
+		}
+		n := env.clone()
+		n[atom.Args[1].Functor] = out
+		w.solveSDBody(def, rest, s, n, yield)
+
+	case "relative_complement_all":
+		if len(atom.Args) != 3 || atom.Args[0].Kind != lang.Var || atom.Args[1].Kind != lang.List || atom.Args[2].Kind != lang.Var {
+			w.warnf(def.ind, "malformed interval construct %s", atom)
+			return
+		}
+		base, ok := env[atom.Args[0].Functor]
+		if !ok {
+			w.warnf(def.ind, "interval variable %s used before being bound", atom.Args[0])
+			return
+		}
+		subtract, ok := w.resolveIntervalLists(def, atom.Args[1].Args, env)
+		if !ok {
+			return
+		}
+		n := env.clone()
+		n[atom.Args[2].Functor] = intervals.RelativeComplement(base, subtract...)
+		w.solveSDBody(def, rest, s, n, yield)
+
+	default: // atemporal background knowledge
+		matches := w.eng.kb.Match(atom, s)
+		if lit.Neg {
+			if len(matches) > 0 {
+				return
+			}
+			w.solveSDBody(def, rest, s, env, yield)
+			return
+		}
+		if len(matches) == 0 && len(w.eng.kb.FactsOf(atom.Indicator())) == 0 {
+			w.warnf(def.ind, "unknown predicate %s; condition fails", atom.Indicator())
+		}
+		for _, n := range matches {
+			w.solveSDBody(def, rest, n, env, yield)
+		}
+	}
+}
+
+// resolveIntervalLists maps interval variables to their bound lists.
+func (w *windowState) resolveIntervalLists(def *fluentDef, vars []*lang.Term, env intervalEnv) ([]intervals.List, bool) {
+	out := make([]intervals.List, 0, len(vars))
+	for _, v := range vars {
+		if v.Kind != lang.Var {
+			w.warnf(def.ind, "interval construct argument %s is not a variable", v)
+			return nil, false
+		}
+		l, ok := env[v.Functor]
+		if !ok {
+			w.warnf(def.ind, "interval variable %s used before being bound", v)
+			return nil, false
+		}
+		out = append(out, l)
+	}
+	return out, true
+}

@@ -1,0 +1,78 @@
+package rtec_test
+
+import (
+	"fmt"
+	"log"
+
+	"rtecgen/internal/parser"
+	"rtecgen/internal/rtec"
+	"rtecgen/internal/stream"
+)
+
+// Example demonstrates the core loop: load an event description, run it
+// over a stream, read off maximal intervals.
+func Example() {
+	ed, err := parser.ParseEventDescription(`
+inputEvent(entersArea(_, _)).
+inputEvent(leavesArea(_, _)).
+areaType(a1, fishing).
+
+initiatedAt(withinArea(Vl, AreaType)=true, T) :-
+    happensAt(entersArea(Vl, AreaID), T),
+    areaType(AreaID, AreaType).
+
+terminatedAt(withinArea(Vl, AreaType)=true, T) :-
+    happensAt(leavesArea(Vl, AreaID), T),
+    areaType(AreaID, AreaType).
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := rtec.New(ed, rtec.Options{Strict: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec, err := engine.Run(stream.Stream{
+		{Time: 10, Atom: parser.MustParseTerm("entersArea(v42, a1)")},
+		{Time: 60, Atom: parser.MustParseTerm("leavesArea(v42, a1)")},
+	}, rtec.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, key := range rec.Keys() {
+		fmt.Printf("holdsFor(%s, %s)\n", key, rec.IntervalsOfKey(key))
+	}
+	// Output:
+	// holdsFor(withinArea(v42, fishing)=true, [(10,60]])
+}
+
+// ExampleEngine_RunWindows shows the run-time consumption mode: results are
+// delivered per query time, with one window of latency.
+func ExampleEngine_RunWindows() {
+	ed := parser.MustParseEventDescription(`
+inputEvent(e(_)).
+inputEvent(f(_)).
+initiatedAt(active(X)=true, T) :- happensAt(e(X), T).
+terminatedAt(active(X)=true, T) :- happensAt(f(X), T).
+`)
+	engine, err := rtec.New(ed, rtec.Options{Strict: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	events := stream.Stream{
+		{Time: 0, Atom: parser.MustParseTerm("e(x)")},
+		{Time: 35, Atom: parser.MustParseTerm("f(x)")},
+	}
+	err = engine.RunWindows(events, rtec.RunOptions{Window: 20}, func(wr rtec.WindowResult) error {
+		for key, list := range wr.Recognised {
+			fmt.Printf("q=%d: %s %s\n", wr.QueryTime, key, list)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// q=20: active(x)=true [(0,19]]
+	// q=36: active(x)=true [(15,35]]
+}

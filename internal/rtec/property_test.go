@@ -1,0 +1,159 @@
+package rtec
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rtecgen/internal/parser"
+	"rtecgen/internal/stream"
+)
+
+// genRandomStream builds a random event stream over the withinArea and
+// hierarchy event descriptions' input events.
+func genRandomStream(r *rand.Rand, horizon int64) stream.Stream {
+	var s stream.Stream
+	vessels := []string{"v1", "v2", "v3"}
+	areas := []string{"a1", "a2"}
+	n := 5 + r.Intn(40)
+	for i := 0; i < n; i++ {
+		t := int64(r.Intn(int(horizon)))
+		v := vessels[r.Intn(len(vessels))]
+		var src string
+		switch r.Intn(3) {
+		case 0:
+			src = fmt.Sprintf("entersArea(%s, %s)", v, areas[r.Intn(len(areas))])
+		case 1:
+			src = fmt.Sprintf("leavesArea(%s, %s)", v, areas[r.Intn(len(areas))])
+		default:
+			src = fmt.Sprintf("gap_start(%s)", v)
+		}
+		s = append(s, stream.Event{Time: t, Atom: parser.MustParseTerm(src)})
+	}
+	return s
+}
+
+// TestPropWindowEquivalence: for any random stream, recognition with any
+// tumbling window size equals whole-stream recognition — RTEC's windowing
+// is lossless as long as no relevant events are forgotten mid-interval
+// (tumbling windows over simple fluents with inertia carry-over).
+func TestPropWindowEquivalence(t *testing.T) {
+	ed, err := parser.ParseEventDescription(withinAreaED)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(ed, Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		events := genRandomStream(r, 500)
+		single, err := e.Run(events, RunOptions{})
+		if err != nil {
+			return false
+		}
+		window := int64(20 + r.Intn(300))
+		windowed, err := e.Run(events, RunOptions{Window: window})
+		if err != nil {
+			return false
+		}
+		if len(single.Keys()) != len(windowed.Keys()) {
+			t.Logf("seed %d window %d: keys %v vs %v", seed, window, single.Keys(), windowed.Keys())
+			return false
+		}
+		for _, key := range single.Keys() {
+			if !single.IntervalsOfKey(key).Equal(windowed.IntervalsOfKey(key)) {
+				t.Logf("seed %d window %d: %s: %s vs %s", seed, window, key,
+					single.IntervalsOfKey(key), windowed.IntervalsOfKey(key))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropCachingEquivalence: the caching ablation never changes results,
+// for random streams over a deep hierarchy.
+func TestPropCachingEquivalence(t *testing.T) {
+	ed, err := parser.ParseEventDescription(hierarchyED)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := New(ed, Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncached, err := New(ed, Options{Strict: true, DisableCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var events stream.Stream
+		for i := 0; i < 5+r.Intn(30); i++ {
+			t := int64(r.Intn(300))
+			x := []string{"x", "y"}[r.Intn(2)]
+			ev := []string{"a_start", "a_end", "b_start", "b_end"}[r.Intn(4)]
+			events = append(events, stream.Event{
+				Time: t, Atom: parser.MustParseTerm(fmt.Sprintf("%s(%s)", ev, x)),
+			})
+		}
+		rc, err1 := cached.Run(events, RunOptions{Window: 100})
+		ru, err2 := uncached.Run(events, RunOptions{Window: 100})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if len(rc.Keys()) != len(ru.Keys()) {
+			return false
+		}
+		for _, key := range rc.Keys() {
+			if !rc.IntervalsOfKey(key).Equal(ru.IntervalsOfKey(key)) {
+				t.Logf("seed %d: %s differs", seed, key)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropOutOfOrderStreams: the engine sorts its input, so shuffled
+// streams give identical results.
+func TestPropOutOfOrderStreams(t *testing.T) {
+	ed, err := parser.ParseEventDescription(withinAreaED)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(ed, Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		events := genRandomStream(r, 500)
+		sorted := make(stream.Stream, len(events))
+		copy(sorted, events)
+		sorted.Sort()
+		a, err1 := e.Run(events, RunOptions{Window: 100})
+		b, err2 := e.Run(sorted, RunOptions{Window: 100})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for _, key := range a.Keys() {
+			if !a.IntervalsOfKey(key).Equal(b.IntervalsOfKey(key)) {
+				return false
+			}
+		}
+		return len(a.Keys()) == len(b.Keys())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,254 @@
+package rtec
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"rtecgen/internal/intervals"
+	"rtecgen/internal/lang"
+	"rtecgen/internal/stream"
+)
+
+// RunOptions configure a recognition run.
+type RunOptions struct {
+	// Window is the sliding-window size ω in time-points. Zero means a
+	// single window over the whole stream.
+	Window int64
+	// Slide is the step between query times. Zero defaults to Window
+	// (tumbling windows).
+	Slide int64
+	// Start and End bound the recognition time-line [Start, End). When both
+	// are zero they are derived from the stream (first event, last event+1).
+	Start, End int64
+}
+
+// Recognition holds the result of a run: the maximal intervals of every
+// ground FVP over the whole time-line, amalgamated across windows and
+// clipped to [Start, End).
+type Recognition struct {
+	Start, End int64
+	byKey      map[string]intervals.List
+	fvps       map[string]*lang.Term
+	Warnings   []Warning
+}
+
+// IntervalsOf returns the recognised maximal intervals of a ground FVP,
+// given as an '='(F, V) term.
+func (r *Recognition) IntervalsOf(fvp *lang.Term) intervals.List {
+	return r.byKey[fvpKey(fvp)]
+}
+
+// IntervalsOfKey returns the intervals for a canonical FVP key, e.g.
+// "withinArea(v1, fishing)=true".
+func (r *Recognition) IntervalsOfKey(key string) intervals.List { return r.byKey[key] }
+
+// HoldsAt reports whether the FVP holds at time-point t.
+func (r *Recognition) HoldsAt(fvp *lang.Term, t int64) bool {
+	return r.byKey[fvpKey(fvp)].Contains(t)
+}
+
+// Keys returns the canonical keys of all recognised FVPs, sorted.
+func (r *Recognition) Keys() []string {
+	out := make([]string, 0, len(r.byKey))
+	for k := range r.byKey {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FVP returns the parsed FVP term for a canonical key.
+func (r *Recognition) FVP(key string) *lang.Term { return r.fvps[key] }
+
+// ByFluent groups the recognised FVP keys by fluent indicator, e.g.
+// "withinArea/2" -> all ground withinArea FVPs.
+func (r *Recognition) ByFluent() map[string][]string {
+	out := map[string][]string{}
+	for k, fvp := range r.fvps {
+		out[fluentKeyOf(fvp)] = append(out[fluentKeyOf(fvp)], k)
+	}
+	for _, ks := range out {
+		sort.Strings(ks)
+	}
+	return out
+}
+
+// FluentIntervals returns the union of the intervals of every FVP of the
+// given fluent indicator whose value matches the given value term (nil
+// matches any value): the recognised instances of an activity across all
+// entities.
+func (r *Recognition) FluentIntervals(ind string, value *lang.Term) map[string]intervals.List {
+	out := map[string]intervals.List{}
+	for k, fvp := range r.fvps {
+		if fluentKeyOf(fvp) != ind {
+			continue
+		}
+		if value != nil && !fvp.Args[1].Equal(value) {
+			continue
+		}
+		out[k] = r.byKey[k]
+	}
+	return out
+}
+
+// WriteCSV serialises the recognition result as rows of
+// "fluent,fvp,since,until", one row per maximal interval, using RTEC's
+// (since, until] display convention. Open-ended intervals print "inf" as
+// until. Rows are sorted by FVP key, then time.
+func (r *Recognition) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"fluent", "fvp", "since", "until"}); err != nil {
+		return err
+	}
+	for _, key := range r.Keys() {
+		fvp := r.fvps[key]
+		ind := fluentKeyOf(fvp)
+		for _, iv := range r.byKey[key] {
+			until := "inf"
+			if iv.End != intervals.Inf {
+				until = strconv.FormatInt(iv.End-1, 10)
+			}
+			if err := cw.Write([]string{ind, key, strconv.FormatInt(iv.Start-1, 10), until}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WindowResult is the outcome of one query time, delivered by RunWindows as
+// soon as the window is evaluated: the ground FVPs recognised within
+// [WindowStart, QueryTime) and their intervals clipped to the window.
+type WindowResult struct {
+	WindowStart, QueryTime int64
+	// Recognised maps canonical FVP keys to their clipped interval lists.
+	Recognised map[string]intervals.List
+	// FVPs maps the same keys to the parsed FVP terms.
+	FVPs map[string]*lang.Term
+}
+
+// Run performs windowed recognition over the stream and returns the
+// amalgamated results. The stream need not be sorted; a sorted copy is used.
+// Runtime warnings (conditions that could not be evaluated) are collected on
+// the Recognition.
+func (e *Engine) Run(events stream.Stream, opts RunOptions) (*Recognition, error) {
+	var rec *Recognition
+	err := e.runWindows(events, opts, func(r *Recognition, _ WindowResult) error {
+		rec = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// RunWindows performs windowed recognition and invokes fn after every query
+// time with that window's results — the run-time consumption mode, where a
+// consumer reacts to detections with the latency of one window rather than
+// waiting for the whole stream. An empty stream produces no windows.
+// Returning a non-nil error from fn aborts the run.
+func (e *Engine) RunWindows(events stream.Stream, opts RunOptions, fn func(WindowResult) error) error {
+	return e.runWindows(events, opts, func(_ *Recognition, wr WindowResult) error {
+		if wr.QueryTime <= wr.WindowStart {
+			return nil // degenerate empty-stream window: nothing to report
+		}
+		return fn(wr)
+	})
+}
+
+func (e *Engine) runWindows(events stream.Stream, opts RunOptions, fn func(*Recognition, WindowResult) error) error {
+	s := make(stream.Stream, len(events))
+	copy(s, events)
+	s.Sort()
+
+	start, end := opts.Start, opts.End
+	if start == 0 && end == 0 {
+		if len(s) == 0 {
+			return fn(&Recognition{byKey: map[string]intervals.List{}, fvps: map[string]*lang.Term{}},
+				WindowResult{Recognised: map[string]intervals.List{}, FVPs: map[string]*lang.Term{}})
+		}
+		first, last := s.TimeRange()
+		start, end = first, last+1
+	}
+	if end <= start {
+		return fmt.Errorf("rtec: empty time-line [%d, %d)", start, end)
+	}
+	window := opts.Window
+	if window <= 0 {
+		window = end - start
+	}
+	slide := opts.Slide
+	if slide <= 0 {
+		slide = window
+	}
+	if slide > window {
+		return fmt.Errorf("rtec: slide %d exceeds window %d; events would be skipped", slide, window)
+	}
+
+	rec := &Recognition{
+		Start: start, End: end,
+		byKey: map[string]intervals.List{},
+		fvps:  map[string]*lang.Term{},
+	}
+
+	// Query times q = start+window, start+window+slide, ..., end; each
+	// window covers [max(start, q-window), q).
+	var qs []int64
+	for q := start + window; q < end; q += slide {
+		qs = append(qs, q)
+	}
+	qs = append(qs, end)
+
+	prevOpen := map[string]*lang.Term{}
+	for i, q := range qs {
+		ws, we := q-window, q
+		if ws < start {
+			ws = start
+		}
+		w := newWindowState(e, s.Window(ws, we), ws, we, prevOpen, &rec.Warnings)
+		w.evaluate()
+
+		// The next window starts at nws; a simple FVP that (per this
+		// window's computation) holds at nws persists into the next window
+		// by the law of inertia.
+		var nws int64 = -1
+		if i+1 < len(qs) {
+			nws = qs[i+1] - window
+			if nws < start {
+				nws = start
+			}
+		}
+		wr := WindowResult{
+			WindowStart: ws, QueryTime: we,
+			Recognised: map[string]intervals.List{},
+			FVPs:       map[string]*lang.Term{},
+		}
+		prevOpen = map[string]*lang.Term{}
+		for key, ent := range w.cache {
+			clipped := intervals.Clip(ent.list, ws, we)
+			if len(clipped) > 0 {
+				rec.byKey[key] = intervals.Union(rec.byKey[key], clipped)
+				if _, ok := rec.fvps[key]; !ok {
+					rec.fvps[key] = ent.fvp
+				}
+				wr.Recognised[key] = clipped
+				wr.FVPs[key] = ent.fvp
+			}
+			if nws < 0 {
+				continue
+			}
+			if fl, ok := e.fluents[fluentKeyOf(ent.fvp)]; ok && fl.kind == Simple && ent.list.Contains(nws) {
+				prevOpen[key] = ent.fvp
+			}
+		}
+		if err := fn(rec, wr); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,287 @@
+package rtec
+
+import (
+	"strings"
+	"testing"
+
+	"rtecgen/internal/intervals"
+	"rtecgen/internal/parser"
+	"rtecgen/internal/stream"
+)
+
+// baseSimpleED defines two simple fluents to build SD rules on.
+const baseSimpleED = `
+inputEvent(on(_)).
+inputEvent(off(_)).
+inputEvent(in(_, _)).
+inputEvent(out(_, _)).
+
+kind(k1, alpha).
+kind(k2, beta).
+
+initiatedAt(power(X)=true, T) :- happensAt(on(X), T).
+terminatedAt(power(X)=true, T) :- happensAt(off(X), T).
+
+initiatedAt(zone(X, Kind)=true, T) :-
+    happensAt(in(X, Z), T),
+    kind(Z, Kind).
+terminatedAt(zone(X, Kind)=true, T) :-
+    happensAt(out(X, Z), T),
+    kind(Z, Kind).
+`
+
+func runED(t *testing.T, src string, events stream.Stream, strict bool) (*Engine, *Recognition) {
+	t.Helper()
+	ed, err := parser.ParseEventDescription(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(ed, Options{Strict: strict})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := e.Run(events, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, rec
+}
+
+func baseEvents() stream.Stream {
+	return stream.Stream{
+		ev(10, "on(x)"),
+		ev(20, "in(x, k1)"),
+		ev(40, "out(x, k1)"),
+		ev(50, "in(x, k2)"),
+		ev(70, "out(x, k2)"),
+		ev(80, "off(x)"),
+		ev(99, "on(y)"),
+	}
+}
+
+// TestSDNonGroundCondition: a holdsFor condition with an unbound value
+// variable enumerates the cached FVPs of the fluent.
+func TestSDNonGroundCondition(t *testing.T) {
+	src := baseSimpleED + `
+holdsFor(anywhere(X, Kind)=true, I) :-
+    holdsFor(zone(X, Kind)=true, Iz),
+    holdsFor(power(X)=true, Ip),
+    intersect_all([Iz, Ip], I).
+`
+	_, rec := runED(t, src, baseEvents(), true)
+	checkIntervals(t, rec, "anywhere(x, alpha)=true", intervals.List{ivl(21, 41)})
+	checkIntervals(t, rec, "anywhere(x, beta)=true", intervals.List{ivl(51, 71)})
+}
+
+// TestSDBuiltinAndNegationConditions: atemporal negation and comparison
+// builtins inside holdsFor bodies.
+func TestSDBuiltinAndNegationConditions(t *testing.T) {
+	src := baseSimpleED + `
+priority(k1, 5).
+priority(k2, 1).
+
+holdsFor(important(X, Kind)=true, I) :-
+    holdsFor(zone(X, Kind)=true, Iz),
+    kind(Z, Kind),
+    priority(Z, P),
+    P > 3,
+    not excluded(Kind),
+    union_all([Iz], I).
+`
+	_, rec := runED(t, src, baseEvents(), false)
+	checkIntervals(t, rec, "important(x, alpha)=true", intervals.List{ivl(21, 41)})
+	if got := rec.IntervalsOfKey("important(x, beta)=true"); len(got) != 0 {
+		t.Fatalf("beta priority 1 must not qualify: %s", got)
+	}
+}
+
+// TestSDNegatedHoldsForWarns: negated holdsFor is rejected with a warning.
+func TestSDNegatedHoldsForWarns(t *testing.T) {
+	src := baseSimpleED + `
+holdsFor(odd(X)=true, I) :-
+    holdsFor(power(X)=true, Ip),
+    not holdsFor(zone(X, alpha)=true, Iz),
+    union_all([Ip], I).
+`
+	_, rec := runED(t, src, baseEvents(), false)
+	if len(rec.IntervalsOfKey("odd(x)=true")) != 0 {
+		t.Fatal("negated holdsFor must fail the rule")
+	}
+	found := false
+	for _, w := range rec.Warnings {
+		if strings.Contains(w.Msg, "negated holdsFor") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing warning: %v", rec.Warnings)
+	}
+}
+
+// TestSDMalformedConstructs: construct arguments that are not lists or
+// variables produce warnings, not crashes.
+func TestSDMalformedConstructs(t *testing.T) {
+	cases := []struct {
+		rule, wantWarning string
+	}{
+		{`holdsFor(bad1(X)=true, I) :-
+		    holdsFor(power(X)=true, Ip),
+		    union_all(Ip, I).`, "malformed interval construct"},
+		{`holdsFor(bad2(X)=true, I) :-
+		    holdsFor(power(X)=true, Ip),
+		    relative_complement_all([Ip], [Ip], I).`, "malformed interval construct"},
+		{`holdsFor(bad3(X)=true, I) :-
+		    holdsFor(power(X)=true, Ip),
+		    union_all([Iq], I).`, "used before being bound"},
+		{`holdsFor(bad4(X)=true, I) :-
+		    holdsFor(power(X)=true, Ip),
+		    relative_complement_all(Iq, [Ip], I).`, "used before being bound"},
+		{`holdsFor(bad5(X)=true, I) :-
+		    holdsFor(power(X)=true, Ip),
+		    union_all([7], I).`, "is not a variable"},
+	}
+	for _, c := range cases {
+		_, rec := runED(t, baseSimpleED+c.rule, baseEvents(), false)
+		found := false
+		for _, w := range rec.Warnings {
+			if strings.Contains(w.Msg, c.wantWarning) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("rule %q: missing warning %q in %v", c.rule[:30], c.wantWarning, rec.Warnings)
+		}
+	}
+}
+
+// TestSDHeadIntervalNotProduced: a body that never binds the head interval
+// variable warns and produces nothing.
+func TestSDHeadIntervalNotProduced(t *testing.T) {
+	src := baseSimpleED + `
+holdsFor(dangling(X)=true, I) :-
+    holdsFor(power(X)=true, Ip),
+    union_all([Ip], Iother).
+`
+	_, rec := runED(t, src, baseEvents(), false)
+	if len(rec.IntervalsOfKey("dangling(x)=true")) != 0 {
+		t.Fatal("unbound head interval must produce nothing")
+	}
+	found := false
+	for _, w := range rec.Warnings {
+		if strings.Contains(w.Msg, "not produced by the body") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing warning: %v", rec.Warnings)
+	}
+}
+
+// TestSimpleRuleSecondHappensAtUnboundTime: a happensAt condition with a
+// fresh time variable scans all events of the indicator.
+func TestSimpleRuleSecondHappensAtUnboundTime(t *testing.T) {
+	src := `
+inputEvent(go(_)).
+inputEvent(ack(_)).
+inputEvent(halt(_)).
+
+initiatedAt(confirmed(X)=true, T) :-
+    happensAt(go(X), T),
+    happensAt(ack(X), T2).
+
+terminatedAt(confirmed(X)=true, T) :-
+    happensAt(halt(X), T).
+`
+	events := stream.Stream{
+		ev(10, "go(a)"), // a never acked: no initiation
+		ev(20, "go(b)"), // b acked (at any time): initiation at 20
+		ev(90, "ack(b)"),
+		ev(95, "halt(a)"),
+		ev(99, "halt(b)"),
+	}
+	_, rec := runED(t, src, events, true)
+	checkIntervals(t, rec, "confirmed(b)=true", intervals.List{ivl(21, 100)})
+	if got := rec.IntervalsOfKey("confirmed(a)=true"); len(got) != 0 {
+		t.Fatalf("a was never acknowledged: %s", got)
+	}
+}
+
+// TestCheckSDRuleShapes: load-time validation of statically determined
+// definitions.
+func TestCheckSDRuleShapes(t *testing.T) {
+	cases := []struct {
+		src, wantWarning string
+	}{
+		{`holdsFor(f(X)=true, [1]) :- holdsFor(g(X)=true, I).`, "must be a variable"},
+		{`holdsFor(f(X)=true, I).`, "empty body"},
+		{`holdsFor(f(X)=true, I) :- happensAt(e(X), T).`, "not allowed in a statically determined"},
+		{`holdsFor(f(X)=true, I) :- holdsAt(g(X)=true, T).`, "not allowed in a statically determined"},
+	}
+	for _, c := range cases {
+		ed, err := parser.ParseEventDescription(c.src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := New(ed, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, w := range e.Warnings() {
+			if strings.Contains(w.Msg, c.wantWarning) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%q: missing warning %q in %v", c.src, c.wantWarning, e.Warnings())
+		}
+	}
+}
+
+// TestHoldsAtUnboundTimeIsUnsafe: a holdsAt condition whose time-point
+// remains unbound fails the rule with a warning — negation-as-failure over
+// an unbound time would otherwise succeed vacuously.
+func TestHoldsAtUnboundTimeIsUnsafe(t *testing.T) {
+	src := baseSimpleED + `
+initiatedAt(bogus(X)=true, T) :-
+    happensAt(on(X), T),
+    not holdsAt(zone(X, alpha)=true, T2).
+terminatedAt(bogus(X)=true, T) :-
+    happensAt(off(X), T).
+`
+	_, rec := runED(t, src, baseEvents(), false)
+	if got := rec.IntervalsOfKey("bogus(x)=true"); len(got) != 0 {
+		t.Fatalf("vacuous negation fired: %s", got)
+	}
+	found := false
+	for _, w := range rec.Warnings {
+		if strings.Contains(w.Msg, "unbound time-point") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing unsafe-time warning: %v", rec.Warnings)
+	}
+}
+
+// TestRunWindowsEmptyStreamNoWindows: no spurious callback on empty input.
+func TestRunWindowsEmptyStreamNoWindows(t *testing.T) {
+	ed, err := parser.ParseEventDescription(baseSimpleED)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(ed, Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	if err := e.RunWindows(nil, RunOptions{Window: 10}, func(WindowResult) error {
+		calls++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Fatalf("calls = %d, want 0", calls)
+	}
+}

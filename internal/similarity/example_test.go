@@ -1,0 +1,46 @@
+package similarity_test
+
+import (
+	"fmt"
+	"log"
+
+	"rtecgen/internal/parser"
+	"rtecgen/internal/similarity"
+)
+
+// Example reproduces the paper's Example 4.2: the distance between two
+// ground expressions differing in one event name.
+func Example() {
+	e1 := parser.MustParseTerm("happensAt(entersArea(v42, a1), 23)")
+	e2 := parser.MustParseTerm("happensAt(inArea(v42, a1), 23)")
+	fmt.Printf("%.2f\n", similarity.GroundDistance(e1, e2))
+	// Output:
+	// 0.25
+}
+
+// ExampleSimilarity scores a candidate event description against a gold
+// standard (Definition 4.14): variable renaming is free, a missing rule
+// costs its full share.
+func ExampleSimilarity() {
+	gold := parser.MustParseEventDescription(`
+initiatedAt(withinArea(Vl, AreaType)=true, T) :-
+    happensAt(entersArea(Vl, AreaID), T),
+    areaType(AreaID, AreaType).
+
+terminatedAt(withinArea(Vl, AreaType)=true, T) :-
+    happensAt(leavesArea(Vl, AreaID), T),
+    areaType(AreaID, AreaType).
+`)
+	candidate := parser.MustParseEventDescription(`
+initiatedAt(withinArea(V, Kind)=true, Time) :-
+    happensAt(entersArea(V, Area), Time),
+    areaType(Area, Kind).
+`)
+	s, err := similarity.Similarity(candidate.Rules(), gold.Rules())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%.2f\n", s)
+	// Output:
+	// 0.50
+}

@@ -1,0 +1,35 @@
+package stream
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV: stream files come from external tools, so the reader must
+// fail gracefully on arbitrary bytes.
+func FuzzReadCSV(f *testing.F) {
+	for _, s := range []string{
+		"",
+		"10,entersArea,v1,a1\n",
+		"10,velocity,v1,12.5,90.0,88.0\n",
+		"x,y\n",
+		"10\n",
+		"10,e,((\n",
+		"-5,e\n",
+		"10,e,\"quoted,comma\"\n",
+		strings.Repeat("1,e\n", 100),
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := ReadCSV(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		// Whatever reads back must serialise again without error.
+		var sb strings.Builder
+		if err := s.WriteCSV(&sb); err != nil {
+			t.Fatalf("WriteCSV failed on parsed stream: %v", err)
+		}
+	})
+}

@@ -1,0 +1,130 @@
+// Package stream defines the event streams RTEC reasons over: time-stamped
+// ground atoms, with CSV serialisation for interoperability with the
+// command-line tools.
+package stream
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"rtecgen/internal/lang"
+	"rtecgen/internal/parser"
+)
+
+// Event is one item of the input stream: the ground atom Atom occurred at
+// time-point Time (happensAt(Atom, Time)).
+type Event struct {
+	Time int64
+	Atom *lang.Term
+}
+
+// String renders the event as happensAt notation.
+func (e Event) String() string {
+	return fmt.Sprintf("happensAt(%s, %d)", e.Atom, e.Time)
+}
+
+// Stream is a sequence of events. Sort before handing it to the engine; the
+// engine tolerates unsorted input by sorting a copy.
+type Stream []Event
+
+// Sort orders the stream by time, breaking ties by term order so runs are
+// deterministic.
+func (s Stream) Sort() {
+	sort.SliceStable(s, func(i, j int) bool {
+		if s[i].Time != s[j].Time {
+			return s[i].Time < s[j].Time
+		}
+		return lang.Compare(s[i].Atom, s[j].Atom) < 0
+	})
+}
+
+// IsSorted reports whether the stream is in time order.
+func (s Stream) IsSorted() bool {
+	return sort.SliceIsSorted(s, func(i, j int) bool { return s[i].Time < s[j].Time })
+}
+
+// TimeRange returns the earliest and latest time-points in the stream, or
+// (0, 0) for an empty stream.
+func (s Stream) TimeRange() (first, last int64) {
+	if len(s) == 0 {
+		return 0, 0
+	}
+	first, last = s[0].Time, s[0].Time
+	for _, e := range s[1:] {
+		if e.Time < first {
+			first = e.Time
+		}
+		if e.Time > last {
+			last = e.Time
+		}
+	}
+	return first, last
+}
+
+// WriteCSV serialises the stream as rows of "time,functor,arg1,...". Term
+// arguments are rendered in concrete syntax and parsed back by ReadCSV.
+func (s Stream) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	for _, e := range s {
+		if !e.Atom.IsCallable() {
+			return fmt.Errorf("stream: event %s is not callable", e.Atom)
+		}
+		rec := make([]string, 0, 2+len(e.Atom.Args))
+		rec = append(rec, strconv.FormatInt(e.Time, 10), e.Atom.Functor)
+		for _, a := range e.Atom.Args {
+			rec = append(rec, a.String())
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a stream written by WriteCSV. Malformed rows produce an
+// error naming the offending line.
+func ReadCSV(r io.Reader) (Stream, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	var out Stream
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		line++
+		if len(rec) < 2 {
+			return nil, fmt.Errorf("stream: line %d: need at least time and event name", line)
+		}
+		t, err := strconv.ParseInt(strings.TrimSpace(rec[0]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("stream: line %d: bad time %q", line, rec[0])
+		}
+		args := make([]*lang.Term, 0, len(rec)-2)
+		for _, f := range rec[2:] {
+			a, err := parser.ParseTerm(strings.TrimSpace(f))
+			if err != nil {
+				return nil, fmt.Errorf("stream: line %d: bad argument %q: %v", line, f, err)
+			}
+			args = append(args, a)
+		}
+		out = append(out, Event{Time: t, Atom: lang.NewCompound(strings.TrimSpace(rec[1]), args...)})
+	}
+}
+
+// Window returns the sub-stream with Time in [start, end). The receiver must
+// be sorted.
+func (s Stream) Window(start, end int64) Stream {
+	lo := sort.Search(len(s), func(i int) bool { return s[i].Time >= start })
+	hi := sort.Search(len(s), func(i int) bool { return s[i].Time >= end })
+	return s[lo:hi]
+}

@@ -1,0 +1,108 @@
+package stream
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rtecgen/internal/parser"
+)
+
+func ev(t int64, src string) Event {
+	return Event{Time: t, Atom: parser.MustParseTerm(src)}
+}
+
+func TestSortAndIsSorted(t *testing.T) {
+	s := Stream{ev(5, "b"), ev(1, "a"), ev(5, "a")}
+	if s.IsSorted() {
+		t.Fatal("unsorted stream reported sorted")
+	}
+	s.Sort()
+	if !s.IsSorted() {
+		t.Fatal("sorted stream reported unsorted")
+	}
+	if s[0].Time != 1 || s[1].Atom.Functor != "a" || s[2].Atom.Functor != "b" {
+		t.Fatalf("sort order wrong: %v", s)
+	}
+}
+
+func TestTimeRange(t *testing.T) {
+	var empty Stream
+	if f, l := empty.TimeRange(); f != 0 || l != 0 {
+		t.Fatalf("empty TimeRange = %d, %d", f, l)
+	}
+	s := Stream{ev(7, "a"), ev(2, "b"), ev(9, "c")}
+	if f, l := s.TimeRange(); f != 2 || l != 9 {
+		t.Fatalf("TimeRange = %d, %d", f, l)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	s := Stream{
+		ev(10, "entersArea(v42, a1)"),
+		ev(20, "velocity(v42, 12.5, 90.0, 88.0)"),
+		ev(30, "gap_start(v42)"),
+	}
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(s) {
+		t.Fatalf("round trip length = %d, want %d", len(got), len(s))
+	}
+	for i := range s {
+		if got[i].Time != s[i].Time || !got[i].Atom.Equal(s[i].Atom) {
+			t.Fatalf("event %d = %s, want %s", i, got[i], s[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"notanumber,foo\n",
+		"5\n",
+		"5,foo,((\n",
+	}
+	for _, src := range cases {
+		if _, err := ReadCSV(strings.NewReader(src)); err == nil {
+			t.Errorf("ReadCSV(%q) succeeded, want error", src)
+		}
+	}
+	// Empty input is an empty stream, not an error.
+	got, err := ReadCSV(strings.NewReader(""))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty input: %v, %v", got, err)
+	}
+}
+
+func TestWriteCSVRejectsNonCallable(t *testing.T) {
+	s := Stream{ev(1, "42")}
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err == nil {
+		t.Fatal("non-callable event accepted")
+	}
+}
+
+func TestWindow(t *testing.T) {
+	s := Stream{ev(1, "a"), ev(5, "b"), ev(5, "c"), ev(9, "d"), ev(12, "e")}
+	w := s.Window(5, 12)
+	if len(w) != 3 || w[0].Atom.Functor != "b" || w[2].Atom.Functor != "d" {
+		t.Fatalf("Window = %v", w)
+	}
+	if len(s.Window(100, 200)) != 0 {
+		t.Fatal("out-of-range window not empty")
+	}
+	if len(s.Window(0, 100)) != 5 {
+		t.Fatal("full window wrong")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	if got := ev(23, "entersArea(v42, a1)").String(); got != "happensAt(entersArea(v42, a1), 23)" {
+		t.Fatalf("String = %q", got)
+	}
+}
