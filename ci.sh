@@ -1,0 +1,36 @@
+#!/bin/sh
+# CI gate: formatting, vet, build, the full test suite, and race-enabled
+# tests for the concurrency-sensitive packages (the RTEC engine, the fleet
+# scenario generator and the event stream plumbing).
+set -eu
+cd "$(dirname "$0")"
+
+echo "== gofmt"
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$fmt" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (concurrency-sensitive packages)"
+go test -race ./internal/rtec/... ./internal/fleet/... ./internal/stream/...
+
+echo "== rteclint"
+# The worked example must produce diagnostics (exit 1 under -fail-on error);
+# the gold standards analyzing clean is enforced by the test suite above.
+if go run ./cmd/rteclint -domain maritime examples/lint/withinarea_bad.prolog >/dev/null; then
+    echo "rteclint: expected diagnostics for examples/lint/withinarea_bad.prolog" >&2
+    exit 1
+fi
+
+echo "CI OK"

@@ -7,14 +7,16 @@
 //
 // Usage:
 //
-//	experiments [-fig 2a|2b|2c|all] [-errors] [-zeroshot] [-csv] [-vessels N] [-seed S] [-window W]
+//	experiments [-fig 2a|2b|2c|all] [-errors] [-lint] [-zeroshot] [-csv] [-vessels N] [-seed S] [-window W]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
+	"rtecgen/internal/analysis"
 	"rtecgen/internal/check"
 	"rtecgen/internal/eval"
 	"rtecgen/internal/figures"
@@ -27,6 +29,7 @@ import (
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 2a, 2b, 2c or all")
 	errorsFlag := flag.Bool("errors", false, "print the qualitative error assessment")
+	lintFlag := flag.Bool("lint", false, "print per-model static-analysis diagnostic counts (rteclint)")
 	zeroShot := flag.Bool("zeroshot", false, "also report zero-shot prompting (excluded from the pipeline in the paper)")
 	csv := flag.Bool("csv", false, "emit CSV instead of bar charts")
 	vessels := flag.Int("vessels", 60, "fleet size of the synthetic scenario (Figure 2c)")
@@ -34,7 +37,7 @@ func main() {
 	window := flag.Int64("window", 3600, "RTEC window size in seconds (Figure 2c)")
 	flag.Parse()
 
-	if err := run(*fig, *errorsFlag, *csv, *vessels, *seed, *window); err != nil {
+	if err := run(*fig, *errorsFlag, *lintFlag, *csv, *vessels, *seed, *window); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
@@ -74,7 +77,7 @@ func runZeroShot() error {
 	return nil
 }
 
-func run(fig string, errorsFlag, csv bool, vessels int, seed, window int64) error {
+func run(fig string, errorsFlag, lintFlag, csv bool, vessels int, seed, window int64) error {
 	var models []prompt.Model
 	for _, m := range llm.AllModels() {
 		models = append(models, m)
@@ -174,6 +177,10 @@ func run(fig string, errorsFlag, csv bool, vessels int, seed, window int64) erro
 		}
 	}
 
+	if lintFlag {
+		printLint(best)
+	}
+
 	if errorsFlag {
 		gold := maritime.GoldED()
 		domain := maritime.PromptDomain()
@@ -190,4 +197,50 @@ func run(fig string, errorsFlag, csv bool, vessels int, seed, window int64) erro
 		}
 	}
 	return nil
+}
+
+// printLint renders the static-analyzer diagnostic counts of each model's
+// best event description: one row per model, one column per diagnostic code
+// that fires for any of them, plus severity totals and the count of raw
+// response chunks that did not even parse.
+func printLint(best []eval.Row) {
+	codeSet := map[string]bool{}
+	for _, r := range best {
+		for _, code := range r.Gen.Report.Codes() {
+			codeSet[code] = true
+		}
+	}
+	codes := make([]string, 0, len(codeSet))
+	for c := range codeSet {
+		codes = append(codes, c)
+	}
+	sort.Strings(codes)
+
+	header := append([]string{"event description", "parse errs"}, codes...)
+	header = append(header, "errors", "warnings", "infos")
+	rows := [][]string{header}
+	for _, r := range best {
+		rep := r.Gen.Report
+		byCode := rep.CountByCode()
+		cells := []string{r.Label(), fmt.Sprintf("%d", len(r.Gen.ParseErrors()))}
+		for _, c := range codes {
+			cells = append(cells, fmt.Sprintf("%d", byCode[c]))
+		}
+		errs, warns, infos := 0, 0, 0
+		for _, d := range rep.Diagnostics {
+			switch d.Severity {
+			case analysis.Error:
+				errs++
+			case analysis.Warning:
+				warns++
+			default:
+				infos++
+			}
+		}
+		cells = append(cells, fmt.Sprintf("%d", errs), fmt.Sprintf("%d", warns), fmt.Sprintf("%d", infos))
+		rows = append(rows, cells)
+	}
+	fmt.Println("Static analysis of the generated event descriptions (rteclint):")
+	fmt.Print(figures.Table(rows))
+	fmt.Println()
 }

@@ -4,11 +4,12 @@ import "testing"
 
 func TestRunFigures(t *testing.T) {
 	// The full pipeline on a small scenario: 2a and 2b plus the error
-	// report. 2c is exercised separately with a small fleet.
-	if err := run("2a", true, true, 14, 7, 3600); err != nil {
+	// report and the lint table. 2c is exercised separately with a small
+	// fleet.
+	if err := run("2a", true, true, true, 14, 7, 3600); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("2b", false, false, 14, 7, 3600); err != nil {
+	if err := run("2b", false, false, false, 14, 7, 3600); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -17,7 +18,7 @@ func TestRunFigure2c(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full recognition run")
 	}
-	if err := run("2c", false, true, 14, 7, 3600); err != nil {
+	if err := run("2c", false, false, true, 14, 7, 3600); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,0 +1,184 @@
+// Command rteclint runs the multi-pass static analyzer of internal/analysis
+// over RTEC event-description files, without needing a gold standard.
+//
+// Usage:
+//
+//	rteclint [-json] [-min info|warning|error] [-fail-on warning|error|never] [-domain maritime|fleet] [file ...]
+//	rteclint -codes
+//
+// With no files, rteclint reads one event description from standard input.
+// The -domain flag supplies the named domain's vocabulary and curriculum
+// activities, enabling the vocabulary-dependent checks (R010, and the
+// event/predicate parts of R002) and grading unused helpers against the
+// curriculum's deliverables. The exit status is 1 when any file has a
+// diagnostic at or above the -fail-on severity, 2 on usage or I/O errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"rtecgen/internal/analysis"
+	"rtecgen/internal/fleet"
+	"rtecgen/internal/maritime"
+	"rtecgen/internal/prompt"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
+	min := flag.String("min", "info", "lowest severity to report: info, warning or error")
+	failOn := flag.String("fail-on", "error", "exit non-zero at or above this severity: warning, error or never")
+	domainName := flag.String("domain", "", "domain vocabulary to check names against: maritime or fleet")
+	listCodes := flag.Bool("codes", false, "list the diagnostic codes and exit")
+	flag.Parse()
+
+	if *listCodes {
+		printCodes(os.Stdout)
+		return
+	}
+
+	opts, err := domainOptions(*domainName)
+	if err != nil {
+		fatal(err)
+	}
+	minSev, err := parseSeverity(*min)
+	if err != nil {
+		fatal(err)
+	}
+	failSev := analysis.Error + 1 // "never"
+	if *failOn != "never" {
+		if failSev, err = parseSeverity(*failOn); err != nil || failSev == analysis.Info {
+			fatal(fmt.Errorf("-fail-on must be warning, error or never"))
+		}
+	}
+
+	type fileReport struct {
+		File        string                `json:"file"`
+		Diagnostics []analysis.Diagnostic `json:"diagnostics"`
+	}
+	var reports []fileReport
+	for _, in := range inputs(flag.Args()) {
+		src, err := in.read()
+		if err != nil {
+			fatal(err)
+		}
+		r := analysis.AnalyzeSource(src, opts).Filter(minSev)
+		reports = append(reports, fileReport{File: in.name, Diagnostics: r.Diagnostics})
+	}
+
+	failed := false
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fatal(err)
+		}
+		for _, fr := range reports {
+			failed = failed || exceeds(fr.Diagnostics, failSev)
+		}
+	} else {
+		total := 0
+		for _, fr := range reports {
+			for _, d := range fr.Diagnostics {
+				fmt.Printf("%s:%s\n", fr.File, d)
+			}
+			total += len(fr.Diagnostics)
+			failed = failed || exceeds(fr.Diagnostics, failSev)
+		}
+		fmt.Printf("%d diagnostics in %d files\n", total, len(reports))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func exceeds(ds []analysis.Diagnostic, failSev analysis.Severity) bool {
+	for _, d := range ds {
+		if d.Severity >= failSev {
+			return true
+		}
+	}
+	return false
+}
+
+// input is one lint source: a file path or standard input.
+type input struct {
+	name string
+	path string // empty for stdin
+}
+
+func inputs(args []string) []input {
+	if len(args) == 0 {
+		return []input{{name: "<stdin>"}}
+	}
+	out := make([]input, len(args))
+	for i, a := range args {
+		out[i] = input{name: a, path: a}
+	}
+	return out
+}
+
+func (in input) read() (string, error) {
+	if in.path == "" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(in.path)
+	return string(b), err
+}
+
+func domainOptions(name string) (analysis.Options, error) {
+	var dom *prompt.Domain
+	var roots map[string]bool
+	switch name {
+	case "":
+		return analysis.Options{}, nil
+	case "maritime":
+		dom = maritime.PromptDomain()
+		roots = map[string]bool{}
+		for _, a := range maritime.Curriculum {
+			for _, f := range a.Fluents {
+				roots[strings.SplitN(f, "/", 2)[0]] = true
+			}
+		}
+	case "fleet":
+		dom = fleet.PromptDomain()
+		roots = map[string]bool{}
+		for _, a := range fleet.Curriculum {
+			for _, f := range a.Fluents {
+				roots[strings.SplitN(f, "/", 2)[0]] = true
+			}
+		}
+	default:
+		return analysis.Options{}, fmt.Errorf("unknown domain %q: want maritime or fleet", name)
+	}
+	return analysis.Options{Vocabulary: dom.KnownNames(), Roots: roots}, nil
+}
+
+func parseSeverity(s string) (analysis.Severity, error) {
+	switch s {
+	case "info":
+		return analysis.Info, nil
+	case "warning":
+		return analysis.Warning, nil
+	case "error":
+		return analysis.Error, nil
+	}
+	return analysis.Info, fmt.Errorf("unknown severity %q: want info, warning or error", s)
+}
+
+func printCodes(w io.Writer) {
+	fmt.Fprintf(w, "%s  syntax error: the input does not parse as an event description\n", analysis.SyntaxCode)
+	for _, p := range analysis.Passes() {
+		fmt.Fprintf(w, "%s  %s: %s\n", p.Code, p.Name, p.Doc)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rteclint:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"rtecgen/internal/analysis"
+)
+
+func TestParseSeverity(t *testing.T) {
+	for s, want := range map[string]analysis.Severity{
+		"info": analysis.Info, "warning": analysis.Warning, "error": analysis.Error,
+	} {
+		got, err := parseSeverity(s)
+		if err != nil || got != want {
+			t.Errorf("parseSeverity(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := parseSeverity("fatal"); err == nil {
+		t.Error("parseSeverity(fatal) should fail")
+	}
+}
+
+func TestDomainOptions(t *testing.T) {
+	for _, name := range []string{"maritime", "fleet"} {
+		opts, err := domainOptions(name)
+		if err != nil {
+			t.Fatalf("domainOptions(%s): %v", name, err)
+		}
+		if len(opts.Vocabulary) == 0 || len(opts.Roots) == 0 {
+			t.Errorf("domainOptions(%s) incomplete: %d vocab, %d roots",
+				name, len(opts.Vocabulary), len(opts.Roots))
+		}
+	}
+	if opts, err := domainOptions(""); err != nil || opts.Vocabulary != nil {
+		t.Errorf("empty domain should give bare options, got %v, %v", opts, err)
+	}
+	if _, err := domainOptions("aviation"); err == nil {
+		t.Error("unknown domain should fail")
+	}
+}
+
+func TestPrintCodes(t *testing.T) {
+	var b strings.Builder
+	printCodes(&b)
+	out := b.String()
+	for _, code := range []string{"R000", "R001", "R010"} {
+		if !strings.Contains(out, code) {
+			t.Errorf("code listing missing %s:\n%s", code, out)
+		}
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 11 {
+		t.Errorf("want 11 documented codes:\n%s", out)
+	}
+}

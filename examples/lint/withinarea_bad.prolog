@@ -1,0 +1,39 @@
+% A deliberately defective variant of the withinArea / gap definitions,
+% in the style of the LLM outputs the paper corrects by hand (Section 5.2).
+% Used by README.md ("Static analysis with rteclint") and linted by ci.sh:
+%
+%   go run ./cmd/rteclint -domain maritime examples/lint/withinarea_bad.prolog
+
+% R010: 'trawlingArea' is not a documented area type ('fishing' is).
+% R007 follows from the same mutation: the constant displaced the variable
+% that would have bound the head's AreaType.
+initiatedAt(withinArea(Vl, AreaType)=true, T) :-
+    happensAt(entersArea(Vl, AreaID), T),
+    areaType(AreaID, trawlingArea).
+
+% Legal RTEC idiom: terminating every grounding of withinArea on a gap;
+% the unbound head variable AreaType is NOT flagged here.
+terminatedAt(withinArea(Vl, AreaType)=true, T) :-
+    happensAt(gap_start(Vl), T).
+
+% R002: 'gapStart' is not a declared input event (the vocabulary has
+% 'gap_start'), and 'nearAnyPort' is a fluent no rule defines.
+initiatedAt(gap(Vl)=nearPorts, T) :-
+    happensAt(gapStart(Vl), T),
+    holdsAt(nearAnyPort(Vl)=true, T).
+
+% R007: 'Speed' is only tested, never bound by a positive condition.
+initiatedAt(highSpeedNC(Vl)=true, T) :-
+    happensAt(change_in_heading(Vl), T),
+    Speed > 5.
+
+% R008: union_all may not appear in a time-point rule, and its first
+% argument must be a list.
+initiatedAt(loiter(Vl)=true, T) :-
+    happensAt(stop_start(Vl), T),
+    union_all(I1, I).
+
+% R006: duplicate of the rule above up to variable renaming.
+initiatedAt(loiter(V2)=true, T2) :-
+    happensAt(stop_start(V2), T2),
+    union_all(J1, J).

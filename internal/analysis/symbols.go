@@ -1,0 +1,235 @@
+package analysis
+
+import (
+	"sort"
+
+	"rtecgen/internal/lang"
+)
+
+// rtecBuiltins are the temporal predicates, interval operators and
+// declaration functors of the dialect; they are never user symbols.
+var rtecBuiltins = map[string]bool{
+	"initiatedAt": true, "terminatedAt": true, "holdsAt": true, "holdsFor": true,
+	"happensAt": true, "union_all": true, "intersect_all": true,
+	"relative_complement_all": true, "not": true,
+	"inputEvent": true, "grounding": true, "thresholds": true,
+	"abs": true, "absAngleDiff": true, "true": true,
+}
+
+// comparisonOps are the infix comparison and arithmetic operators. They do
+// not bind variables (except '=', handled separately) and are exempt from
+// the symbol passes.
+var comparisonOps = map[string]bool{
+	"=": true, "<": true, ">": true, ">=": true, "=<": true,
+	"=:=": true, "=\\=": true, "\\=": true,
+	"+": true, "-": true, "*": true, "/": true,
+}
+
+// intervalOps are the interval-manipulation constructs of statically
+// determined fluent definitions.
+var intervalOps = map[string]bool{
+	"union_all": true, "intersect_all": true, "relative_complement_all": true,
+}
+
+func isTemporalHead(name string) bool {
+	return name == "initiatedAt" || name == "terminatedAt" || name == "holdsFor"
+}
+
+// definition records how one user symbol is defined across the description.
+type definition struct {
+	name   string
+	simple []*lang.Clause // initiatedAt/terminatedAt rules for the fluent
+	sd     []*lang.Clause // holdsFor rules for the fluent
+	aux    []*lang.Clause // background (non-temporal) rules with this head
+	facts  []*lang.Clause // facts with this head
+}
+
+// clauses returns every defining clause in source order.
+func (d *definition) clauses() []*lang.Clause {
+	out := make([]*lang.Clause, 0, len(d.simple)+len(d.sd)+len(d.aux)+len(d.facts))
+	out = append(out, d.simple...)
+	out = append(out, d.sd...)
+	out = append(out, d.aux...)
+	out = append(out, d.facts...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Pos.Before(out[j].Pos) })
+	return out
+}
+
+func (d *definition) firstPos() lang.Position {
+	cs := d.clauses()
+	if len(cs) == 0 {
+		return lang.Position{}
+	}
+	return cs[0].Pos
+}
+
+type refKind int
+
+const (
+	refFluent refKind = iota // holdsAt/holdsFor/initiatedAt/terminatedAt over F=V
+	refEvent                 // happensAt over an event term
+	refPred                  // plain background predicate call
+)
+
+// reference is one use of a user symbol inside a rule body.
+type reference struct {
+	name   string
+	kind   refKind
+	neg    bool // the literal is negated
+	term   *lang.Term
+	clause *lang.Clause
+}
+
+// arityUse is one occurrence of a symbol in predicate position.
+type arityUse struct {
+	name  string
+	arity int
+	pos   lang.Position
+}
+
+// context is the shared state of one Analyze run: the event description
+// plus lazily usable symbol, reference and arity tables.
+type context struct {
+	ed   *lang.EventDescription
+	opts Options
+
+	defs      map[string]*definition
+	defNames  []string        // sorted
+	events    map[string]bool // functors declared via inputEvent facts
+	hasDecls  bool
+	refs      []reference
+	arityUses []arityUse
+}
+
+func newContext(ed *lang.EventDescription, opts Options) *context {
+	ctx := &context{ed: ed, opts: opts, defs: map[string]*definition{}, events: map[string]bool{}}
+	for _, c := range ed.Clauses {
+		ctx.collectClause(c)
+	}
+	for n := range ctx.defs {
+		ctx.defNames = append(ctx.defNames, n)
+	}
+	sort.Strings(ctx.defNames)
+	return ctx
+}
+
+func (ctx *context) def(name string) *definition {
+	d, ok := ctx.defs[name]
+	if !ok {
+		d = &definition{name: name}
+		ctx.defs[name] = d
+	}
+	return d
+}
+
+// headFluent returns the fluent term of a well-formed temporal head, or nil.
+func headFluent(c *lang.Clause) *lang.Term {
+	h := c.Head
+	if h.Kind != lang.Compound || !isTemporalHead(h.Functor) || len(h.Args) != 2 {
+		return nil
+	}
+	fvp := h.Args[0]
+	if fvp.Kind == lang.Compound && fvp.Functor == "=" && len(fvp.Args) == 2 && fvp.Args[0].IsCallable() {
+		return fvp.Args[0]
+	}
+	return nil
+}
+
+// fluentRefTerm extracts the fluent term of a temporal body condition
+// (holdsAt/holdsFor/initiatedAt/terminatedAt over F=V), or nil.
+func fluentRefTerm(atom *lang.Term) *lang.Term {
+	if atom.Kind != lang.Compound || len(atom.Args) != 2 {
+		return nil
+	}
+	switch atom.Functor {
+	case "holdsAt", "holdsFor", "initiatedAt", "terminatedAt":
+	default:
+		return nil
+	}
+	fvp := atom.Args[0]
+	if fvp.Kind == lang.Compound && fvp.Functor == "=" && len(fvp.Args) == 2 && fvp.Args[0].IsCallable() {
+		return fvp.Args[0]
+	}
+	return nil
+}
+
+// collectClause files one clause into the definition, reference and arity
+// tables.
+func (ctx *context) collectClause(c *lang.Clause) {
+	h := c.Head
+	switch {
+	case h.Functor == "inputEvent" && len(h.Args) == 1 && h.Args[0].IsCallable():
+		// Event declaration.
+		ctx.events[h.Args[0].Functor] = true
+		ctx.hasDecls = true
+		ctx.addArity(h.Args[0])
+	case h.Functor == "grounding":
+		// Grounding declaration: its argument mentions a fluent but neither
+		// defines nor uses it; its body references background predicates.
+		ctx.collectBody(c)
+	case isTemporalHead(h.Functor):
+		if fl := headFluent(c); fl != nil {
+			d := ctx.def(fl.Functor)
+			if h.Functor == "holdsFor" {
+				d.sd = append(d.sd, c)
+			} else {
+				d.simple = append(d.simple, c)
+			}
+			ctx.addArity(fl)
+		}
+		ctx.collectBody(c)
+	case c.IsFact():
+		if !rtecBuiltins[h.Functor] && !comparisonOps[h.Functor] {
+			d := ctx.def(h.Functor)
+			d.facts = append(d.facts, c)
+			ctx.addArity(h)
+		}
+	default:
+		if !rtecBuiltins[h.Functor] && !comparisonOps[h.Functor] {
+			d := ctx.def(h.Functor)
+			d.aux = append(d.aux, c)
+			ctx.addArity(h)
+		}
+		ctx.collectBody(c)
+	}
+}
+
+// collectBody files the body literals of a clause into the reference and
+// arity tables.
+func (ctx *context) collectBody(c *lang.Clause) {
+	for _, l := range c.Body {
+		a := l.Atom
+		if fl := fluentRefTerm(a); fl != nil {
+			ctx.refs = append(ctx.refs, reference{name: fl.Functor, kind: refFluent, neg: l.Neg, term: fl, clause: c})
+			ctx.addArity(fl)
+			continue
+		}
+		if a.Functor == "happensAt" && len(a.Args) == 2 && a.Args[0].IsCallable() {
+			ev := a.Args[0]
+			ctx.refs = append(ctx.refs, reference{name: ev.Functor, kind: refEvent, neg: l.Neg, term: ev, clause: c})
+			ctx.addArity(ev)
+			continue
+		}
+		if a.IsCallable() && !rtecBuiltins[a.Functor] && !comparisonOps[a.Functor] {
+			ctx.refs = append(ctx.refs, reference{name: a.Functor, kind: refPred, neg: l.Neg, term: a, clause: c})
+			ctx.addArity(a)
+		}
+	}
+}
+
+func (ctx *context) addArity(t *lang.Term) {
+	if rtecBuiltins[t.Functor] || comparisonOps[t.Functor] {
+		return
+	}
+	ctx.arityUses = append(ctx.arityUses, arityUse{name: t.Functor, arity: len(t.Args), pos: t.Pos})
+}
+
+// known reports whether a name is part of the provided external vocabulary.
+func (ctx *context) known(name string) bool { return ctx.opts.Vocabulary[name] }
+
+// defined reports whether the description itself gives the name a
+// definition of any sort.
+func (ctx *context) defined(name string) bool {
+	d, ok := ctx.defs[name]
+	return ok && (len(d.simple)+len(d.sd)+len(d.aux)+len(d.facts)) > 0
+}

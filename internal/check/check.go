@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 
+	"rtecgen/internal/analysis"
 	"rtecgen/internal/lang"
 	"rtecgen/internal/parser"
 	"rtecgen/internal/prompt"
@@ -316,6 +317,48 @@ func fluentRef(atom *lang.Term) (string, bool) {
 		return fvp.Args[0].Functor, true
 	}
 	return "", false
+}
+
+// CategoryForCode maps a static-analyzer diagnostic code (internal/analysis)
+// to the paper's Section 5.2 error category. Not every analyzer finding has
+// a counterpart in the published taxonomy: arity mismatches (R001),
+// dependency cycles (R004), unused definitions (R005), duplicate clauses
+// (R006) and unsafe variables (R007) have no category, and the second
+// return is false for them.
+func CategoryForCode(code string) (Category, bool) {
+	switch code {
+	case analysis.SyntaxCode:
+		return Syntax, true
+	case "R002": // undefined-reference: conditions over undefined activities
+		return Undefined, true
+	case "R003": // fluent-kind-conflict
+		return FluentKind, true
+	case "R008": // interval-operator-misuse
+		return Operator, true
+	case "R010": // unknown-name: misremembered vocabulary names
+		return Naming, true
+	}
+	return 0, false
+}
+
+// FindingsFromDiagnostics converts static-analyzer diagnostics into paper
+// findings, dropping the diagnostics with no published category. Unlike
+// Analyze, this classification needs no gold standard; position information
+// is folded into the detail text.
+func FindingsFromDiagnostics(ds []analysis.Diagnostic) []Finding {
+	var out []Finding
+	for _, d := range ds {
+		cat, ok := CategoryForCode(d.Code)
+		if !ok {
+			continue
+		}
+		detail := d.Message
+		if d.Pos.IsValid() {
+			detail = fmt.Sprintf("%s (at %s)", d.Message, d.Pos)
+		}
+		out = append(out, Finding{Category: cat, Detail: detail})
+	}
+	return out
 }
 
 // CountByCategory aggregates findings per category.

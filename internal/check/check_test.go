@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 
+	"rtecgen/internal/analysis"
+	"rtecgen/internal/lang"
 	"rtecgen/internal/llm"
 	"rtecgen/internal/maritime"
 	"rtecgen/internal/parser"
@@ -185,5 +187,42 @@ func TestCategoryStrings(t *testing.T) {
 	f := Finding{Category: Naming, Activity: "tr", Detail: "x"}
 	if f.String() != "[naming divergence] tr: x" {
 		t.Fatalf("finding string = %q", f.String())
+	}
+}
+
+func TestCategoryForCode(t *testing.T) {
+	want := map[string]Category{
+		"R000": Syntax, "R002": Undefined, "R003": FluentKind,
+		"R008": Operator, "R010": Naming,
+	}
+	for code, cat := range want {
+		got, ok := CategoryForCode(code)
+		if !ok || got != cat {
+			t.Errorf("CategoryForCode(%s) = %v, %v; want %v, true", code, got, ok, cat)
+		}
+	}
+	for _, code := range []string{"R001", "R004", "R005", "R006", "R007", "R009"} {
+		if _, ok := CategoryForCode(code); ok {
+			t.Errorf("CategoryForCode(%s) should have no paper category", code)
+		}
+	}
+}
+
+func TestFindingsFromDiagnostics(t *testing.T) {
+	ds := []analysis.Diagnostic{
+		{Code: "R002", Severity: analysis.Error, Pos: lang.Position{Line: 3, Col: 7},
+			Message: "condition over undefined fluent 'x'"},
+		{Code: "R005", Severity: analysis.Info, Message: "'y' is defined but never referenced"},
+		{Code: "R010", Severity: analysis.Warning, Message: "'z' is not in the domain vocabulary"},
+	}
+	fs := FindingsFromDiagnostics(ds)
+	if len(fs) != 2 {
+		t.Fatalf("got %d findings, want 2 (R005 has no category): %v", len(fs), fs)
+	}
+	if fs[0].Category != Undefined || !strings.Contains(fs[0].Detail, "at 3:7") {
+		t.Fatalf("first finding = %v", fs[0])
+	}
+	if fs[1].Category != Naming {
+		t.Fatalf("second finding = %v", fs[1])
 	}
 }

@@ -15,15 +15,18 @@ import (
 	"sort"
 	"strings"
 
+	"rtecgen/internal/analysis"
 	"rtecgen/internal/lang"
 	"rtecgen/internal/parser"
 	"rtecgen/internal/prompt"
 )
 
-// Change records one applied correction.
+// Change records one applied correction. Code is the analyzer diagnostic
+// that flagged the name (R002 undefined-reference or R010 unknown-name).
 type Change struct {
 	From, To string
 	Reason   string
+	Code     string
 }
 
 func (c Change) String() string {
@@ -92,33 +95,49 @@ var rtecKeywords = map[string]bool{
 }
 
 // Corrected is the outcome: the corrected per-activity results and the
-// change log.
+// change log. Before is the analyzer report that drove the corrections;
+// the corrected Gen carries its own post-correction report.
 type Corrected struct {
 	Gen     *prompt.GeneratedED
 	Changes []Change
+	Before  *analysis.Report
 }
 
-// Apply corrects a generated event description: every predicate or constant
-// name that is not in the domain vocabulary, not RTEC syntax, and not a
-// fluent the description itself defines, is renamed to the canonical
-// vocabulary name when a confident mapping exists (a documented alias, or
-// an edit distance of at most 2). The generated ED is not mutated; a
-// corrected copy is returned together with the change log.
+// Apply corrects a generated event description, driven by the static
+// analyzer of internal/analysis: every name the analyzer flags as an
+// undefined reference (R002) or as outside the domain vocabulary (R010) is
+// renamed to the canonical vocabulary name when a confident mapping exists
+// (a documented alias, or an edit distance of at most 2). Names the
+// analyzer does not flag — RTEC syntax, vocabulary names, fluents the
+// description defines itself — are never candidates, so structural errors
+// such as conditions over undefined activities with no plausible
+// vocabulary target survive, as in the paper. The generated ED is not
+// mutated; a corrected copy is returned together with the change log.
 func Apply(gen *prompt.GeneratedED, domain *prompt.Domain) *Corrected {
 	v := buildVocabulary(domain)
 
-	// Names defined by the generated ED itself (its fluents) are valid.
-	selfDefined := map[string]bool{}
-	for _, r := range gen.Results {
-		for _, c := range r.Clauses {
-			if _, fl := c.HeadFVP(); fl != nil {
-				selfDefined[fl.Functor] = true
+	// The analyzer supplies the rename candidates. Reuse the report the
+	// pipeline attached when it analyzed the same clause set; hand-built
+	// GeneratedEDs are linted here.
+	report := gen.Report
+	if report == nil {
+		report = gen.Lint(domain)
+	}
+	candidates := map[string]string{} // name -> diagnostic code
+	for _, d := range report.Diagnostics {
+		if d.Symbol == "" {
+			continue
+		}
+		switch d.Code {
+		case "R002", "R010":
+			if _, ok := candidates[d.Symbol]; !ok {
+				candidates[d.Symbol] = d.Code
 			}
 		}
 	}
 
-	// Collect every name occurring in the ED, with a sample arity for
-	// predicates.
+	// Record how each candidate occurs (compound or plain constant), so the
+	// edit-distance search looks in the matching name pool.
 	type occurrence struct {
 		arity    int
 		compound bool
@@ -128,6 +147,9 @@ func Apply(gen *prompt.GeneratedED, domain *prompt.Domain) *Corrected {
 		for _, c := range r.Clauses {
 			for _, t := range append([]*lang.Term{c.Head}, literalAtoms(c.Body)...) {
 				t.Walk(func(n *lang.Term) bool {
+					if _, ok := candidates[n.Functor]; !ok {
+						return true
+					}
 					switch n.Kind {
 					case lang.Compound:
 						occ[n.Functor] = occurrence{arity: len(n.Args), compound: true}
@@ -144,33 +166,26 @@ func Apply(gen *prompt.GeneratedED, domain *prompt.Domain) *Corrected {
 
 	// Decide the renames.
 	renames := map[string]Change{}
-	names := make([]string, 0, len(occ))
-	for n := range occ {
+	names := make([]string, 0, len(candidates))
+	for n := range candidates {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	for _, name := range names {
 		o := occ[name]
-		if rtecKeywords[name] || selfDefined[name] {
-			continue
-		}
-		if o.compound {
-			if v.predNames[name] {
-				continue
-			}
-		} else if v.constants[name] {
+		if rtecKeywords[name] {
 			continue
 		}
 		if canonical, ok := v.aliases[name]; ok {
-			renames[name] = Change{From: name, To: canonical, Reason: "documented alias"}
+			renames[name] = Change{From: name, To: canonical, Reason: "documented alias", Code: candidates[name]}
 			continue
 		}
 		if to, ok := closestName(name, v, o.compound); ok {
-			renames[name] = Change{From: name, To: to, Reason: "edit distance"}
+			renames[name] = Change{From: name, To: to, Reason: "edit distance", Code: candidates[name]}
 		}
 	}
 
-	out := &Corrected{Gen: &prompt.GeneratedED{ModelName: gen.ModelName, Scheme: gen.Scheme}}
+	out := &Corrected{Gen: &prompt.GeneratedED{ModelName: gen.ModelName, Scheme: gen.Scheme}, Before: report}
 	for _, r := range gen.Results {
 		nr := prompt.ActivityResult{Request: r.Request, Raw: r.Raw, Errors: append([]string(nil), r.Errors...)}
 		for _, c := range r.Clauses {
@@ -182,6 +197,7 @@ func Apply(gen *prompt.GeneratedED, domain *prompt.Domain) *Corrected {
 		}
 		out.Gen.Results = append(out.Gen.Results, nr)
 	}
+	out.Gen.Lint(domain)
 	for _, name := range names {
 		if ch, ok := renames[name]; ok {
 			out.Changes = append(out.Changes, ch)
@@ -260,7 +276,7 @@ func min3(a, b, c int) int {
 }
 
 func renameClause(c *lang.Clause, from, to string) *lang.Clause {
-	n := &lang.Clause{Head: renameTerm(c.Head, from, to)}
+	n := &lang.Clause{Head: renameTerm(c.Head, from, to), Pos: c.Pos}
 	for _, l := range c.Body {
 		n.Body = append(n.Body, lang.Literal{Neg: l.Neg, Atom: renameTerm(l.Atom, from, to)})
 	}
@@ -271,7 +287,9 @@ func renameTerm(t *lang.Term, from, to string) *lang.Term {
 	switch t.Kind {
 	case lang.Atom:
 		if t.Functor == from {
-			return lang.NewAtom(to)
+			n := *t
+			n.Functor = to
+			return &n
 		}
 		return t
 	case lang.Compound, lang.List:

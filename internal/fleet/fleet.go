@@ -249,7 +249,8 @@ func PromptDomain() *prompt.Domain {
 		Thresholds: []prompt.ThresholdDoc{
 			{Name: "idlingMin", Meaning: "The minimum duration of a stop that counts as idling (seconds)."},
 		},
-		Values: []string{"true", "depot", "urban", "highway"},
+		Values:    []string{"true", "depot", "urban", "highway"},
+		Constants: []string{"truck", "van", "bus", "vehicle"},
 		Aliases: map[string][]string{
 			"speedSignal":      {"velocity", "speedReport"},
 			"ignition_on":      {"ignitionOn", "engineOn"},

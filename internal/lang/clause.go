@@ -38,6 +38,7 @@ func Neg(atom *Term) Literal { return Literal{Neg: true, Atom: atom} }
 type Clause struct {
 	Head *Term
 	Body []Literal
+	Pos  Position // source position of the clause head when parsed; zero otherwise
 }
 
 // IsFact reports whether the clause has an empty body.
@@ -75,7 +76,7 @@ func (c *Clause) Vars() []string {
 
 // Clone returns a deep copy of the clause.
 func (c *Clause) Clone() *Clause {
-	n := &Clause{Head: c.Head.Clone()}
+	n := &Clause{Head: c.Head.Clone(), Pos: c.Pos}
 	if len(c.Body) > 0 {
 		n.Body = make([]Literal, len(c.Body))
 		for i, l := range c.Body {

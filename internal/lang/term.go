@@ -62,7 +62,8 @@ type Term struct {
 	Args    []*Term // compound arguments or list elements
 	Int     int64
 	Float   float64
-	Text    string // string constant payload
+	Text    string   // string constant payload
+	Pos     Position // source position when the term was parsed; zero otherwise
 }
 
 // NewVar returns a variable term with the given name.

@@ -140,7 +140,7 @@ func (s Subst) UnifyInto(a, b *Term) (Subst, bool) {
 // variables of the caller's query.
 func (c *Clause) RenameApart(suffix string) *Clause {
 	ren := func(t *Term) *Term { return renameVars(t, suffix) }
-	n := &Clause{Head: ren(c.Head)}
+	n := &Clause{Head: ren(c.Head), Pos: c.Pos}
 	if len(c.Body) > 0 {
 		n.Body = make([]Literal, len(c.Body))
 		for i, l := range c.Body {

@@ -45,6 +45,13 @@ func PromptDomain() *prompt.Domain {
 			{Name: "driftingAngle", Meaning: "The minimum deviation between course over ground and heading while drifting."},
 		},
 		Values: []string{"true", "below", "normal", "above", "nearPorts", "farFromPorts"},
+		Constants: []string{
+			// area types and vessel types named in the prompt prose
+			"fishing", "anchorage", "nearCoast", "nearPorts",
+			"fishingVessel", "cargo", "tanker", "tug", "pilotVessel", "sarVessel", "passenger",
+			// auxiliary background predicates available to the rules
+			"vessel", "vesselPair", "oneIsTug", "oneIsPilot",
+		},
 		Aliases: map[string][]string{
 			// input events
 			"entersArea":            {"inArea", "enterArea", "entersRegion"},

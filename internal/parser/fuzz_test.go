@@ -26,6 +26,14 @@ func FuzzParseEventDescription(f *testing.F) {
 		"f(\\=).",
 		"f(a)) .",
 		"初始化(船).",
+		// Edge inputs found while building the static analyzer: nested and
+		// empty interval operators, negation shapes, and empty bodies.
+		"holdsFor(f(X)=true, I) :- union_all([intersect_all([I1], I2)], I).",
+		"holdsFor(a(X)=true, I) :- holdsFor(b(X)=true, I1), holdsFor(c(X)=true, I2), relative_complement_all(I1, [I2], I).",
+		"holdsFor(f(X)=true, I) :- union_all([], I).",
+		"initiatedAt(a(X)=true, T) :- not holdsAt(b(X)=true, T), not(c).",
+		"f(a) :- .",
+		":- f(a).",
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -79,8 +79,10 @@ func binaryPrec(op string) (prec int, ok bool) {
 }
 
 // parseExpr parses an expression whose operators all have precedence
-// >= minPrec, climbing for tighter operators.
+// >= minPrec, climbing for tighter operators. The returned term carries the
+// source position of its first token.
 func (p *parser) parseExpr(minPrec int) (*lang.Term, *Error) {
+	start := lang.Position{Line: p.tok.line, Col: p.tok.col}
 	left, err := p.parsePrimary()
 	if err != nil {
 		return nil, err
@@ -104,10 +106,23 @@ func (p *parser) parseExpr(minPrec int) (*lang.Term, *Error) {
 			return nil, err
 		}
 		left = lang.NewCompound(op, left, right)
+		left.Pos = start
 	}
 }
 
+// parsePrimary parses one primary term and stamps it with the position of
+// its first token.
 func (p *parser) parsePrimary() (*lang.Term, *Error) {
+	pos := lang.Position{Line: p.tok.line, Col: p.tok.col}
+	t, err := p.parsePrimary0()
+	if err != nil {
+		return nil, err
+	}
+	t.Pos = pos
+	return t, nil
+}
+
+func (p *parser) parsePrimary0() (*lang.Term, *Error) {
 	switch p.tok.kind {
 	case tokInt:
 		v, convErr := strconv.ParseInt(p.tok.text, 10, 64)
@@ -284,7 +299,7 @@ func (p *parser) parseClause() (*lang.Clause, *Error) {
 	if !head.IsCallable() {
 		return nil, p.errorf("clause head must be an atom or compound, found %s", head)
 	}
-	c := &lang.Clause{Head: head}
+	c := &lang.Clause{Head: head, Pos: head.Pos}
 	if p.isPunct(":-") || p.isPunct("<-") {
 		if err := p.advance(); err != nil {
 			return nil, err

@@ -296,3 +296,78 @@ func TestParseTermTrailingInput(t *testing.T) {
 		t.Fatal("trailing input accepted")
 	}
 }
+
+func TestClausePositions(t *testing.T) {
+	src := "% leading comment\n" +
+		"f(a).\n" +
+		"\n" +
+		"initiatedAt(withinArea(Vl, AreaType)=true, T) :-\n" +
+		"    happensAt(entersArea(Vl, AreaID), T),\n" +
+		"    not areaType(AreaID, AreaType).\n"
+	ed, err := ParseEventDescription(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ed.Clauses) != 2 {
+		t.Fatalf("got %d clauses", len(ed.Clauses))
+	}
+	if got := ed.Clauses[0].Pos; got != (lang.Position{Line: 2, Col: 1}) {
+		t.Errorf("fact position = %v, want 2:1", got)
+	}
+	rule := ed.Clauses[1]
+	if got := rule.Pos; got != (lang.Position{Line: 4, Col: 1}) {
+		t.Errorf("rule position = %v, want 4:1", got)
+	}
+	if got := rule.Head.Pos; got != rule.Pos {
+		t.Errorf("head position = %v, want %v", got, rule.Pos)
+	}
+	// The head FVP 'withinArea(..)=true' starts at the fluent term.
+	if got := rule.Head.Args[0].Pos; got != (lang.Position{Line: 4, Col: 13}) {
+		t.Errorf("head FVP position = %v, want 4:13", got)
+	}
+	if got := rule.Body[0].Atom.Pos; got != (lang.Position{Line: 5, Col: 5}) {
+		t.Errorf("first literal position = %v, want 5:5", got)
+	}
+	// A negated literal's atom points at the atom, past the 'not'.
+	if got := rule.Body[1].Atom.Pos; got != (lang.Position{Line: 6, Col: 9}) {
+		t.Errorf("negated literal position = %v, want 6:9", got)
+	}
+}
+
+// TestClausePositionsSurviveRoundTrip: printing an event description and
+// re-parsing it must yield clauses that again carry real positions that
+// agree with the printed layout.
+func TestClausePositionsSurviveRoundTrip(t *testing.T) {
+	src := "f(a).\ng(X) :- f(X), not h(X).\nholdsFor(p(V)=true, I) :- holdsFor(q(V)=true, I1), union_all([I1], I)."
+	ed, err := ParseEventDescription(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := ed.String()
+	re, err := ParseEventDescription(printed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(printed, "\n")
+	last := lang.Position{}
+	for i, c := range re.Clauses {
+		if !c.Pos.IsValid() {
+			t.Fatalf("clause %d lost its position after round trip", i)
+		}
+		if !last.Before(c.Pos) {
+			t.Fatalf("clause %d position %v not after previous %v", i, c.Pos, last)
+		}
+		last = c.Pos
+		// The clause's head text must actually start at the recorded spot.
+		line := lines[c.Pos.Line-1]
+		head := c.Head.Functor
+		if got := line[c.Pos.Col-1:]; !strings.HasPrefix(got, head) {
+			t.Errorf("clause %d: position %v points at %q, want head %q", i, c.Pos, got, head)
+		}
+		for _, l := range c.Body {
+			if !l.Atom.Pos.IsValid() {
+				t.Errorf("clause %d: body literal %s lost its position", i, l.Atom)
+			}
+		}
+	}
+}

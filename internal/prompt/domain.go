@@ -6,7 +6,12 @@
 // into event-description clauses.
 package prompt
 
-import "fmt"
+import (
+	"fmt"
+
+	"rtecgen/internal/lang"
+	"rtecgen/internal/parser"
+)
 
 // Scheme selects between the prompting routes of Figure 1. The paper's
 // pipeline offers few-shot (prompt F*) and chain-of-thought (prompt F);
@@ -98,6 +103,10 @@ type Domain struct {
 	Background []BackgroundDoc
 	// Values are the constant values fluents may take (true, below, ...).
 	Values []string
+	// Constants are further vocabulary names documented only in the prompt
+	// prose rather than as a Pattern: area and vessel types, and auxiliary
+	// background predicates the rules may call (e.g. oneIsTug).
+	Constants []string
 	// Aliases maps a canonical name (predicate, constant or fluent) to
 	// plausible wrong spellings. The corrector uses it to map unknown names
 	// back to vocabulary, modelling the human that renamed 'trawlingArea'
@@ -119,4 +128,59 @@ func (d *Domain) Validate() error {
 		return fmt.Errorf("prompt: domain %q has no input events", d.Name)
 	}
 	return nil
+}
+
+// KnownNames returns the set of vocabulary names the domain documentation
+// teaches: the functors and constants occurring in the event and background
+// patterns, the threshold names, the fluent values and the extra constants.
+// It is the gold-standard-free vocabulary handed to the static analyzer.
+func (d *Domain) KnownNames() map[string]bool {
+	out := map[string]bool{}
+	addPattern := func(p string) {
+		t, err := parser.ParseTerm(p)
+		if err != nil {
+			return
+		}
+		t.Walk(func(n *lang.Term) bool {
+			if n.Kind == lang.Compound || n.Kind == lang.Atom {
+				out[n.Functor] = true
+			}
+			return true
+		})
+	}
+	for _, e := range d.Events {
+		addPattern(e.Pattern)
+	}
+	for _, b := range d.Background {
+		addPattern(b.Pattern)
+	}
+	out["thresholds"] = true
+	for _, t := range d.Thresholds {
+		out[t.Name] = true
+	}
+	for _, v := range d.Values {
+		out[v] = true
+	}
+	for _, c := range d.Constants {
+		out[c] = true
+	}
+	return out
+}
+
+// KnownEventIndicators returns the "functor/arity" indicators of the
+// documented input events and background predicates.
+func (d *Domain) KnownEventIndicators() map[string]bool {
+	out := map[string]bool{}
+	add := func(p string) {
+		if t, err := parser.ParseTerm(p); err == nil && t.IsCallable() {
+			out[t.Indicator()] = true
+		}
+	}
+	for _, e := range d.Events {
+		add(e.Pattern)
+	}
+	for _, b := range d.Background {
+		add(b.Pattern)
+	}
+	return out
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"rtecgen/internal/analysis"
 	"rtecgen/internal/lang"
 	"rtecgen/internal/parser"
 )
@@ -78,10 +79,30 @@ type ActivityResult struct {
 
 // GeneratedED is the full result of running the pipeline over a curriculum:
 // the per-activity results in order, and the combined event description.
+// Report holds the static-analyzer findings over the combined description
+// when the ED has been linted (RunPipeline lints automatically).
 type GeneratedED struct {
 	ModelName string
 	Scheme    Scheme
 	Results   []ActivityResult
+	Report    *analysis.Report
+}
+
+// Lint runs the static analyzer of internal/analysis over the combined
+// event description, using the domain documentation as the vocabulary and
+// treating each requested activity as a deliverable root (so top-level
+// activities are not flagged as unused). The report is attached to the
+// GeneratedED and returned.
+func (g *GeneratedED) Lint(domain *Domain) *analysis.Report {
+	roots := map[string]bool{}
+	for _, r := range g.Results {
+		roots[r.Request.Name] = true
+	}
+	g.Report = analysis.Analyze(g.ED(), analysis.Options{
+		Vocabulary: domain.KnownNames(),
+		Roots:      roots,
+	})
+	return g.Report
 }
 
 // Label renders the paper's notation for this event description, e.g.
@@ -139,6 +160,7 @@ func RunPipeline(model Model, scheme Scheme, domain *Domain, curriculum []Activi
 			Request: req, Raw: raw, Clauses: clauses, Errors: errs,
 		})
 	}
+	out.Lint(domain)
 	return out, nil
 }
 
