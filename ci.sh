@@ -23,13 +23,30 @@ echo "== go test"
 go test ./...
 
 echo "== go test -race (concurrency-sensitive packages)"
-go test -race ./internal/rtec/... ./internal/fleet/... ./internal/stream/...
+go test -race ./internal/rtec/... ./internal/fleet/... ./internal/stream/... ./internal/telemetry/...
 
 echo "== rteclint"
 # The worked example must produce diagnostics (exit 1 under -fail-on error);
 # the gold standards analyzing clean is enforced by the test suite above.
 if go run ./cmd/rteclint -domain maritime examples/lint/withinarea_bad.prolog >/dev/null; then
     echo "rteclint: expected diagnostics for examples/lint/withinarea_bad.prolog" >&2
+    exit 1
+fi
+
+echo "== telemetry smoke (instrumented engine run on the maritime example)"
+# Compose a runnable maritime event description (gold standard + scenario
+# background knowledge) and stream, run the engine with tracing and metrics
+# enabled, and fail on a malformed trace or an empty registry dump.
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go run ./cmd/aisgen -vessels 14 -seed 7 -background "$tmp/bg.rtec" -gold "$tmp/gold.rtec" > "$tmp/events.csv"
+cat "$tmp/gold.rtec" "$tmp/bg.rtec" > "$tmp/ed.rtec"
+go run ./cmd/rtec -ed "$tmp/ed.rtec" -stream "$tmp/events.csv" -window 3600 \
+    -trace "$tmp/trace.json" -metrics > "$tmp/out.txt" 2> "$tmp/metrics.txt"
+go run ./cmd/tracecheck -require rtec.run,rtec.window,rtec.fluent "$tmp/trace.json"
+if ! grep -q '^counter rtec.windows.evaluated' "$tmp/metrics.txt"; then
+    echo "telemetry smoke: metrics dump is missing engine counters:" >&2
+    cat "$tmp/metrics.txt" >&2
     exit 1
 fi
 

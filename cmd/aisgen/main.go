@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	aisgen [-vessels N] [-seed S] [-interval SEC] [-raw] [-background out.rtec]
+//	aisgen [-vessels N] [-seed S] [-interval SEC] [-raw] [-background out.rtec] [-gold out.rtec]
 package main
 
 import (
@@ -22,15 +22,21 @@ func main() {
 	interval := flag.Int64("interval", 60, "AIS reporting cadence in seconds")
 	raw := flag.Bool("raw", false, "emit raw AIS messages instead of derived input events")
 	background := flag.String("background", "", "also write the scenario background knowledge to this file")
+	gold := flag.String("gold", "", "also write the gold-standard maritime event description to this file")
 	flag.Parse()
 
-	if err := run(*vessels, *seed, *interval, *raw, *background); err != nil {
+	if err := run(*vessels, *seed, *interval, *raw, *background, *gold); err != nil {
 		fmt.Fprintln(os.Stderr, "aisgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(vessels int, seed, interval int64, raw bool, background string) error {
+func run(vessels int, seed, interval int64, raw bool, background, gold string) error {
+	if gold != "" {
+		if err := os.WriteFile(gold, []byte(maritime.GoldSource()), 0o644); err != nil {
+			return err
+		}
+	}
 	scen, err := maritime.BuildScenario(maritime.ScenarioConfig{
 		Vessels: vessels, Seed: seed, IntervalSec: interval,
 	})

@@ -8,8 +8,10 @@ import (
 )
 
 func TestRunDerivedEventsWithBackground(t *testing.T) {
-	bg := filepath.Join(t.TempDir(), "bg.rtec")
-	if err := run(14, 7, 120, false, bg); err != nil {
+	dir := t.TempDir()
+	bg := filepath.Join(dir, "bg.rtec")
+	gold := filepath.Join(dir, "gold.rtec")
+	if err := run(14, 7, 120, false, bg, gold); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(bg)
@@ -21,10 +23,19 @@ func TestRunDerivedEventsWithBackground(t *testing.T) {
 			t.Errorf("background file missing %q", frag)
 		}
 	}
+	goldData, err := os.ReadFile(gold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"initiatedAt(", "holdsFor(", "inputEvent("} {
+		if !strings.Contains(string(goldData), frag) {
+			t.Errorf("gold file missing %q", frag)
+		}
+	}
 }
 
 func TestRunRaw(t *testing.T) {
-	if err := run(14, 7, 300, true, ""); err != nil {
+	if err := run(14, 7, 300, true, "", ""); err != nil {
 		t.Fatal(err)
 	}
 }

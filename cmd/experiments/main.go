@@ -8,13 +8,23 @@
 // Usage:
 //
 //	experiments [-fig 2a|2b|2c|all] [-errors] [-lint] [-zeroshot] [-csv] [-vessels N] [-seed S] [-window W]
+//	            [-trace out.json] [-metrics] [-v] [-pprof addr]
+//
+// Observability: -metrics prints the total wall-clock, the per-phase
+// timings and a per-stage, per-model pipeline timing table (from the
+// telemetry registry) and dumps the registry to stderr; -trace writes a
+// Chrome trace_event JSON of the whole run; -v enables structured debug
+// logs; -pprof serves net/http/pprof and expvar for long runs.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
+	"strings"
+	"time"
 
 	"rtecgen/internal/analysis"
 	"rtecgen/internal/check"
@@ -24,20 +34,36 @@ import (
 	"rtecgen/internal/maritime"
 	"rtecgen/internal/prompt"
 	"rtecgen/internal/similarity"
+	"rtecgen/internal/telemetry"
 )
 
+// options carries every flag of the command.
+type options struct {
+	fig                  string
+	errorsFlag, lintFlag bool
+	csv                  bool
+	vessels              int
+	seed, window         int64
+	tel                  telemetry.CLIConfig
+}
+
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2a, 2b, 2c or all")
-	errorsFlag := flag.Bool("errors", false, "print the qualitative error assessment")
-	lintFlag := flag.Bool("lint", false, "print per-model static-analysis diagnostic counts (rteclint)")
+	var o options
+	flag.StringVar(&o.fig, "fig", "all", "figure to regenerate: 2a, 2b, 2c or all")
+	flag.BoolVar(&o.errorsFlag, "errors", false, "print the qualitative error assessment")
+	flag.BoolVar(&o.lintFlag, "lint", false, "print per-model static-analysis diagnostic counts (rteclint)")
 	zeroShot := flag.Bool("zeroshot", false, "also report zero-shot prompting (excluded from the pipeline in the paper)")
-	csv := flag.Bool("csv", false, "emit CSV instead of bar charts")
-	vessels := flag.Int("vessels", 60, "fleet size of the synthetic scenario (Figure 2c)")
-	seed := flag.Int64("seed", 7, "scenario seed (Figure 2c)")
-	window := flag.Int64("window", 3600, "RTEC window size in seconds (Figure 2c)")
+	flag.BoolVar(&o.csv, "csv", false, "emit CSV instead of bar charts")
+	flag.IntVar(&o.vessels, "vessels", 60, "fleet size of the synthetic scenario (Figure 2c)")
+	flag.Int64Var(&o.seed, "seed", 7, "scenario seed (Figure 2c)")
+	flag.Int64Var(&o.window, "window", 3600, "RTEC window size in seconds (Figure 2c)")
+	flag.StringVar(&o.tel.TracePath, "trace", "", "write a Chrome trace_event JSON of the run to this file")
+	flag.BoolVar(&o.tel.Metrics, "metrics", false, "print the timing summary and dump the telemetry registry to stderr at exit")
+	flag.BoolVar(&o.tel.Verbose, "v", false, "structured debug logging to stderr")
+	flag.StringVar(&o.tel.PprofAddr, "pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	flag.Parse()
 
-	if err := run(*fig, *errorsFlag, *lintFlag, *csv, *vessels, *seed, *window); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
@@ -77,23 +103,30 @@ func runZeroShot() error {
 	return nil
 }
 
-func run(fig string, errorsFlag, lintFlag, csv bool, vessels int, seed, window int64) error {
+func run(o options) error {
+	tel, flush := o.tel.Setup(os.Stderr, os.Stderr, "experiments")
+	wallStart := time.Now()
+
 	var models []prompt.Model
 	for _, m := range llm.AllModels() {
 		models = append(models, m)
 	}
-	best, _, err := eval.Figure2a(models)
+	stopGen := tel.Time("experiments.micros.generate+score")
+	best, _, err := eval.Figure2aWith(tel, models)
+	stopGen()
 	if err != nil {
 		return err
 	}
-	corrected, err := eval.Figure2b(eval.TopN(best, 3))
+	stopCor := tel.Time("experiments.micros.correct+rescore")
+	corrected, err := eval.Figure2bWith(tel, eval.TopN(best, 3))
+	stopCor()
 	if err != nil {
 		return err
 	}
 
 	groups := append(append([]string{}, eval.ActivityKeys...), "all")
 
-	if fig == "2a" || fig == "all" {
+	if o.fig == "2a" || o.fig == "all" {
 		var series []figures.Series
 		var rows [][]string
 		rows = append(rows, append([]string{"event description"}, groups...))
@@ -109,14 +142,14 @@ func run(fig string, errorsFlag, lintFlag, csv bool, vessels int, seed, window i
 			series = append(series, figures.Series{Name: r.Label(), Values: vals})
 			rows = append(rows, cells)
 		}
-		if csv {
+		if o.csv {
 			fmt.Print(figures.CSV(rows))
 		} else {
 			fmt.Println(figures.BarChart("Figure 2a: similarity of LLM-generated definitions (best scheme per model)", groups, series, 40))
 		}
 	}
 
-	if fig == "2b" || fig == "all" {
+	if o.fig == "2b" || o.fig == "all" {
 		var series []figures.Series
 		var rows [][]string
 		rows = append(rows, append([]string{"event description"}, groups...))
@@ -132,7 +165,7 @@ func run(fig string, errorsFlag, lintFlag, csv bool, vessels int, seed, window i
 			series = append(series, figures.Series{Name: r.Label(), Values: vals})
 			rows = append(rows, cells)
 		}
-		if csv {
+		if o.csv {
 			fmt.Print(figures.CSV(rows))
 		} else {
 			fmt.Println(figures.BarChart("Figure 2b: similarities after minimal syntactic changes", groups, series, 40))
@@ -143,17 +176,22 @@ func run(fig string, errorsFlag, lintFlag, csv bool, vessels int, seed, window i
 		}
 	}
 
-	if fig == "2c" || fig == "all" {
+	if o.fig == "2c" || o.fig == "all" {
 		cfg := eval.AccuracyConfig{
-			Scenario:   maritime.ScenarioConfig{Vessels: vessels, Seed: seed},
+			Scenario:   maritime.ScenarioConfig{Vessels: o.vessels, Seed: o.seed},
 			Preprocess: maritime.DefaultPreprocessConfig(),
-			Window:     window,
+			Window:     o.window,
+			Telemetry:  tel,
 		}
+		stopTb := tel.Time("experiments.micros.testbed+gold")
 		tb, err := eval.NewTestbed(cfg)
+		stopTb()
 		if err != nil {
 			return err
 		}
+		stop2c := tel.Time("experiments.micros.figure2c")
 		rows2c, err := eval.Figure2c(tb, corrected)
+		stop2c()
 		if err != nil {
 			return err
 		}
@@ -170,18 +208,18 @@ func run(fig string, errorsFlag, lintFlag, csv bool, vessels int, seed, window i
 			series = append(series, figures.Series{Name: r.Label, Values: vals})
 			rows = append(rows, cells)
 		}
-		if csv {
+		if o.csv {
 			fmt.Print(figures.CSV(rows))
 		} else {
 			fmt.Println(figures.BarChart("Figure 2c: predictive accuracy (f1-score per activity)", eval.ActivityKeys, series, 40))
 		}
 	}
 
-	if lintFlag {
+	if o.lintFlag {
 		printLint(best)
 	}
 
-	if errorsFlag {
+	if o.errorsFlag {
 		gold := maritime.GoldED()
 		domain := maritime.PromptDomain()
 		fmt.Println("Qualitative error assessment (automated, Section 5.2):")
@@ -196,7 +234,94 @@ func run(fig string, errorsFlag, lintFlag, csv bool, vessels int, seed, window i
 			}
 		}
 	}
-	return nil
+
+	if o.tel.Metrics {
+		printTimingSummary(os.Stdout, tel, time.Since(wallStart))
+	}
+	return flush()
+}
+
+// printTimingSummary renders the wall-clock total, the per-phase timings
+// and the per-stage, per-model pipeline timing table accumulated in the
+// telemetry registry — the numbers BENCH trajectories record from CLI
+// output.
+func printTimingSummary(w io.Writer, tel *telemetry.Telemetry, wall time.Duration) {
+	snap := tel.Registry.Snapshot()
+	fmt.Fprintf(w, "Timing summary (telemetry registry):\n")
+	fmt.Fprintf(w, "  total wall-clock: %.1f ms\n", float64(wall.Microseconds())/1e3)
+
+	var phases []string
+	for name := range snap.Counters {
+		if strings.HasPrefix(name, "experiments.micros.") {
+			phases = append(phases, name)
+		}
+	}
+	sort.Strings(phases)
+	for _, name := range phases {
+		fmt.Fprintf(w, "  %s: %.1f ms\n",
+			strings.TrimPrefix(name, "experiments.micros."), float64(snap.Counters[name])/1e3)
+	}
+
+	// Per-stage, per-model table from "pipeline.micros.<stage>.<label>".
+	byLabel := map[string]map[string]int64{}
+	stageSet := map[string]bool{}
+	for name, v := range snap.Counters {
+		rest, ok := strings.CutPrefix(name, "pipeline.micros.")
+		if !ok {
+			continue
+		}
+		stage, label, ok := strings.Cut(rest, ".")
+		if !ok {
+			continue
+		}
+		stageSet[stage] = true
+		if byLabel[label] == nil {
+			byLabel[label] = map[string]int64{}
+		}
+		byLabel[label][stage] += v
+	}
+	if len(byLabel) == 0 {
+		return
+	}
+	// Pipeline order, then any unknown stages alphabetically.
+	stages := []string{"teach", "generate", "parse", "lint", "correct", "score", "accuracy"}
+	known := map[string]bool{}
+	for _, s := range stages {
+		known[s] = true
+	}
+	var extra []string
+	for s := range stageSet {
+		if !known[s] {
+			extra = append(extra, s)
+		}
+	}
+	sort.Strings(extra)
+	stages = append(stages, extra...)
+	var cols []string
+	for _, s := range stages {
+		if stageSet[s] {
+			cols = append(cols, s)
+		}
+	}
+	labels := make([]string, 0, len(byLabel))
+	for l := range byLabel {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	rows := [][]string{append([]string{"event description"}, cols...)}
+	for _, l := range labels {
+		cells := []string{l}
+		for _, s := range cols {
+			if v, ok := byLabel[l][s]; ok {
+				cells = append(cells, fmt.Sprintf("%.1fms", float64(v)/1e3))
+			} else {
+				cells = append(cells, "-")
+			}
+		}
+		rows = append(rows, cells)
+	}
+	fmt.Fprintln(w, "\nPer-stage pipeline timings per model:")
+	fmt.Fprint(w, figures.Table(rows))
 }
 
 // printLint renders the static-analyzer diagnostic counts of each model's

@@ -1,15 +1,24 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rtecgen/internal/telemetry"
+)
 
 func TestRunFigures(t *testing.T) {
 	// The full pipeline on a small scenario: 2a and 2b plus the error
 	// report and the lint table. 2c is exercised separately with a small
 	// fleet.
-	if err := run("2a", true, true, true, 14, 7, 3600); err != nil {
+	o := options{fig: "2a", errorsFlag: true, lintFlag: true, csv: true, vessels: 14, seed: 7, window: 3600}
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("2b", false, false, false, 14, 7, 3600); err != nil {
+	o = options{fig: "2b", vessels: 14, seed: 7, window: 3600}
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -18,8 +27,41 @@ func TestRunFigure2c(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full recognition run")
 	}
-	if err := run("2c", false, false, true, 14, 7, 3600); err != nil {
+	o := options{fig: "2c", csv: true, vessels: 14, seed: 7, window: 3600}
+	if err := run(o); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunWithTelemetry drives the metrics/trace path of the experiments
+// command: the run must emit a parseable Chrome trace with pipeline spans.
+func TestRunWithTelemetry(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	o := options{fig: "2a", csv: true, vessels: 14, seed: 7, window: 3600,
+		tel: telemetry.CLIConfig{TracePath: tracePath, Metrics: true}}
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &trace); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	names := map[string]int{}
+	for _, ev := range trace.TraceEvents {
+		names[ev.Name]++
+	}
+	for _, want := range []string{"pipeline.run", "pipeline.prompt", "llm.chat", "pipeline.correct", "pipeline.score"} {
+		if names[want] == 0 {
+			t.Fatalf("trace missing %q spans: %v", want, names)
+		}
 	}
 }
 

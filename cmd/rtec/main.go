@@ -6,8 +6,16 @@
 // Usage:
 //
 //	rtec -ed rules.rtec -stream events.csv [-window W] [-slide S] [-fluent name/arity] [-strict]
+//	     [-trace out.json] [-metrics] [-v] [-pprof addr]
 //
 // Stream rows have the form "time,eventName,arg1,arg2,...".
+//
+// Observability: -trace writes a Chrome trace_event JSON of the run (one
+// span per window and per fluent stratum; open in chrome://tracing or
+// Perfetto), -metrics dumps the telemetry registry to stderr at exit, -v
+// lowers the structured-log level to debug, and -pprof serves
+// net/http/pprof plus expvar (including the live metrics registry) for
+// long-running invocations.
 package main
 
 import (
@@ -18,38 +26,55 @@ import (
 	"rtecgen/internal/parser"
 	"rtecgen/internal/rtec"
 	"rtecgen/internal/stream"
+	"rtecgen/internal/telemetry"
 )
 
+// options carries every flag of the command.
+type options struct {
+	edPath, streamPath string
+	window, slide      int64
+	fluent             string
+	strict, csvOut     bool
+	tel                telemetry.CLIConfig
+}
+
 func main() {
-	edPath := flag.String("ed", "", "event-description file (required)")
-	streamPath := flag.String("stream", "", "input event stream CSV (required)")
-	window := flag.Int64("window", 0, "window size ω in time-points (0 = whole stream)")
-	slide := flag.Int64("slide", 0, "slide between query times (0 = window)")
-	fluent := flag.String("fluent", "", "only print FVPs of this fluent indicator, e.g. trawling/1")
-	strict := flag.Bool("strict", false, "fail on any event-description problem instead of warning")
-	csvOut := flag.Bool("csv", false, "emit CSV (fluent,fvp,since,until) instead of holdsFor lines")
+	var o options
+	flag.StringVar(&o.edPath, "ed", "", "event-description file (required)")
+	flag.StringVar(&o.streamPath, "stream", "", "input event stream CSV (required)")
+	flag.Int64Var(&o.window, "window", 0, "window size ω in time-points (0 = whole stream)")
+	flag.Int64Var(&o.slide, "slide", 0, "slide between query times (0 = window)")
+	flag.StringVar(&o.fluent, "fluent", "", "only print FVPs of this fluent indicator, e.g. trawling/1")
+	flag.BoolVar(&o.strict, "strict", false, "fail on any event-description problem instead of warning")
+	flag.BoolVar(&o.csvOut, "csv", false, "emit CSV (fluent,fvp,since,until) instead of holdsFor lines")
+	flag.StringVar(&o.tel.TracePath, "trace", "", "write a Chrome trace_event JSON of the run to this file")
+	flag.BoolVar(&o.tel.Metrics, "metrics", false, "dump the telemetry registry to stderr at exit")
+	flag.BoolVar(&o.tel.Verbose, "v", false, "structured debug logging to stderr")
+	flag.StringVar(&o.tel.PprofAddr, "pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	flag.Parse()
 
-	if err := run(*edPath, *streamPath, *window, *slide, *fluent, *strict, *csvOut); err != nil {
+	if err := run(o, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "rtec:", err)
 		os.Exit(1)
 	}
 }
 
-func run(edPath, streamPath string, window, slide int64, fluent string, strict, csvOut bool) error {
-	if edPath == "" || streamPath == "" {
+func run(o options, stdout, stderr *os.File) error {
+	if o.edPath == "" || o.streamPath == "" {
 		flag.Usage()
 		return fmt.Errorf("-ed and -stream are required")
 	}
-	src, err := os.ReadFile(edPath)
+	tel, flush := o.tel.Setup(stderr, stderr, "rtec")
+
+	src, err := os.ReadFile(o.edPath)
 	if err != nil {
 		return err
 	}
 	ed, err := parser.ParseEventDescription(string(src))
 	if err != nil {
-		return fmt.Errorf("%s: %w", edPath, err)
+		return fmt.Errorf("%s: %w", o.edPath, err)
 	}
-	f, err := os.Open(streamPath)
+	f, err := os.Open(o.streamPath)
 	if err != nil {
 		return err
 	}
@@ -59,31 +84,30 @@ func run(edPath, streamPath string, window, slide int64, fluent string, strict, 
 		return err
 	}
 
-	eng, err := rtec.New(ed, rtec.Options{Strict: strict})
+	// Load and runtime warnings surface on the telemetry logger (with
+	// fluent and window attributes) as the engine encounters them.
+	eng, err := rtec.New(ed, rtec.Options{Strict: o.strict, Telemetry: tel})
 	if err != nil {
 		return err
 	}
-	for _, w := range eng.Warnings() {
-		fmt.Fprintln(os.Stderr, "warning:", w)
-	}
-	rec, err := eng.Run(events, rtec.RunOptions{Window: window, Slide: slide})
+	rec, err := eng.Run(events, rtec.RunOptions{Window: o.window, Slide: o.slide})
 	if err != nil {
 		return err
 	}
-	for _, w := range rec.Warnings {
-		fmt.Fprintln(os.Stderr, "warning:", w)
-	}
-	if csvOut {
-		return rec.WriteCSV(os.Stdout)
+	if o.csvOut {
+		if err := rec.WriteCSV(stdout); err != nil {
+			return err
+		}
+		return flush()
 	}
 	for _, key := range rec.Keys() {
-		if fluent != "" {
+		if o.fluent != "" {
 			fvp := rec.FVP(key)
-			if fvp.Args[0].Indicator() != fluent {
+			if fvp.Args[0].Indicator() != o.fluent {
 				continue
 			}
 		}
-		fmt.Printf("holdsFor(%s, %s)\n", key, rec.IntervalsOfKey(key))
+		fmt.Fprintf(stdout, "holdsFor(%s, %s)\n", key, rec.IntervalsOfKey(key))
 	}
-	return nil
+	return flush()
 }

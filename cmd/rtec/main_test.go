@@ -1,9 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"rtecgen/internal/telemetry"
 )
 
 const testED = `
@@ -33,32 +37,92 @@ func write(t *testing.T, name, content string) string {
 	return path
 }
 
+func opts(ed, st string) options {
+	return options{edPath: ed, streamPath: st}
+}
+
 func TestRunEndToEnd(t *testing.T) {
 	ed := write(t, "ed.rtec", testED)
 	st := write(t, "events.csv", testStream)
-	if err := run(ed, st, 0, 0, "", true, false); err != nil {
+	o := opts(ed, st)
+	o.strict = true
+	if err := run(o, os.Stdout, os.Stderr); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(ed, st, 20, 10, "withinArea/2", true, true); err != nil {
+	o.window, o.slide, o.fluent, o.csvOut = 20, 10, "withinArea/2", true
+	if err := run(o, os.Stdout, os.Stderr); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunWithTelemetryFlags exercises the observability path end to end:
+// the run must produce a parseable Chrome trace with engine spans and a
+// non-empty metrics dump.
+func TestRunWithTelemetryFlags(t *testing.T) {
+	dir := t.TempDir()
+	ed := write(t, "ed.rtec", testED)
+	st := write(t, "events.csv", testStream)
+	tracePath := filepath.Join(dir, "trace.json")
+	metricsPath := filepath.Join(dir, "metrics.txt")
+
+	mf, err := os.Create(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := opts(ed, st)
+	o.window, o.slide = 20, 10
+	o.tel = telemetry.CLIConfig{TracePath: tracePath, Metrics: true}
+	if err := run(o, os.Stdout, mf); err != nil {
+		t.Fatal(err)
+	}
+	mf.Close()
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &trace); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	names := map[string]int{}
+	for _, ev := range trace.TraceEvents {
+		names[ev.Name]++
+	}
+	if names["rtec.run"] != 1 || names["rtec.window"] == 0 || names["rtec.fluent"] == 0 {
+		t.Fatalf("trace missing engine spans: %v", names)
+	}
+
+	metrics, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"counter rtec.events.ingested 2", "counter rtec.windows.evaluated"} {
+		if !strings.Contains(string(metrics), want) {
+			t.Fatalf("metrics dump missing %q:\n%s", want, metrics)
+		}
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	ed := write(t, "ed.rtec", testED)
 	st := write(t, "events.csv", testStream)
-	if err := run("", st, 0, 0, "", false, false); err == nil {
+	if err := run(opts("", st), os.Stdout, os.Stderr); err == nil {
 		t.Fatal("missing -ed accepted")
 	}
-	if err := run(ed, "/nonexistent.csv", 0, 0, "", false, false); err == nil {
+	if err := run(opts(ed, "/nonexistent.csv"), os.Stdout, os.Stderr); err == nil {
 		t.Fatal("missing stream accepted")
 	}
 	bad := write(t, "bad.rtec", "initiatedAt(((.")
-	if err := run(bad, st, 0, 0, "", false, false); err == nil {
+	if err := run(opts(bad, st), os.Stdout, os.Stderr); err == nil {
 		t.Fatal("bad event description accepted")
 	}
 	badStream := write(t, "bad.csv", "notatime,foo\n")
-	if err := run(ed, badStream, 0, 0, "", false, false); err == nil {
+	if err := run(opts(ed, badStream), os.Stdout, os.Stderr); err == nil {
 		t.Fatal("bad stream accepted")
 	}
 	// Strict mode surfaces unusable rules as errors.
@@ -66,10 +130,18 @@ func TestRunErrors(t *testing.T) {
 initiatedAt(broken(X)=true, T) :-
     holdsAt(withinArea(X, fishing)=true, T).
 `)
-	if err := run(lax, st, 0, 0, "", true, false); err == nil {
+	strictO := opts(lax, st)
+	strictO.strict = true
+	if err := run(strictO, os.Stdout, os.Stderr); err == nil {
 		t.Fatal("strict mode accepted an unusable rule")
 	}
-	if err := run(lax, st, 0, 0, "", false, false); err != nil {
+	if err := run(opts(lax, st), os.Stdout, os.Stderr); err != nil {
 		t.Fatalf("lenient mode failed: %v", err)
+	}
+	// An unwritable trace path must be reported.
+	traceO := opts(ed, st)
+	traceO.tel.TracePath = filepath.Join(t.TempDir(), "no", "such", "dir", "t.json")
+	if err := run(traceO, os.Stdout, os.Stderr); err == nil {
+		t.Fatal("unwritable trace path accepted")
 	}
 }

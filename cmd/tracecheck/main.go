@@ -1,0 +1,96 @@
+// Command tracecheck validates a Chrome trace_event JSON file as written by
+// the telemetry tracer (-trace on cmd/rtec and cmd/experiments). It is the
+// CI gate for the observability path: the file must parse, contain at least
+// one complete ("ph":"X") event with a name and non-negative timestamps, and
+// — when -require is given — contain at least one span whose name matches
+// each required substring.
+//
+// Usage:
+//
+//	tracecheck [-require name[,name...]] trace.json
+//
+// Exit status 0 when the trace is well-formed, 1 otherwise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+type traceFile struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+type traceEvent struct {
+	Name  string  `json:"name"`
+	Phase string  `json:"ph"`
+	TS    float64 `json:"ts"`
+	Dur   float64 `json:"dur"`
+	PID   int     `json:"pid"`
+	TID   int     `json:"tid"`
+}
+
+func main() {
+	require := flag.String("require", "", "comma-separated span-name substrings that must each appear")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-require name,...] trace.json")
+		os.Exit(1)
+	}
+	if err := check(flag.Arg(0), *require); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+}
+
+func check(path, require string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var tf traceFile
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		return fmt.Errorf("%s: not valid trace JSON: %w", path, err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		return fmt.Errorf("%s: no trace events", path)
+	}
+	for i, ev := range tf.TraceEvents {
+		if ev.Name == "" {
+			return fmt.Errorf("%s: event %d has no name", path, i)
+		}
+		if ev.Phase != "X" {
+			return fmt.Errorf("%s: event %d (%s): phase %q, want complete event \"X\"", path, i, ev.Name, ev.Phase)
+		}
+		if ev.TS < 0 || ev.Dur < 0 {
+			return fmt.Errorf("%s: event %d (%s): negative timestamp or duration", path, i, ev.Name)
+		}
+	}
+	for _, want := range splitRequire(require) {
+		found := false
+		for _, ev := range tf.TraceEvents {
+			if strings.Contains(ev.Name, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("%s: no span matching %q among %d events", path, want, len(tf.TraceEvents))
+		}
+	}
+	fmt.Printf("%s: ok (%d events)\n", path, len(tf.TraceEvents))
+	return nil
+}
+
+func splitRequire(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

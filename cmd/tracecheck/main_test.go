@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const goodTrace = `{"traceEvents":[
+  {"name":"rtec.run","ph":"X","ts":0,"dur":100,"pid":1,"tid":1},
+  {"name":"rtec.window","ph":"X","ts":10,"dur":40,"pid":1,"tid":1}
+],"displayTimeUnit":"ms"}`
+
+func TestCheckAcceptsWellFormedTrace(t *testing.T) {
+	path := write(t, goodTrace)
+	if err := check(path, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := check(path, "rtec.run,rtec.window"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckRejections(t *testing.T) {
+	cases := map[string]string{
+		"not json":      `{"traceEvents":[`,
+		"empty":         `{"traceEvents":[]}`,
+		"unnamed event": `{"traceEvents":[{"ph":"X","ts":0,"dur":1}]}`,
+		"wrong phase":   `{"traceEvents":[{"name":"a","ph":"B","ts":0}]}`,
+		"negative time": `{"traceEvents":[{"name":"a","ph":"X","ts":-1,"dur":1}]}`,
+	}
+	for name, content := range cases {
+		if err := check(write(t, content), ""); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if err := check(write(t, goodTrace), "pipeline.run"); err == nil {
+		t.Error("missing required span accepted")
+	}
+	if err := check(filepath.Join(t.TempDir(), "nope.json"), ""); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"rtecgen/internal/lang"
+	"rtecgen/internal/telemetry"
 )
 
 // Severity grades a diagnostic.
@@ -100,6 +101,11 @@ type Options struct {
 	// Roots is non-empty, other unused definitions are warnings rather
 	// than infos.
 	Roots map[string]bool
+	// Telemetry, when non-nil, records per-pass spans (children of Span)
+	// and counters of emitted diagnostics by code ("analysis.diag.R002").
+	Telemetry *telemetry.Telemetry
+	// Span is the parent span for the per-pass spans; may be nil.
+	Span *telemetry.Span
 }
 
 // Report is the outcome of analyzing one event description.
@@ -111,12 +117,20 @@ type Report struct {
 // deterministically ordered report.
 func Analyze(ed *lang.EventDescription, opts Options) *Report {
 	ctx := newContext(ed, opts)
+	tel := opts.Telemetry
 	var out []Diagnostic
 	for _, p := range passes {
+		sp := opts.Span.Span("analysis.pass",
+			telemetry.String("code", p.Code), telemetry.String("name", p.Name))
 		ds := p.run(ctx)
 		for i := range ds {
 			ds[i].Code = p.Code
 		}
+		if len(ds) > 0 {
+			tel.Counter("analysis.diag." + p.Code).Add(int64(len(ds)))
+		}
+		sp.SetAttrs(telemetry.Int("diagnostics", int64(len(ds))))
+		sp.End()
 		out = append(out, ds...)
 	}
 	sort.SliceStable(out, func(i, j int) bool {

@@ -22,6 +22,7 @@ import (
 	"rtecgen/internal/llm"
 	"rtecgen/internal/maritime"
 	"rtecgen/internal/prompt"
+	"rtecgen/internal/telemetry"
 )
 
 // Result bundles everything the method produces for one model and
@@ -56,18 +57,29 @@ func Generate(modelName string, scheme prompt.Scheme) (*Result, error) {
 // GenerateWith is Generate for a caller-supplied model (e.g. a live API
 // client implementing prompt.Model).
 func GenerateWith(model prompt.Model, scheme prompt.Scheme) (*Result, error) {
+	return GenerateObserved(nil, model, scheme)
+}
+
+// GenerateObserved is GenerateWith with observability: a "core.generate"
+// root span, the model wrapped with llm.Instrument, and every stage
+// (prompting, parsing, linting, correction, scoring) recording its spans,
+// timers and counters on tel. A nil tel makes it identical to GenerateWith.
+func GenerateObserved(tel *telemetry.Telemetry, model prompt.Model, scheme prompt.Scheme) (*Result, error) {
+	sp := tel.Span("core.generate",
+		telemetry.String("model", model.Name()), telemetry.String("scheme", scheme.String()))
+	defer sp.End()
 	domain := maritime.PromptDomain()
 	gold := maritime.GoldED()
-	gen, err := prompt.RunPipeline(model, scheme, domain, maritime.CurriculumRequests())
+	gen, err := prompt.RunPipelineWith(tel, llm.Instrument(model, tel), scheme, domain, maritime.CurriculumRequests())
 	if err != nil {
 		return nil, fmt.Errorf("core: generation: %w", err)
 	}
-	row, err := eval.Score(gold, gen)
+	row, err := eval.ScoreWith(tel, gold, gen)
 	if err != nil {
 		return nil, fmt.Errorf("core: scoring: %w", err)
 	}
-	cor := correct.Apply(gen, domain)
-	corRow, err := eval.Score(gold, cor.Gen)
+	cor := correct.ApplyWith(tel, gen, domain)
+	corRow, err := eval.ScoreWith(tel, gold, cor.Gen)
 	if err != nil {
 		return nil, fmt.Errorf("core: scoring corrected: %w", err)
 	}

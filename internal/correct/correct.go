@@ -19,6 +19,7 @@ import (
 	"rtecgen/internal/lang"
 	"rtecgen/internal/parser"
 	"rtecgen/internal/prompt"
+	"rtecgen/internal/telemetry"
 )
 
 // Change records one applied correction. Code is the analyzer diagnostic
@@ -114,6 +115,31 @@ type Corrected struct {
 // vocabulary target survive, as in the paper. The generated ED is not
 // mutated; a corrected copy is returned together with the change log.
 func Apply(gen *prompt.GeneratedED, domain *prompt.Domain) *Corrected {
+	return ApplyWith(nil, gen, domain)
+}
+
+// ApplyWith is Apply with observability: a "pipeline.correct" span, a
+// per-model stage timer, and counters for corrections applied (total and
+// by driving diagnostic code) on tel. A nil tel costs only nil checks.
+func ApplyWith(tel *telemetry.Telemetry, gen *prompt.GeneratedED, domain *prompt.Domain) *Corrected {
+	sp := tel.Span("pipeline.correct", telemetry.String("model", gen.Label()))
+	defer sp.End()
+	stop := tel.Time("pipeline.micros.correct." + gen.Label())
+	defer stop()
+	out := apply(gen, domain)
+	sp.SetAttrs(telemetry.Int("changes", int64(len(out.Changes))))
+	tel.Counter("correct.changes.applied").Add(int64(len(out.Changes)))
+	for _, ch := range out.Changes {
+		tel.Counter("correct.changes." + ch.Code).Inc()
+	}
+	if len(out.Changes) > 0 {
+		tel.Logger().Debug("syntactic corrections applied",
+			"component", "pipeline", "model", gen.Label(), "changes", len(out.Changes))
+	}
+	return out
+}
+
+func apply(gen *prompt.GeneratedED, domain *prompt.Domain) *Corrected {
 	v := buildVocabulary(domain)
 
 	// The analyzer supplies the rename candidates. Reuse the report the

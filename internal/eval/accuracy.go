@@ -9,6 +9,7 @@ import (
 	"rtecgen/internal/prompt"
 	"rtecgen/internal/rtec"
 	"rtecgen/internal/stream"
+	"rtecgen/internal/telemetry"
 )
 
 // AccuracyConfig parameterises the predictive-accuracy experiment.
@@ -16,6 +17,10 @@ type AccuracyConfig struct {
 	Scenario   maritime.ScenarioConfig
 	Preprocess maritime.PreprocessConfig
 	Window     int64 // RTEC window size in seconds
+	// Telemetry, when non-nil, is handed to every engine run of the
+	// testbed (per-window spans and counters) and records per-model
+	// accuracy-stage timers.
+	Telemetry *telemetry.Telemetry
 }
 
 // DefaultAccuracyConfig returns the configuration of the reported runs.
@@ -118,7 +123,7 @@ func (tb *Testbed) GoldRecognition() *rtec.Recognition { return tb.goldRec }
 // run executes an event description over the testbed stream.
 func (tb *Testbed) run(rules *lang.EventDescription, strict bool) (*rtec.Recognition, error) {
 	ed := maritime.FullED(rules, tb.scenario.Map, tb.scenario.Fleet, tb.pairs)
-	eng, err := rtec.New(ed, rtec.Options{Strict: strict, ExtraFacts: tb.facts})
+	eng, err := rtec.New(ed, rtec.Options{Strict: strict, ExtraFacts: tb.facts, Telemetry: tb.cfg.Telemetry})
 	if err != nil {
 		return nil, err
 	}
@@ -130,6 +135,11 @@ func (tb *Testbed) run(rules *lang.EventDescription, strict bool) (*rtec.Recogni
 // Detections are matched per entity (vessel or vessel pair) and per value;
 // TP/FP/FN count time-points (seconds), computed via interval overlap.
 func (tb *Testbed) Evaluate(gen *prompt.GeneratedED) (AccuracyRow, error) {
+	tel := tb.cfg.Telemetry
+	sp := tel.Span("pipeline.accuracy", telemetry.String("model", gen.Label()))
+	defer sp.End()
+	stop := tel.Time("pipeline.micros.accuracy." + gen.Label())
+	defer stop()
 	// Generated event descriptions routinely carry defects: load leniently.
 	genRec, err := tb.run(gen.ED(), false)
 	if err != nil {
@@ -202,6 +212,8 @@ func entityIntervals(rec *rtec.Recognition, functor string) map[string]intervals
 // Figure2c runs the corrected event descriptions of Figure 2b on the
 // testbed and reports their predictive accuracy.
 func Figure2c(tb *Testbed, corrected []CorrectedRow) ([]AccuracyRow, error) {
+	sp := tb.cfg.Telemetry.Span("eval.figure2c", telemetry.Int("rows", int64(len(corrected))))
+	defer sp.End()
 	var out []AccuracyRow
 	for _, cr := range corrected {
 		row, err := tb.Evaluate(cr.Corrected.Gen)

@@ -13,9 +13,11 @@ import (
 
 	"rtecgen/internal/correct"
 	"rtecgen/internal/lang"
+	"rtecgen/internal/llm"
 	"rtecgen/internal/maritime"
 	"rtecgen/internal/prompt"
 	"rtecgen/internal/similarity"
+	"rtecgen/internal/telemetry"
 )
 
 // ActivityKeys are the Figure 2 x-axis labels, in order; "all" is the
@@ -50,12 +52,20 @@ func (r Row) Average() float64 {
 
 // GenerateAll runs the prompting pipeline for every model and scheme.
 func GenerateAll(models []prompt.Model) ([]*prompt.GeneratedED, error) {
+	return GenerateAllWith(nil, models)
+}
+
+// GenerateAllWith is GenerateAll with observability: each model is wrapped
+// with llm.Instrument and each pipeline run records its spans, stage timers
+// and counters on tel.
+func GenerateAllWith(tel *telemetry.Telemetry, models []prompt.Model) ([]*prompt.GeneratedED, error) {
 	domain := maritime.PromptDomain()
 	curriculum := maritime.CurriculumRequests()
 	var out []*prompt.GeneratedED
 	for _, m := range models {
+		im := llm.Instrument(m, tel)
 		for _, scheme := range []prompt.Scheme{prompt.FewShot, prompt.ChainOfThought} {
-			gen, err := prompt.RunPipeline(m, scheme, domain, curriculum)
+			gen, err := prompt.RunPipelineWith(tel, im, scheme, domain, curriculum)
 			if err != nil {
 				return nil, fmt.Errorf("eval: %s %s: %w", m.Name(), scheme, err)
 			}
@@ -70,6 +80,16 @@ func GenerateAll(models []prompt.Model) ([]*prompt.GeneratedED, error) {
 // activity's primary fluent are compared (Definition 4.14 restricted to
 // that rule set); the "all" score compares the full rule sets.
 func Score(gold *lang.EventDescription, gen *prompt.GeneratedED) (Row, error) {
+	return ScoreWith(nil, gold, gen)
+}
+
+// ScoreWith is Score with observability: a "pipeline.score" span and a
+// per-model stage timer on tel.
+func ScoreWith(tel *telemetry.Telemetry, gold *lang.EventDescription, gen *prompt.GeneratedED) (Row, error) {
+	sp := tel.Span("pipeline.score", telemetry.String("model", gen.Label()))
+	defer sp.End()
+	stop := tel.Time("pipeline.micros.score." + gen.Label())
+	defer stop()
 	row := Row{
 		Model:       gen.ModelName,
 		Scheme:      gen.Scheme,
@@ -195,13 +215,21 @@ func TopN(rows []Row, n int) []Row {
 // Figure2a generates all event descriptions, scores them, and returns the
 // best row per model (the published figure's contents) plus all rows.
 func Figure2a(models []prompt.Model) (best, all []Row, err error) {
+	return Figure2aWith(nil, models)
+}
+
+// Figure2aWith is Figure2a with observability threaded through generation
+// and scoring.
+func Figure2aWith(tel *telemetry.Telemetry, models []prompt.Model) (best, all []Row, err error) {
+	sp := tel.Span("eval.figure2a", telemetry.Int("models", int64(len(models))))
+	defer sp.End()
 	gold := maritime.GoldED()
-	gens, err := GenerateAll(models)
+	gens, err := GenerateAllWith(tel, models)
 	if err != nil {
 		return nil, nil, err
 	}
 	for _, g := range gens {
-		row, err := Score(gold, g)
+		row, err := ScoreWith(tel, gold, g)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -228,12 +256,20 @@ func (r CorrectedRow) Label() string {
 // Figure2b applies the minimal syntactic corrector to the given rows
 // (the paper corrects the top three of Figure 2a) and re-scores them.
 func Figure2b(rows []Row) ([]CorrectedRow, error) {
+	return Figure2bWith(nil, rows)
+}
+
+// Figure2bWith is Figure2b with observability threaded through correction
+// and re-scoring.
+func Figure2bWith(tel *telemetry.Telemetry, rows []Row) ([]CorrectedRow, error) {
+	sp := tel.Span("eval.figure2b", telemetry.Int("rows", int64(len(rows))))
+	defer sp.End()
 	gold := maritime.GoldED()
 	domain := maritime.PromptDomain()
 	var out []CorrectedRow
 	for _, r := range rows {
-		cor := correct.Apply(r.Gen, domain)
-		scored, err := Score(gold, cor.Gen)
+		cor := correct.ApplyWith(tel, r.Gen, domain)
+		scored, err := ScoreWith(tel, gold, cor.Gen)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,45 @@
+package llm
+
+import (
+	"rtecgen/internal/prompt"
+	"rtecgen/internal/telemetry"
+)
+
+// Instrument wraps a model so that every Chat call is observed: an
+// "llm.chat" span (rooted at the tracer, so it nests under whatever span is
+// open when the call happens), per-model call/byte/error counters, and a
+// per-model timer counter accumulating call microseconds. With a nil
+// Telemetry the model is returned unwrapped, so the uninstrumented path is
+// exactly the original model.
+func Instrument(m prompt.Model, tel *telemetry.Telemetry) prompt.Model {
+	if tel == nil {
+		return m
+	}
+	return &instrumented{m: m, tel: tel}
+}
+
+type instrumented struct {
+	m   prompt.Model
+	tel *telemetry.Telemetry
+}
+
+func (i *instrumented) Name() string { return i.m.Name() }
+
+func (i *instrumented) Chat(history []prompt.Message, user string) (string, error) {
+	name := i.m.Name()
+	sp := i.tel.Span("llm.chat",
+		telemetry.String("model", name), telemetry.Int("history", int64(len(history))))
+	defer sp.End()
+	stop := i.tel.Time("llm.micros." + name)
+	reply, err := i.m.Chat(history, user)
+	stop()
+	i.tel.Counter("llm.calls." + name).Inc()
+	i.tel.Counter("llm.prompt.bytes." + name).Add(int64(len(user)))
+	if err != nil {
+		i.tel.Counter("llm.errors." + name).Inc()
+		return reply, err
+	}
+	i.tel.Counter("llm.response.bytes." + name).Add(int64(len(reply)))
+	sp.SetAttrs(telemetry.Int("response_bytes", int64(len(reply))))
+	return reply, nil
+}

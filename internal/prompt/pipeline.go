@@ -7,6 +7,7 @@ import (
 	"rtecgen/internal/analysis"
 	"rtecgen/internal/lang"
 	"rtecgen/internal/parser"
+	"rtecgen/internal/telemetry"
 )
 
 // Session drives a model through the prompting pipeline of Figure 1: teach
@@ -19,6 +20,8 @@ type Session struct {
 	domain  *Domain
 	history []Message
 	taught  bool
+	tel     *telemetry.Telemetry // may be nil
+	span    *telemetry.Span      // pipeline root span, parent of per-prompt spans
 }
 
 // NewSession creates a session for a model and prompting scheme.
@@ -26,16 +29,41 @@ func NewSession(model Model, scheme Scheme, domain *Domain) *Session {
 	return &Session{model: model, scheme: scheme, domain: domain}
 }
 
-// send delivers a user message and records the exchange.
-func (s *Session) send(user string) (string, error) {
+// NewSessionWith is NewSession with observability: prompt/response sizes,
+// per-prompt spans (children of span, which may be nil) and structured
+// debug logs are recorded on tel.
+func NewSessionWith(tel *telemetry.Telemetry, span *telemetry.Span, model Model, scheme Scheme, domain *Domain) *Session {
+	return &Session{model: model, scheme: scheme, domain: domain, tel: tel, span: span}
+}
+
+// send delivers a user message and records the exchange. label names the
+// prompt of Figure 1 ("R", "F", "E", "T", "G:<activity>") on the span and
+// the logs.
+func (s *Session) send(label, user string) (string, error) {
+	sp := s.pipelineSpan().Span("pipeline.prompt",
+		telemetry.String("prompt", label), telemetry.String("model", s.model.Name()))
+	defer sp.End()
+	s.tel.Counter("pipeline.prompt.bytes").Add(int64(len(user)))
 	reply, err := s.model.Chat(s.history, user)
 	if err != nil {
+		s.tel.Counter("pipeline.model.errors").Inc()
 		return "", fmt.Errorf("prompt: model %s: %w", s.model.Name(), err)
 	}
+	s.tel.Counter("pipeline.response.bytes").Add(int64(len(reply)))
+	s.tel.Logger().Debug("prompt exchanged",
+		"component", "pipeline", "model", s.model.Name(), "scheme", s.scheme.String(),
+		"prompt", label, "prompt_bytes", len(user), "response_bytes", len(reply))
 	s.history = append(s.history, Message{Role: "user", Content: user},
 		Message{Role: "assistant", Content: reply})
 	return reply, nil
 }
+
+// pipelineSpan returns the parent span for per-prompt spans (nil when the
+// session is untraced, which collapses the children to no-ops too).
+func (s *Session) pipelineSpan() *telemetry.Span { return s.span }
+
+// Label renders the model/scheme notation of the paper, e.g. "o1□".
+func (s *Session) Label() string { return s.model.Name() + s.scheme.Suffix() }
 
 // Teach runs prompts R, F/F*, E and T, in order. Under zero-shot prompting
 // the fluent-kind demonstration (prompt F/F*) is skipped.
@@ -43,13 +71,16 @@ func (s *Session) Teach() error {
 	if err := s.domain.Validate(); err != nil {
 		return err
 	}
-	prompts := []string{BuildR()}
+	stop := s.tel.Time("pipeline.micros.teach." + s.Label())
+	defer stop()
+	type step struct{ label, text string }
+	steps := []step{{"R", BuildR()}}
 	if s.scheme != ZeroShot {
-		prompts = append(prompts, BuildF(s.scheme))
+		steps = append(steps, step{"F", BuildF(s.scheme)})
 	}
-	prompts = append(prompts, BuildE(s.domain), BuildT(s.domain))
-	for _, p := range prompts {
-		if _, err := s.send(p); err != nil {
+	steps = append(steps, step{"E", BuildE(s.domain)}, step{"T", BuildT(s.domain)})
+	for _, p := range steps {
+		if _, err := s.send(p.label, p.text); err != nil {
 			return err
 		}
 	}
@@ -62,7 +93,9 @@ func (s *Session) Generate(req ActivityRequest) (string, error) {
 	if !s.taught {
 		return "", fmt.Errorf("prompt: Generate before Teach")
 	}
-	return s.send(BuildG(req))
+	stop := s.tel.Time("pipeline.micros.generate." + s.Label())
+	defer stop()
+	return s.send("G:"+req.Key, BuildG(req))
 }
 
 // History returns the transcript so far.
@@ -94,6 +127,17 @@ type GeneratedED struct {
 // activities are not flagged as unused). The report is attached to the
 // GeneratedED and returned.
 func (g *GeneratedED) Lint(domain *Domain) *analysis.Report {
+	return g.LintWith(nil, nil, domain)
+}
+
+// LintWith is Lint with observability: a "pipeline.lint" span (a child of
+// parent, which may be nil), per-pass spans inside the analyzer, stage
+// timing and diagnostic counters by code on tel.
+func (g *GeneratedED) LintWith(tel *telemetry.Telemetry, parent *telemetry.Span, domain *Domain) *analysis.Report {
+	sp := parent.Span("pipeline.lint", telemetry.String("model", g.Label()))
+	defer sp.End()
+	stop := tel.Time("pipeline.micros.lint." + g.Label())
+	defer stop()
 	roots := map[string]bool{}
 	for _, r := range g.Results {
 		roots[r.Request.Name] = true
@@ -101,7 +145,10 @@ func (g *GeneratedED) Lint(domain *Domain) *analysis.Report {
 	g.Report = analysis.Analyze(g.ED(), analysis.Options{
 		Vocabulary: domain.KnownNames(),
 		Roots:      roots,
+		Telemetry:  tel,
+		Span:       sp,
 	})
+	sp.SetAttrs(telemetry.Int("diagnostics", int64(len(g.Report.Diagnostics))))
 	return g.Report
 }
 
@@ -145,22 +192,48 @@ func (g *GeneratedED) ParseErrors() []string {
 // errors are recorded per activity and skipped, since a human would discard
 // unusable output (Section 4 measures exactly this correction effort).
 func RunPipeline(model Model, scheme Scheme, domain *Domain, curriculum []ActivityRequest) (*GeneratedED, error) {
-	s := NewSession(model, scheme, domain)
+	return RunPipelineWith(nil, model, scheme, domain, curriculum)
+}
+
+// RunPipelineWith is RunPipeline with observability: a "pipeline.run" root
+// span with per-prompt, per-parse and per-lint children, stage timers
+// keyed by the model/scheme label, and counters for prompt/response bytes,
+// rules generated and parse errors. A nil tel costs only nil checks.
+func RunPipelineWith(tel *telemetry.Telemetry, model Model, scheme Scheme, domain *Domain, curriculum []ActivityRequest) (*GeneratedED, error) {
+	root := tel.Span("pipeline.run",
+		telemetry.String("model", model.Name()), telemetry.String("scheme", scheme.String()),
+		telemetry.Int("curriculum", int64(len(curriculum))))
+	defer root.End()
+	s := NewSessionWith(tel, root, model, scheme, domain)
 	if err := s.Teach(); err != nil {
 		return nil, err
 	}
 	out := &GeneratedED{ModelName: model.Name(), Scheme: scheme}
+	rules := tel.Counter("pipeline.rules.generated")
+	parseErrs := tel.Counter("pipeline.parse.errors")
 	for _, req := range curriculum {
 		raw, err := s.Generate(req)
 		if err != nil {
 			return nil, err
 		}
+		psp := root.Span("pipeline.parse", telemetry.String("activity", req.Key))
+		stop := tel.Time("pipeline.micros.parse." + out.Label())
 		clauses, errs := ParseResponse(raw)
+		stop()
+		psp.SetAttrs(telemetry.Int("clauses", int64(len(clauses))), telemetry.Int("errors", int64(len(errs))))
+		psp.End()
+		rules.Add(int64(len(clauses)))
+		parseErrs.Add(int64(len(errs)))
+		if len(errs) > 0 {
+			tel.Logger().Debug("unparseable response chunks",
+				"component", "pipeline", "model", model.Name(), "scheme", scheme.String(),
+				"activity", req.Key, "errors", len(errs))
+		}
 		out.Results = append(out.Results, ActivityResult{
 			Request: req, Raw: raw, Clauses: clauses, Errors: errs,
 		})
 	}
-	out.Lint(domain)
+	out.LintWith(tel, root, domain)
 	return out, nil
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"rtecgen/internal/kb"
 	"rtecgen/internal/lang"
+	"rtecgen/internal/telemetry"
 )
 
 // FluentKind distinguishes the two ways a composite activity may be defined.
@@ -109,6 +110,12 @@ type Options struct {
 	// the paper credits hierarchies with "paving the way for caching");
 	// results are identical, only slower.
 	DisableCache bool
+	// Telemetry, when non-nil, receives the engine's observability signals:
+	// per-run and per-window spans, counters (events ingested, windows
+	// evaluated, FVPs grounded, intervals amalgamated, warnings),
+	// per-stratum evaluation-time histograms, and load/runtime warnings on
+	// the structured logger. A nil Telemetry costs only nil checks.
+	Telemetry *telemetry.Telemetry
 }
 
 // New analyses and loads an event description: it classifies the fluents,
@@ -148,6 +155,8 @@ func New(ed *lang.EventDescription, opts Options) (*Engine, error) {
 			return fmt.Errorf("rtec: %s", w)
 		}
 		e.warnings = append(e.warnings, w)
+		opts.Telemetry.Counter("rtec.warnings.load").Inc()
+		opts.Telemetry.Logger().Warn(w.Msg, "component", "rtec", "stage", "load", "fluent", w.Fluent)
 		return nil
 	}
 

@@ -3,11 +3,13 @@ package rtec
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"rtecgen/internal/intervals"
 	"rtecgen/internal/kb"
 	"rtecgen/internal/lang"
 	"rtecgen/internal/stream"
+	"rtecgen/internal/telemetry"
 )
 
 // cacheEntry holds the computed maximal intervals of one ground FVP within
@@ -29,9 +31,11 @@ type windowState struct {
 	prevOpen  map[string]*lang.Term    // fvpKey -> fvp, simple FVPs holding at window start
 	warnings  map[string]bool          // dedup of runtime warnings
 	warnSink  *[]Warning
+	tel       *telemetry.Telemetry // may be nil: all uses degrade to no-ops
+	span      *telemetry.Span      // the window span, parent of per-fluent spans
 }
 
-func newWindowState(e *Engine, events stream.Stream, ws, we int64, prevOpen map[string]*lang.Term, warnSink *[]Warning) *windowState {
+func newWindowState(e *Engine, events stream.Stream, ws, we int64, prevOpen map[string]*lang.Term, warnSink *[]Warning, tel *telemetry.Telemetry, span *telemetry.Span) *windowState {
 	w := &windowState{
 		eng:       e,
 		ws:        ws,
@@ -43,6 +47,8 @@ func newWindowState(e *Engine, events stream.Stream, ws, we int64, prevOpen map[
 		prevOpen:  prevOpen,
 		warnings:  map[string]bool{},
 		warnSink:  warnSink,
+		tel:       tel,
+		span:      span,
 	}
 	for _, ev := range events {
 		ind := ev.Atom.Indicator()
@@ -57,6 +63,9 @@ func newWindowState(e *Engine, events stream.Stream, ws, we int64, prevOpen map[
 	return w
 }
 
+// warnf records a runtime warning once per window: collected on the
+// Recognition (for programmatic consumers) and surfaced on the telemetry
+// logger with fluent and window attributes (for operators).
 func (w *windowState) warnf(fluent, format string, args ...any) {
 	msg := fmt.Sprintf(format, args...)
 	key := fluent + "|" + msg
@@ -64,6 +73,10 @@ func (w *windowState) warnf(fluent, format string, args ...any) {
 		return
 	}
 	w.warnings[key] = true
+	w.tel.Counter("rtec.warnings.runtime").Inc()
+	w.tel.Logger().Warn(msg,
+		"component", "rtec", "stage", "recognition", "fluent", fluent,
+		"window_start", w.ws, "query_time", w.we)
 	if w.warnSink != nil {
 		*w.warnSink = append(*w.warnSink, Warning{Fluent: fluent, Msg: msg})
 	}
@@ -93,13 +106,27 @@ func (w *windowState) listOf(fvp *lang.Term) intervals.List {
 
 // evaluate computes every fluent of the hierarchy bottom-up, caching each
 // fluent's intervals for the window so higher-level definitions reuse them.
+// Each stratum is wrapped in a child span of the window span, and its
+// evaluation time feeds the per-stratum histogram.
 func (w *windowState) evaluate() {
 	if w.eng.opts.DisableCache {
 		w.evaluateUncached()
 		return
 	}
+	hist := w.tel.Histogram("rtec.stratum.micros")
 	for _, ind := range w.eng.order {
+		sp := w.span.Span("rtec.fluent",
+			telemetry.String("fluent", ind),
+			telemetry.Int("stratum", int64(w.eng.fluents[ind].level)))
+		var t0 time.Time
+		if hist != nil {
+			t0 = time.Now()
+		}
 		w.evalFluent(ind)
+		if hist != nil {
+			hist.ObserveDuration(time.Since(t0))
+		}
+		sp.End()
 	}
 }
 

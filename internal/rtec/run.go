@@ -6,10 +6,12 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"time"
 
 	"rtecgen/internal/intervals"
 	"rtecgen/internal/lang"
 	"rtecgen/internal/stream"
+	"rtecgen/internal/telemetry"
 )
 
 // RunOptions configure a recognition run.
@@ -204,14 +206,40 @@ func (e *Engine) runWindows(events stream.Stream, opts RunOptions, fn func(*Reco
 	}
 	qs = append(qs, end)
 
+	tel := e.opts.Telemetry
+	run := tel.Span("rtec.run",
+		telemetry.Int("events", int64(len(s))),
+		telemetry.Int("window", window), telemetry.Int("slide", slide),
+		telemetry.Int("start", start), telemetry.Int("end", end))
+	defer run.End()
+	tel.Counter("rtec.events.ingested").Add(int64(len(s)))
+	winHist := tel.Histogram("rtec.window.micros")
+	tel.Logger().Debug("recognition run",
+		"component", "rtec", "events", len(s),
+		"window", window, "slide", slide, "start", start, "end", end,
+		"windows", len(qs), "fluents", len(e.order))
+
 	prevOpen := map[string]*lang.Term{}
 	for i, q := range qs {
 		ws, we := q-window, q
 		if ws < start {
 			ws = start
 		}
-		w := newWindowState(e, s.Window(ws, we), ws, we, prevOpen, &rec.Warnings)
+		winEvents := s.Window(ws, we)
+		wspan := run.Span("rtec.window",
+			telemetry.Int("window_start", ws), telemetry.Int("query_time", we),
+			telemetry.Int("events", int64(len(winEvents))))
+		var t0 time.Time
+		if winHist != nil {
+			t0 = time.Now()
+		}
+		w := newWindowState(e, winEvents, ws, we, prevOpen, &rec.Warnings, tel, wspan)
 		w.evaluate()
+		if winHist != nil {
+			winHist.ObserveDuration(time.Since(t0))
+		}
+		tel.Counter("rtec.windows.evaluated").Inc()
+		tel.Counter("rtec.fvps.grounded").Add(int64(len(w.cache)))
 
 		// The next window starts at nws; a simple FVP that (per this
 		// window's computation) holds at nws persists into the next window
@@ -229,6 +257,7 @@ func (e *Engine) runWindows(events stream.Stream, opts RunOptions, fn func(*Reco
 			FVPs:       map[string]*lang.Term{},
 		}
 		prevOpen = map[string]*lang.Term{}
+		var amalgamated int64
 		for key, ent := range w.cache {
 			clipped := intervals.Clip(ent.list, ws, we)
 			if len(clipped) > 0 {
@@ -238,6 +267,7 @@ func (e *Engine) runWindows(events stream.Stream, opts RunOptions, fn func(*Reco
 				}
 				wr.Recognised[key] = clipped
 				wr.FVPs[key] = ent.fvp
+				amalgamated += int64(len(clipped))
 			}
 			if nws < 0 {
 				continue
@@ -246,6 +276,9 @@ func (e *Engine) runWindows(events stream.Stream, opts RunOptions, fn func(*Reco
 				prevOpen[key] = ent.fvp
 			}
 		}
+		tel.Counter("rtec.intervals.amalgamated").Add(amalgamated)
+		wspan.SetAttrs(telemetry.Int("fvps", int64(len(w.cache))), telemetry.Int("intervals", amalgamated))
+		wspan.End()
 		if err := fn(rec, wr); err != nil {
 			return err
 		}

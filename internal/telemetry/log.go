@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"sync"
+)
+
+// HandlerOptions is the shared slog handler configuration used by every
+// CLI: a level filter, and no source annotation (positions in this codebase
+// point at instrumentation sites, not user code). Tests set dropTime to
+// strip the volatile time attribute.
+func HandlerOptions(level slog.Leveler, dropTime bool) *slog.HandlerOptions {
+	opts := &slog.HandlerOptions{Level: level}
+	if dropTime {
+		opts.ReplaceAttr = func(groups []string, a slog.Attr) slog.Attr {
+			if len(groups) == 0 && a.Key == slog.TimeKey {
+				return slog.Attr{}
+			}
+			return a
+		}
+	}
+	return opts
+}
+
+// NewLogger builds the shared text logger: "component" is attached to every
+// record so interleaved engine and pipeline lines stay attributable.
+func NewLogger(w io.Writer, level slog.Leveler, component string) *slog.Logger {
+	l := slog.New(slog.NewTextHandler(w, HandlerOptions(level, false)))
+	if component != "" {
+		l = l.With("component", component)
+	}
+	return l
+}
+
+// NewTestLogger is NewLogger without the time attribute, for deterministic
+// test assertions on the rendered output.
+func NewTestLogger(w io.Writer, level slog.Leveler) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, HandlerOptions(level, true)))
+}
+
+// discardHandler reports every level as disabled, so even argument
+// evaluation for attrs is the only cost of a discarded log call.
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+var (
+	discardOnce sync.Once
+	discard     *slog.Logger
+)
+
+// Discard returns the shared no-op logger.
+func Discard() *slog.Logger {
+	discardOnce.Do(func() { discard = slog.New(discardHandler{}) })
+	return discard
+}

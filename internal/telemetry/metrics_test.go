@@ -1,0 +1,171 @@
+package telemetry
+
+import (
+	"expvar"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.count")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("a.count") != c {
+		t.Fatal("Counter is not idempotent per name")
+	}
+	g := r.Gauge("a.gauge")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("x").Set(1)
+	r.Histogram("x", nil).Observe(1)
+	r.Reset()
+	if !r.Snapshot().Empty() {
+		t.Fatal("nil registry snapshot not empty")
+	}
+
+	var tel *Telemetry
+	tel.Counter("x").Inc()
+	tel.Gauge("x").Set(1)
+	tel.Histogram("x").ObserveDuration(time.Second)
+	sp := tel.Span("root")
+	sp.Span("child").End()
+	sp.SetAttrs(String("k", "v"))
+	sp.End()
+	tel.Logger().Info("discarded")
+	tel.Time("x")()
+}
+
+// TestHistogramBucketEdges pins the bucket semantics: v lands in the first
+// bucket with v <= bound; values beyond the last bound land in overflow.
+func TestHistogramBucketEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{10, 100, 1000})
+	for _, v := range []float64{0, 10, 10.5, 100, 1000, 1000.1, 5000} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["h"]
+	wantCounts := []int64{2, 2, 1, 2} // le10: {0,10}; le100: {10.5,100}; le1000: {1000}; inf: {1000.1,5000}
+	if len(s.Counts) != len(wantCounts) {
+		t.Fatalf("bucket count = %d, want %d", len(s.Counts), len(wantCounts))
+	}
+	for i, want := range wantCounts {
+		if s.Counts[i] != want {
+			t.Errorf("bucket %d = %d, want %d", i, s.Counts[i], want)
+		}
+	}
+	if s.Count != 7 {
+		t.Errorf("count = %d, want 7", s.Count)
+	}
+	if want := 0.0 + 10 + 10.5 + 100 + 1000 + 1000.1 + 5000; s.Sum != want {
+		t.Errorf("sum = %g, want %g", s.Sum, want)
+	}
+}
+
+func TestHistogramUnsortedBoundsAreSorted(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{1000, 10, 100})
+	got := h.Bounds()
+	want := []float64{10, 100, 1000}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bounds = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestConcurrentCounters exercises the lock-free instruments from many
+// goroutines; `go test -race ./internal/telemetry/...` is part of ci.sh.
+func TestConcurrentCounters(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, perG = 16, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared")
+			h := r.Histogram("lat", []float64{1, 2, 4})
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				r.Gauge("g").Add(1)
+				h.Observe(float64(j % 5))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := r.Gauge("g").Value(); got != goroutines*perG {
+		t.Fatalf("gauge = %d, want %d", got, goroutines*perG)
+	}
+	if got := r.Snapshot().Histograms["lat"].Count; got != goroutines*perG {
+		t.Fatalf("histogram count = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestSnapshotResetAndText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.two").Add(2)
+	r.Counter("a.one").Add(1)
+	r.Gauge("g").Set(9)
+	r.Histogram("h", []float64{1, 2}).Observe(1.5)
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "counter a.one 1\ncounter b.two 2\ngauge g 9\nhistogram h count=1 sum=1.5 le1=0 le2=1 inf=0\n"
+	if sb.String() != want {
+		t.Fatalf("WriteText:\n%s\nwant:\n%s", sb.String(), want)
+	}
+
+	r.Reset()
+	s := r.Snapshot()
+	if s.Counters["a.one"] != 0 || s.Gauges["g"] != 0 || s.Histograms["h"].Count != 0 {
+		t.Fatalf("Reset left values: %+v", s)
+	}
+	// Names survive a reset so dumps still document instrumented paths.
+	if _, ok := s.Counters["b.two"]; !ok {
+		t.Fatal("Reset dropped registered names")
+	}
+}
+
+func TestPublishExpvar(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pub.count").Add(3)
+	r.Publish("telemetry_test_registry")
+	r.Publish("telemetry_test_registry") // second publish must not panic
+	v := expvar.Get("telemetry_test_registry")
+	if v == nil {
+		t.Fatal("registry not published")
+	}
+	if !strings.Contains(v.String(), "pub.count") {
+		t.Fatalf("expvar output missing metric: %s", v.String())
+	}
+}
+
+func TestTelemetryTime(t *testing.T) {
+	r := NewRegistry()
+	tel := New(r, nil, nil)
+	stop := tel.Time("stage.micros")
+	time.Sleep(time.Millisecond)
+	stop()
+	if got := r.Counter("stage.micros").Value(); got <= 0 {
+		t.Fatalf("timer recorded %d µs, want > 0", got)
+	}
+}

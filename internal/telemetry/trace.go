@@ -1,0 +1,194 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span. Values should be strings or
+// integers so the exported JSON stays portable.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// String builds a string attribute.
+func String(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Int builds an integer attribute.
+func Int(key string, value int64) Attr { return Attr{Key: key, Value: value} }
+
+// Tracer records spans and exports them as Chrome trace_event JSON, the
+// format understood by chrome://tracing and https://ui.perfetto.dev. A nil
+// *Tracer is the no-op tracer: Span returns nil, and every method of a nil
+// *Span is a no-op, so instrumented code costs a handful of nil checks when
+// tracing is disabled.
+//
+// Span start/end use the tracer's clock; End appends the completed span to
+// an internal buffer under a mutex, so concurrent spans are safe.
+type Tracer struct {
+	now   func() time.Time
+	start time.Time
+
+	mu     sync.Mutex
+	events []SpanEvent
+	nextID int64
+}
+
+// SpanEvent is one completed span as it will be exported: timestamps are
+// microseconds relative to the tracer's creation.
+type SpanEvent struct {
+	Name     string
+	ID       int64 // 1-based, in span-start order
+	ParentID int64 // 0 for root spans
+	StartUS  int64
+	DurUS    int64
+	Attrs    []Attr
+}
+
+// NewTracer returns a tracer using the real clock.
+func NewTracer() *Tracer { return NewTracerWithClock(time.Now) }
+
+// NewTracerWithClock returns a tracer reading time from now — tests inject
+// a deterministic clock to produce byte-stable traces.
+func NewTracerWithClock(now func() time.Time) *Tracer {
+	return &Tracer{now: now, start: now()}
+}
+
+// Span starts a root span. Returns nil (the no-op span) on a nil tracer.
+func (t *Tracer) Span(name string, attrs ...Attr) *Span {
+	return t.startSpan(name, 0, attrs)
+}
+
+func (t *Tracer) startSpan(name string, parent int64, attrs []Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.nextID++
+	id := t.nextID
+	t.mu.Unlock()
+	return &Span{tracer: t, name: name, id: id, parent: parent, start: t.now(), attrs: attrs}
+}
+
+// Events returns a copy of the completed spans, in End order.
+func (t *Tracer) Events() []SpanEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]SpanEvent(nil), t.events...)
+}
+
+// Span is one timed operation. Spans nest: children started from a span
+// carry its ID, and the Chrome export nests them by time containment. A nil
+// *Span is the no-op span.
+type Span struct {
+	tracer *Tracer
+	name   string
+	id     int64
+	parent int64
+	start  time.Time
+	attrs  []Attr
+	ended  bool
+}
+
+// Span starts a child span. On a nil (no-op) span the child is nil too, so
+// a disabled call tree never allocates.
+func (s *Span) Span(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tracer.startSpan(name, s.id, attrs)
+}
+
+// SetAttrs appends attributes to the span (visible in the exported args).
+func (s *Span) SetAttrs(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, attrs...)
+}
+
+// End completes the span and records it on the tracer. Second and later
+// Ends are ignored.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	t := s.tracer
+	end := t.now()
+	ev := SpanEvent{
+		Name:     s.name,
+		ID:       s.id,
+		ParentID: s.parent,
+		StartUS:  s.start.Sub(t.start).Microseconds(),
+		DurUS:    end.Sub(s.start).Microseconds(),
+		Attrs:    s.attrs,
+	}
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// chromeEvent is the trace_event wire format: one "complete" event (ph "X")
+// per span. The viewer nests events on the same pid/tid by ts/dur
+// containment, which matches our span nesting because children start after
+// and end before their parent.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur"`
+	PID  int64          `json:"pid"`
+	TID  int64          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports the completed spans as Chrome trace_event JSON.
+// Events are sorted by start time (then ID) and the encoder sorts map keys,
+// so the output is deterministic for a deterministic run.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	events := t.Events()
+	out := chromeTrace{TraceEvents: make([]chromeEvent, 0, len(events)), DisplayTimeUnit: "ms"}
+	// Sort by start, breaking ties so parents precede children.
+	sortSpanEvents(events)
+	for _, ev := range events {
+		args := map[string]any{"span_id": ev.ID}
+		if ev.ParentID != 0 {
+			args["parent_id"] = ev.ParentID
+		}
+		for _, a := range ev.Attrs {
+			args[a.Key] = a.Value
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: ev.Name, Ph: "X", TS: ev.StartUS, Dur: ev.DurUS, PID: 1, TID: 1, Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func sortSpanEvents(events []SpanEvent) {
+	// Insertion sort keeps the already mostly-ordered End-order buffer
+	// cheap to reorder and is dependency-free.
+	for i := 1; i < len(events); i++ {
+		for j := i; j > 0; j-- {
+			a, b := events[j-1], events[j]
+			if a.StartUS < b.StartUS || (a.StartUS == b.StartUS && a.ID <= b.ID) {
+				break
+			}
+			events[j-1], events[j] = b, a
+		}
+	}
+}

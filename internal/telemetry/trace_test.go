@@ -1,0 +1,145 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock advances a fixed step on every reading, making span timestamps
+// deterministic.
+func fakeClock(step time.Duration) func() time.Time {
+	base := time.Unix(0, 0)
+	var calls int64
+	return func() time.Time {
+		t := base.Add(time.Duration(calls) * step)
+		calls++
+		return t
+	}
+}
+
+// TestNestedSpanOrdering pins the parent/child contract: children carry the
+// parent's ID, and a child both starts after and ends within its parent, so
+// the Chrome viewer nests them by time containment.
+func TestNestedSpanOrdering(t *testing.T) {
+	tr := NewTracerWithClock(fakeClock(100 * time.Microsecond))
+	root := tr.Span("root", String("kind", "test"))
+	c1 := root.Span("child1")
+	g := c1.Span("grandchild")
+	g.End()
+	c1.End()
+	c2 := root.Span("child2")
+	c2.End()
+	root.End()
+
+	events := tr.Events()
+	if len(events) != 4 {
+		t.Fatalf("got %d events, want 4", len(events))
+	}
+	// End order: grandchild, child1, child2, root.
+	byName := map[string]SpanEvent{}
+	for _, ev := range events {
+		byName[ev.Name] = ev
+	}
+	rootEv, c1Ev, gEv, c2Ev := byName["root"], byName["child1"], byName["grandchild"], byName["child2"]
+	if rootEv.ParentID != 0 {
+		t.Errorf("root parent = %d, want 0", rootEv.ParentID)
+	}
+	if c1Ev.ParentID != rootEv.ID || c2Ev.ParentID != rootEv.ID {
+		t.Errorf("children parents = %d,%d, want %d", c1Ev.ParentID, c2Ev.ParentID, rootEv.ID)
+	}
+	if gEv.ParentID != c1Ev.ID {
+		t.Errorf("grandchild parent = %d, want %d", gEv.ParentID, c1Ev.ID)
+	}
+	// Time containment: parent.start <= child.start, child.end <= parent.end.
+	contains := func(p, c SpanEvent) bool {
+		return p.StartUS <= c.StartUS && c.StartUS+c.DurUS <= p.StartUS+p.DurUS
+	}
+	if !contains(rootEv, c1Ev) || !contains(rootEv, c2Ev) || !contains(c1Ev, gEv) {
+		t.Errorf("span times do not nest: %+v", events)
+	}
+	// Sibling ordering: child1 ends before child2 starts.
+	if c1Ev.StartUS+c1Ev.DurUS > c2Ev.StartUS {
+		t.Errorf("siblings overlap: %+v %+v", c1Ev, c2Ev)
+	}
+}
+
+func TestDoubleEndIgnored(t *testing.T) {
+	tr := NewTracerWithClock(fakeClock(time.Microsecond))
+	sp := tr.Span("once")
+	sp.End()
+	sp.End()
+	if n := len(tr.Events()); n != 1 {
+		t.Fatalf("double End produced %d events, want 1", n)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTracerWithClock(fakeClock(50 * time.Microsecond))
+	root := tr.Span("run", Int("events", 12))
+	child := root.Span("window", Int("window_start", 0))
+	child.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   int64          `json:"ts"`
+			Dur  int64          `json:"dur"`
+			PID  int64          `json:"pid"`
+			TID  int64          `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("trace JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if decoded.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", decoded.DisplayTimeUnit)
+	}
+	if len(decoded.TraceEvents) != 2 {
+		t.Fatalf("got %d trace events, want 2", len(decoded.TraceEvents))
+	}
+	// Export order is by start time: run before window.
+	if decoded.TraceEvents[0].Name != "run" || decoded.TraceEvents[1].Name != "window" {
+		t.Errorf("unexpected order: %q, %q", decoded.TraceEvents[0].Name, decoded.TraceEvents[1].Name)
+	}
+	for _, ev := range decoded.TraceEvents {
+		if ev.Ph != "X" || ev.PID != 1 || ev.TID != 1 || ev.Dur < 0 {
+			t.Errorf("malformed event: %+v", ev)
+		}
+	}
+	if v, ok := decoded.TraceEvents[1].Args["parent_id"]; !ok || v.(float64) != 1 {
+		t.Errorf("child args missing parent_id: %v", decoded.TraceEvents[1].Args)
+	}
+	if v := decoded.TraceEvents[0].Args["events"]; v.(float64) != 12 {
+		t.Errorf("root attr lost: %v", decoded.TraceEvents[0].Args)
+	}
+}
+
+func TestLoggers(t *testing.T) {
+	var sb strings.Builder
+	l := NewTestLogger(&sb, nil)
+	l.Warn("careful", "fluent", "withinArea/2")
+	got := sb.String()
+	if got != "level=WARN msg=careful fluent=withinArea/2\n" {
+		t.Fatalf("unexpected log line: %q", got)
+	}
+	sb.Reset()
+	l2 := NewLogger(&sb, nil, "rtec")
+	l2.Info("hello")
+	if !strings.Contains(sb.String(), "component=rtec") {
+		t.Fatalf("component attr missing: %q", sb.String())
+	}
+	if Discard().Enabled(nil, 12) {
+		t.Fatal("discard logger claims enabled")
+	}
+}
