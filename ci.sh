@@ -50,4 +50,24 @@ if ! grep -q '^counter rtec.windows.evaluated' "$tmp/metrics.txt"; then
     exit 1
 fi
 
+echo "== chaos smoke (fault-injected experiments must degrade deterministically)"
+# Run Figure 2a under the mixed fault profile with a fixed seed, twice:
+# the run must survive the injected faults (no panic, exit 0), two runs of
+# the same seed must be byte-identical, and the resilience metrics must
+# show that retries actually happened.
+go run ./cmd/experiments -fig 2a -faults mixed -fault-seed 7 > "$tmp/chaos1.txt" 2>/dev/null
+go run ./cmd/experiments -fig 2a -faults mixed -fault-seed 7 > "$tmp/chaos2.txt" 2>/dev/null
+if ! cmp -s "$tmp/chaos1.txt" "$tmp/chaos2.txt"; then
+    echo "chaos smoke: two runs with the same fault seed differ:" >&2
+    diff "$tmp/chaos1.txt" "$tmp/chaos2.txt" >&2 || true
+    exit 1
+fi
+go run ./cmd/experiments -fig 2a -faults mixed -fault-seed 7 -metrics \
+    > /dev/null 2> "$tmp/chaos-metrics.txt"
+if ! grep -q '^counter llm\.retries [1-9]' "$tmp/chaos-metrics.txt"; then
+    echo "chaos smoke: metrics dump is missing a nonzero llm.retries counter:" >&2
+    grep '^counter llm\.' "$tmp/chaos-metrics.txt" >&2 || cat "$tmp/chaos-metrics.txt" >&2
+    exit 1
+fi
+
 echo "CI OK"

@@ -8,6 +8,7 @@
 // Usage:
 //
 //	experiments [-fig 2a|2b|2c|all] [-errors] [-lint] [-zeroshot] [-csv] [-vessels N] [-seed S] [-window W]
+//	            [-faults profile] [-fault-seed S]
 //	            [-trace out.json] [-metrics] [-v] [-pprof addr]
 //
 // Observability: -metrics prints the total wall-clock, the per-phase
@@ -15,6 +16,12 @@
 // telemetry registry) and dumps the registry to stderr; -trace writes a
 // Chrome trace_event JSON of the whole run; -v enables structured debug
 // logs; -pprof serves net/http/pprof and expvar for long runs.
+//
+// Resilience: -faults runs the whole study under injected transport chaos
+// (internal/llm/fault) behind the resilient wrapper (internal/llm/
+// resilient); a fixed -fault-seed makes the run byte-reproducible. Failed
+// activities and tripped models degrade to annotated gaps in the tables
+// instead of aborting the run.
 package main
 
 import (
@@ -28,9 +35,12 @@ import (
 
 	"rtecgen/internal/analysis"
 	"rtecgen/internal/check"
+	"rtecgen/internal/clock"
 	"rtecgen/internal/eval"
 	"rtecgen/internal/figures"
 	"rtecgen/internal/llm"
+	"rtecgen/internal/llm/fault"
+	"rtecgen/internal/llm/resilient"
 	"rtecgen/internal/maritime"
 	"rtecgen/internal/prompt"
 	"rtecgen/internal/similarity"
@@ -44,6 +54,8 @@ type options struct {
 	csv                  bool
 	vessels              int
 	seed, window         int64
+	faults               string
+	faultSeed            int64
 	tel                  telemetry.CLIConfig
 }
 
@@ -57,6 +69,8 @@ func main() {
 	flag.IntVar(&o.vessels, "vessels", 60, "fleet size of the synthetic scenario (Figure 2c)")
 	flag.Int64Var(&o.seed, "seed", 7, "scenario seed (Figure 2c)")
 	flag.Int64Var(&o.window, "window", 3600, "RTEC window size in seconds (Figure 2c)")
+	flag.StringVar(&o.faults, "faults", "", "inject model-transport faults: "+strings.Join(fault.Names(), ", "))
+	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "fault-injection seed (runs are byte-reproducible per seed)")
 	flag.StringVar(&o.tel.TracePath, "trace", "", "write a Chrome trace_event JSON of the run to this file")
 	flag.BoolVar(&o.tel.Metrics, "metrics", false, "print the timing summary and dump the telemetry registry to stderr at exit")
 	flag.BoolVar(&o.tel.Verbose, "v", false, "structured debug logging to stderr")
@@ -103,16 +117,50 @@ func runZeroShot() error {
 	return nil
 }
 
+// buildModels returns the study's model set, hardened with the fault
+// injector and the resilient transport when -faults is active.
+func buildModels(o options, tel *telemetry.Telemetry) ([]prompt.Model, error) {
+	var models []prompt.Model
+	if o.faults == "" {
+		for _, m := range llm.AllModels() {
+			models = append(models, m)
+		}
+		return models, nil
+	}
+	plan, ok := fault.PlanByName(o.faults)
+	if !ok {
+		return nil, fmt.Errorf("unknown fault profile %q (have: %s)", o.faults, strings.Join(fault.Names(), ", "))
+	}
+	// Virtual clock: backoffs, deadlines and breaker cooldowns advance in
+	// virtual time, so chaos runs neither sleep for real nor depend on host
+	// timing — two runs with the same seed are byte-identical.
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	for _, m := range llm.AllModels() {
+		inj := fault.Inject(m, plan.For(m.Name()), o.faultSeed, clk, tel)
+		models = append(models, resilient.Wrap(inj, resilient.Config{
+			Clock: clk, Seed: o.faultSeed, Telemetry: tel,
+		}))
+	}
+	return models, nil
+}
+
+// annotate marks partially degraded event descriptions in labels, e.g.
+// "Gemma-2□ (5/8 activities)". Complete runs pass through unchanged.
+func annotate(label string, gen *prompt.GeneratedED) string {
+	ok, total := gen.Coverage()
+	return figures.PartialLabel(label, ok, total)
+}
+
 func run(o options) error {
 	tel, flush := o.tel.Setup(os.Stderr, os.Stderr, "experiments")
 	wallStart := time.Now()
 
-	var models []prompt.Model
-	for _, m := range llm.AllModels() {
-		models = append(models, m)
+	models, err := buildModels(o, tel)
+	if err != nil {
+		return err
 	}
 	stopGen := tel.Time("experiments.micros.generate+score")
-	best, _, err := eval.Figure2aWith(tel, models)
+	best, allRows, skipped, err := eval.Figure2aTolerantWith(tel, models)
 	stopGen()
 	if err != nil {
 		return err
@@ -132,14 +180,14 @@ func run(o options) error {
 		rows = append(rows, append([]string{"event description"}, groups...))
 		for _, r := range best {
 			vals := make([]float64, 0, len(groups))
-			cells := []string{r.Label()}
+			cells := []string{annotate(r.Label(), r.Gen)}
 			for _, k := range eval.ActivityKeys {
 				vals = append(vals, r.PerActivity[k])
 				cells = append(cells, fmt.Sprintf("%.3f", r.PerActivity[k]))
 			}
 			vals = append(vals, r.Overall)
 			cells = append(cells, fmt.Sprintf("%.3f", r.Overall))
-			series = append(series, figures.Series{Name: r.Label(), Values: vals})
+			series = append(series, figures.Series{Name: annotate(r.Label(), r.Gen), Values: vals})
 			rows = append(rows, cells)
 		}
 		if o.csv {
@@ -155,14 +203,14 @@ func run(o options) error {
 		rows = append(rows, append([]string{"event description"}, groups...))
 		for _, r := range corrected {
 			vals := make([]float64, 0, len(groups))
-			cells := []string{r.Label()}
+			cells := []string{annotate(r.Label(), r.Gen)}
 			for _, k := range eval.ActivityKeys {
 				vals = append(vals, r.PerActivity[k])
 				cells = append(cells, fmt.Sprintf("%.3f", r.PerActivity[k]))
 			}
 			vals = append(vals, r.Overall)
 			cells = append(cells, fmt.Sprintf("%.3f", r.Overall))
-			series = append(series, figures.Series{Name: r.Label(), Values: vals})
+			series = append(series, figures.Series{Name: annotate(r.Label(), r.Gen), Values: vals})
 			rows = append(rows, cells)
 		}
 		if o.csv {
@@ -198,14 +246,18 @@ func run(o options) error {
 		var series []figures.Series
 		var rows [][]string
 		rows = append(rows, append([]string{"event description"}, eval.ActivityKeys...))
-		for _, r := range rows2c {
+		for i, r := range rows2c {
+			label := r.Label
+			if i < len(corrected) {
+				label = annotate(label, corrected[i].Gen)
+			}
 			vals := make([]float64, 0, len(eval.ActivityKeys))
-			cells := []string{r.Label}
+			cells := []string{label}
 			for _, k := range eval.ActivityKeys {
 				vals = append(vals, r.PerActivity[k].Score())
 				cells = append(cells, fmt.Sprintf("%.3f", r.PerActivity[k].Score()))
 			}
-			series = append(series, figures.Series{Name: r.Label, Values: vals})
+			series = append(series, figures.Series{Name: label, Values: vals})
 			rows = append(rows, cells)
 		}
 		if o.csv {
@@ -214,6 +266,8 @@ func run(o options) error {
 			fmt.Println(figures.BarChart("Figure 2c: predictive accuracy (f1-score per activity)", eval.ActivityKeys, series, 40))
 		}
 	}
+
+	printDegradation(os.Stdout, allRows, skipped)
 
 	if o.lintFlag {
 		printLint(best)
@@ -239,6 +293,31 @@ func run(o options) error {
 		printTimingSummary(os.Stdout, tel, time.Since(wallStart))
 	}
 	return flush()
+}
+
+// printDegradation reports the transport casualties of a fault-injected
+// run: model/scheme pipelines skipped outright (circuit breaker open or
+// retries exhausted during teaching) and activities degraded within the
+// surviving event descriptions. It prints nothing when nothing degraded,
+// so fault-free output stays byte-identical.
+func printDegradation(w io.Writer, rows []eval.Row, skipped []eval.Skip) {
+	var lines []string
+	for _, s := range skipped {
+		lines = append(lines, fmt.Sprintf("  %s skipped: %v", s.Label(), s.Err))
+	}
+	for _, r := range rows {
+		if keys := r.Gen.DegradedKeys(); len(keys) > 0 {
+			lines = append(lines, fmt.Sprintf("  %s degraded activities: %s", r.Label(), strings.Join(keys, ", ")))
+		}
+	}
+	if len(lines) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "Transport degradation (injected faults):")
+	for _, l := range lines {
+		fmt.Fprintln(w, l)
+	}
+	fmt.Fprintln(w)
 }
 
 // printTimingSummary renders the wall-clock total, the per-phase timings

@@ -6,60 +6,92 @@
 // Usage:
 //
 //	gen -model o1 [-scheme few-shot|cot] [-correct] [-transcript] [-activity key]
+//	    [-faults profile] [-fault-seed S]
+//
+// With -faults, the model transport is wrapped with the deterministic fault
+// injector (internal/llm/fault) behind the resilient transport
+// (internal/llm/resilient): failed activities degrade to annotated gaps on
+// stderr instead of aborting the run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
+	"rtecgen/internal/clock"
 	"rtecgen/internal/correct"
 	"rtecgen/internal/llm"
+	"rtecgen/internal/llm/fault"
+	"rtecgen/internal/llm/resilient"
 	"rtecgen/internal/maritime"
 	"rtecgen/internal/prompt"
 )
 
+// options carries every flag of the command.
+type options struct {
+	model, scheme, activity      string
+	applyCorrections, transcript bool
+	faults                       string
+	faultSeed                    int64
+}
+
 func main() {
-	model := flag.String("model", "o1", "model name (GPT-4, GPT-4o, o1, Llama-3, Mistral, Gemma-2)")
-	schemeName := flag.String("scheme", "few-shot", "prompting scheme: few-shot or cot")
-	applyCorrections := flag.Bool("correct", false, "apply the minimal syntactic corrector to the output")
-	transcript := flag.Bool("transcript", false, "print the full prompt/response transcript instead of the rules")
-	activity := flag.String("activity", "", "only print the result for this activity key (e.g. tr)")
+	var o options
+	flag.StringVar(&o.model, "model", "o1", "model name (GPT-4, GPT-4o, o1, Llama-3, Mistral, Gemma-2)")
+	flag.StringVar(&o.scheme, "scheme", "few-shot", "prompting scheme: few-shot or cot")
+	flag.BoolVar(&o.applyCorrections, "correct", false, "apply the minimal syntactic corrector to the output")
+	flag.BoolVar(&o.transcript, "transcript", false, "print the full prompt/response transcript instead of the rules")
+	flag.StringVar(&o.activity, "activity", "", "only print the result for this activity key (e.g. tr)")
+	flag.StringVar(&o.faults, "faults", "", "inject model-transport faults: "+strings.Join(fault.Names(), ", "))
+	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "fault-injection seed (runs are byte-reproducible per seed)")
 	flag.Parse()
 
-	if err := run(*model, *schemeName, *applyCorrections, *transcript, *activity); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "gen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(model, schemeName string, applyCorrections, transcript bool, activity string) error {
-	m, err := llm.New(model)
+func run(o options) error {
+	sim, err := llm.New(o.model)
 	if err != nil {
 		return err
 	}
+	var m prompt.Model = sim
+	if o.faults != "" {
+		plan, ok := fault.PlanByName(o.faults)
+		if !ok {
+			return fmt.Errorf("unknown fault profile %q (have: %s)", o.faults, strings.Join(fault.Names(), ", "))
+		}
+		clk := clock.NewVirtual(time.Unix(0, 0))
+		m = resilient.Wrap(fault.Inject(m, plan.For(m.Name()), o.faultSeed, clk, nil),
+			resilient.Config{Clock: clk, Seed: o.faultSeed})
+	}
 	var scheme prompt.Scheme
-	switch schemeName {
+	switch o.scheme {
 	case "few-shot":
 		scheme = prompt.FewShot
 	case "cot", "chain-of-thought":
 		scheme = prompt.ChainOfThought
 	default:
-		return fmt.Errorf("unknown scheme %q", schemeName)
+		return fmt.Errorf("unknown scheme %q", o.scheme)
 	}
 	domain := maritime.PromptDomain()
 
-	if transcript {
+	if o.transcript {
 		s := prompt.NewSession(m, scheme, domain)
 		if err := s.Teach(); err != nil {
 			return err
 		}
 		for _, req := range maritime.CurriculumRequests() {
-			if activity != "" && req.Key != activity {
+			if o.activity != "" && req.Key != o.activity {
 				continue
 			}
 			if _, err := s.Generate(req); err != nil {
-				return err
+				fmt.Fprintf(os.Stderr, "degraded: %s: %v\n", req.Key, err)
 			}
 		}
 		for _, msg := range s.History() {
@@ -72,7 +104,7 @@ func run(model, schemeName string, applyCorrections, transcript bool, activity s
 	if err != nil {
 		return err
 	}
-	if applyCorrections {
+	if o.applyCorrections {
 		cor := correct.Apply(gen, domain)
 		fmt.Fprintf(os.Stderr, "corrections: %s\n", cor.Summary())
 		gen = cor.Gen
@@ -81,7 +113,11 @@ func run(model, schemeName string, applyCorrections, transcript bool, activity s
 		fmt.Fprintln(os.Stderr, "parse error:", e)
 	}
 	for _, r := range gen.Results {
-		if activity != "" && r.Request.Key != activity {
+		if o.activity != "" && r.Request.Key != o.activity {
+			continue
+		}
+		if r.Degraded {
+			fmt.Fprintf(os.Stderr, "degraded: %s: %s\n", r.Request.Key, r.Err)
 			continue
 		}
 		fmt.Printf("%% ----- %s (%s) -----\n", r.Request.Name, r.Request.Key)

@@ -7,18 +7,22 @@ func TestRunVariants(t *testing.T) {
 		model, scheme  string
 		correct, trans bool
 		activity       string
+		faults         string
 		wantErr        bool
 	}{
-		{"o1", "few-shot", false, false, "", false},
-		{"o1", "cot", true, false, "tr", false},
-		{"GPT-4o", "few-shot", false, true, "l", false},
-		{"NoSuchModel", "few-shot", false, false, "", true},
-		{"o1", "zero-shot", false, false, "", true},
+		{"o1", "few-shot", false, false, "", "", false},
+		{"o1", "cot", true, false, "tr", "", false},
+		{"GPT-4o", "few-shot", false, true, "l", "", false},
+		{"NoSuchModel", "few-shot", false, false, "", "", true},
+		{"o1", "zero-shot", false, false, "", "", true},
+		{"o1", "few-shot", false, false, "", "transient", false},
+		{"o1", "few-shot", false, false, "", "nosuchprofile", true},
 	}
 	for _, c := range cases {
-		err := run(c.model, c.scheme, c.correct, c.trans, c.activity)
+		err := run(options{model: c.model, scheme: c.scheme, applyCorrections: c.correct,
+			transcript: c.trans, activity: c.activity, faults: c.faults, faultSeed: 7})
 		if (err != nil) != c.wantErr {
-			t.Errorf("run(%s, %s): err = %v, wantErr = %v", c.model, c.scheme, err, c.wantErr)
+			t.Errorf("run(%s, %s, faults=%q): err = %v, wantErr = %v", c.model, c.scheme, c.faults, err, c.wantErr)
 		}
 	}
 }

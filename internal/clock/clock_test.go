@@ -1,0 +1,34 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestVirtualAdvancesOnSleep(t *testing.T) {
+	start := time.Unix(100, 0)
+	v := NewVirtual(start)
+	if !v.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", v.Now(), start)
+	}
+	v.Sleep(3 * time.Second)
+	v.Advance(2 * time.Second)
+	if got, want := v.Now(), start.Add(5*time.Second); !got.Equal(want) {
+		t.Fatalf("Now = %v, want %v", got, want)
+	}
+	// Negative and zero durations must not move time backwards.
+	v.Sleep(-time.Hour)
+	v.Advance(0)
+	if got, want := v.Now(), start.Add(5*time.Second); !got.Equal(want) {
+		t.Fatalf("Now after no-op sleeps = %v, want %v", got, want)
+	}
+}
+
+func TestRealClockMonotonicEnough(t *testing.T) {
+	c := Real()
+	t0 := c.Now()
+	c.Sleep(time.Millisecond)
+	if !c.Now().After(t0) {
+		t.Fatal("real clock did not advance across Sleep")
+	}
+}

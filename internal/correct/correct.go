@@ -213,7 +213,8 @@ func apply(gen *prompt.GeneratedED, domain *prompt.Domain) *Corrected {
 
 	out := &Corrected{Gen: &prompt.GeneratedED{ModelName: gen.ModelName, Scheme: gen.Scheme}, Before: report}
 	for _, r := range gen.Results {
-		nr := prompt.ActivityResult{Request: r.Request, Raw: r.Raw, Errors: append([]string(nil), r.Errors...)}
+		nr := prompt.ActivityResult{Request: r.Request, Raw: r.Raw,
+			Errors: append([]string(nil), r.Errors...), Degraded: r.Degraded, Err: r.Err}
 		for _, c := range r.Clauses {
 			cc := c.Clone()
 			for from, ch := range renames {

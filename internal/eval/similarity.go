@@ -55,24 +55,55 @@ func GenerateAll(models []prompt.Model) ([]*prompt.GeneratedED, error) {
 	return GenerateAllWith(nil, models)
 }
 
+// Skip records one model/scheme pipeline that could not complete at all —
+// typically a model whose transport failed during teaching (retries
+// exhausted or circuit breaker open). The run carries on without it.
+type Skip struct {
+	Model  string
+	Scheme prompt.Scheme
+	Err    error
+}
+
+// Label renders the paper's notation for the skipped event description.
+func (s Skip) Label() string { return s.Model + s.Scheme.Suffix() }
+
 // GenerateAllWith is GenerateAll with observability: each model is wrapped
 // with llm.Instrument and each pipeline run records its spans, stage timers
-// and counters on tel.
+// and counters on tel. Any pipeline failure aborts; use
+// GenerateAllTolerantWith to degrade instead.
 func GenerateAllWith(tel *telemetry.Telemetry, models []prompt.Model) ([]*prompt.GeneratedED, error) {
+	gens, skipped := GenerateAllTolerantWith(tel, models)
+	if len(skipped) > 0 {
+		s := skipped[0]
+		return nil, fmt.Errorf("eval: %s %s: %w", s.Model, s.Scheme, s.Err)
+	}
+	return gens, nil
+}
+
+// GenerateAllTolerantWith is GenerateAllWith with graceful degradation: a
+// model/scheme whose pipeline fails outright is recorded as a Skip — an
+// annotated gap in the figures — instead of aborting the whole run.
+// Individual failed activities already degrade inside RunPipelineWith.
+func GenerateAllTolerantWith(tel *telemetry.Telemetry, models []prompt.Model) ([]*prompt.GeneratedED, []Skip) {
 	domain := maritime.PromptDomain()
 	curriculum := maritime.CurriculumRequests()
 	var out []*prompt.GeneratedED
+	var skipped []Skip
 	for _, m := range models {
 		im := llm.Instrument(m, tel)
 		for _, scheme := range []prompt.Scheme{prompt.FewShot, prompt.ChainOfThought} {
 			gen, err := prompt.RunPipelineWith(tel, im, scheme, domain, curriculum)
 			if err != nil {
-				return nil, fmt.Errorf("eval: %s %s: %w", m.Name(), scheme, err)
+				tel.Counter("pipeline.models.skipped").Inc()
+				tel.Logger().Warn("model skipped: pipeline failed",
+					"component", "eval", "model", m.Name(), "scheme", scheme.String(), "err", err.Error())
+				skipped = append(skipped, Skip{Model: m.Name(), Scheme: scheme, Err: err})
+				continue
 			}
 			out = append(out, gen)
 		}
 	}
-	return out, nil
+	return out, skipped
 }
 
 // Score computes the similarity row of one generated event description
@@ -221,21 +252,31 @@ func Figure2a(models []prompt.Model) (best, all []Row, err error) {
 // Figure2aWith is Figure2a with observability threaded through generation
 // and scoring.
 func Figure2aWith(tel *telemetry.Telemetry, models []prompt.Model) (best, all []Row, err error) {
+	best, all, skipped, err := Figure2aTolerantWith(tel, models)
+	if err == nil && len(skipped) > 0 {
+		s := skipped[0]
+		return nil, nil, fmt.Errorf("eval: %s %s: %w", s.Model, s.Scheme, s.Err)
+	}
+	return best, all, err
+}
+
+// Figure2aTolerantWith is Figure2aWith with graceful degradation: failed
+// model/scheme pipelines are returned as Skips rather than aborting, and
+// partially degraded event descriptions are scored over the activities
+// they did produce.
+func Figure2aTolerantWith(tel *telemetry.Telemetry, models []prompt.Model) (best, all []Row, skipped []Skip, err error) {
 	sp := tel.Span("eval.figure2a", telemetry.Int("models", int64(len(models))))
 	defer sp.End()
 	gold := maritime.GoldED()
-	gens, err := GenerateAllWith(tel, models)
-	if err != nil {
-		return nil, nil, err
-	}
+	gens, skipped := GenerateAllTolerantWith(tel, models)
 	for _, g := range gens {
 		row, err := ScoreWith(tel, gold, g)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, skipped, err
 		}
 		all = append(all, row)
 	}
-	return BestPerModel(all), all, nil
+	return BestPerModel(all), all, skipped, nil
 }
 
 // CorrectedRow pairs a corrected event description's scores with the

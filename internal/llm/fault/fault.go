@@ -1,0 +1,267 @@
+// Package fault is a deterministic, seedable fault injector for the model
+// transport: it wraps any prompt.Model and reproduces the failure modes of
+// remote LLM APIs — transient errors, rate limits with a retry-after hint,
+// timeouts (hangs, simulated through the injectable clock), truncated and
+// garbled replies, and a permanent outage after N calls. Faults are sampled
+// from a per-model rng seeded by (seed, model name), so a whole chaos run
+// is reproducible from the seed alone, and every injected fault is counted
+// on the telemetry registry (llm.fault.injected and
+// llm.fault.injected.<kind>.<model>).
+package fault
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"rtecgen/internal/clock"
+	"rtecgen/internal/prompt"
+	"rtecgen/internal/telemetry"
+)
+
+// Profile holds the per-call fault probabilities of one simulated transport.
+// At most one fault fires per call: a single uniform draw is partitioned by
+// the cumulative probabilities, in the field order below. The zero Profile
+// injects nothing.
+type Profile struct {
+	Transient float64 // one-off API error (HTTP 500/529 class)
+	RateLimit float64 // rejection carrying a retry-after hint (HTTP 429 class)
+	Timeout   float64 // hang exceeding any reasonable deadline
+	Truncate  float64 // reply cut mid-rule (connection dropped mid-stream)
+	Garble    float64 // reply corrupted into non-RTEC text
+
+	// OutageAfter, when positive, fails every call after the first N with a
+	// permanent OutageError — the backend going down for good mid-run.
+	OutageAfter int
+	// RetryAfter is the hint attached to rate-limit errors.
+	RetryAfter time.Duration
+	// HangFor is the (virtual) time a timeout fault consumes before failing.
+	HangFor time.Duration
+}
+
+// Zero reports whether the profile injects no faults at all.
+func (p Profile) Zero() bool {
+	return p.Transient == 0 && p.RateLimit == 0 && p.Timeout == 0 &&
+		p.Truncate == 0 && p.Garble == 0 && p.OutageAfter == 0
+}
+
+// Plan assigns fault profiles to models: PerModel overrides by model name,
+// Default applies to everyone else.
+type Plan struct {
+	Default  Profile
+	PerModel map[string]Profile
+}
+
+// For returns the profile for a model name.
+func (p Plan) For(model string) Profile {
+	if prof, ok := p.PerModel[model]; ok {
+		return prof
+	}
+	return p.Default
+}
+
+// plans are the named fault plans selectable with -faults. "mixed" is the
+// chaos-gate plan: every model sees probabilistic transport faults, and
+// Gemma-2 (the weakest model of the study) additionally suffers a permanent
+// outage early enough that its circuit breaker is guaranteed to trip.
+var plans = map[string]Plan{
+	"none": {},
+	"transient": {
+		Default: Profile{Transient: 0.2},
+	},
+	"ratelimit": {
+		Default: Profile{RateLimit: 0.15, RetryAfter: 250 * time.Millisecond},
+	},
+	"flaky": {
+		Default: Profile{Transient: 0.1, Timeout: 0.05, Truncate: 0.05, HangFor: 2 * time.Second},
+	},
+	"mixed": {
+		Default: Profile{
+			Transient: 0.10, RateLimit: 0.06, Timeout: 0.04, Truncate: 0.04, Garble: 0.04,
+			RetryAfter: 250 * time.Millisecond, HangFor: 2 * time.Second,
+		},
+		PerModel: map[string]Profile{
+			"Gemma-2": {
+				Transient: 0.10, RateLimit: 0.06, Timeout: 0.04, Truncate: 0.04, Garble: 0.04,
+				RetryAfter: 250 * time.Millisecond, HangFor: 2 * time.Second,
+				OutageAfter: 9,
+			},
+		},
+	},
+	"outage": {
+		Default: Profile{OutageAfter: 6},
+	},
+}
+
+// PlanByName returns a named fault plan.
+func PlanByName(name string) (Plan, bool) {
+	p, ok := plans[name]
+	return p, ok
+}
+
+// Names lists the selectable plan names.
+func Names() []string {
+	return []string{"none", "transient", "ratelimit", "flaky", "mixed", "outage"}
+}
+
+// TransientError is a one-off failure; Temporary marks it retryable (the
+// net.Error idiom the resilience layer classifies on).
+type TransientError struct{ Model string }
+
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("fault: %s: transient transport error", e.Model)
+}
+func (e *TransientError) Temporary() bool { return true }
+
+// RateLimitError is a rejection with a retry-after hint.
+type RateLimitError struct {
+	Model string
+	After time.Duration
+}
+
+func (e *RateLimitError) Error() string {
+	return fmt.Sprintf("fault: %s: rate limited", e.Model)
+}
+func (e *RateLimitError) Temporary() bool           { return true }
+func (e *RateLimitError) RetryAfter() time.Duration { return e.After }
+
+// TimeoutError is a hang that exceeded the caller's patience. It unwraps to
+// context.DeadlineExceeded so errors.Is classification works.
+type TimeoutError struct {
+	Model   string
+	Elapsed time.Duration
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("fault: %s: call timed out", e.Model)
+}
+func (e *TimeoutError) Timeout() bool { return true }
+func (e *TimeoutError) Unwrap() error { return context.DeadlineExceeded }
+
+// OutageError is a permanent backend failure: retrying cannot help.
+type OutageError struct {
+	Model string
+	Calls int
+}
+
+func (e *OutageError) Error() string {
+	return fmt.Sprintf("fault: %s: backend outage (permanent)", e.Model)
+}
+
+// Injector wraps a model with a fault profile. It implements prompt.Model;
+// calls are serialised so the rng draw order — and therefore the whole fault
+// schedule — is deterministic for a given seed.
+type Injector struct {
+	m   prompt.Model
+	p   Profile
+	clk clock.Clock
+	tel *telemetry.Telemetry
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	calls int
+}
+
+// Inject wraps m with profile p. The rng is seeded from (seed, model name),
+// so each model has an independent but reproducible fault schedule. clk may
+// be nil (real clock), tel may be nil (no metrics).
+func Inject(m prompt.Model, p Profile, seed int64, clk clock.Clock, tel *telemetry.Telemetry) *Injector {
+	if clk == nil {
+		clk = clock.Real()
+	}
+	return &Injector{m: m, p: p, clk: clk, tel: tel, rng: rand.New(rand.NewSource(seedFor(seed, m.Name())))}
+}
+
+// seedFor derives a per-model rng seed from the run seed and the model name.
+func seedFor(seed int64, name string) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s", seed, name)
+	return int64(h.Sum64())
+}
+
+// Name implements prompt.Model.
+func (f *Injector) Name() string { return f.m.Name() }
+
+// Calls returns how many Chat calls reached the injector so far.
+func (f *Injector) Calls() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+func (f *Injector) count(kind string) {
+	f.tel.Counter("llm.fault.injected").Inc()
+	f.tel.Counter("llm.fault.injected." + kind + "." + f.m.Name()).Inc()
+}
+
+// Chat implements prompt.Model, sampling at most one fault per call.
+func (f *Injector) Chat(history []prompt.Message, user string) (string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	name := f.m.Name()
+	if f.p.OutageAfter > 0 && f.calls > f.p.OutageAfter {
+		f.count("outage")
+		return "", &OutageError{Model: name, Calls: f.calls}
+	}
+	draw := f.rng.Float64()
+	switch {
+	case draw < f.p.Transient:
+		f.count("transient")
+		return "", &TransientError{Model: name}
+	case draw < f.p.Transient+f.p.RateLimit:
+		f.count("ratelimit")
+		return "", &RateLimitError{Model: name, After: f.p.RetryAfter}
+	case draw < f.p.Transient+f.p.RateLimit+f.p.Timeout:
+		f.count("timeout")
+		f.clk.Sleep(f.p.HangFor)
+		return "", &TimeoutError{Model: name, Elapsed: f.p.HangFor}
+	}
+	reply, err := f.m.Chat(history, user)
+	if err != nil {
+		return reply, err
+	}
+	switch {
+	case draw < f.p.Transient+f.p.RateLimit+f.p.Timeout+f.p.Truncate:
+		f.count("truncate")
+		return truncateReply(reply, f.rng), nil
+	case draw < f.p.Transient+f.p.RateLimit+f.p.Timeout+f.p.Truncate+f.p.Garble:
+		f.count("garble")
+		return garbleReply(reply, f.rng), nil
+	}
+	return reply, nil
+}
+
+// truncateReply cuts the reply at a byte offset in [25%, 75%) of its length,
+// as a dropped connection would — possibly mid-rule or mid-rune.
+func truncateReply(s string, rng *rand.Rand) string {
+	if len(s) < 4 {
+		return s
+	}
+	lo := len(s) / 4
+	return s[:lo+rng.Intn(len(s)/2)]
+}
+
+// garbleReply corrupts a reply into text that no longer parses as RTEC,
+// exercising the parser's error recovery. The corruption mode is sampled
+// from the injector's rng, so it is reproducible.
+func garbleReply(s string, rng *rand.Rand) string {
+	switch rng.Intn(4) {
+	case 0:
+		// Rule operator mangled: chunks still look like rules but fail to parse.
+		return strings.ReplaceAll(s, ":-", ";-")
+	case 1:
+		// Closing parentheses lost in transit.
+		return strings.ReplaceAll(s, ")", "")
+	case 2:
+		// Interleaved replacement characters, as a broken decoder produces.
+		return strings.ReplaceAll(s, ",", "�,")
+	default:
+		// Assignment notation from some other formalism.
+		return strings.ReplaceAll(s, ":-", ":=")
+	}
+}

@@ -1,0 +1,232 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"rtecgen/internal/clock"
+	"rtecgen/internal/prompt"
+	"rtecgen/internal/telemetry"
+)
+
+// canned is a minimal model that always replies with the same text.
+type canned struct {
+	name  string
+	reply string
+	calls int
+}
+
+func (c *canned) Name() string { return c.name }
+func (c *canned) Chat(history []prompt.Message, user string) (string, error) {
+	c.calls++
+	return c.reply, nil
+}
+
+const cannedRules = `Answer:
+
+initiatedAt(trawling(Vl)=true, T) :-
+    happensAt(change_in_heading(Vl), T),
+    holdsAt(withinArea(Vl, fishing)=true, T).
+
+terminatedAt(trawling(Vl)=true, T) :-
+    happensAt(gap_start(Vl), T).`
+
+func TestZeroProfilePassThrough(t *testing.T) {
+	m := &canned{name: "m", reply: cannedRules}
+	inj := Inject(m, Profile{}, 7, nil, nil)
+	for i := 0; i < 50; i++ {
+		reply, err := inj.Chat(nil, "hi")
+		if err != nil || reply != cannedRules {
+			t.Fatalf("call %d: reply altered or failed: %v", i, err)
+		}
+	}
+	if m.calls != 50 || inj.Calls() != 50 {
+		t.Fatalf("calls = %d/%d, want 50/50", m.calls, inj.Calls())
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	run := func() []string {
+		m := &canned{name: "m", reply: cannedRules}
+		inj := Inject(m, Profile{Transient: 0.2, RateLimit: 0.1, Truncate: 0.1, Garble: 0.1}, 42, nil, nil)
+		var out []string
+		for i := 0; i < 40; i++ {
+			reply, err := inj.Chat(nil, "hi")
+			if err != nil {
+				out = append(out, "err:"+err.Error())
+			} else {
+				out = append(out, reply)
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d diverged across identically-seeded runs", i)
+		}
+	}
+	// A different seed must produce a different schedule.
+	m := &canned{name: "m", reply: cannedRules}
+	inj := Inject(m, Profile{Transient: 0.2, RateLimit: 0.1, Truncate: 0.1, Garble: 0.1}, 43, nil, nil)
+	diverged := false
+	for i := 0; i < 40; i++ {
+		reply, err := inj.Chat(nil, "hi")
+		got := reply
+		if err != nil {
+			got = "err:" + err.Error()
+		}
+		if got != a[i] {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("seeds 42 and 43 produced identical schedules")
+	}
+}
+
+func TestOutageAfterN(t *testing.T) {
+	m := &canned{name: "m", reply: cannedRules}
+	inj := Inject(m, Profile{OutageAfter: 3}, 7, nil, nil)
+	for i := 0; i < 3; i++ {
+		if _, err := inj.Chat(nil, "hi"); err != nil {
+			t.Fatalf("call %d failed before outage: %v", i+1, err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		_, err := inj.Chat(nil, "hi")
+		var oe *OutageError
+		if !errors.As(err, &oe) {
+			t.Fatalf("post-outage call %d: err = %v, want OutageError", i+1, err)
+		}
+	}
+	if m.calls != 3 {
+		t.Fatalf("backend saw %d calls, want 3 (outage must not reach it)", m.calls)
+	}
+}
+
+func TestTimeoutAdvancesClockAndClassifies(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	m := &canned{name: "m", reply: cannedRules}
+	inj := Inject(m, Profile{Timeout: 1.0, HangFor: 2 * time.Second}, 7, clk, nil)
+	_, err := inj.Chat(nil, "hi")
+	var te *TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %v, want TimeoutError", err)
+	}
+	if got := clk.Now(); !got.Equal(time.Unix(2, 0)) {
+		t.Fatalf("virtual clock = %v, want +2s (the hang must consume time)", got)
+	}
+}
+
+func TestRateLimitCarriesHint(t *testing.T) {
+	m := &canned{name: "m", reply: cannedRules}
+	inj := Inject(m, Profile{RateLimit: 1.0, RetryAfter: 250 * time.Millisecond}, 7, nil, nil)
+	_, err := inj.Chat(nil, "hi")
+	var rl interface{ RetryAfter() time.Duration }
+	if !errors.As(err, &rl) || rl.RetryAfter() != 250*time.Millisecond {
+		t.Fatalf("err = %v, want rate-limit error with 250ms hint", err)
+	}
+}
+
+// TestCorruptedRepliesExerciseParserRecovery feeds every truncation and
+// garbling mode through prompt.ParseResponse: the parser must recover with
+// recorded errors or dropped chunks, never panic.
+func TestCorruptedRepliesExerciseParserRecovery(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		for _, p := range []Profile{{Truncate: 1.0}, {Garble: 1.0}} {
+			m := &canned{name: "m", reply: cannedRules}
+			inj := Inject(m, p, seed, nil, nil)
+			reply, err := inj.Chat(nil, "hi")
+			if err != nil {
+				t.Fatalf("reply fault returned error: %v", err)
+			}
+			if reply == cannedRules && p.Garble == 1.0 {
+				t.Fatal("garble left the reply untouched")
+			}
+			clauses, errs := prompt.ParseResponse(reply)
+			// Corruption must lose information: fewer clauses or parse errors.
+			if len(clauses) == 2 && len(errs) == 0 && reply != cannedRules {
+				t.Fatalf("seed %d: corrupted reply still parsed cleanly:\n%s", seed, reply)
+			}
+		}
+	}
+}
+
+func TestFaultMetrics(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	tel := telemetry.New(reg, nil, nil)
+	m := &canned{name: "m", reply: cannedRules}
+	inj := Inject(m, Profile{Transient: 1.0}, 7, nil, tel)
+	for i := 0; i < 4; i++ {
+		inj.Chat(nil, "hi")
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["llm.fault.injected"] != 4 || snap.Counters["llm.fault.injected.transient.m"] != 4 {
+		t.Fatalf("fault counters wrong: %v", snap.Counters)
+	}
+}
+
+func TestPlansAndNames(t *testing.T) {
+	for _, n := range Names() {
+		if _, ok := PlanByName(n); !ok {
+			t.Errorf("named plan %q missing", n)
+		}
+	}
+	if _, ok := PlanByName("nosuch"); ok {
+		t.Error("unknown plan resolved")
+	}
+	if p, _ := PlanByName("none"); !p.Default.Zero() {
+		t.Error("plan none must inject nothing")
+	}
+	mixed, _ := PlanByName("mixed")
+	if mixed.For("Gemma-2").OutageAfter == 0 {
+		t.Error("mixed plan must include the Gemma-2 outage (the breaker-trip guarantee)")
+	}
+	if mixed.For("o1").OutageAfter != 0 {
+		t.Error("mixed plan must not outage other models")
+	}
+	if mixed.For("o1").Zero() {
+		t.Error("mixed default profile must inject faults")
+	}
+}
+
+func TestGarbleModesBreakRTEC(t *testing.T) {
+	// Every mode must stop at least part of the text from parsing as the
+	// original two clauses.
+	for mode := 0; mode < 4; mode++ {
+		s := cannedRules
+		var out string
+		switch mode {
+		case 0:
+			out = strings.ReplaceAll(s, ":-", ";-")
+		case 1:
+			out = strings.ReplaceAll(s, ")", "")
+		case 2:
+			out = strings.ReplaceAll(s, ",", "�,")
+		default:
+			out = strings.ReplaceAll(s, ":-", ":=")
+		}
+		clauses, _ := prompt.ParseResponse(out)
+		if len(clauses) == 2 {
+			t.Errorf("garble mode %d: still parsed both clauses: %s", mode, out)
+		}
+	}
+}
+
+func TestSeedForStableAcrossModels(t *testing.T) {
+	if seedFor(7, "a") == seedFor(7, "b") {
+		t.Error("different models share a fault schedule seed")
+	}
+	if seedFor(7, "a") != seedFor(7, "a") {
+		t.Error("seed derivation is not stable")
+	}
+	// Guard against accidental formatting collisions, e.g. (71,"x") vs (7,"1x").
+	if seedFor(71, "x") == seedFor(7, "1x") {
+		t.Error(fmt.Sprint("seed collision between (71,x) and (7,1x)"))
+	}
+}

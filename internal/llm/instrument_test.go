@@ -1,0 +1,64 @@
+package llm
+
+import (
+	"errors"
+	"testing"
+
+	"rtecgen/internal/maritime"
+	"rtecgen/internal/prompt"
+	"rtecgen/internal/telemetry"
+)
+
+// failing is a model whose Chat always returns the same sentinel error.
+type failing struct{ err error }
+
+func (f *failing) Name() string { return "m" }
+func (f *failing) Chat(history []prompt.Message, user string) (string, error) {
+	return "", f.err
+}
+
+func TestInstrumentErrorPath(t *testing.T) {
+	sentinel := errors.New("transport down")
+	reg := telemetry.NewRegistry()
+	tel := telemetry.New(reg, nil, nil)
+	m := Instrument(&failing{err: sentinel}, tel)
+
+	_, err := m.Chat(nil, "hello")
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("instrumentation rewrote the error: %v", err)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["llm.errors.m"] != 1 {
+		t.Fatalf("llm.errors.m = %d, want 1 (counters: %v)", snap.Counters["llm.errors.m"], snap.Counters)
+	}
+	if snap.Counters["llm.calls.m"] != 1 {
+		t.Fatalf("llm.calls.m = %d, want 1 (failed calls still count)", snap.Counters["llm.calls.m"])
+	}
+	if _, ok := snap.Counters["llm.response.bytes.m"]; ok {
+		t.Fatal("failed call must not record response bytes")
+	}
+}
+
+// TestInstrumentErrorReachesPipelineCounter drives a failing instrumented
+// model through a real session: the pipeline must count the model error and
+// surface the wrapped cause to the caller.
+func TestInstrumentErrorReachesPipelineCounter(t *testing.T) {
+	sentinel := errors.New("transport down")
+	reg := telemetry.NewRegistry()
+	tel := telemetry.New(reg, nil, nil)
+	m := Instrument(&failing{err: sentinel}, tel)
+
+	s := prompt.NewSessionWith(tel, nil, m, prompt.FewShot, maritime.PromptDomain())
+	err := s.Teach()
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Teach() = %v, want the transport error in the chain", err)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["pipeline.model.errors"] != 1 {
+		t.Fatalf("pipeline.model.errors = %d, want 1 (counters: %v)",
+			snap.Counters["pipeline.model.errors"], snap.Counters)
+	}
+	if snap.Counters["llm.errors.m"] != 1 {
+		t.Fatalf("llm.errors.m = %d, want 1", snap.Counters["llm.errors.m"])
+	}
+}

@@ -1,0 +1,348 @@
+// Package resilient hardens the model transport against the failure modes
+// of remote LLM APIs: it wraps any prompt.Model with typed error
+// classification (Transient, RateLimited, Timeout, Permanent), capped
+// retries with full-jitter exponential backoff, a per-call deadline, and a
+// three-state circuit breaker (closed/open/half-open) per wrapped model.
+// The clock and the jitter rng are injectable, so retry schedules, breaker
+// cooldowns and whole chaos runs are deterministic under test. Every
+// decision is observable through the telemetry registry:
+//
+//	llm.retries, llm.retries.<model>       counters, one per retried attempt
+//	llm.backoff_ms                         histogram of backoff sleeps
+//	llm.breaker.state.<model>              gauge: 0 closed, 1 open, 2 half-open
+//	llm.breaker.opens, .opens.<model>      counters, closed/half-open -> open
+//	llm.calls.failed.<class>               counters by error class
+package resilient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"time"
+
+	"rtecgen/internal/clock"
+	"rtecgen/internal/prompt"
+	"rtecgen/internal/telemetry"
+)
+
+// Class is the retry-relevant classification of a transport error.
+type Class int
+
+const (
+	// Permanent errors cannot be cured by retrying (outages, auth failures,
+	// malformed requests). They fail the call immediately.
+	Permanent Class = iota
+	// Transient errors are one-off and worth retrying with backoff.
+	Transient
+	// RateLimited errors carry (or imply) a retry-after hint.
+	RateLimited
+	// Timeout errors are calls that exceeded the per-call deadline.
+	Timeout
+)
+
+// String returns the lower-case class name.
+func (c Class) String() string {
+	switch c {
+	case Transient:
+		return "transient"
+	case RateLimited:
+		return "ratelimited"
+	case Timeout:
+		return "timeout"
+	default:
+		return "permanent"
+	}
+}
+
+// Retryable reports whether a class is worth another attempt.
+func (c Class) Retryable() bool { return c != Permanent }
+
+// retryAfterer is implemented by rate-limit errors carrying a server hint.
+type retryAfterer interface{ RetryAfter() time.Duration }
+
+// temporary is the net.Error idiom for one-off failures.
+type temporary interface{ Temporary() bool }
+
+// timeouter is the net.Error idiom for deadline failures.
+type timeouter interface{ Timeout() bool }
+
+// Classify maps an error onto its Class by structural inspection: a
+// RetryAfter hint means RateLimited; Timeout()==true or unwrapping to
+// context.DeadlineExceeded means Timeout; Temporary()==true means
+// Transient; everything else — including breaker-open errors — is
+// Permanent.
+func Classify(err error) Class {
+	if err == nil {
+		return Permanent
+	}
+	var ra retryAfterer
+	if errors.As(err, &ra) {
+		return RateLimited
+	}
+	var to timeouter
+	if errors.As(err, &to) && to.Timeout() {
+		return Timeout
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return Timeout
+	}
+	var tmp temporary
+	if errors.As(err, &tmp) && tmp.Temporary() {
+		return Transient
+	}
+	return Permanent
+}
+
+// State is a circuit-breaker state.
+type State int
+
+const (
+	// Closed lets calls through, counting consecutive failures.
+	Closed State = iota
+	// Open fails calls fast until the cooldown elapses.
+	Open
+	// HalfOpen lets a trial call through; success closes the breaker,
+	// failure re-opens it.
+	HalfOpen
+)
+
+// String returns the conventional state name.
+func (s State) String() string {
+	switch s {
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// BreakerOpenError is returned (without touching the backend) while the
+// breaker is open. It is Permanent: the caller should degrade, not retry.
+type BreakerOpenError struct{ Model string }
+
+func (e *BreakerOpenError) Error() string {
+	return fmt.Sprintf("resilient: %s: circuit breaker open", e.Model)
+}
+
+// Config parameterises the wrapper. The zero value is usable: every field
+// falls back to the default documented on it.
+type Config struct {
+	// MaxAttempts is the total number of attempts per call, first try
+	// included (default 4).
+	MaxAttempts int
+	// BaseBackoff is the first backoff ceiling; attempt k waits a uniform
+	// random duration in [0, min(MaxBackoff, BaseBackoff<<k)) — "full
+	// jitter" (default 50ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the backoff ceiling (default 2s).
+	MaxBackoff time.Duration
+	// Deadline is the per-call deadline: replies that arrive later count as
+	// timeouts, since the caller has already given up (the prompt.Model
+	// interface carries no context to cancel with). Default 30s; <0
+	// disables.
+	Deadline time.Duration
+	// BreakerThreshold is the number of consecutive failed attempts that
+	// trips the breaker (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before admitting a
+	// half-open trial call (default 30s).
+	BreakerCooldown time.Duration
+	// Clock is the time source (default the real clock).
+	Clock clock.Clock
+	// Seed seeds the jitter rng; the effective seed also mixes in the model
+	// name, so fleets share a Config without sharing a schedule.
+	Seed int64
+	// Telemetry records retries, backoffs and breaker transitions; nil
+	// disables metrics.
+	Telemetry *telemetry.Telemetry
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 50 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 2 * time.Second
+	}
+	if c.Deadline == 0 {
+		c.Deadline = 30 * time.Second
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 30 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = clock.Real()
+	}
+	return c
+}
+
+// backoffBuckets are the llm.backoff_ms histogram bounds, in milliseconds
+// (the default telemetry buckets are microsecond-scaled).
+var backoffBuckets = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+// Resilient wraps one model with retries, deadline and a circuit breaker.
+// With no faults and no configured telemetry it is pass-through: one
+// attempt, no sleeps, the reply and error returned unchanged.
+type Resilient struct {
+	m   prompt.Model
+	cfg Config
+
+	mu          sync.Mutex
+	rng         *rand.Rand
+	state       State
+	failures    int // consecutive failed attempts while closed
+	openedAt    time.Time
+	transitions []string
+}
+
+// Wrap hardens a model with the given configuration.
+func Wrap(m prompt.Model, cfg Config) *Resilient {
+	cfg = cfg.withDefaults()
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|resilient|%s", cfg.Seed, m.Name())
+	r := &Resilient{m: m, cfg: cfg, rng: rand.New(rand.NewSource(int64(h.Sum64())))}
+	cfg.Telemetry.Gauge("llm.breaker.state." + m.Name()).Set(int64(Closed))
+	return r
+}
+
+// Name implements prompt.Model.
+func (r *Resilient) Name() string { return r.m.Name() }
+
+// State returns the breaker's current state.
+func (r *Resilient) State() State {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state
+}
+
+// Transitions returns the breaker's state transitions so far, oldest first,
+// as "from->to" strings — the deterministic record chaos tests assert on.
+func (r *Resilient) Transitions() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.transitions...)
+}
+
+// setState records a breaker transition with its metrics.
+func (r *Resilient) setState(to State) {
+	from := r.state
+	if from == to {
+		return
+	}
+	r.state = to
+	r.transitions = append(r.transitions, from.String()+"->"+to.String())
+	name := r.m.Name()
+	r.cfg.Telemetry.Gauge("llm.breaker.state." + name).Set(int64(to))
+	if to == Open {
+		r.openedAt = r.cfg.Clock.Now()
+		r.cfg.Telemetry.Counter("llm.breaker.opens").Inc()
+		r.cfg.Telemetry.Counter("llm.breaker.opens." + name).Inc()
+		r.cfg.Telemetry.Logger().Warn("circuit breaker opened",
+			"component", "resilient", "model", name, "failures", r.failures)
+	}
+}
+
+// admit decides whether an attempt may reach the backend.
+func (r *Resilient) admit() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch r.state {
+	case Open:
+		if r.cfg.Clock.Now().Sub(r.openedAt) < r.cfg.BreakerCooldown {
+			return &BreakerOpenError{Model: r.m.Name()}
+		}
+		r.setState(HalfOpen)
+	}
+	return nil
+}
+
+// onSuccess resets the failure run and closes a half-open breaker.
+func (r *Resilient) onSuccess() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.failures = 0
+	if r.state == HalfOpen {
+		r.setState(Closed)
+	}
+}
+
+// onFailure counts a failed attempt and trips the breaker when the run
+// reaches the threshold (a half-open trial failure re-opens immediately).
+func (r *Resilient) onFailure() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.failures++
+	if r.state == HalfOpen || (r.state == Closed && r.failures >= r.cfg.BreakerThreshold) {
+		r.setState(Open)
+	}
+}
+
+// backoff returns the full-jitter backoff for attempt k (0-based).
+func (r *Resilient) backoff(attempt int, err error) time.Duration {
+	ceiling := r.cfg.BaseBackoff << attempt
+	if ceiling > r.cfg.MaxBackoff || ceiling <= 0 {
+		ceiling = r.cfg.MaxBackoff
+	}
+	r.mu.Lock()
+	d := time.Duration(r.rng.Int63n(int64(ceiling) + 1))
+	r.mu.Unlock()
+	var ra retryAfterer
+	if errors.As(err, &ra) && ra.RetryAfter() > d {
+		d = ra.RetryAfter()
+	}
+	return d
+}
+
+// Chat implements prompt.Model with retries, deadline and breaker.
+func (r *Resilient) Chat(history []prompt.Message, user string) (string, error) {
+	tel := r.cfg.Telemetry
+	name := r.m.Name()
+	var err error
+	for attempt := 0; attempt < r.cfg.MaxAttempts; attempt++ {
+		if aerr := r.admit(); aerr != nil {
+			tel.Counter("llm.calls.rejected." + name).Inc()
+			return "", aerr
+		}
+		start := r.cfg.Clock.Now()
+		var reply string
+		reply, err = r.m.Chat(history, user)
+		elapsed := r.cfg.Clock.Now().Sub(start)
+		if err == nil && r.cfg.Deadline > 0 && elapsed > r.cfg.Deadline {
+			// The reply arrived after the caller's deadline: too late to use.
+			err = fmt.Errorf("resilient: %s: reply after %v deadline: %w",
+				name, r.cfg.Deadline, context.DeadlineExceeded)
+		}
+		if err == nil {
+			r.onSuccess()
+			return reply, nil
+		}
+		r.onFailure()
+		class := Classify(err)
+		tel.Counter("llm.calls.failed." + class.String()).Inc()
+		if !class.Retryable() || attempt+1 >= r.cfg.MaxAttempts {
+			break
+		}
+		d := r.backoff(attempt, err)
+		tel.Counter("llm.retries").Inc()
+		tel.Counter("llm.retries." + name).Inc()
+		if tel != nil {
+			tel.Registry.Histogram("llm.backoff_ms", backoffBuckets).Observe(float64(d.Milliseconds()))
+		}
+		tel.Logger().Debug("retrying model call",
+			"component", "resilient", "model", name, "attempt", attempt+1,
+			"class", class.String(), "backoff_ms", d.Milliseconds())
+		r.cfg.Clock.Sleep(d)
+	}
+	return "", fmt.Errorf("resilient: %s: giving up: %w", name, err)
+}

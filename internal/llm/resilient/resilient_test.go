@@ -1,0 +1,327 @@
+package resilient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"rtecgen/internal/clock"
+	"rtecgen/internal/prompt"
+	"rtecgen/internal/telemetry"
+)
+
+// The test error types mirror the net.Error idiom the classifier inspects,
+// defined locally so the tests pin the structural contract rather than the
+// fault package's concrete types.
+type tempErr struct{}
+
+func (tempErr) Error() string   { return "transient" }
+func (tempErr) Temporary() bool { return true }
+
+type rlErr struct{ after time.Duration }
+
+func (rlErr) Error() string               { return "rate limited" }
+func (e rlErr) RetryAfter() time.Duration { return e.after }
+
+type toErr struct{}
+
+func (toErr) Error() string { return "timed out" }
+func (toErr) Timeout() bool { return true }
+
+// script is a model whose Chat consults a queue of canned outcomes; after
+// the queue drains it succeeds. hang, when set, advances the clock per call.
+type script struct {
+	queue []error
+	clk   clock.Clock
+	hang  time.Duration
+	calls int
+}
+
+func (s *script) Name() string { return "m" }
+func (s *script) Chat(history []prompt.Message, user string) (string, error) {
+	s.calls++
+	if s.hang > 0 && s.clk != nil {
+		s.clk.Sleep(s.hang)
+	}
+	if len(s.queue) > 0 {
+		err := s.queue[0]
+		s.queue = s.queue[1:]
+		if err != nil {
+			return "", err
+		}
+	}
+	return "ok", nil
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want Class
+	}{
+		{nil, Permanent},
+		{errors.New("boring"), Permanent},
+		{tempErr{}, Transient},
+		{rlErr{after: time.Second}, RateLimited},
+		{toErr{}, Timeout},
+		{fmt.Errorf("wrap: %w", tempErr{}), Transient},
+		{fmt.Errorf("wrap: %w", context.DeadlineExceeded), Timeout},
+		{&BreakerOpenError{Model: "m"}, Permanent},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+	if Permanent.Retryable() {
+		t.Error("permanent must not be retryable")
+	}
+	for _, c := range []Class{Transient, RateLimited, Timeout} {
+		if !c.Retryable() {
+			t.Errorf("%v must be retryable", c)
+		}
+	}
+}
+
+func TestPassThroughSingleAttempt(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	m := &script{}
+	r := Wrap(m, Config{Clock: clk})
+	reply, err := r.Chat(nil, "hi")
+	if err != nil || reply != "ok" {
+		t.Fatalf("Chat = %q, %v", reply, err)
+	}
+	if m.calls != 1 {
+		t.Fatalf("backend calls = %d, want 1", m.calls)
+	}
+	if !clk.Now().Equal(time.Unix(0, 0)) {
+		t.Fatal("a successful first attempt must not sleep")
+	}
+	if got := r.State(); got != Closed {
+		t.Fatalf("state = %v, want closed", got)
+	}
+}
+
+func TestRetriesTransientThenSucceeds(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	tel := telemetry.New(reg, nil, nil)
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	m := &script{queue: []error{tempErr{}, tempErr{}}}
+	r := Wrap(m, Config{Clock: clk, Telemetry: tel})
+	reply, err := r.Chat(nil, "hi")
+	if err != nil || reply != "ok" {
+		t.Fatalf("Chat = %q, %v", reply, err)
+	}
+	if m.calls != 3 {
+		t.Fatalf("backend calls = %d, want 3", m.calls)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["llm.retries"] != 2 || snap.Counters["llm.retries.m"] != 2 {
+		t.Fatalf("retry counters = %v", snap.Counters)
+	}
+	if snap.Counters["llm.calls.failed.transient"] != 2 {
+		t.Fatalf("failure-class counters = %v", snap.Counters)
+	}
+	hs, ok := snap.Histograms["llm.backoff_ms"]
+	if !ok {
+		t.Fatal("llm.backoff_ms histogram missing")
+	}
+	var n int64
+	for _, c := range hs.Counts {
+		n += c
+	}
+	if n != 2 {
+		t.Fatalf("backoff observations = %d, want 2", n)
+	}
+}
+
+func TestPermanentErrorFailsFast(t *testing.T) {
+	m := &script{queue: []error{errors.New("schema rejected"), nil, nil, nil}}
+	r := Wrap(m, Config{Clock: clock.NewVirtual(time.Unix(0, 0))})
+	_, err := r.Chat(nil, "hi")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if m.calls != 1 {
+		t.Fatalf("backend calls = %d, want 1 (permanent errors must not retry)", m.calls)
+	}
+}
+
+func TestGivesUpAfterMaxAttempts(t *testing.T) {
+	m := &script{queue: []error{tempErr{}, tempErr{}, tempErr{}, tempErr{}, tempErr{}}}
+	r := Wrap(m, Config{Clock: clock.NewVirtual(time.Unix(0, 0)), MaxAttempts: 3, BreakerThreshold: 99})
+	_, err := r.Chat(nil, "hi")
+	if err == nil || !errors.As(err, new(*tempErr)) && !errors.As(err, &tempErr{}) {
+		// errors.As needs a pointer-to-concrete; just check the chain textually.
+		var tmp temporary
+		if !errors.As(err, &tmp) {
+			t.Fatalf("final error lost the cause: %v", err)
+		}
+	}
+	if m.calls != 3 {
+		t.Fatalf("backend calls = %d, want MaxAttempts=3", m.calls)
+	}
+}
+
+func TestDeadlineExceededConversion(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	m := &script{clk: clk, hang: 31 * time.Second}
+	r := Wrap(m, Config{Clock: clk, MaxAttempts: 2})
+	_, err := r.Chat(nil, "hi")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded in chain", err)
+	}
+	if m.calls != 2 {
+		t.Fatalf("backend calls = %d, want 2 (timeouts are retryable)", m.calls)
+	}
+	// Disabling the deadline accepts the same slow reply.
+	m2 := &script{clk: clk, hang: 31 * time.Second}
+	r2 := Wrap(m2, Config{Clock: clk, Deadline: -1})
+	if reply, err := r2.Chat(nil, "hi"); err != nil || reply != "ok" {
+		t.Fatalf("deadline<0 must disable the check: %q, %v", reply, err)
+	}
+}
+
+func TestRetryAfterFloorsBackoff(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	m := &script{queue: []error{rlErr{after: 250 * time.Millisecond}}}
+	r := Wrap(m, Config{Clock: clk, BaseBackoff: time.Nanosecond, MaxBackoff: time.Nanosecond})
+	if _, err := r.Chat(nil, "hi"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := clk.Now().Sub(time.Unix(0, 0)); elapsed < 250*time.Millisecond {
+		t.Fatalf("slept %v, want >= the 250ms retry-after hint", elapsed)
+	}
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	tel := telemetry.New(reg, nil, nil)
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	m := &script{queue: []error{tempErr{}, tempErr{}, tempErr{}}}
+	r := Wrap(m, Config{
+		Clock: clk, Telemetry: tel,
+		MaxAttempts: 4, BreakerThreshold: 3, BreakerCooldown: 30 * time.Second,
+	})
+
+	// First call: three consecutive failures trip the breaker; the fourth
+	// attempt is rejected without touching the backend.
+	_, err := r.Chat(nil, "hi")
+	var boe *BreakerOpenError
+	if !errors.As(err, &boe) {
+		t.Fatalf("err = %v, want BreakerOpenError once tripped", err)
+	}
+	if m.calls != 3 {
+		t.Fatalf("backend calls = %d, want 3", m.calls)
+	}
+	if r.State() != Open {
+		t.Fatalf("state = %v, want open", r.State())
+	}
+
+	// While open and inside the cooldown, calls fail fast.
+	before := m.calls
+	if _, err := r.Chat(nil, "hi"); !errors.As(err, &boe) {
+		t.Fatalf("err = %v, want fast-fail while open", err)
+	}
+	if m.calls != before {
+		t.Fatal("open breaker must not touch the backend")
+	}
+
+	// After the cooldown a half-open trial goes through and, succeeding,
+	// closes the breaker.
+	clk.Advance(31 * time.Second)
+	reply, err := r.Chat(nil, "hi")
+	if err != nil || reply != "ok" {
+		t.Fatalf("trial call = %q, %v", reply, err)
+	}
+	if r.State() != Closed {
+		t.Fatalf("state = %v, want closed after successful trial", r.State())
+	}
+	want := []string{"closed->open", "open->half-open", "half-open->closed"}
+	got := r.Transitions()
+	if len(got) != len(want) {
+		t.Fatalf("transitions = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", got, want)
+		}
+	}
+
+	snap := reg.Snapshot()
+	if snap.Counters["llm.breaker.opens"] != 1 || snap.Counters["llm.breaker.opens.m"] != 1 {
+		t.Fatalf("opens counters = %v", snap.Counters)
+	}
+	if snap.Counters["llm.calls.rejected.m"] != 2 {
+		t.Fatalf("rejected counter = %v, want 2", snap.Counters)
+	}
+	if snap.Gauges["llm.breaker.state.m"] != int64(Closed) {
+		t.Fatalf("state gauge = %v", snap.Gauges)
+	}
+}
+
+func TestHalfOpenFailureReopens(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	m := &script{queue: []error{tempErr{}, tempErr{}, tempErr{}, tempErr{}, tempErr{}, tempErr{}, tempErr{}, tempErr{}}}
+	r := Wrap(m, Config{Clock: clk, MaxAttempts: 1, BreakerThreshold: 2, BreakerCooldown: 10 * time.Second})
+	r.Chat(nil, "hi") // failure 1
+	r.Chat(nil, "hi") // failure 2 -> open
+	if r.State() != Open {
+		t.Fatalf("state = %v, want open", r.State())
+	}
+	clk.Advance(11 * time.Second)
+	r.Chat(nil, "hi") // half-open trial fails -> re-open
+	if r.State() != Open {
+		t.Fatalf("state = %v, want re-opened", r.State())
+	}
+	want := []string{"closed->open", "open->half-open", "half-open->open"}
+	got := r.Transitions()
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("transitions = %v, want %v", got, want)
+	}
+}
+
+func TestBackoffDeterministicPerSeed(t *testing.T) {
+	schedule := func(seed int64) []time.Duration {
+		r := Wrap(&script{}, Config{Clock: clock.NewVirtual(time.Unix(0, 0)), Seed: seed})
+		var out []time.Duration
+		for k := 0; k < 8; k++ {
+			out = append(out, r.backoff(k%3, tempErr{}))
+		}
+		return out
+	}
+	a, b := schedule(7), schedule(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d diverged for identical seeds: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := schedule(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 produced identical backoff schedules")
+	}
+}
+
+func TestBackoffCeilingGrowsAndCaps(t *testing.T) {
+	r := Wrap(&script{}, Config{
+		Clock:       clock.NewVirtual(time.Unix(0, 0)),
+		BaseBackoff: 50 * time.Millisecond, MaxBackoff: 200 * time.Millisecond,
+	})
+	for k := 0; k < 20; k++ {
+		ceiling := 50 * time.Millisecond << k
+		if ceiling <= 0 || ceiling > 200*time.Millisecond {
+			ceiling = 200 * time.Millisecond
+		}
+		if d := r.backoff(k, tempErr{}); d < 0 || d > ceiling {
+			t.Fatalf("attempt %d: backoff %v outside [0, %v]", k, d, ceiling)
+		}
+	}
+}

@@ -34,6 +34,15 @@ func FuzzParseEventDescription(f *testing.F) {
 		"initiatedAt(a(X)=true, T) :- not holdsAt(b(X)=true, T), not(c).",
 		"f(a) :- .",
 		":- f(a).",
+		// Garbled-transport corpus: the shapes internal/llm/fault produces
+		// when it corrupts or truncates a model reply in transit.
+		"initiatedAt(trawling(Vl)=true, T) ;-\n    happensAt(change_in_heading(Vl), T).",
+		"initiatedAt(trawling(Vl)=true, T) := happensAt(change_in_heading(Vl), T).",
+		"initiatedAt(trawling(Vl=true, T :-\n    happensAt(change_in_heading(Vl, T.",
+		"initiatedAt(trawling(Vl)=true�, T) :-\n    happensAt(change_in_heading(Vl)�, T).",
+		"initiatedAt(trawling(Vl)=true, T) :-\n    happensAt(chan",
+		"terminatedAt(trawling(Vl)=true, T) :-\n    happensAt(gap_st\xff\xfe",
+		"Answer:\n\ninitiatedAt(f(X)=true, T) :-\n    happensAt(e(X)",
 	}
 	for _, s := range seeds {
 		f.Add(s)

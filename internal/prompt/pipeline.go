@@ -102,12 +102,17 @@ func (s *Session) Generate(req ActivityRequest) (string, error) {
 func (s *Session) History() []Message { return append([]Message(nil), s.history...) }
 
 // ActivityResult is the outcome of one generation step: the raw response,
-// the clauses that parsed, and the chunks that failed to parse.
+// the clauses that parsed, and the chunks that failed to parse. When the
+// model transport failed the activity past recovery (retries exhausted,
+// circuit breaker open), Degraded is set and Err records why — the
+// activity contributes no clauses but the session carries on.
 type ActivityResult struct {
-	Request ActivityRequest
-	Raw     string
-	Clauses []*lang.Clause
-	Errors  []string
+	Request  ActivityRequest
+	Raw      string
+	Clauses  []*lang.Clause
+	Errors   []string
+	Degraded bool
+	Err      string
 }
 
 // GeneratedED is the full result of running the pipeline over a curriculum:
@@ -176,6 +181,31 @@ func (g *GeneratedED) ResultFor(key string) (ActivityResult, bool) {
 	return ActivityResult{}, false
 }
 
+// DegradedKeys returns the activity keys whose generation failed past
+// recovery, in curriculum order.
+func (g *GeneratedED) DegradedKeys() []string {
+	var out []string
+	for _, r := range g.Results {
+		if r.Degraded {
+			out = append(out, r.Request.Key)
+		}
+	}
+	return out
+}
+
+// Coverage reports how many requested activities produced a usable result
+// (ok) out of the total requested — the (n/m activities) annotation of
+// partially degraded runs.
+func (g *GeneratedED) Coverage() (ok, total int) {
+	total = len(g.Results)
+	for _, r := range g.Results {
+		if !r.Degraded {
+			ok++
+		}
+	}
+	return ok, total
+}
+
 // ParseErrors returns all parse errors across activities.
 func (g *GeneratedED) ParseErrors() []string {
 	var out []string
@@ -188,9 +218,12 @@ func (g *GeneratedED) ParseErrors() []string {
 }
 
 // RunPipeline teaches the model and generates a definition for every
-// curriculum entry, parsing each response. Model-side errors abort; parse
-// errors are recorded per activity and skipped, since a human would discard
-// unusable output (Section 4 measures exactly this correction effort).
+// curriculum entry, parsing each response. A model-side error during
+// teaching aborts (nothing useful can follow an untaught model); an error
+// on an individual G prompt marks that activity degraded and continues, so
+// one unrecoverable call does not kill the whole session. Parse errors are
+// recorded per activity and skipped, since a human would discard unusable
+// output (Section 4 measures exactly this correction effort).
 func RunPipeline(model Model, scheme Scheme, domain *Domain, curriculum []ActivityRequest) (*GeneratedED, error) {
 	return RunPipelineWith(nil, model, scheme, domain, curriculum)
 }
@@ -214,7 +247,14 @@ func RunPipelineWith(tel *telemetry.Telemetry, model Model, scheme Scheme, domai
 	for _, req := range curriculum {
 		raw, err := s.Generate(req)
 		if err != nil {
-			return nil, err
+			tel.Counter("pipeline.activities.degraded").Inc()
+			tel.Logger().Warn("activity degraded: generation failed",
+				"component", "pipeline", "model", model.Name(), "scheme", scheme.String(),
+				"activity", req.Key, "err", err.Error())
+			out.Results = append(out.Results, ActivityResult{
+				Request: req, Degraded: true, Err: err.Error(),
+			})
+			continue
 		}
 		psp := root.Span("pipeline.parse", telemetry.String("activity", req.Key))
 		stop := tel.Time("pipeline.micros.parse." + out.Label())

@@ -86,36 +86,94 @@ func (s Stream) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
+// BadRow records one malformed CSV row quarantined by ReadCSVLenient: the
+// 1-based data line it came from, the raw record (nil when the CSV layer
+// itself failed), and the reason it was rejected.
+type BadRow struct {
+	Line   int
+	Record []string
+	Err    error
+}
+
+// String renders the quarantined row for diagnostics.
+func (b BadRow) String() string {
+	return fmt.Sprintf("line %d: %v (record %q)", b.Line, b.Err, b.Record)
+}
+
 // ReadCSV parses a stream written by WriteCSV. Malformed rows produce an
 // error naming the offending line.
 func ReadCSV(r io.Reader) (Stream, error) {
+	s, _, err := readCSV(r, false)
+	return s, err
+}
+
+// ReadCSVLenient parses like ReadCSV but quarantines malformed rows instead
+// of failing: every bad row is returned with its line number and cause, and
+// parsing continues with the next row. The error is non-nil only for
+// failures of the reader itself (I/O errors), never for row content.
+func ReadCSVLenient(r io.Reader) (Stream, []BadRow, error) {
+	return readCSV(r, true)
+}
+
+// readCSV is the shared scanner behind ReadCSV (lenient=false: first bad row
+// aborts, preserving the strict error messages) and ReadCSVLenient
+// (lenient=true: bad rows are quarantined and scanning continues).
+func readCSV(r io.Reader, lenient bool) (Stream, []BadRow, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
 	var out Stream
+	var bad []BadRow
 	line := 0
+	// reject quarantines a row (lenient) or aborts the scan (strict).
+	reject := func(rec []string, err error) error {
+		if lenient {
+			bad = append(bad, BadRow{Line: line, Record: rec, Err: err})
+			return nil
+		}
+		return err
+	}
 	for {
 		rec, err := cr.Read()
 		if err == io.EOF {
-			return out, nil
+			return out, bad, nil
 		}
 		if err != nil {
-			return nil, err
+			line++
+			if _, ok := err.(*csv.ParseError); ok && lenient {
+				bad = append(bad, BadRow{Line: line, Record: rec, Err: err})
+				continue
+			}
+			return nil, nil, err
 		}
 		line++
 		if len(rec) < 2 {
-			return nil, fmt.Errorf("stream: line %d: need at least time and event name", line)
+			if err := reject(rec, fmt.Errorf("stream: line %d: need at least time and event name", line)); err != nil {
+				return nil, nil, err
+			}
+			continue
 		}
 		t, err := strconv.ParseInt(strings.TrimSpace(rec[0]), 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("stream: line %d: bad time %q", line, rec[0])
+			if err := reject(rec, fmt.Errorf("stream: line %d: bad time %q", line, rec[0])); err != nil {
+				return nil, nil, err
+			}
+			continue
 		}
 		args := make([]*lang.Term, 0, len(rec)-2)
+		ok := true
 		for _, f := range rec[2:] {
 			a, err := parser.ParseTerm(strings.TrimSpace(f))
 			if err != nil {
-				return nil, fmt.Errorf("stream: line %d: bad argument %q: %v", line, f, err)
+				if err := reject(rec, fmt.Errorf("stream: line %d: bad argument %q: %v", line, f, err)); err != nil {
+					return nil, nil, err
+				}
+				ok = false
+				break
 			}
 			args = append(args, a)
+		}
+		if !ok {
+			continue
 		}
 		out = append(out, Event{Time: t, Atom: lang.NewCompound(strings.TrimSpace(rec[1]), args...)})
 	}

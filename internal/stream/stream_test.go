@@ -79,6 +79,79 @@ func TestReadCSVErrors(t *testing.T) {
 	}
 }
 
+func TestReadCSVLenientQuarantinesBadRows(t *testing.T) {
+	src := "10,entersArea,v42,a1\n" +
+		"notanumber,foo\n" +
+		"5\n" +
+		"20,gap_start,v42\n" +
+		"30,foo,((\n" +
+		"40,stop_start,v42\n"
+	got, bad, err := ReadCSVLenient(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("kept %d events, want 3: %v", len(got), got)
+	}
+	if got[0].Time != 10 || got[1].Time != 20 || got[2].Time != 40 {
+		t.Fatalf("kept the wrong rows: %v", got)
+	}
+	if len(bad) != 3 {
+		t.Fatalf("quarantined %d rows, want 3: %v", len(bad), bad)
+	}
+	wantLines := []int{2, 3, 5}
+	for i, b := range bad {
+		if b.Line != wantLines[i] {
+			t.Errorf("bad row %d: line = %d, want %d", i, b.Line, wantLines[i])
+		}
+		if b.Err == nil {
+			t.Errorf("bad row %d: missing cause", i)
+		}
+	}
+	if bad[0].Record[0] != "notanumber" {
+		t.Errorf("bad row 0 lost its record: %v", bad[0])
+	}
+	if s := bad[0].String(); !strings.Contains(s, "line 2") {
+		t.Errorf("BadRow.String() = %q, want the line number", s)
+	}
+}
+
+func TestReadCSVLenientSurvivesCSVParseErrors(t *testing.T) {
+	// A bare quote is an error of the CSV layer itself, not row content.
+	src := "10,entersArea,v42,a1\n" +
+		"20,bad\"quote,x\n" +
+		"30,gap_start,v42\n"
+	got, bad, err := ReadCSVLenient(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Time != 10 || got[1].Time != 30 {
+		t.Fatalf("kept %v, want rows 10 and 30", got)
+	}
+	if len(bad) != 1 {
+		t.Fatalf("quarantined %v, want 1 row", bad)
+	}
+	// The same input fails outright in strict mode.
+	if _, err := ReadCSV(strings.NewReader(src)); err == nil {
+		t.Fatal("strict ReadCSV accepted a bare quote")
+	}
+}
+
+func TestReadCSVLenientCleanInput(t *testing.T) {
+	s := Stream{ev(10, "entersArea(v42, a1)"), ev(20, "gap_start(v42)")}
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, bad, err := ReadCSVLenient(&buf)
+	if err != nil || len(bad) != 0 {
+		t.Fatalf("clean input quarantined rows: %v, %v", bad, err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("round trip = %v", got)
+	}
+}
+
 func TestWriteCSVRejectsNonCallable(t *testing.T) {
 	s := Stream{ev(1, "42")}
 	var buf bytes.Buffer
