@@ -70,4 +70,49 @@ if ! grep -q '^counter llm\.retries [1-9]' "$tmp/chaos-metrics.txt"; then
     exit 1
 fi
 
+echo "== streaming robustness gate (disorder replay + kill-and-resume)"
+# Shuffle the maritime stream within a delay bound (with injected
+# duplicates), replay it through the out-of-order streaming path, and
+# require the final recognition CSV to be byte-identical to the in-order
+# batch run. The streaming run also exposes its disorder counters in the
+# metrics dump.
+go run ./cmd/rtec -ed "$tmp/ed.rtec" -stream "$tmp/events.csv" -window 3600 -csv > "$tmp/baseline.csv"
+go run ./cmd/disorder -in "$tmp/events.csv" -out "$tmp/shuffled.csv" -max-delay 900 -seed 13 -dup-every 50 2>/dev/null
+go run ./cmd/rtec -ed "$tmp/ed.rtec" -stream "$tmp/shuffled.csv" -window 3600 -csv \
+    -max-delay 900 -metrics > "$tmp/streamed.csv" 2> "$tmp/stream-metrics.txt"
+if ! cmp -s "$tmp/baseline.csv" "$tmp/streamed.csv"; then
+    echo "streaming gate: delayed+shuffled replay diverged from the in-order baseline:" >&2
+    diff "$tmp/baseline.csv" "$tmp/streamed.csv" >&2 || true
+    exit 1
+fi
+if ! grep -q '^counter rtec.duplicate_events [1-9]' "$tmp/stream-metrics.txt"; then
+    echo "streaming gate: metrics dump is missing a nonzero rtec.duplicate_events counter:" >&2
+    grep '^counter rtec\.' "$tmp/stream-metrics.txt" >&2 || cat "$tmp/stream-metrics.txt" >&2
+    exit 1
+fi
+# Kill-and-resume smoke: crash the streaming run mid-way, then resume from
+# the crash-safe checkpoint; the resumed output must be byte-identical to
+# the uninterrupted run, and the restore must show up in the metrics.
+if go run ./cmd/rtec -ed "$tmp/ed.rtec" -stream "$tmp/shuffled.csv" -window 3600 -csv \
+    -max-delay 900 -checkpoint "$tmp/run.ckpt" -crash-after 3 > /dev/null 2>&1; then
+    echo "streaming gate: -crash-after 3 did not abort the run" >&2
+    exit 1
+fi
+if [ ! -f "$tmp/run.ckpt" ]; then
+    echo "streaming gate: crashed run left no checkpoint" >&2
+    exit 1
+fi
+go run ./cmd/rtec -ed "$tmp/ed.rtec" -stream "$tmp/shuffled.csv" -window 3600 -csv \
+    -max-delay 900 -checkpoint "$tmp/run.ckpt" -resume -metrics > "$tmp/resumed.csv" 2> "$tmp/resume-metrics.txt"
+if ! cmp -s "$tmp/baseline.csv" "$tmp/resumed.csv"; then
+    echo "streaming gate: kill-and-resume output diverged from the baseline:" >&2
+    diff "$tmp/baseline.csv" "$tmp/resumed.csv" >&2 || true
+    exit 1
+fi
+if ! grep -q '^counter rtec.checkpoint.restores 1' "$tmp/resume-metrics.txt"; then
+    echo "streaming gate: metrics dump is missing the rtec.checkpoint.restores counter:" >&2
+    grep '^counter rtec\.checkpoint' "$tmp/resume-metrics.txt" >&2 || cat "$tmp/resume-metrics.txt" >&2
+    exit 1
+fi
+
 echo "CI OK"

@@ -1,0 +1,128 @@
+// Command disorder perturbs an event-stream CSV into a reproducible
+// out-of-order arrival sequence: every event is assigned a seeded random
+// delivery delay in [0, max-delay] and rows are emitted in delivery order,
+// so no event is displaced beyond the bound. It is the adversary of the
+// streaming-robustness CI gate: a stream shuffled by this tool, replayed
+// through `rtec -max-delay`, must converge to the in-order run's output.
+//
+// Usage:
+//
+//	disorder -in events.csv -out shuffled.csv [-max-delay D] [-seed S] [-dup-every N]
+//
+// -dup-every N re-emits every Nth event immediately after its original, an
+// exact duplicate the ingestion layer must count and discard. A summary of
+// the perturbation is printed to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+
+	"rtecgen/internal/stream"
+)
+
+type options struct {
+	in, out  string
+	maxDelay int64
+	seed     int64
+	dupEvery int
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.in, "in", "", "input event stream CSV (required)")
+	flag.StringVar(&o.out, "out", "", "output CSV of the perturbed arrival order (required)")
+	flag.Int64Var(&o.maxDelay, "max-delay", 0, "maximum delivery delay in time-points")
+	flag.Int64Var(&o.seed, "seed", 1, "random seed (runs are byte-reproducible per seed)")
+	flag.IntVar(&o.dupEvery, "dup-every", 0, "duplicate every Nth event (0 = none)")
+	flag.Parse()
+
+	if err := run(o, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "disorder:", err)
+		os.Exit(1)
+	}
+}
+
+func run(o options, stderr *os.File) error {
+	if o.in == "" || o.out == "" {
+		flag.Usage()
+		return fmt.Errorf("-in and -out are required")
+	}
+	if o.maxDelay < 0 {
+		return fmt.Errorf("negative -max-delay %d", o.maxDelay)
+	}
+	f, err := os.Open(o.in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := stream.ReadCSV(f)
+	if err != nil {
+		return err
+	}
+	events.Sort()
+
+	perturbed, late, dups := perturb(events, o.maxDelay, o.seed, o.dupEvery)
+
+	out, err := os.Create(o.out)
+	if err != nil {
+		return err
+	}
+	if err := perturbed.WriteCSV(out); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "disorder: %d events, %d displaced, %d duplicated (max-delay %d, seed %d)\n",
+		len(events), late, dups, o.maxDelay, o.seed)
+	return nil
+}
+
+// perturb assigns each event a delay in [0, maxDelay] and orders arrivals
+// by delivery time (original position as the tie-break, so the permutation
+// is deterministic per seed), then injects duplicates adjacent to their
+// originals. late counts events that ended up behind a later event time.
+func perturb(events stream.Stream, maxDelay, seed int64, dupEvery int) (out stream.Stream, late, dups int) {
+	r := rand.New(rand.NewSource(seed))
+	type delayed struct {
+		e   stream.Event
+		due int64
+		idx int
+	}
+	ds := make([]delayed, len(events))
+	for i, e := range events {
+		var d int64
+		if maxDelay > 0 {
+			d = r.Int63n(maxDelay + 1)
+		}
+		ds[i] = delayed{e: e, due: e.Time + d, idx: i}
+	}
+	sort.Slice(ds, func(i, j int) bool {
+		if ds[i].due != ds[j].due {
+			return ds[i].due < ds[j].due
+		}
+		return ds[i].idx < ds[j].idx
+	})
+
+	var frontier int64
+	started := false
+	for i, d := range ds {
+		if started && d.e.Time < frontier {
+			late++
+		}
+		if !started || d.e.Time > frontier {
+			frontier, started = d.e.Time, true
+		}
+		out = append(out, d.e)
+		if dupEvery > 0 && (i+1)%dupEvery == 0 {
+			out = append(out, d.e)
+			dups++
+		}
+	}
+	return out, late, dups
+}

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	experiments [-fig 2a|2b|2c|all] [-errors] [-lint] [-zeroshot] [-csv] [-vessels N] [-seed S] [-window W]
+//	experiments [-fig 2a|2b|2c|all] [-errors] [-lint] [-zeroshot] [-csv] [-vessels N] [-seed S] [-window W] [-max-delay D]
 //	            [-faults profile] [-fault-seed S]
 //	            [-trace out.json] [-metrics] [-v] [-pprof addr]
 //
@@ -54,6 +54,7 @@ type options struct {
 	csv                  bool
 	vessels              int
 	seed, window         int64
+	maxDelay             int64
 	faults               string
 	faultSeed            int64
 	tel                  telemetry.CLIConfig
@@ -69,6 +70,7 @@ func main() {
 	flag.IntVar(&o.vessels, "vessels", 60, "fleet size of the synthetic scenario (Figure 2c)")
 	flag.Int64Var(&o.seed, "seed", 7, "scenario seed (Figure 2c)")
 	flag.Int64Var(&o.window, "window", 3600, "RTEC window size in seconds (Figure 2c)")
+	flag.Int64Var(&o.maxDelay, "max-delay", 0, "run recognitions through the out-of-order streaming engine with this delay bound in seconds (Figure 2c; 0 = batch path)")
 	flag.StringVar(&o.faults, "faults", "", "inject model-transport faults: "+strings.Join(fault.Names(), ", "))
 	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "fault-injection seed (runs are byte-reproducible per seed)")
 	flag.StringVar(&o.tel.TracePath, "trace", "", "write a Chrome trace_event JSON of the run to this file")
@@ -229,6 +231,7 @@ func run(o options) error {
 			Scenario:   maritime.ScenarioConfig{Vessels: o.vessels, Seed: o.seed},
 			Preprocess: maritime.DefaultPreprocessConfig(),
 			Window:     o.window,
+			MaxDelay:   o.maxDelay,
 			Telemetry:  tel,
 		}
 		stopTb := tel.Time("experiments.micros.testbed+gold")

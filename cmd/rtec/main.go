@@ -6,9 +6,21 @@
 // Usage:
 //
 //	rtec -ed rules.rtec -stream events.csv [-window W] [-slide S] [-fluent name/arity] [-strict]
+//	     [-lenient] [-max-delay D] [-checkpoint file [-checkpoint-every N] [-resume]]
 //	     [-trace out.json] [-metrics] [-v] [-pprof addr]
 //
-// Stream rows have the form "time,eventName,arg1,arg2,...".
+// Stream rows have the form "time,eventName,arg1,arg2,...". With -lenient,
+// malformed rows are quarantined and reported on stderr instead of aborting
+// the run.
+//
+// Streaming robustness: -max-delay D treats the CSV as an arrival-ordered
+// stream that may be out of order by up to D time-points — late events
+// within the bound revise the affected windows, older ones are counted and
+// dropped. -checkpoint writes a crash-safe snapshot every -checkpoint-every
+// windows; -resume restores it and continues, producing output identical to
+// an uninterrupted run. -crash-after kills the run after N windows (for
+// fault-injection drills). Without any of these flags the classic batch
+// path runs, byte-identical to previous releases.
 //
 // Observability: -trace writes a Chrome trace_event JSON of the run (one
 // span per window and per fluent stratum; open in chrome://tracing or
@@ -35,6 +47,12 @@ type options struct {
 	window, slide      int64
 	fluent             string
 	strict, csvOut     bool
+	lenient            bool
+	maxDelay           int64
+	checkpoint         string
+	checkpointEvery    int
+	resume             bool
+	crashAfter         int
 	tel                telemetry.CLIConfig
 }
 
@@ -47,6 +65,12 @@ func main() {
 	flag.StringVar(&o.fluent, "fluent", "", "only print FVPs of this fluent indicator, e.g. trawling/1")
 	flag.BoolVar(&o.strict, "strict", false, "fail on any event-description problem instead of warning")
 	flag.BoolVar(&o.csvOut, "csv", false, "emit CSV (fluent,fvp,since,until) instead of holdsFor lines")
+	flag.BoolVar(&o.lenient, "lenient", false, "quarantine malformed stream rows instead of aborting")
+	flag.Int64Var(&o.maxDelay, "max-delay", 0, "bounded-delay disorder tolerance in time-points (streaming ingestion)")
+	flag.StringVar(&o.checkpoint, "checkpoint", "", "write crash-safe snapshots to this file (streaming ingestion)")
+	flag.IntVar(&o.checkpointEvery, "checkpoint-every", 1, "windows between snapshots")
+	flag.BoolVar(&o.resume, "resume", false, "restore the -checkpoint snapshot and continue the run")
+	flag.IntVar(&o.crashAfter, "crash-after", 0, "fault injection: abort after N windows (0 = never)")
 	flag.StringVar(&o.tel.TracePath, "trace", "", "write a Chrome trace_event JSON of the run to this file")
 	flag.BoolVar(&o.tel.Metrics, "metrics", false, "dump the telemetry registry to stderr at exit")
 	flag.BoolVar(&o.tel.Verbose, "v", false, "structured debug logging to stderr")
@@ -59,10 +83,20 @@ func main() {
 	}
 }
 
+// streaming reports whether any flag asks for the out-of-order streaming
+// path. With none of them set the classic batch path runs, byte-identical
+// to previous releases.
+func (o options) streaming() bool {
+	return o.maxDelay > 0 || o.checkpoint != "" || o.resume || o.crashAfter > 0
+}
+
 func run(o options, stdout, stderr *os.File) error {
 	if o.edPath == "" || o.streamPath == "" {
 		flag.Usage()
 		return fmt.Errorf("-ed and -stream are required")
+	}
+	if o.resume && o.checkpoint == "" {
+		return fmt.Errorf("-resume needs -checkpoint to name the snapshot")
 	}
 	tel, flush := o.tel.Setup(stderr, stderr, "rtec")
 
@@ -79,9 +113,24 @@ func run(o options, stdout, stderr *os.File) error {
 		return err
 	}
 	defer f.Close()
-	events, err := stream.ReadCSV(f)
-	if err != nil {
-		return err
+	var events stream.Stream
+	if o.lenient {
+		var bad []stream.BadRow
+		events, bad, err = stream.ReadCSVLenient(f)
+		if err != nil {
+			return err
+		}
+		if len(bad) > 0 {
+			fmt.Fprintf(stderr, "rtec: quarantined %d malformed stream rows:\n", len(bad))
+			for _, b := range bad {
+				fmt.Fprintf(stderr, "  %s\n", b)
+			}
+		}
+	} else {
+		events, err = stream.ReadCSV(f)
+		if err != nil {
+			return err
+		}
 	}
 
 	// Load and runtime warnings surface on the telemetry logger (with
@@ -90,7 +139,12 @@ func run(o options, stdout, stderr *os.File) error {
 	if err != nil {
 		return err
 	}
-	rec, err := eng.Run(events, rtec.RunOptions{Window: o.window, Slide: o.slide})
+	var rec *rtec.Recognition
+	if o.streaming() {
+		rec, err = runStreaming(o, eng, events, stderr)
+	} else {
+		rec, err = eng.Run(events, rtec.RunOptions{Window: o.window, Slide: o.slide})
+	}
 	if err != nil {
 		return err
 	}
@@ -110,4 +164,41 @@ func run(o options, stdout, stderr *os.File) error {
 		fmt.Fprintf(stdout, "holdsFor(%s, %s)\n", key, rec.IntervalsOfKey(key))
 	}
 	return flush()
+}
+
+// runStreaming drives the out-of-order ingestion path: the CSV rows are an
+// arrival-ordered stream fed through the bounded-delay reorder buffer, with
+// optional checkpointing, resume and fault injection.
+func runStreaming(o options, eng *rtec.Engine, events stream.Stream, stderr *os.File) (*rtec.Recognition, error) {
+	opts := rtec.StreamOptions{
+		RunOptions:      rtec.RunOptions{Window: o.window, Slide: o.slide},
+		MaxDelay:        o.maxDelay,
+		CheckpointPath:  o.checkpoint,
+		CheckpointEvery: o.checkpointEvery,
+	}
+	var fn func(rtec.WindowResult) error
+	if o.crashAfter > 0 {
+		left := o.crashAfter
+		fn = func(wr rtec.WindowResult) error {
+			if wr.Revision == 0 {
+				left--
+				if left <= 0 {
+					return fmt.Errorf("simulated crash after %d windows (-crash-after)", o.crashAfter)
+				}
+			}
+			return nil
+		}
+	}
+	var res *rtec.StreamResult
+	var err error
+	if o.resume {
+		res, err = eng.ResumeStream(o.checkpoint, events, opts, fn)
+	} else {
+		res, err = eng.RunStream(events, opts, fn)
+	}
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(stderr, "rtec: stream: %s\n", res.Stats)
+	return res.Recognition, nil
 }

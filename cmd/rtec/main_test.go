@@ -145,3 +145,102 @@ initiatedAt(broken(X)=true, T) :-
 		t.Fatal("unwritable trace path accepted")
 	}
 }
+
+// captureOut runs the command with stdout redirected to a file and returns
+// what it printed.
+func captureOut(t *testing.T, o options) (string, error) {
+	t.Helper()
+	outPath := filepath.Join(t.TempDir(), "stdout")
+	f, err := os.Create(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := run(o, f, os.Stderr)
+	f.Close()
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), runErr
+}
+
+func TestLenientStreamQuarantinesBadRows(t *testing.T) {
+	ed := write(t, "ed.rtec", testED)
+	st := write(t, "events.csv", "10,entersArea,v1,a1\nnotatime,junk\n50,leavesArea,v1,a1\n")
+
+	if _, err := captureOut(t, opts(ed, st)); err == nil {
+		t.Fatal("strict CSV reading accepted a bad row")
+	}
+	o := opts(ed, st)
+	o.lenient, o.csvOut = true, true
+	got, err := captureOut(t, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got, "withinArea(v1, fishing)=true") {
+		t.Fatalf("lenient run lost the good rows:\n%s", got)
+	}
+}
+
+func TestStreamingFlagsMatchBatchOutput(t *testing.T) {
+	ed := write(t, "ed.rtec", testED)
+	// Arrival order is perturbed but within the delay bound.
+	st := write(t, "events.csv", "10,entersArea,v1,a1\n60,entersArea,v2,a1\n50,leavesArea,v1,a1\n")
+	sorted := write(t, "sorted.csv", "10,entersArea,v1,a1\n50,leavesArea,v1,a1\n60,entersArea,v2,a1\n")
+
+	base := opts(ed, sorted)
+	base.window, base.csvOut = 20, true
+	want, err := captureOut(t, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	o := opts(ed, st)
+	o.window, o.csvOut, o.maxDelay = 20, true, 15
+	got, err := captureOut(t, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("streaming output differs from batch:\n%s\nvs\n%s", got, want)
+	}
+}
+
+func TestCrashAfterAndResume(t *testing.T) {
+	ed := write(t, "ed.rtec", testED)
+	st := write(t, "events.csv",
+		"10,entersArea,v1,a1\n30,entersArea,v2,a1\n50,leavesArea,v1,a1\n70,entersArea,v3,a1\n90,leavesArea,v2,a1\n")
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+
+	base := opts(ed, st)
+	base.window, base.slide, base.csvOut = 20, 20, true
+	want, err := captureOut(t, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	o := base
+	o.checkpoint, o.checkpointEvery, o.crashAfter = ckpt, 1, 2
+	if _, err := captureOut(t, o); err == nil || !strings.Contains(err.Error(), "simulated crash") {
+		t.Fatalf("crash-after err = %v", err)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("no checkpoint after crash: %v", err)
+	}
+
+	o.crashAfter, o.resume = 0, true
+	got, err := captureOut(t, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("resumed output differs from uninterrupted run:\n%s\nvs\n%s", got, want)
+	}
+
+	// -resume without -checkpoint is rejected.
+	bad := base
+	bad.resume = true
+	if _, err := captureOut(t, bad); err == nil {
+		t.Fatal("-resume without -checkpoint accepted")
+	}
+}

@@ -1,0 +1,354 @@
+package rtec
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"rtecgen/internal/intervals"
+	"rtecgen/internal/lang"
+	"rtecgen/internal/parser"
+	"rtecgen/internal/stream"
+)
+
+// Checkpoint file layout: a small JSON envelope carrying a magic string, a
+// format version and an fnv-64a checksum of the raw payload bytes, so a
+// truncated or corrupted snapshot is rejected before any state is restored.
+const (
+	checkpointMagic   = "rtec-checkpoint"
+	checkpointVersion = 1
+)
+
+type checkpointFile struct {
+	Magic    string          `json:"magic"`
+	Version  int             `json:"version"`
+	Checksum string          `json:"checksum"`
+	Payload  json.RawMessage `json:"payload"`
+}
+
+// checkpointPayload is the snapshot of a streaming run: enough to continue
+// ingestion at arrival Consumed and reproduce the uninterrupted run's final
+// recognition byte for byte. Frozen windows (those the watermark has passed)
+// contribute only their delivered recognition; the revisable tail keeps its
+// inertia carry-over and the reorder buffer keeps the events that may still
+// be re-evaluated.
+type checkpointPayload struct {
+	EDSum    string `json:"ed_sum"`
+	Window   int64  `json:"window"`
+	Slide    int64  `json:"slide"`
+	Start    int64  `json:"start"`
+	End      int64  `json:"end"`
+	MaxDelay int64  `json:"max_delay"`
+
+	Consumed    int   `json:"consumed"`
+	Emitted     int   `json:"emitted"`
+	Revisions   int64 `json:"revisions"`
+	Checkpoints int64 `json:"checkpoints"`
+
+	Frontier int64        `json:"frontier"`
+	Started  bool         `json:"started"`
+	Disorder ckptDisorder `json:"disorder"`
+	Buffered []ckptEvent  `json:"buffered"`
+	Slots    []ckptSlot   `json:"slots"`
+}
+
+type ckptDisorder struct {
+	Observed   int64 `json:"observed"`
+	Accepted   int64 `json:"accepted"`
+	Late       int64 `json:"late"`
+	Duplicates int64 `json:"duplicates"`
+	Dropped    int64 `json:"dropped"`
+}
+
+type ckptEvent struct {
+	T    int64  `json:"t"`
+	Atom string `json:"a"`
+}
+
+// ckptFVP serialises one recognised fluent-value pair: the fluent and value
+// terms in concrete syntax (round-tripped through the parser on restore)
+// and the clipped maximal intervals as [start, end) pairs.
+type ckptFVP struct {
+	Fluent string     `json:"f"`
+	Value  string     `json:"v"`
+	Ivals  [][2]int64 `json:"i,omitempty"`
+}
+
+type ckptSlot struct {
+	Revision   int       `json:"rev"`
+	Recognised []ckptFVP `json:"recognised"`
+	NextOpen   []ckptFVP `json:"next_open"`
+}
+
+// edFingerprint identifies the loaded event description: a resumed run must
+// be driven by the same rules that wrote the snapshot.
+func (e *Engine) edFingerprint() string {
+	h := fnv.New64a()
+	io.WriteString(h, e.ed.String())
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func fvpToCkpt(fvp *lang.Term, ivals intervals.List) ckptFVP {
+	out := ckptFVP{Fluent: fvp.Args[0].String(), Value: fvp.Args[1].String()}
+	for _, iv := range ivals {
+		out.Ivals = append(out.Ivals, [2]int64{iv.Start, iv.End})
+	}
+	return out
+}
+
+func fvpFromCkpt(c ckptFVP) (*lang.Term, intervals.List, error) {
+	f, err := parser.ParseTerm(c.Fluent)
+	if err != nil {
+		return nil, nil, fmt.Errorf("rtec: checkpoint fluent term %q: %w", c.Fluent, err)
+	}
+	v, err := parser.ParseTerm(c.Value)
+	if err != nil {
+		return nil, nil, fmt.Errorf("rtec: checkpoint value term %q: %w", c.Value, err)
+	}
+	var list intervals.List
+	for _, p := range c.Ivals {
+		list = append(list, intervals.Interval{Start: p[0], End: p[1]})
+	}
+	return lang.FVP(f, v), list, nil
+}
+
+// snapshot captures the current run state as a payload with deterministic
+// ordering (FVPs sorted by key), so identical states serialise identically.
+func (st *streamRun) snapshot() checkpointPayload {
+	rs := st.reorder.State()
+	p := checkpointPayload{
+		EDSum:  st.eng.edFingerprint(),
+		Window: st.tl.window, Slide: st.tl.slide,
+		Start: st.tl.start, End: st.tl.end,
+		MaxDelay:    st.opts.MaxDelay,
+		Consumed:    st.consumed,
+		Emitted:     st.emitted,
+		Revisions:   st.stats.Revisions,
+		Checkpoints: st.stats.Checkpoints,
+		Frontier:    rs.Frontier,
+		Started:     rs.Started,
+		Disorder: ckptDisorder{
+			Observed: rs.Stats.Observed, Accepted: rs.Stats.Accepted,
+			Late: rs.Stats.Late, Duplicates: rs.Stats.Duplicates, Dropped: rs.Stats.Dropped,
+		},
+	}
+	for _, e := range rs.Buffered {
+		p.Buffered = append(p.Buffered, ckptEvent{T: e.Time, Atom: e.Atom.String()})
+	}
+	for i := 0; i < st.emitted; i++ {
+		slot := st.slots[i]
+		cs := ckptSlot{Revision: slot.revision}
+		keys := make([]string, 0, len(slot.eval.recognised))
+		for k := range slot.eval.recognised {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			cs.Recognised = append(cs.Recognised, fvpToCkpt(slot.eval.fvps[k], slot.eval.recognised[k]))
+		}
+		open := make([]string, 0, len(slot.eval.nextOpen))
+		for k := range slot.eval.nextOpen {
+			open = append(open, k)
+		}
+		sort.Strings(open)
+		for _, k := range open {
+			cs.NextOpen = append(cs.NextOpen, fvpToCkpt(slot.eval.nextOpen[k], nil))
+		}
+		p.Slots = append(p.Slots, cs)
+	}
+	return p
+}
+
+// writeCheckpoint serialises the snapshot and writes it atomically: the
+// bytes go to a temporary file in the checkpoint's directory, which is then
+// renamed over the target, so a crash mid-write leaves either the previous
+// snapshot or none — never a torn one.
+func (st *streamRun) writeCheckpoint() error {
+	tel := st.eng.opts.Telemetry
+	t0 := time.Now()
+	payload, err := json.Marshal(st.snapshot())
+	if err != nil {
+		return fmt.Errorf("rtec: checkpoint: %w", err)
+	}
+	h := fnv.New64a()
+	h.Write(payload)
+	data, err := json.Marshal(checkpointFile{
+		Magic:    checkpointMagic,
+		Version:  checkpointVersion,
+		Checksum: fmt.Sprintf("%016x", h.Sum64()),
+		Payload:  payload,
+	})
+	if err != nil {
+		return fmt.Errorf("rtec: checkpoint: %w", err)
+	}
+	dir := filepath.Dir(st.opts.CheckpointPath)
+	tmp, err := os.CreateTemp(dir, ".rtec-checkpoint-*")
+	if err != nil {
+		return fmt.Errorf("rtec: checkpoint: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("rtec: checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("rtec: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), st.opts.CheckpointPath); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("rtec: checkpoint: %w", err)
+	}
+	st.stats.Checkpoints++
+	tel.Counter("rtec.checkpoint.writes").Inc()
+	tel.Counter("rtec.checkpoint.bytes").Add(int64(len(data)))
+	tel.Histogram("rtec.checkpoint.write_micros").ObserveDuration(time.Since(t0))
+	tel.Logger().Debug("checkpoint written",
+		"component", "rtec", "path", st.opts.CheckpointPath,
+		"consumed", st.consumed, "windows", st.emitted, "bytes", len(data))
+	return nil
+}
+
+// Checkpoint is a loaded, checksum-verified snapshot of a streaming run.
+type Checkpoint struct {
+	// Consumed is the number of arrivals the run had fully processed.
+	Consumed int
+	// Windows is the number of windows delivered at least once.
+	Windows int
+	payload checkpointPayload
+}
+
+// LoadCheckpoint reads and verifies a snapshot written by a streaming run
+// with StreamOptions.CheckpointPath set: the magic string, format version
+// and payload checksum must all match before the payload is decoded.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f checkpointFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("rtec: checkpoint %s: %w", path, err)
+	}
+	if f.Magic != checkpointMagic {
+		return nil, fmt.Errorf("rtec: checkpoint %s: not an RTEC checkpoint", path)
+	}
+	if f.Version != checkpointVersion {
+		return nil, fmt.Errorf("rtec: checkpoint %s: format version %d, want %d", path, f.Version, checkpointVersion)
+	}
+	h := fnv.New64a()
+	h.Write(f.Payload)
+	if sum := fmt.Sprintf("%016x", h.Sum64()); sum != f.Checksum {
+		return nil, fmt.Errorf("rtec: checkpoint %s: checksum mismatch (have %s, want %s): snapshot is corrupt", path, sum, f.Checksum)
+	}
+	var p checkpointPayload
+	if err := json.Unmarshal(f.Payload, &p); err != nil {
+		return nil, fmt.Errorf("rtec: checkpoint %s: payload: %w", path, err)
+	}
+	return &Checkpoint{Consumed: p.Consumed, Windows: p.Emitted, payload: p}, nil
+}
+
+// restore rebuilds the run state from a verified checkpoint, after
+// validating that the engine and the run geometry match the snapshot.
+func (st *streamRun) restore(cp *Checkpoint) error {
+	p := cp.payload
+	if sum := st.eng.edFingerprint(); p.EDSum != sum {
+		return fmt.Errorf("rtec: checkpoint was written by a different event description (fingerprint %s, engine has %s)", p.EDSum, sum)
+	}
+	if p.Window != st.tl.window || p.Slide != st.tl.slide || p.Start != st.tl.start || p.End != st.tl.end {
+		return fmt.Errorf("rtec: checkpoint geometry window=%d slide=%d [%d,%d) does not match the run's window=%d slide=%d [%d,%d)",
+			p.Window, p.Slide, p.Start, p.End, st.tl.window, st.tl.slide, st.tl.start, st.tl.end)
+	}
+	if p.MaxDelay != st.opts.MaxDelay {
+		return fmt.Errorf("rtec: checkpoint max delay %d does not match the run's %d", p.MaxDelay, st.opts.MaxDelay)
+	}
+	if p.Emitted > len(st.slots) {
+		return fmt.Errorf("rtec: checkpoint has %d windows, the run plans only %d", p.Emitted, len(st.slots))
+	}
+
+	buffered := make(stream.Stream, 0, len(p.Buffered))
+	for _, ce := range p.Buffered {
+		atom, err := parser.ParseTerm(ce.Atom)
+		if err != nil {
+			return fmt.Errorf("rtec: checkpoint event %q: %w", ce.Atom, err)
+		}
+		buffered = append(buffered, stream.Event{Time: ce.T, Atom: atom})
+	}
+	st.reorder = stream.NewReorderFromState(st.opts.MaxDelay, stream.ReorderState{
+		Frontier: p.Frontier,
+		Started:  p.Started,
+		Buffered: buffered,
+		Stats: stream.DisorderStats{
+			Observed: p.Disorder.Observed, Accepted: p.Disorder.Accepted,
+			Late: p.Disorder.Late, Duplicates: p.Disorder.Duplicates, Dropped: p.Disorder.Dropped,
+		},
+	})
+
+	for i, cs := range p.Slots {
+		ev := windowEval{
+			recognised: map[string]intervals.List{},
+			fvps:       map[string]*lang.Term{},
+			nextOpen:   map[string]*lang.Term{},
+		}
+		for _, cf := range cs.Recognised {
+			fvp, list, err := fvpFromCkpt(cf)
+			if err != nil {
+				return err
+			}
+			key := fvpKey(fvp)
+			ev.recognised[key] = list
+			ev.fvps[key] = fvp
+		}
+		for _, cf := range cs.NextOpen {
+			fvp, _, err := fvpFromCkpt(cf)
+			if err != nil {
+				return err
+			}
+			ev.nextOpen[fvpKey(fvp)] = fvp
+		}
+		st.slots[i] = windowSlot{emitted: true, revision: cs.Revision, eval: ev}
+	}
+	st.emitted = p.Emitted
+	st.consumed = p.Consumed
+	st.stats.Revisions = p.Revisions
+	st.stats.Checkpoints = p.Checkpoints
+	st.sinceCkpt = 0
+	return nil
+}
+
+// ResumeStream continues a streaming run from a checkpoint written by
+// RunStream: the snapshot is verified (version, checksum, event-description
+// fingerprint, run geometry), the run state is restored, and ingestion
+// resumes at the first arrival the snapshot had not consumed. events must
+// be the same arrival-ordered stream the interrupted run was given; the
+// final result is byte-identical to the uninterrupted run. Windows
+// delivered before the snapshot are not re-delivered to fn.
+func (e *Engine) ResumeStream(path string, events stream.Stream, opts StreamOptions, fn func(WindowResult) error) (*StreamResult, error) {
+	tel := e.opts.Telemetry
+	t0 := time.Now()
+	cp, err := LoadCheckpoint(path)
+	if err != nil {
+		return nil, err
+	}
+	st, empty, err := e.newStreamRun(events, opts, fn)
+	if err != nil {
+		return nil, err
+	}
+	if empty {
+		return &StreamResult{Recognition: &Recognition{byKey: map[string]intervals.List{}, fvps: map[string]*lang.Term{}}}, nil
+	}
+	defer st.span.End()
+	if err := st.restore(cp); err != nil {
+		return nil, err
+	}
+	tel.Counter("rtec.checkpoint.restores").Inc()
+	tel.Histogram("rtec.checkpoint.restore_micros").ObserveDuration(time.Since(t0))
+	tel.Logger().Debug("checkpoint restored",
+		"component", "rtec", "path", path, "consumed", st.consumed, "windows", st.emitted)
+	return st.consume(events)
+}

@@ -2,11 +2,9 @@ package rtec
 
 import (
 	"encoding/csv"
-	"fmt"
 	"io"
 	"sort"
 	"strconv"
-	"time"
 
 	"rtecgen/internal/intervals"
 	"rtecgen/internal/lang"
@@ -125,12 +123,25 @@ func (r *Recognition) WriteCSV(w io.Writer) error {
 // WindowResult is the outcome of one query time, delivered by RunWindows as
 // soon as the window is evaluated: the ground FVPs recognised within
 // [WindowStart, QueryTime) and their intervals clipped to the window.
+//
+// Under out-of-order ingestion (Engine.RunStream), the same window may be
+// delivered more than once: a late event within the delay bound re-evaluates
+// the affected windows, and each re-delivery carries an incremented Revision
+// and the retraction diff against the previous delivery. In-order runs
+// always deliver Revision 0 with a nil Retracted.
 type WindowResult struct {
 	WindowStart, QueryTime int64
 	// Recognised maps canonical FVP keys to their clipped interval lists.
 	Recognised map[string]intervals.List
 	// FVPs maps the same keys to the parsed FVP terms.
 	FVPs map[string]*lang.Term
+	// Revision counts re-deliveries of this window: 0 for the first
+	// evaluation, incremented every time a late event revises it.
+	Revision int
+	// Retracted maps FVP keys to the intervals that were reported by the
+	// previous revision of this window but no longer hold. Nil on the first
+	// delivery.
+	Retracted map[string]intervals.List
 }
 
 // Run performs windowed recognition over the stream and returns the
@@ -168,118 +179,48 @@ func (e *Engine) runWindows(events stream.Stream, opts RunOptions, fn func(*Reco
 	copy(s, events)
 	s.Sort()
 
-	start, end := opts.Start, opts.End
-	if start == 0 && end == 0 {
-		if len(s) == 0 {
-			return fn(&Recognition{byKey: map[string]intervals.List{}, fvps: map[string]*lang.Term{}},
-				WindowResult{Recognised: map[string]intervals.List{}, FVPs: map[string]*lang.Term{}})
-		}
-		first, last := s.TimeRange()
-		start, end = first, last+1
+	tl, empty, err := planTimeline(s, opts)
+	if err != nil {
+		return err
 	}
-	if end <= start {
-		return fmt.Errorf("rtec: empty time-line [%d, %d)", start, end)
-	}
-	window := opts.Window
-	if window <= 0 {
-		window = end - start
-	}
-	slide := opts.Slide
-	if slide <= 0 {
-		slide = window
-	}
-	if slide > window {
-		return fmt.Errorf("rtec: slide %d exceeds window %d; events would be skipped", slide, window)
+	if empty {
+		return fn(&Recognition{byKey: map[string]intervals.List{}, fvps: map[string]*lang.Term{}},
+			WindowResult{Recognised: map[string]intervals.List{}, FVPs: map[string]*lang.Term{}})
 	}
 
 	rec := &Recognition{
-		Start: start, End: end,
+		Start: tl.start, End: tl.end,
 		byKey: map[string]intervals.List{},
 		fvps:  map[string]*lang.Term{},
 	}
 
-	// Query times q = start+window, start+window+slide, ..., end; each
-	// window covers [max(start, q-window), q).
-	var qs []int64
-	for q := start + window; q < end; q += slide {
-		qs = append(qs, q)
-	}
-	qs = append(qs, end)
-
 	tel := e.opts.Telemetry
 	run := tel.Span("rtec.run",
 		telemetry.Int("events", int64(len(s))),
-		telemetry.Int("window", window), telemetry.Int("slide", slide),
-		telemetry.Int("start", start), telemetry.Int("end", end))
+		telemetry.Int("window", tl.window), telemetry.Int("slide", tl.slide),
+		telemetry.Int("start", tl.start), telemetry.Int("end", tl.end))
 	defer run.End()
 	tel.Counter("rtec.events.ingested").Add(int64(len(s)))
-	winHist := tel.Histogram("rtec.window.micros")
 	tel.Logger().Debug("recognition run",
 		"component", "rtec", "events", len(s),
-		"window", window, "slide", slide, "start", start, "end", end,
-		"windows", len(qs), "fluents", len(e.order))
+		"window", tl.window, "slide", tl.slide, "start", tl.start, "end", tl.end,
+		"windows", len(tl.qs), "fluents", len(e.order))
 
 	prevOpen := map[string]*lang.Term{}
-	for i, q := range qs {
-		ws, we := q-window, q
-		if ws < start {
-			ws = start
-		}
-		winEvents := s.Window(ws, we)
-		wspan := run.Span("rtec.window",
-			telemetry.Int("window_start", ws), telemetry.Int("query_time", we),
-			telemetry.Int("events", int64(len(winEvents))))
-		var t0 time.Time
-		if winHist != nil {
-			t0 = time.Now()
-		}
-		w := newWindowState(e, winEvents, ws, we, prevOpen, &rec.Warnings, tel, wspan)
-		w.evaluate()
-		if winHist != nil {
-			winHist.ObserveDuration(time.Since(t0))
-		}
-		tel.Counter("rtec.windows.evaluated").Inc()
-		tel.Counter("rtec.fvps.grounded").Add(int64(len(w.cache)))
-
-		// The next window starts at nws; a simple FVP that (per this
-		// window's computation) holds at nws persists into the next window
-		// by the law of inertia.
-		var nws int64 = -1
-		if i+1 < len(qs) {
-			nws = qs[i+1] - window
-			if nws < start {
-				nws = start
+	for i, q := range tl.qs {
+		ws := tl.windowStart(i)
+		ev := e.evalWindow(s.Window(ws, q), ws, q, tl.nextWindowStart(i), prevOpen, &rec.Warnings, run)
+		for key, clipped := range ev.recognised {
+			rec.byKey[key] = intervals.Union(rec.byKey[key], clipped)
+			if _, ok := rec.fvps[key]; !ok {
+				rec.fvps[key] = ev.fvps[key]
 			}
 		}
-		wr := WindowResult{
-			WindowStart: ws, QueryTime: we,
-			Recognised: map[string]intervals.List{},
-			FVPs:       map[string]*lang.Term{},
-		}
-		prevOpen = map[string]*lang.Term{}
-		var amalgamated int64
-		for key, ent := range w.cache {
-			clipped := intervals.Clip(ent.list, ws, we)
-			if len(clipped) > 0 {
-				rec.byKey[key] = intervals.Union(rec.byKey[key], clipped)
-				if _, ok := rec.fvps[key]; !ok {
-					rec.fvps[key] = ent.fvp
-				}
-				wr.Recognised[key] = clipped
-				wr.FVPs[key] = ent.fvp
-				amalgamated += int64(len(clipped))
-			}
-			if nws < 0 {
-				continue
-			}
-			if fl, ok := e.fluents[fluentKeyOf(ent.fvp)]; ok && fl.kind == Simple && ent.list.Contains(nws) {
-				prevOpen[key] = ent.fvp
-			}
-		}
-		tel.Counter("rtec.intervals.amalgamated").Add(amalgamated)
-		wspan.SetAttrs(telemetry.Int("fvps", int64(len(w.cache))), telemetry.Int("intervals", amalgamated))
-		wspan.End()
-		if err := fn(rec, wr); err != nil {
+		prevOpen = ev.nextOpen
+		if err := fn(rec, WindowResult{
+			WindowStart: ws, QueryTime: q,
+			Recognised: ev.recognised, FVPs: ev.fvps,
+		}); err != nil {
 			return err
 		}
 	}

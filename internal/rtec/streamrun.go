@@ -1,0 +1,378 @@
+package rtec
+
+import (
+	"fmt"
+
+	"rtecgen/internal/intervals"
+	"rtecgen/internal/lang"
+	"rtecgen/internal/stream"
+	"rtecgen/internal/telemetry"
+)
+
+// StreamOptions configure an out-of-order, crash-safe recognition run.
+type StreamOptions struct {
+	RunOptions
+	// MaxDelay is the bounded-delay disorder tolerance in time-points:
+	// events arriving behind the event-time frontier by at most MaxDelay
+	// are admitted and revise the affected windows; older events are
+	// counted and dropped. Zero tolerates no disorder (out-of-order events
+	// are dropped), which over an in-order stream reproduces Run exactly.
+	MaxDelay int64
+	// CheckpointPath, when non-empty, enables crash-safe checkpointing: a
+	// versioned, checksummed snapshot of the run state is written
+	// atomically (write-temp+rename) to this path every CheckpointEvery
+	// windows.
+	CheckpointPath string
+	// CheckpointEvery is the number of first-time window emissions between
+	// snapshots. Zero defaults to 1 (snapshot after every window).
+	CheckpointEvery int
+}
+
+// StreamStats counts what happened to the arrivals of a streaming run.
+type StreamStats struct {
+	// Observed is the number of arrivals processed (resumed runs include
+	// the arrivals consumed before the checkpoint).
+	Observed int64
+	// Accepted counts admitted events (in-order plus late-within-bound).
+	Accepted int64
+	// Late counts admitted events that arrived behind the frontier.
+	Late int64
+	// Duplicates counts discarded exact-duplicate arrivals.
+	Duplicates int64
+	// Dropped counts arrivals behind the watermark, dropped as too late.
+	Dropped int64
+	// Revisions counts re-deliveries of already-emitted windows caused by
+	// late events.
+	Revisions int64
+	// Checkpoints counts snapshots written.
+	Checkpoints int64
+}
+
+// String renders the stats as a one-line report.
+func (s StreamStats) String() string {
+	return fmt.Sprintf("observed=%d accepted=%d late=%d duplicates=%d dropped=%d revisions=%d checkpoints=%d",
+		s.Observed, s.Accepted, s.Late, s.Duplicates, s.Dropped, s.Revisions, s.Checkpoints)
+}
+
+// StreamResult is the outcome of a streaming run: the amalgamated
+// recognition (identical to what Run over the in-order, deduplicated,
+// within-bound stream would produce) plus the disorder statistics.
+type StreamResult struct {
+	*Recognition
+	Stats StreamStats
+}
+
+// windowSlot is the per-window book-keeping of a streaming run: the latest
+// delivered evaluation of an emitted window, and its revision counter.
+type windowSlot struct {
+	emitted  bool
+	revision int
+	eval     windowEval
+}
+
+// streamRun is the mutable state of one streaming recognition run.
+type streamRun struct {
+	eng       *Engine
+	opts      StreamOptions
+	tl        *timeline
+	reorder   *stream.Reorder
+	slots     []windowSlot
+	emitted   int // slots[:emitted] have been delivered at least once
+	consumed  int // arrivals fully processed (for checkpoint resume)
+	sinceCkpt int
+	stats     StreamStats
+	warnings  []Warning
+	warnSeen  map[string]bool
+	span      *telemetry.Span
+	fn        func(WindowResult) error
+}
+
+// RunStream performs windowed recognition over an arrival-ordered stream
+// that may be out of order, duplicated, or late, and returns the
+// amalgamated result plus disorder statistics.
+//
+// Events are admitted through a bounded-delay reorder buffer (StreamOptions
+// .MaxDelay). A window is first evaluated and delivered to fn as soon as
+// the event-time frontier passes its query time; a late event within the
+// bound re-evaluates the windows it affects (and any downstream windows
+// whose inertia carry-over changes) and re-delivers each changed window
+// with an incremented WindowResult.Revision and the retraction diff.
+// Events older than the bound are counted and dropped. For any
+// arrival-order permutation of a stream in which no event is displaced
+// beyond MaxDelay, the final Recognition is identical to Run over the
+// in-order stream.
+//
+// With CheckpointPath set, a crash-safe snapshot is written atomically
+// every CheckpointEvery windows; ResumeStream continues such a run so that
+// its final output is byte-identical to an uninterrupted one. fn may be
+// nil when only the final result matters.
+func (e *Engine) RunStream(events stream.Stream, opts StreamOptions, fn func(WindowResult) error) (*StreamResult, error) {
+	st, empty, err := e.newStreamRun(events, opts, fn)
+	if err != nil {
+		return nil, err
+	}
+	if empty {
+		return &StreamResult{Recognition: &Recognition{byKey: map[string]intervals.List{}, fvps: map[string]*lang.Term{}}}, nil
+	}
+	defer st.span.End()
+	return st.consume(events)
+}
+
+// newStreamRun plans the run. empty is true for the degenerate
+// whole-stream time-line over no events.
+func (e *Engine) newStreamRun(events stream.Stream, opts StreamOptions, fn func(WindowResult) error) (*streamRun, bool, error) {
+	if opts.MaxDelay < 0 {
+		return nil, false, fmt.Errorf("rtec: negative max delay %d", opts.MaxDelay)
+	}
+	tl, empty, err := planTimeline(events, opts.RunOptions)
+	if err != nil || empty {
+		return nil, empty, err
+	}
+	tel := e.opts.Telemetry
+	st := &streamRun{
+		eng:      e,
+		opts:     opts,
+		tl:       tl,
+		reorder:  stream.NewReorder(opts.MaxDelay),
+		slots:    make([]windowSlot, len(tl.qs)),
+		warnSeen: map[string]bool{},
+		fn:       fn,
+		span: tel.Span("rtec.run",
+			telemetry.String("mode", "stream"),
+			telemetry.Int("events", int64(len(events))),
+			telemetry.Int("window", tl.window), telemetry.Int("slide", tl.slide),
+			telemetry.Int("start", tl.start), telemetry.Int("end", tl.end),
+			telemetry.Int("max_delay", opts.MaxDelay)),
+	}
+	tel.Logger().Debug("streaming recognition run",
+		"component", "rtec", "events", len(events),
+		"window", tl.window, "slide", tl.slide, "start", tl.start, "end", tl.end,
+		"windows", len(tl.qs), "fluents", len(e.order), "max_delay", opts.MaxDelay)
+	return st, false, nil
+}
+
+// consume ingests the arrivals after the resume point and finalises.
+func (st *streamRun) consume(events stream.Stream) (*StreamResult, error) {
+	tel := st.eng.opts.Telemetry
+	if st.consumed > len(events) {
+		return nil, fmt.Errorf("rtec: checkpoint consumed %d arrivals but the stream has only %d", st.consumed, len(events))
+	}
+	for _, e := range events[st.consumed:] {
+		if err := st.ingest(e); err != nil {
+			return nil, err
+		}
+	}
+	// Flush: evaluate and deliver the windows the frontier never reached.
+	for st.emitted < len(st.slots) {
+		if err := st.emitNext(); err != nil {
+			return nil, err
+		}
+	}
+	tel.Counter("rtec.events.ingested").Add(st.reorder.Stats().Accepted)
+	return st.finalise(), nil
+}
+
+// ingest processes one arrival: admission, revision of emitted windows a
+// late event invalidates, emission of windows the frontier passed, pruning,
+// and checkpointing.
+func (st *streamRun) ingest(e stream.Event) error {
+	tel := st.eng.opts.Telemetry
+	switch st.reorder.Push(e) {
+	case stream.TooLate:
+		tel.Counter("rtec.dropped_events").Inc()
+	case stream.Duplicate:
+		tel.Counter("rtec.duplicate_events").Inc()
+	case stream.AdmittedLate:
+		tel.Counter("rtec.late_events").Inc()
+		if err := st.revise(e.Time); err != nil {
+			return err
+		}
+	}
+
+	// Deliver every window whose query time the frontier has now passed.
+	for st.emitted < len(st.slots) {
+		frontier, ok := st.reorder.Frontier()
+		if !ok || frontier < st.tl.qs[st.emitted] {
+			break
+		}
+		if err := st.emitNext(); err != nil {
+			return err
+		}
+	}
+	st.prune()
+	st.consumed++
+	if st.opts.CheckpointPath != "" {
+		every := st.opts.CheckpointEvery
+		if every <= 0 {
+			every = 1
+		}
+		if st.sinceCkpt >= every {
+			if err := st.writeCheckpoint(); err != nil {
+				return err
+			}
+			st.sinceCkpt = 0
+		}
+	}
+	return nil
+}
+
+// prevOpenInto returns the inertia carry-over entering window i: the open
+// simple FVPs computed by window i-1, or none for the first window.
+func (st *streamRun) prevOpenInto(i int) map[string]*lang.Term {
+	if i == 0 {
+		return map[string]*lang.Term{}
+	}
+	return st.slots[i-1].eval.nextOpen
+}
+
+// evalSlot evaluates window i over the currently admitted events.
+func (st *streamRun) evalSlot(i int, prevOpen map[string]*lang.Term) windowEval {
+	ws, we := st.tl.windowStart(i), st.tl.qs[i]
+	winEvents := st.reorder.Buffered().Window(ws, we)
+	return st.eng.evalWindow(winEvents, ws, we, st.tl.nextWindowStart(i), prevOpen, st.warnSink(), st.span)
+}
+
+// emitNext evaluates and delivers the next unemitted window (revision 0).
+func (st *streamRun) emitNext() error {
+	i := st.emitted
+	ev := st.evalSlot(i, st.prevOpenInto(i))
+	st.slots[i] = windowSlot{emitted: true, eval: ev}
+	st.emitted++
+	st.sinceCkpt++
+	return st.deliver(i, nil)
+}
+
+// revise re-evaluates the emitted windows a late event at time t
+// invalidates: every emitted window containing t (a contiguous run, since
+// window starts and query times are both non-decreasing), then downstream
+// emitted windows for as long as the inertia carry-over keeps changing.
+// Windows whose recognition actually changed are re-delivered with an
+// incremented revision and the retraction diff.
+func (st *streamRun) revise(t int64) error {
+	tel := st.eng.opts.Telemetry
+	first := -1
+	for i := 0; i < st.emitted; i++ {
+		if st.tl.qs[i] <= t {
+			continue // window ends at or before t; scan on
+		}
+		if st.tl.windowStart(i) > t {
+			break // windows from here on start after t: none contain it
+		}
+		first = i
+		break
+	}
+	if first < 0 {
+		return nil // t only falls in unemitted windows; emission will see it
+	}
+	carryChanged := false
+	for i := first; i < st.emitted; i++ {
+		direct := st.tl.windowStart(i) <= t && t < st.tl.qs[i]
+		if !direct && !carryChanged {
+			break
+		}
+		prev := st.slots[i].eval
+		ev := st.evalSlot(i, st.prevOpenInto(i))
+		carryChanged = !ev.sameOpen(prev)
+		if ev.sameRecognised(prev) {
+			st.slots[i].eval = ev // keep the carry-over current even when the output is unchanged
+			continue
+		}
+		retracted := ev.retractionsAgainst(prev)
+		st.slots[i].eval = ev
+		st.slots[i].revision++
+		st.stats.Revisions++
+		tel.Counter("rtec.revisions").Inc()
+		if err := st.deliver(i, retracted); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deliver invokes fn with the latest evaluation of window i.
+func (st *streamRun) deliver(i int, retracted map[string]intervals.List) error {
+	if st.fn == nil {
+		return nil
+	}
+	ws, we := st.tl.windowStart(i), st.tl.qs[i]
+	if we <= ws {
+		return nil // degenerate empty window: nothing to report
+	}
+	return st.fn(WindowResult{
+		WindowStart: ws, QueryTime: we,
+		Recognised: st.slots[i].eval.recognised,
+		FVPs:       st.slots[i].eval.fvps,
+		Revision:   st.slots[i].revision,
+		Retracted:  retracted,
+	})
+}
+
+// horizon returns the time-point below which nothing can change any more:
+// the start of the earliest window that is still revisable (its query time
+// is ahead of the watermark) or still unemitted, capped at the watermark.
+// Events before the horizon can be forgotten: arrivals older than the
+// watermark are rejected as too late first, so forgetting them never
+// changes an admission or deduplication decision.
+func (st *streamRun) horizon() (int64, bool) {
+	w, ok := st.reorder.Watermark()
+	if !ok {
+		return 0, false
+	}
+	h := st.tl.end
+	for i := range st.slots {
+		if i >= st.emitted || st.tl.qs[i] > w {
+			h = st.tl.windowStart(i)
+			break
+		}
+	}
+	if h > w {
+		h = w
+	}
+	return h, true
+}
+
+// prune forgets admitted events below the horizon.
+func (st *streamRun) prune() {
+	if h, ok := st.horizon(); ok {
+		st.reorder.Drop(h)
+	}
+}
+
+// warnSink returns the destination for runtime warnings, deduplicated
+// across (re-)evaluations so revisions do not repeat them.
+func (st *streamRun) warnSink() *[]Warning { return &st.warnings }
+
+// finalise amalgamates the latest evaluation of every window into the
+// final Recognition — identical to what the in-order run produces, because
+// after the last revision every window has been evaluated over exactly the
+// admitted events of its range with a consistent inertia chain.
+func (st *streamRun) finalise() *StreamResult {
+	rec := &Recognition{
+		Start: st.tl.start, End: st.tl.end,
+		byKey: map[string]intervals.List{},
+		fvps:  map[string]*lang.Term{},
+	}
+	for _, slot := range st.slots {
+		for key, clipped := range slot.eval.recognised {
+			rec.byKey[key] = intervals.Union(rec.byKey[key], clipped)
+			if _, ok := rec.fvps[key]; !ok {
+				rec.fvps[key] = slot.eval.fvps[key]
+			}
+		}
+	}
+	for _, w := range st.warnings {
+		key := w.Fluent + "|" + w.Msg
+		if st.warnSeen[key] {
+			continue
+		}
+		st.warnSeen[key] = true
+		rec.Warnings = append(rec.Warnings, w)
+	}
+	rs := st.reorder.Stats()
+	st.stats.Observed = rs.Observed
+	st.stats.Accepted = rs.Accepted
+	st.stats.Late = rs.Late
+	st.stats.Duplicates = rs.Duplicates
+	st.stats.Dropped = rs.Dropped
+	return &StreamResult{Recognition: rec, Stats: st.stats}
+}

@@ -1,0 +1,190 @@
+package rtec
+
+import (
+	"fmt"
+	"time"
+
+	"rtecgen/internal/intervals"
+	"rtecgen/internal/lang"
+	"rtecgen/internal/stream"
+	"rtecgen/internal/telemetry"
+)
+
+// timeline is the concrete recognition plan resolved from RunOptions and a
+// stream: the time-line bounds, the window geometry and the query times.
+// Both the in-order runner (runWindows) and the out-of-order streaming
+// runner (RunStream) plan windows through it, so they agree exactly on
+// which windows exist and where they start.
+type timeline struct {
+	start, end    int64
+	window, slide int64
+	qs            []int64 // query times; window i covers [windowStart(i), qs[i])
+}
+
+// planTimeline resolves opts against the stream. empty is true for the
+// degenerate case of a whole-stream time-line over no events, which
+// produces no windows.
+func planTimeline(s stream.Stream, opts RunOptions) (tl *timeline, empty bool, err error) {
+	start, end := opts.Start, opts.End
+	if start == 0 && end == 0 {
+		if len(s) == 0 {
+			return nil, true, nil
+		}
+		first, last := s.TimeRange()
+		start, end = first, last+1
+	}
+	if end <= start {
+		return nil, false, fmt.Errorf("rtec: empty time-line [%d, %d)", start, end)
+	}
+	window := opts.Window
+	if window <= 0 {
+		window = end - start
+	}
+	slide := opts.Slide
+	if slide <= 0 {
+		slide = window
+	}
+	if slide > window {
+		return nil, false, fmt.Errorf("rtec: slide %d exceeds window %d; events would be skipped", slide, window)
+	}
+
+	// Query times q = start+window, start+window+slide, ..., end; each
+	// window covers [max(start, q-window), q).
+	tl = &timeline{start: start, end: end, window: window, slide: slide}
+	for q := start + window; q < end; q += slide {
+		tl.qs = append(tl.qs, q)
+	}
+	tl.qs = append(tl.qs, end)
+	return tl, false, nil
+}
+
+// windowStart returns the left edge of window i.
+func (tl *timeline) windowStart(i int) int64 {
+	ws := tl.qs[i] - tl.window
+	if ws < tl.start {
+		ws = tl.start
+	}
+	return ws
+}
+
+// nextWindowStart returns the left edge of window i+1, or -1 after the last
+// window — the time-point at which simple FVPs must still hold to persist
+// into the next window by the law of inertia.
+func (tl *timeline) nextWindowStart(i int) int64 {
+	if i+1 >= len(tl.qs) {
+		return -1
+	}
+	return tl.windowStart(i + 1)
+}
+
+// windowEval is the outcome of evaluating one window: the recognised FVPs
+// with their intervals clipped to the window, and the simple FVPs that
+// persist into the next window by the law of inertia.
+type windowEval struct {
+	recognised map[string]intervals.List
+	fvps       map[string]*lang.Term
+	nextOpen   map[string]*lang.Term // fvpKey -> fvp, holding at nws
+}
+
+// intervalCount returns the total number of clipped intervals.
+func (we windowEval) intervalCount() int64 {
+	var n int64
+	for _, l := range we.recognised {
+		n += int64(len(l))
+	}
+	return n
+}
+
+// sameRecognised reports whether two evaluations recognised exactly the
+// same FVPs with exactly the same clipped intervals.
+func (we windowEval) sameRecognised(o windowEval) bool {
+	if len(we.recognised) != len(o.recognised) {
+		return false
+	}
+	for k, l := range we.recognised {
+		if !l.Equal(o.recognised[k]) {
+			return false
+		}
+	}
+	return true
+}
+
+// sameOpen reports whether two evaluations carry the same open simple FVPs
+// into the next window.
+func (we windowEval) sameOpen(o windowEval) bool {
+	if len(we.nextOpen) != len(o.nextOpen) {
+		return false
+	}
+	for k := range we.nextOpen {
+		if _, ok := o.nextOpen[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// retractionsAgainst diffs a fresh evaluation against the previously
+// delivered one: for every FVP key, the intervals the previous delivery
+// reported that the fresh one no longer covers. An empty map means the new
+// delivery only adds or keeps intervals.
+func (we windowEval) retractionsAgainst(prev windowEval) map[string]intervals.List {
+	out := map[string]intervals.List{}
+	for k, old := range prev.recognised {
+		gone := intervals.RelativeComplement(old, we.recognised[k])
+		if len(gone) > 0 {
+			out[k] = gone
+		}
+	}
+	return out
+}
+
+// evalWindow evaluates one window [ws, we) over its (sorted) events, given
+// the simple FVPs carried in by inertia, and returns the clipped
+// recognition together with the FVPs persisting into a window starting at
+// nws (none when nws < 0). This is the shared evaluation core of the
+// in-order and the out-of-order runners: both produce byte-identical
+// recognition for the same window inputs because both go through here.
+func (e *Engine) evalWindow(winEvents stream.Stream, ws, we, nws int64, prevOpen map[string]*lang.Term, warnSink *[]Warning, parent *telemetry.Span) windowEval {
+	tel := e.opts.Telemetry
+	wspan := parent.Span("rtec.window",
+		telemetry.Int("window_start", ws), telemetry.Int("query_time", we),
+		telemetry.Int("events", int64(len(winEvents))))
+	winHist := tel.Histogram("rtec.window.micros")
+	var t0 time.Time
+	if winHist != nil {
+		t0 = time.Now()
+	}
+	w := newWindowState(e, winEvents, ws, we, prevOpen, warnSink, tel, wspan)
+	w.evaluate()
+	if winHist != nil {
+		winHist.ObserveDuration(time.Since(t0))
+	}
+	tel.Counter("rtec.windows.evaluated").Inc()
+	tel.Counter("rtec.fvps.grounded").Add(int64(len(w.cache)))
+
+	out := windowEval{
+		recognised: map[string]intervals.List{},
+		fvps:       map[string]*lang.Term{},
+		nextOpen:   map[string]*lang.Term{},
+	}
+	for key, ent := range w.cache {
+		clipped := intervals.Clip(ent.list, ws, we)
+		if len(clipped) > 0 {
+			out.recognised[key] = clipped
+			out.fvps[key] = ent.fvp
+		}
+		if nws < 0 {
+			continue
+		}
+		// A simple FVP that (per this window's computation) holds at nws
+		// persists into the next window by the law of inertia.
+		if fl, ok := e.fluents[fluentKeyOf(ent.fvp)]; ok && fl.kind == Simple && ent.list.Contains(nws) {
+			out.nextOpen[key] = ent.fvp
+		}
+	}
+	amalgamated := out.intervalCount()
+	tel.Counter("rtec.intervals.amalgamated").Add(amalgamated)
+	wspan.SetAttrs(telemetry.Int("fvps", int64(len(w.cache))), telemetry.Int("intervals", amalgamated))
+	wspan.End()
+	return out
+}

@@ -1,0 +1,213 @@
+package stream
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Admission is the verdict of the reorder buffer on one arriving event.
+type Admission int
+
+const (
+	// Admitted means the event arrived in order (at or ahead of the
+	// frontier) and joined the buffer.
+	Admitted Admission = iota
+	// AdmittedLate means the event arrived out of order — behind the event
+	// times already seen — but within the bounded delay, and joined the
+	// buffer. Consumers that have already acted on the event's time range
+	// must revise.
+	AdmittedLate
+	// Duplicate means an event with the same time-point and atom text is
+	// already buffered; the arrival was counted and discarded.
+	Duplicate
+	// TooLate means the event's time-point is behind the watermark (older
+	// than the bounded delay allows); it was counted and dropped, never
+	// silently reordered into the past.
+	TooLate
+)
+
+func (a Admission) String() string {
+	switch a {
+	case Admitted:
+		return "admitted"
+	case AdmittedLate:
+		return "admitted-late"
+	case Duplicate:
+		return "duplicate"
+	default:
+		return "too-late"
+	}
+}
+
+// DisorderStats counts the admission verdicts of a reorder buffer.
+type DisorderStats struct {
+	// Observed is the total number of events pushed.
+	Observed int64
+	// Accepted counts admitted events (in-order plus late-within-bound).
+	Accepted int64
+	// Late counts accepted events that arrived behind the frontier.
+	Late int64
+	// Duplicates counts discarded exact-duplicate arrivals.
+	Duplicates int64
+	// Dropped counts events behind the watermark, dropped as too late.
+	Dropped int64
+}
+
+// String renders the stats as a one-line report.
+func (d DisorderStats) String() string {
+	return fmt.Sprintf("observed=%d accepted=%d late=%d duplicates=%d dropped=%d",
+		d.Observed, d.Accepted, d.Late, d.Duplicates, d.Dropped)
+}
+
+// Reorder is a bounded-delay reorder buffer: events arrive in any order,
+// and the buffer tracks a watermark trailing the maximum event time seen
+// (the frontier) by MaxDelay time-points. Events behind the watermark are
+// dropped and counted; exact duplicates of buffered events are discarded
+// and counted; everything else is admitted into a sorted buffer.
+//
+// Two consumption styles are supported. In-order consumers call Release
+// with the watermark to pop the settled prefix in canonical order.
+// Revising consumers (the RTEC streaming engine) read the whole Buffered
+// view, re-evaluate what a late admission invalidated, and call Drop once a
+// horizon can no longer be revised. A Reorder is not safe for concurrent
+// use.
+type Reorder struct {
+	maxDelay int64
+	frontier int64
+	started  bool
+	buf      Stream          // admitted events, sorted by (time, atom text)
+	seen     map[string]bool // dedup keys of buffered (not yet dropped) events
+	stats    DisorderStats
+}
+
+// NewReorder returns an empty reorder buffer with the given delay bound.
+// A bound of zero tolerates no disorder: any event behind the frontier is
+// dropped as too late.
+func NewReorder(maxDelay int64) *Reorder {
+	if maxDelay < 0 {
+		maxDelay = 0
+	}
+	return &Reorder{maxDelay: maxDelay, seen: map[string]bool{}}
+}
+
+// MaxDelay returns the delay bound.
+func (r *Reorder) MaxDelay() int64 { return r.maxDelay }
+
+// Frontier returns the maximum event time admitted so far; ok is false
+// before the first admission.
+func (r *Reorder) Frontier() (t int64, ok bool) { return r.frontier, r.started }
+
+// Watermark returns frontier − MaxDelay: the past is closed below it. ok is
+// false before the first admission.
+func (r *Reorder) Watermark() (t int64, ok bool) {
+	if !r.started {
+		return 0, false
+	}
+	return r.frontier - r.maxDelay, true
+}
+
+// Stats returns the admission counters so far.
+func (r *Reorder) Stats() DisorderStats { return r.stats }
+
+// Push classifies one arriving event and, when admitted, inserts it into
+// the sorted buffer.
+func (r *Reorder) Push(e Event) Admission {
+	r.stats.Observed++
+	if r.started && e.Time < r.frontier-r.maxDelay {
+		r.stats.Dropped++
+		return TooLate
+	}
+	key := dedupKey(e)
+	if r.seen[key] {
+		r.stats.Duplicates++
+		return Duplicate
+	}
+	verdict := Admitted
+	if r.started && e.Time < r.frontier {
+		verdict = AdmittedLate
+		r.stats.Late++
+	}
+	if !r.started || e.Time > r.frontier {
+		r.frontier = e.Time
+		r.started = true
+	}
+	r.seen[key] = true
+	r.insert(e)
+	r.stats.Accepted++
+	return verdict
+}
+
+// insert places e into the buffer, keeping it sorted by (time, atom text)
+// with arrival order as the final tie-break — the same canonical order
+// Stream.Sort produces.
+func (r *Reorder) insert(e Event) {
+	text := e.Atom.String()
+	i := sort.Search(len(r.buf), func(i int) bool {
+		if r.buf[i].Time != e.Time {
+			return r.buf[i].Time > e.Time
+		}
+		return r.buf[i].Atom.String() > text
+	})
+	r.buf = append(r.buf, Event{})
+	copy(r.buf[i+1:], r.buf[i:])
+	r.buf[i] = e
+}
+
+// Buffered returns the admitted, not-yet-dropped events in canonical order.
+// The returned slice is the internal buffer: callers must not modify it and
+// must treat it as invalidated by the next Push, Release or Drop.
+func (r *Reorder) Buffered() Stream { return r.buf }
+
+// Release pops and returns the buffered prefix with Time < upto, in
+// canonical order — the settled part of the stream for an in-order
+// consumer that releases up to the watermark.
+func (r *Reorder) Release(upto int64) Stream {
+	n := sort.Search(len(r.buf), func(i int) bool { return r.buf[i].Time >= upto })
+	if n == 0 {
+		return nil
+	}
+	out := make(Stream, n)
+	copy(out, r.buf[:n])
+	r.buf = append(r.buf[:0], r.buf[n:]...)
+	for _, e := range out {
+		delete(r.seen, dedupKey(e))
+	}
+	return out
+}
+
+// Drop forgets buffered events with Time < below, returning how many were
+// discarded. Used by revising consumers once a horizon is final. Dropped
+// events also leave the duplicate-detection set: only arrivals that would
+// land at or above the horizon are deduplicated, which is exact because
+// anything older is rejected as TooLate first.
+func (r *Reorder) Drop(below int64) int {
+	return len(r.Release(below))
+}
+
+// ReorderState is the serialisable snapshot of a reorder buffer, used by
+// the engine's crash-safe checkpoints.
+type ReorderState struct {
+	Frontier int64
+	Started  bool
+	Buffered Stream
+	Stats    DisorderStats
+}
+
+// State snapshots the buffer. The Buffered slice is a copy.
+func (r *Reorder) State() ReorderState {
+	buf := make(Stream, len(r.buf))
+	copy(buf, r.buf)
+	return ReorderState{Frontier: r.frontier, Started: r.started, Buffered: buf, Stats: r.stats}
+}
+
+// NewReorderFromState rebuilds a buffer from a snapshot taken by State.
+func NewReorderFromState(maxDelay int64, st ReorderState) *Reorder {
+	r := NewReorder(maxDelay)
+	r.frontier, r.started, r.stats = st.Frontier, st.Started, st.Stats
+	r.buf = make(Stream, len(st.Buffered))
+	copy(r.buf, st.Buffered)
+	for _, e := range r.buf {
+		r.seen[dedupKey(e)] = true
+	}
+	return r
+}

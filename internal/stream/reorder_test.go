@@ -1,0 +1,137 @@
+package stream
+
+import (
+	"testing"
+)
+
+func pushAll(t *testing.T, r *Reorder, events []Event, want []Admission) {
+	t.Helper()
+	if len(events) != len(want) {
+		t.Fatalf("bad test: %d events, %d verdicts", len(events), len(want))
+	}
+	for i, e := range events {
+		if got := r.Push(e); got != want[i] {
+			t.Fatalf("Push(%s) = %s, want %s", e, got, want[i])
+		}
+	}
+}
+
+func TestReorderAdmission(t *testing.T) {
+	r := NewReorder(10)
+	if _, ok := r.Frontier(); ok {
+		t.Fatal("frontier set before first admission")
+	}
+	if _, ok := r.Watermark(); ok {
+		t.Fatal("watermark set before first admission")
+	}
+	pushAll(t, r,
+		[]Event{ev(100, "a"), ev(95, "b"), ev(100, "a"), ev(120, "c"), ev(111, "d"), ev(109, "e")},
+		[]Admission{Admitted, AdmittedLate, Duplicate, Admitted, AdmittedLate, TooLate})
+	if f, _ := r.Frontier(); f != 120 {
+		t.Fatalf("frontier = %d, want 120", f)
+	}
+	if w, _ := r.Watermark(); w != 110 {
+		t.Fatalf("watermark = %d, want 110", w)
+	}
+	want := DisorderStats{Observed: 6, Accepted: 4, Late: 2, Duplicates: 1, Dropped: 1}
+	if got := r.Stats(); got != want {
+		t.Fatalf("stats = %+v, want %+v", got, want)
+	}
+	buf := r.Buffered()
+	if len(buf) != 4 || !buf.IsSorted() {
+		t.Fatalf("buffered = %v, want 4 sorted events", buf)
+	}
+}
+
+func TestReorderZeroDelayDropsAnyDisorder(t *testing.T) {
+	r := NewReorder(0)
+	pushAll(t, r,
+		[]Event{ev(10, "a"), ev(20, "b"), ev(19, "late"), ev(20, "tie")},
+		[]Admission{Admitted, Admitted, TooLate, Admitted})
+	if got := r.Stats().Dropped; got != 1 {
+		t.Fatalf("dropped = %d, want 1", got)
+	}
+}
+
+func TestReorderNegativeDelayClamped(t *testing.T) {
+	r := NewReorder(-5)
+	if r.MaxDelay() != 0 {
+		t.Fatalf("maxDelay = %d, want 0", r.MaxDelay())
+	}
+}
+
+func TestReorderReleaseAndDrop(t *testing.T) {
+	r := NewReorder(100)
+	for _, e := range []Event{ev(30, "c"), ev(10, "a"), ev(20, "b"), ev(40, "d")} {
+		r.Push(e)
+	}
+	out := r.Release(25)
+	if len(out) != 2 || out[0].Time != 10 || out[1].Time != 20 {
+		t.Fatalf("Release(25) = %v", out)
+	}
+	if len(r.Buffered()) != 2 {
+		t.Fatalf("buffered after release = %v", r.Buffered())
+	}
+	// Released events leave the dedup set: a fresh arrival at their key is
+	// admitted again (admission-time lateness check still applies).
+	if got := r.Push(ev(20, "b")); got != AdmittedLate {
+		t.Fatalf("re-push after release = %s, want admitted-late", got)
+	}
+	if n := r.Drop(50); n != 3 {
+		t.Fatalf("Drop(50) = %d, want 3", n)
+	}
+	if len(r.Buffered()) != 0 {
+		t.Fatalf("buffered after drop = %v", r.Buffered())
+	}
+	if out := r.Release(99); out != nil {
+		t.Fatalf("Release on empty buffer = %v, want nil", out)
+	}
+}
+
+func TestReorderSortedInsertTieBreak(t *testing.T) {
+	r := NewReorder(100)
+	for _, e := range []Event{ev(10, "b"), ev(10, "a"), ev(10, "c")} {
+		r.Push(e)
+	}
+	buf := r.Buffered()
+	if buf[0].Atom.Functor != "a" || buf[1].Atom.Functor != "b" || buf[2].Atom.Functor != "c" {
+		t.Fatalf("tie-break order wrong: %v", buf)
+	}
+}
+
+func TestReorderStateRoundTrip(t *testing.T) {
+	r := NewReorder(10)
+	for _, e := range []Event{ev(100, "a"), ev(95, "b"), ev(100, "a"), ev(120, "c")} {
+		r.Push(e)
+	}
+	st := r.State()
+	// The snapshot is a copy: mutating the original afterwards must not
+	// change it.
+	r.Push(ev(130, "d"))
+
+	r2 := NewReorderFromState(10, st)
+	if f, _ := r2.Frontier(); f != 120 {
+		t.Fatalf("restored frontier = %d, want 120", f)
+	}
+	if got, want := r2.Stats(), st.Stats; got != want {
+		t.Fatalf("restored stats = %+v, want %+v", got, want)
+	}
+	if len(r2.Buffered()) != 3 {
+		t.Fatalf("restored buffer = %v, want 3 events", r2.Buffered())
+	}
+	// Dedup keys were rebuilt from the buffer.
+	if got := r2.Push(ev(120, "c")); got != Duplicate {
+		t.Fatalf("duplicate after restore = %s, want duplicate", got)
+	}
+}
+
+func TestAdmissionString(t *testing.T) {
+	for a, want := range map[Admission]string{
+		Admitted: "admitted", AdmittedLate: "admitted-late",
+		Duplicate: "duplicate", TooLate: "too-late",
+	} {
+		if a.String() != want {
+			t.Fatalf("Admission(%d).String() = %q, want %q", a, a.String(), want)
+		}
+	}
+}

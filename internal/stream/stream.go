@@ -31,15 +31,41 @@ func (e Event) String() string {
 // engine tolerates unsorted input by sorting a copy.
 type Stream []Event
 
-// Sort orders the stream by time, breaking ties by term order so runs are
-// deterministic.
+// Sort orders the stream by time, breaking ties by the rendered source text
+// of the atom so same-timestamp events have one canonical order regardless
+// of arrival order. The sort is stable, so events whose time AND text
+// coincide (exact duplicates) keep their relative arrival order.
 func (s Stream) Sort() {
 	sort.SliceStable(s, func(i, j int) bool {
 		if s[i].Time != s[j].Time {
 			return s[i].Time < s[j].Time
 		}
-		return lang.Compare(s[i].Atom, s[j].Atom) < 0
+		return s[i].Atom.String() < s[j].Atom.String()
 	})
+}
+
+// Dedup removes exact duplicates — events with the same time-point and the
+// same rendered atom — keeping the first occurrence in stream order. It
+// returns the deduplicated stream and the number of events dropped. The
+// receiver is not modified and need not be sorted.
+func (s Stream) Dedup() (Stream, int) {
+	seen := make(map[string]bool, len(s))
+	out := make(Stream, 0, len(s))
+	for _, e := range s {
+		key := dedupKey(e)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, e)
+	}
+	return out, len(s) - len(out)
+}
+
+// dedupKey is the identity of an event for duplicate detection: its
+// time-point and the canonical text of its atom.
+func dedupKey(e Event) string {
+	return strconv.FormatInt(e.Time, 10) + "|" + e.Atom.String()
 }
 
 // IsSorted reports whether the stream is in time order.

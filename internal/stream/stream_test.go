@@ -26,6 +26,45 @@ func TestSortAndIsSorted(t *testing.T) {
 	}
 }
 
+func TestSortTieBreakDeterministic(t *testing.T) {
+	// Same-time events break ties on rendered atom text, so any input
+	// permutation sorts to the same canonical order.
+	s := Stream{ev(5, "c(v2, x)"), ev(5, "c(v1, x)"), ev(5, "b(v9)"), ev(5, "c(v10, x)")}
+	s.Sort()
+	want := []string{"b(v9)", "c(v1, x)", "c(v10, x)", "c(v2, x)"}
+	for i, w := range want {
+		if got := s[i].Atom.String(); got != w {
+			t.Fatalf("s[%d] = %s, want %s (full: %v)", i, got, w, s)
+		}
+	}
+}
+
+func TestDedup(t *testing.T) {
+	s := Stream{
+		ev(10, "entersArea(v1, a1)"),
+		ev(10, "entersArea(v1, a1)"), // exact duplicate
+		ev(10, "entersArea(v2, a1)"), // same time, different atom
+		ev(20, "entersArea(v1, a1)"), // same atom, different time
+		ev(10, "entersArea(v1, a1)"), // duplicate again, out of order
+	}
+	out, dropped := s.Dedup()
+	if dropped != 2 {
+		t.Fatalf("dropped = %d, want 2", dropped)
+	}
+	if len(out) != 3 {
+		t.Fatalf("kept = %v, want 3 events", out)
+	}
+	// First occurrences survive in arrival order.
+	if out[0].Time != 10 || out[1].Atom.String() != "entersArea(v2, a1)" || out[2].Time != 20 {
+		t.Fatalf("dedup kept %v", out)
+	}
+
+	var empty Stream
+	if out, dropped := empty.Dedup(); len(out) != 0 || dropped != 0 {
+		t.Fatalf("empty dedup = %v, %d", out, dropped)
+	}
+}
+
 func TestTimeRange(t *testing.T) {
 	var empty Stream
 	if f, l := empty.TimeRange(); f != 0 || l != 0 {
