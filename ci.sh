@@ -23,7 +23,8 @@ echo "== go test"
 go test ./...
 
 echo "== go test -race (concurrency-sensitive packages)"
-go test -race ./internal/rtec/... ./internal/fleet/... ./internal/stream/... ./internal/telemetry/...
+go test -race ./internal/rtec/... ./internal/fleet/... ./internal/stream/... ./internal/telemetry/... \
+    ./internal/eval/... ./internal/similarity/...
 
 echo "== rteclint"
 # The worked example must produce diagnostics (exit 1 under -fail-on error);
@@ -114,5 +115,23 @@ if ! grep -q '^counter rtec.checkpoint.restores 1' "$tmp/resume-metrics.txt"; th
     grep '^counter rtec\.checkpoint' "$tmp/resume-metrics.txt" >&2 || cat "$tmp/resume-metrics.txt" >&2
     exit 1
 fi
+
+echo "== parallel recognition gate (worker sharding must not change output)"
+# Re-run the batch recognition with an explicit worker pool; the CSV must be
+# byte-identical to the sequential baseline produced above.
+go run ./cmd/rtec -ed "$tmp/ed.rtec" -stream "$tmp/events.csv" -window 3600 -csv -workers 8 > "$tmp/parallel.csv"
+if ! cmp -s "$tmp/baseline.csv" "$tmp/parallel.csv"; then
+    echo "parallel gate: -workers 8 recognition diverged from the sequential baseline:" >&2
+    diff "$tmp/baseline.csv" "$tmp/parallel.csv" >&2 || true
+    exit 1
+fi
+
+echo "== bench smoke (harness must run and emit a valid trajectory file)"
+# One-iteration run of a single benchmark through cmd/bench, then schema
+# validation of both the smoke output and the committed trajectory file.
+go run ./cmd/bench -bench 'BenchmarkRTECWindowSweep/window=3600$' -benchtime 1x \
+    -out "$tmp/bench-smoke.json" > /dev/null
+go run ./cmd/bench -validate "$tmp/bench-smoke.json"
+go run ./cmd/bench -validate BENCH_rtec.json
 
 echo "CI OK"

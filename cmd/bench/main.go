@@ -1,0 +1,292 @@
+// Command bench runs a selection of the repository's benchmark suite
+// (bench_test.go at the module root) and records the results as a machine-
+// readable JSON trajectory: ns/op, B/op and allocs/op per benchmark, with
+// deltas against a committed baseline.
+//
+// Usage:
+//
+//	bench [-bench regexp] [-count N] [-benchtime T] [-dir path]
+//	      [-baseline BENCH_baseline.json] [-out BENCH_rtec.json]
+//	bench -validate BENCH_rtec.json
+//	bench -write-baseline [-bench regexp] ...
+//
+// The default selection is the RTEC recognition sweeps (the paper's
+// window-size and stream-size ablations). With -count > 1 the median of the
+// samples is reported, so a noisy outlier run does not skew the trajectory.
+// -validate parses an existing result file against the schema and fails on
+// malformed or empty results — the CI smoke gate. -write-baseline replaces
+// the baseline file with this run's numbers instead of diffing against it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's aggregated measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Samples     int     `json:"samples"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Deltas against the baseline entry of the same name; absent when the
+	// baseline does not cover this benchmark.
+	Speedup     *float64 `json:"speedup,omitempty"`      // baseline ns / ns; > 1 is faster
+	AllocsRatio *float64 `json:"allocs_ratio,omitempty"` // allocs / baseline allocs; < 1 is leaner
+}
+
+// File is the schema of BENCH_rtec.json and of the committed baseline.
+type File struct {
+	Schema     string   `json:"schema"` // "rtec-bench/1"
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Bench      string   `json:"bench"`
+	Count      int      `json:"count"`
+	Results    []Result `json:"results"`
+}
+
+const schemaID = "rtec-bench/1"
+
+func main() {
+	var (
+		bench     = flag.String("bench", "BenchmarkRTEC(WindowSweep|StreamSweep)", "benchmark selection regexp (go test -bench)")
+		count     = flag.Int("count", 1, "samples per benchmark; the median is reported")
+		benchtime = flag.String("benchtime", "", "per-benchmark time or iteration budget (go test -benchtime), e.g. 1x for a smoke run")
+		dir       = flag.String("dir", ".", "module directory containing bench_test.go")
+		baseline  = flag.String("baseline", "BENCH_baseline.json", "committed baseline to diff against (relative to -dir)")
+		out       = flag.String("out", "BENCH_rtec.json", "result file to write (relative to -dir)")
+		writeBase = flag.Bool("write-baseline", false, "write this run's numbers to -baseline instead of diffing")
+		validate  = flag.String("validate", "", "validate an existing result file against the schema and exit")
+	)
+	flag.Parse()
+
+	if *validate != "" {
+		if err := validateFile(*validate); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("bench: %s is a valid %s file\n", *validate, schemaID)
+		return
+	}
+	if err := run(*bench, *count, *benchtime, *dir, *baseline, *out, *writeBase); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench string, count int, benchtime, dir, baselinePath, outPath string, writeBase bool) error {
+	args := []string{"test", "-run=^$", "-bench=" + bench, "-benchmem", "-count=" + strconv.Itoa(count)}
+	if benchtime != "" {
+		args = append(args, "-benchtime="+benchtime)
+	}
+	args = append(args, ".")
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go %s: %w", strings.Join(args, " "), err)
+	}
+	results, err := parseBenchOutput(string(raw))
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmarks matched -bench=%q", bench)
+	}
+
+	f := File{
+		Schema:     schemaID,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Bench:      bench,
+		Count:      count,
+		Results:    results,
+	}
+
+	if writeBase {
+		if err := writeJSON(join(dir, baselinePath), f); err != nil {
+			return err
+		}
+		fmt.Printf("bench: wrote baseline %s (%d benchmarks)\n", baselinePath, len(results))
+		return nil
+	}
+
+	base, err := readFile(join(dir, baselinePath))
+	if err == nil {
+		applyDeltas(f.Results, base.Results)
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	if err := writeJSON(join(dir, outPath), f); err != nil {
+		return err
+	}
+	printTable(f)
+	fmt.Printf("bench: wrote %s (%d benchmarks)\n", outPath, len(results))
+	return nil
+}
+
+func join(dir, p string) string {
+	if strings.HasPrefix(p, "/") {
+		return p
+	}
+	return dir + "/" + p
+}
+
+// benchLine matches one "go test -bench" result row: the benchmark name
+// (with the trailing -GOMAXPROCS tag, which the test package omits when
+// GOMAXPROCS is 1), the iteration count, then value/unit pairs
+// ("123 ns/op", "45 B/op", "6 allocs/op", custom metrics).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+// parseBenchOutput extracts per-benchmark samples from go test output and
+// aggregates repeated samples of the same benchmark by median.
+func parseBenchOutput(out string) ([]Result, error) {
+	type sample struct{ ns, bytes, allocs float64 }
+	samples := map[string][]sample{}
+	var order []string
+	for _, line := range strings.Split(out, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		var s sample
+		fields := strings.Fields(m[3])
+		if len(fields)%2 != 0 {
+			return nil, fmt.Errorf("malformed benchmark line: %q", line)
+		}
+		for i := 0; i < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("malformed value %q in line %q", fields[i], line)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				s.ns = v
+			case "B/op":
+				s.bytes = v
+			case "allocs/op":
+				s.allocs = v
+			}
+		}
+		if s.ns == 0 {
+			return nil, fmt.Errorf("benchmark line without ns/op: %q", line)
+		}
+		if _, ok := samples[name]; !ok {
+			order = append(order, name)
+		}
+		samples[name] = append(samples[name], s)
+	}
+	var results []Result
+	for _, name := range order {
+		ss := samples[name]
+		results = append(results, Result{
+			Name:        name,
+			Samples:     len(ss),
+			NsPerOp:     median(ss, func(s sample) float64 { return s.ns }),
+			BytesPerOp:  median(ss, func(s sample) float64 { return s.bytes }),
+			AllocsPerOp: median(ss, func(s sample) float64 { return s.allocs }),
+		})
+	}
+	return results, nil
+}
+
+func median[T any](ss []T, f func(T) float64) float64 {
+	vs := make([]float64, len(ss))
+	for i, s := range ss {
+		vs[i] = f(s)
+	}
+	sort.Float64s(vs)
+	n := len(vs)
+	if n%2 == 1 {
+		return vs[n/2]
+	}
+	return (vs[n/2-1] + vs[n/2]) / 2
+}
+
+// applyDeltas annotates results with speedup and allocation ratios against
+// same-named baseline entries.
+func applyDeltas(results []Result, base []Result) {
+	byName := map[string]Result{}
+	for _, b := range base {
+		byName[b.Name] = b
+	}
+	for i := range results {
+		b, ok := byName[results[i].Name]
+		if !ok || b.NsPerOp == 0 {
+			continue
+		}
+		speedup := b.NsPerOp / results[i].NsPerOp
+		results[i].Speedup = &speedup
+		if b.AllocsPerOp > 0 {
+			ratio := results[i].AllocsPerOp / b.AllocsPerOp
+			results[i].AllocsRatio = &ratio
+		}
+	}
+}
+
+func printTable(f File) {
+	fmt.Printf("benchmarks (%s, GOMAXPROCS=%d, count=%d):\n", f.GoVersion, f.GOMAXPROCS, f.Count)
+	for _, r := range f.Results {
+		line := fmt.Sprintf("  %-50s %14.0f ns/op %12.0f B/op %10.0f allocs/op",
+			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		if r.Speedup != nil {
+			line += fmt.Sprintf("   %.2fx vs baseline", *r.Speedup)
+		}
+		if r.AllocsRatio != nil {
+			line += fmt.Sprintf(", %.2fx allocs", *r.AllocsRatio)
+		}
+		fmt.Println(line)
+	}
+}
+
+func readFile(path string) (File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return File{}, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return File{}, err
+	}
+	return f, nil
+}
+
+func writeJSON(path string, f File) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// validateFile is the CI smoke gate: the file must parse, carry the schema
+// tag, and hold at least one structurally complete result.
+func validateFile(path string) error {
+	f, err := readFile(path)
+	if err != nil {
+		return err
+	}
+	if f.Schema != schemaID {
+		return fmt.Errorf("%s: schema %q, want %q", path, f.Schema, schemaID)
+	}
+	if len(f.Results) == 0 {
+		return fmt.Errorf("%s: no results", path)
+	}
+	for _, r := range f.Results {
+		if r.Name == "" || r.NsPerOp <= 0 || r.Samples <= 0 {
+			return fmt.Errorf("%s: malformed result %+v", path, r)
+		}
+	}
+	return nil
+}

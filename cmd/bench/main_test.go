@@ -1,0 +1,111 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: rtecgen
+cpu: Intel(R) Xeon(R) CPU @ 2.10GHz
+BenchmarkRTECWindowSweep/window=900-1         	       1	256616040 ns/op	      4380 events	124385304 B/op	 2429180 allocs/op
+BenchmarkRTECWindowSweep/window=900-1         	       1	250000000 ns/op	      4380 events	124000000 B/op	 2400000 allocs/op
+BenchmarkRTECWindowSweep/window=900-1         	       1	260000000 ns/op	      4380 events	125000000 B/op	 2500000 allocs/op
+BenchmarkRTECStreamSweep/vessels=60         	       1	1026445319 ns/op	     18615 events	446190048 B/op	 8737290 allocs/op
+PASS
+ok  	rtecgen	12.593s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	results, err := parseBenchOutput(sampleOutput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	w := results[0]
+	if w.Name != "BenchmarkRTECWindowSweep/window=900" {
+		t.Fatalf("name = %q", w.Name)
+	}
+	if w.Samples != 3 {
+		t.Fatalf("samples = %d, want 3", w.Samples)
+	}
+	// Median of {256616040, 250000000, 260000000}.
+	if w.NsPerOp != 256616040 {
+		t.Fatalf("ns/op = %v, want median 256616040", w.NsPerOp)
+	}
+	if w.AllocsPerOp != 2429180 {
+		t.Fatalf("allocs/op = %v", w.AllocsPerOp)
+	}
+	s := results[1]
+	if s.Name != "BenchmarkRTECStreamSweep/vessels=60" || s.NsPerOp != 1026445319 {
+		t.Fatalf("stream sweep parsed as %+v", s)
+	}
+}
+
+func TestParseBenchOutputRejectsMalformed(t *testing.T) {
+	if _, err := parseBenchOutput("BenchmarkX-1  1  notanumber ns/op"); err == nil {
+		t.Fatal("malformed value accepted")
+	}
+}
+
+func TestApplyDeltas(t *testing.T) {
+	results := []Result{{Name: "b", NsPerOp: 100, AllocsPerOp: 50}}
+	applyDeltas(results, []Result{{Name: "b", NsPerOp: 200, AllocsPerOp: 100}})
+	if results[0].Speedup == nil || *results[0].Speedup != 2 {
+		t.Fatalf("speedup = %v, want 2", results[0].Speedup)
+	}
+	if results[0].AllocsRatio == nil || *results[0].AllocsRatio != 0.5 {
+		t.Fatalf("allocs ratio = %v, want 0.5", results[0].AllocsRatio)
+	}
+	// No baseline entry: no deltas.
+	other := []Result{{Name: "c", NsPerOp: 100}}
+	applyDeltas(other, nil)
+	if other[0].Speedup != nil {
+		t.Fatal("speedup set without a baseline entry")
+	}
+}
+
+func TestValidateFile(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	ok := File{Schema: schemaID, GoVersion: "go", GOMAXPROCS: 1, Bench: "B", Count: 1,
+		Results: []Result{{Name: "b", Samples: 1, NsPerOp: 10}}}
+	if err := writeJSON(good, ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := validateFile(good); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := ok
+	bad.Schema = "other/9"
+	badPath := filepath.Join(dir, "bad.json")
+	if err := writeJSON(badPath, bad); err != nil {
+		t.Fatal(err)
+	}
+	if err := validateFile(badPath); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+
+	empty := ok
+	empty.Results = nil
+	emptyPath := filepath.Join(dir, "empty.json")
+	if err := writeJSON(emptyPath, empty); err != nil {
+		t.Fatal(err)
+	}
+	if err := validateFile(emptyPath); err == nil {
+		t.Fatal("empty results accepted")
+	}
+
+	garbled := filepath.Join(dir, "garbled.json")
+	if err := os.WriteFile(garbled, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := validateFile(garbled); err == nil {
+		t.Fatal("garbled JSON accepted")
+	}
+}

@@ -8,7 +8,7 @@
 // Usage:
 //
 //	experiments [-fig 2a|2b|2c|all] [-errors] [-lint] [-zeroshot] [-csv] [-vessels N] [-seed S] [-window W] [-max-delay D]
-//	            [-faults profile] [-fault-seed S]
+//	            [-workers N] [-faults profile] [-fault-seed S]
 //	            [-trace out.json] [-metrics] [-v] [-pprof addr]
 //
 // Observability: -metrics prints the total wall-clock, the per-phase
@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -55,9 +56,22 @@ type options struct {
 	vessels              int
 	seed, window         int64
 	maxDelay             int64
+	workers              int
 	faults               string
 	faultSeed            int64
 	tel                  telemetry.CLIConfig
+}
+
+// genWorkers returns the fan-out bound of the generation pipelines. Fault
+// injection makes the transports stateful — each injector draws from a
+// per-model RNG and all share one virtual clock, so call order matters —
+// and forces the strictly sequential path to keep chaos runs
+// byte-reproducible per seed.
+func (o options) genWorkers() int {
+	if o.faults != "" {
+		return 1
+	}
+	return o.workers
 }
 
 func main() {
@@ -71,6 +85,7 @@ func main() {
 	flag.Int64Var(&o.seed, "seed", 7, "scenario seed (Figure 2c)")
 	flag.Int64Var(&o.window, "window", 3600, "RTEC window size in seconds (Figure 2c)")
 	flag.Int64Var(&o.maxDelay, "max-delay", 0, "run recognitions through the out-of-order streaming engine with this delay bound in seconds (Figure 2c; 0 = batch path)")
+	flag.IntVar(&o.workers, "workers", 0, "concurrent pipelines/evaluations/window workers (0 = GOMAXPROCS, 1 = sequential; forced to 1 under -faults); output is identical at any count")
 	flag.StringVar(&o.faults, "faults", "", "inject model-transport faults: "+strings.Join(fault.Names(), ", "))
 	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "fault-injection seed (runs are byte-reproducible per seed)")
 	flag.StringVar(&o.tel.TracePath, "trace", "", "write a Chrome trace_event JSON of the run to this file")
@@ -162,7 +177,7 @@ func run(o options) error {
 		return err
 	}
 	stopGen := tel.Time("experiments.micros.generate+score")
-	best, allRows, skipped, err := eval.Figure2aTolerantWith(tel, models)
+	best, allRows, skipped, err := eval.Figure2aTolerantWorkers(tel, models, o.genWorkers())
 	stopGen()
 	if err != nil {
 		return err
@@ -233,6 +248,7 @@ func run(o options) error {
 			Window:     o.window,
 			MaxDelay:   o.maxDelay,
 			Telemetry:  tel,
+			Workers:    o.workers,
 		}
 		stopTb := tel.Time("experiments.micros.testbed+gold")
 		tb, err := eval.NewTestbed(cfg)
@@ -293,7 +309,7 @@ func run(o options) error {
 	}
 
 	if o.tel.Metrics {
-		printTimingSummary(os.Stdout, tel, time.Since(wallStart))
+		printTimingSummary(os.Stdout, tel, time.Since(wallStart), o.resolvedWorkers())
 	}
 	return flush()
 }
@@ -323,13 +339,25 @@ func printDegradation(w io.Writer, rows []eval.Row, skipped []eval.Skip) {
 	fmt.Fprintln(w)
 }
 
+// resolvedWorkers is the effective fan-out the run used: the -workers flag
+// with 0 resolved to GOMAXPROCS, forced to 1 under -faults.
+func (o options) resolvedWorkers() int {
+	if o.faults != "" {
+		return 1
+	}
+	if o.workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.workers
+}
+
 // printTimingSummary renders the wall-clock total, the per-phase timings
 // and the per-stage, per-model pipeline timing table accumulated in the
 // telemetry registry — the numbers BENCH trajectories record from CLI
 // output.
-func printTimingSummary(w io.Writer, tel *telemetry.Telemetry, wall time.Duration) {
+func printTimingSummary(w io.Writer, tel *telemetry.Telemetry, wall time.Duration, workers int) {
 	snap := tel.Registry.Snapshot()
-	fmt.Fprintf(w, "Timing summary (telemetry registry):\n")
+	fmt.Fprintf(w, "Timing summary (telemetry registry, workers=%d):\n", workers)
 	fmt.Fprintf(w, "  total wall-clock: %.1f ms\n", float64(wall.Microseconds())/1e3)
 
 	var phases []string

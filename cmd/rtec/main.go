@@ -6,7 +6,7 @@
 // Usage:
 //
 //	rtec -ed rules.rtec -stream events.csv [-window W] [-slide S] [-fluent name/arity] [-strict]
-//	     [-lenient] [-max-delay D] [-checkpoint file [-checkpoint-every N] [-resume]]
+//	     [-lenient] [-workers N] [-max-delay D] [-checkpoint file [-checkpoint-every N] [-resume]]
 //	     [-trace out.json] [-metrics] [-v] [-pprof addr]
 //
 // Stream rows have the form "time,eventName,arg1,arg2,...". With -lenient,
@@ -48,6 +48,7 @@ type options struct {
 	fluent             string
 	strict, csvOut     bool
 	lenient            bool
+	workers            int
 	maxDelay           int64
 	checkpoint         string
 	checkpointEvery    int
@@ -66,6 +67,7 @@ func main() {
 	flag.BoolVar(&o.strict, "strict", false, "fail on any event-description problem instead of warning")
 	flag.BoolVar(&o.csvOut, "csv", false, "emit CSV (fluent,fvp,since,until) instead of holdsFor lines")
 	flag.BoolVar(&o.lenient, "lenient", false, "quarantine malformed stream rows instead of aborting")
+	flag.IntVar(&o.workers, "workers", 0, "window-evaluation worker goroutines (0 = GOMAXPROCS, 1 = sequential); output is identical at any count")
 	flag.Int64Var(&o.maxDelay, "max-delay", 0, "bounded-delay disorder tolerance in time-points (streaming ingestion)")
 	flag.StringVar(&o.checkpoint, "checkpoint", "", "write crash-safe snapshots to this file (streaming ingestion)")
 	flag.IntVar(&o.checkpointEvery, "checkpoint-every", 1, "windows between snapshots")
@@ -135,7 +137,7 @@ func run(o options, stdout, stderr *os.File) error {
 
 	// Load and runtime warnings surface on the telemetry logger (with
 	// fluent and window attributes) as the engine encounters them.
-	eng, err := rtec.New(ed, rtec.Options{Strict: o.strict, Telemetry: tel})
+	eng, err := rtec.New(ed, rtec.Options{Strict: o.strict, Workers: o.workers, Telemetry: tel})
 	if err != nil {
 		return err
 	}

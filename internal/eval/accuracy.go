@@ -27,6 +27,12 @@ type AccuracyConfig struct {
 	// testbed (per-window spans and counters) and records per-model
 	// accuracy-stage timers.
 	Telemetry *telemetry.Telemetry
+	// Workers bounds how many candidate event descriptions Figure2c
+	// evaluates concurrently against the shared read-only testbed, and is
+	// handed to every engine as its window-evaluation worker count: <= 0
+	// means GOMAXPROCS, 1 is strictly sequential. Each evaluation builds
+	// its own engine, so the rows are identical at any worker count.
+	Workers int
 }
 
 // DefaultAccuracyConfig returns the configuration of the reported runs.
@@ -129,7 +135,7 @@ func (tb *Testbed) GoldRecognition() *rtec.Recognition { return tb.goldRec }
 // run executes an event description over the testbed stream.
 func (tb *Testbed) run(rules *lang.EventDescription, strict bool) (*rtec.Recognition, error) {
 	ed := maritime.FullED(rules, tb.scenario.Map, tb.scenario.Fleet, tb.pairs)
-	eng, err := rtec.New(ed, rtec.Options{Strict: strict, ExtraFacts: tb.facts, Telemetry: tb.cfg.Telemetry})
+	eng, err := rtec.New(ed, rtec.Options{Strict: strict, ExtraFacts: tb.facts, Workers: tb.cfg.Workers, Telemetry: tb.cfg.Telemetry})
 	if err != nil {
 		return nil, err
 	}
@@ -226,18 +232,24 @@ func entityIntervals(rec *rtec.Recognition, functor string) map[string]intervals
 }
 
 // Figure2c runs the corrected event descriptions of Figure 2b on the
-// testbed and reports their predictive accuracy.
+// testbed and reports their predictive accuracy. The candidates are
+// evaluated concurrently (bounded by AccuracyConfig.Workers) against the
+// shared read-only testbed, with rows collected in input order.
 func Figure2c(tb *Testbed, corrected []CorrectedRow) ([]AccuracyRow, error) {
 	sp := tb.cfg.Telemetry.Span("eval.figure2c", telemetry.Int("rows", int64(len(corrected))))
 	defer sp.End()
-	var out []AccuracyRow
-	for _, cr := range corrected {
-		row, err := tb.Evaluate(cr.Corrected.Gen)
-		if err != nil {
-			return nil, fmt.Errorf("eval: %s: %w", cr.Label(), err)
+	rows := make([]AccuracyRow, len(corrected))
+	errs := make([]error, len(corrected))
+	forEachOrdered(tb.cfg.Workers, len(corrected), func(i int) {
+		rows[i], errs[i] = tb.Evaluate(corrected[i].Corrected.Gen)
+		rows[i].Label = corrected[i].Label()
+	})
+	out := make([]AccuracyRow, 0, len(corrected))
+	for i, cr := range corrected {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("eval: %s: %w", cr.Label(), errs[i])
 		}
-		row.Label = cr.Label()
-		out = append(out, row)
+		out = append(out, rows[i])
 	}
 	return out, nil
 }

@@ -1,0 +1,60 @@
+package eval
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// forEachOrdered runs fn(i) for every i in [0, n) on at most workers
+// goroutines (workers <= 0 means GOMAXPROCS). Each fn writes its result at
+// its own index, so callers collect results in input order regardless of
+// scheduling — the figures and golden files are byte-identical to the
+// sequential run. A panic in any fn is re-raised on the calling goroutine
+// after the pool drains. workers == 1 runs inline: the classic path.
+func forEachOrdered(workers, n int, fn func(int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next    int64
+		wg      sync.WaitGroup
+		panicMu sync.Mutex
+		panicV  any
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicV == nil {
+						panicV = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicV != nil {
+		panic(panicV)
+	}
+}

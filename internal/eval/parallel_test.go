@@ -1,0 +1,94 @@
+package eval
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestForEachOrdered(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 100} {
+		n := 37
+		got := make([]int, n)
+		forEachOrdered(workers, n, func(i int) { got[i] = i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+	// n = 0 must not call fn or hang.
+	forEachOrdered(4, 0, func(int) { t.Fatal("fn called for n=0") })
+}
+
+func TestForEachOrderedPropagatesPanic(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic did not propagate")
+		}
+		if s, ok := r.(string); !ok || s != "boom 5" {
+			t.Fatalf("unexpected panic value %v", r)
+		}
+	}()
+	forEachOrdered(4, 10, func(i int) {
+		if i == 5 {
+			panic("boom 5")
+		}
+	})
+}
+
+// figuresFingerprint renders everything Figure 2a reports about a row set.
+func figuresFingerprint(rows []Row) string {
+	var out string
+	for _, r := range rows {
+		out += fmt.Sprintf("%s %s %.9f", r.Model, r.Scheme, r.Overall)
+		for _, k := range ActivityKeys {
+			out += fmt.Sprintf(" %s=%.9f", k, r.PerActivity[k])
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// TestGenerateAllWorkersDeterministic: the concurrent generation fan-out
+// produces exactly the rows the sequential run produces — every model/scheme
+// session is independent and results are collected in input order.
+func TestGenerateAllWorkersDeterministic(t *testing.T) {
+	models := allModels()
+	_, seqAll, _, err := Figure2aTolerantWorkers(nil, models, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, parAll, _, err := Figure2aTolerantWorkers(nil, models, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := figuresFingerprint(seqAll), figuresFingerprint(parAll); a != b {
+		t.Fatalf("parallel generation differs from sequential:\n--- workers=1\n%s\n--- workers=8\n%s", a, b)
+	}
+}
+
+// TestFigure2cWorkersDeterministic: concurrent candidate evaluation against
+// the shared testbed reports the same accuracy rows in the same order.
+func TestFigure2cWorkersDeterministic(t *testing.T) {
+	_, _, cor := figures(t)
+	tb := testbed(t)
+	seq, err := Figure2c(tb, cor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tb.cfg
+	cfg.Workers = 8
+	par := &Testbed{
+		cfg: cfg, scenario: tb.scenario, events: tb.events,
+		pairs: tb.pairs, facts: tb.facts, goldRec: tb.goldRec,
+	}
+	got, err := Figure2c(par, cor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, got) {
+		t.Fatalf("Workers=8 Figure2c rows differ:\n%v\nvs\n%v", got, seq)
+	}
+}

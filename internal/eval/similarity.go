@@ -84,24 +84,55 @@ func GenerateAllWith(tel *telemetry.Telemetry, models []prompt.Model) ([]*prompt
 // model/scheme whose pipeline fails outright is recorded as a Skip — an
 // annotated gap in the figures — instead of aborting the whole run.
 // Individual failed activities already degrade inside RunPipelineWith.
+// The model/scheme pipelines run concurrently up to GOMAXPROCS; use
+// GenerateAllTolerantWorkers to bound the fan-out (workers=1 for stateful
+// transports such as fault injectors, whose behaviour depends on call
+// order).
 func GenerateAllTolerantWith(tel *telemetry.Telemetry, models []prompt.Model) ([]*prompt.GeneratedED, []Skip) {
+	return GenerateAllTolerantWorkers(tel, models, 0)
+}
+
+// GenerateAllTolerantWorkers is GenerateAllTolerantWith with an explicit
+// fan-out bound: at most workers pipeline sessions run concurrently
+// (workers <= 0 means GOMAXPROCS, workers == 1 is strictly sequential).
+// Every session is independent — its own model/scheme pair, its own
+// conversation — and results are collected in model×scheme order, so the
+// generated event descriptions, the figures derived from them, and the skip
+// list are identical at any worker count.
+func GenerateAllTolerantWorkers(tel *telemetry.Telemetry, models []prompt.Model, workers int) ([]*prompt.GeneratedED, []Skip) {
 	domain := maritime.PromptDomain()
 	curriculum := maritime.CurriculumRequests()
-	var out []*prompt.GeneratedED
-	var skipped []Skip
+	schemes := []prompt.Scheme{prompt.FewShot, prompt.ChainOfThought}
+
+	type unit struct {
+		model  prompt.Model
+		scheme prompt.Scheme
+		gen    *prompt.GeneratedED
+		err    error
+	}
+	units := make([]unit, 0, len(models)*len(schemes))
 	for _, m := range models {
 		im := llm.Instrument(m, tel)
-		for _, scheme := range []prompt.Scheme{prompt.FewShot, prompt.ChainOfThought} {
-			gen, err := prompt.RunPipelineWith(tel, im, scheme, domain, curriculum)
-			if err != nil {
-				tel.Counter("pipeline.models.skipped").Inc()
-				tel.Logger().Warn("model skipped: pipeline failed",
-					"component", "eval", "model", m.Name(), "scheme", scheme.String(), "err", err.Error())
-				skipped = append(skipped, Skip{Model: m.Name(), Scheme: scheme, Err: err})
-				continue
-			}
-			out = append(out, gen)
+		for _, scheme := range schemes {
+			units = append(units, unit{model: im, scheme: scheme})
 		}
+	}
+	forEachOrdered(workers, len(units), func(i int) {
+		u := &units[i]
+		u.gen, u.err = prompt.RunPipelineWith(tel, u.model, u.scheme, domain, curriculum)
+	})
+
+	var out []*prompt.GeneratedED
+	var skipped []Skip
+	for _, u := range units {
+		if u.err != nil {
+			tel.Counter("pipeline.models.skipped").Inc()
+			tel.Logger().Warn("model skipped: pipeline failed",
+				"component", "eval", "model", u.model.Name(), "scheme", u.scheme.String(), "err", u.err.Error())
+			skipped = append(skipped, Skip{Model: u.model.Name(), Scheme: u.scheme, Err: u.err})
+			continue
+		}
+		out = append(out, u.gen)
 	}
 	return out, skipped
 }
@@ -265,10 +296,18 @@ func Figure2aWith(tel *telemetry.Telemetry, models []prompt.Model) (best, all []
 // partially degraded event descriptions are scored over the activities
 // they did produce.
 func Figure2aTolerantWith(tel *telemetry.Telemetry, models []prompt.Model) (best, all []Row, skipped []Skip, err error) {
+	return Figure2aTolerantWorkers(tel, models, 0)
+}
+
+// Figure2aTolerantWorkers is Figure2aTolerantWith with an explicit bound on
+// how many generation pipelines run concurrently (workers <= 0 means
+// GOMAXPROCS, workers == 1 is strictly sequential — required when the
+// transports are stateful, e.g. under fault injection).
+func Figure2aTolerantWorkers(tel *telemetry.Telemetry, models []prompt.Model, workers int) (best, all []Row, skipped []Skip, err error) {
 	sp := tel.Span("eval.figure2a", telemetry.Int("models", int64(len(models))))
 	defer sp.End()
 	gold := maritime.GoldED()
-	gens, skipped := GenerateAllTolerantWith(tel, models)
+	gens, skipped := GenerateAllTolerantWorkers(tel, models, workers)
 	for _, g := range gens {
 		row, err := ScoreWith(tel, gold, g)
 		if err != nil {

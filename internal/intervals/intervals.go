@@ -144,13 +144,66 @@ func (l List) Equal(o List) bool {
 	return true
 }
 
+// normalizeInPlace sorts all, drops empty intervals and merges overlapping
+// or adjacent ones in place, returning the shortened slice. It is the
+// allocation-free core of Normalize for callers that own the buffer.
+func normalizeInPlace(all []Interval) []Interval {
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Start != all[j].Start {
+			return all[i].Start < all[j].Start
+		}
+		return all[i].End < all[j].End
+	})
+	w := 0
+	for _, iv := range all {
+		if iv.Empty() {
+			continue
+		}
+		if w > 0 && iv.Start <= all[w-1].End {
+			if iv.End > all[w-1].End {
+				all[w-1].End = iv.End
+			}
+			continue
+		}
+		all[w] = iv
+		w++
+	}
+	return all[:w]
+}
+
 // Union returns the union of the given lists (union_all).
 func Union(lists ...List) List {
-	var all []Interval
+	nonEmpty := 0
+	var single List
+	for _, l := range lists {
+		if len(l) > 0 {
+			nonEmpty++
+			single = l
+		}
+	}
+	switch nonEmpty {
+	case 0:
+		return nil
+	case 1:
+		if single.IsNormalized() {
+			return single.Clone()
+		}
+		return Normalize(single)
+	}
+	sp := getIvScratch()
+	all := (*sp)[:0]
 	for _, l := range lists {
 		all = append(all, l...)
 	}
-	return Normalize(all)
+	all = normalizeInPlace(all)
+	var out List
+	if len(all) > 0 {
+		out = make(List, len(all))
+		copy(out, all)
+	}
+	*sp = all
+	putIvScratch(sp)
+	return out
 }
 
 // Intersect returns the intersection of the given lists (intersect_all).
@@ -190,7 +243,34 @@ func intersect2(a, b List) List {
 // RelativeComplement returns base minus the union of subtract
 // (relative_complement_all).
 func RelativeComplement(base List, subtract ...List) List {
-	sub := Union(subtract...)
+	// The subtrahend union is transient: build it in a pooled scratch
+	// buffer instead of allocating a fresh List per call. A single
+	// normalised subtrahend is used directly.
+	var sub []Interval
+	var sp *[]Interval
+	nonEmpty := 0
+	var single List
+	for _, l := range subtract {
+		if len(l) > 0 {
+			nonEmpty++
+			single = l
+		}
+	}
+	switch {
+	case nonEmpty == 1 && single.IsNormalized():
+		sub = single
+	case nonEmpty > 0:
+		sp = getIvScratch()
+		all := (*sp)[:0]
+		for _, l := range subtract {
+			all = append(all, l...)
+		}
+		sub = normalizeInPlace(all)
+		defer func() {
+			*sp = sub
+			putIvScratch(sp)
+		}()
+	}
 	var out List
 	j := 0
 	for _, iv := range base {
@@ -225,11 +305,13 @@ func FromPoints(initiations, terminations []int64) List {
 	if len(initiations) == 0 {
 		return nil
 	}
-	ini := append([]int64(nil), initiations...)
-	ter := append([]int64(nil), terminations...)
+	ip, tp := getI64Scratch(), getI64Scratch()
+	ini := append((*ip)[:0], initiations...)
+	ter := append((*tp)[:0], terminations...)
 	sort.Slice(ini, func(i, j int) bool { return ini[i] < ini[j] })
 	sort.Slice(ter, func(i, j int) bool { return ter[i] < ter[j] })
-	var out List
+	sp := getIvScratch()
+	work := (*sp)[:0]
 	j := 0
 	for i := 0; i < len(ini); {
 		ts := ini[i]
@@ -237,19 +319,29 @@ func FromPoints(initiations, terminations []int64) List {
 			j++
 		}
 		if j == len(ter) {
-			out = append(out, Interval{ts + 1, Inf})
+			work = append(work, Interval{ts + 1, Inf})
 			break
 		}
 		te := ter[j]
 		if te > ts { // te == ts produces an empty interval: skip
-			out = append(out, Interval{ts + 1, te + 1})
+			work = append(work, Interval{ts + 1, te + 1})
 		}
 		// Absorb every initiation at or before the matched termination.
 		for i < len(ini) && ini[i] <= te {
 			i++
 		}
 	}
-	return Normalize(out)
+	work = normalizeInPlace(work)
+	var out List
+	if len(work) > 0 {
+		out = make(List, len(work))
+		copy(out, work)
+	}
+	*ip, *tp, *sp = ini, ter, work
+	putI64Scratch(ip)
+	putI64Scratch(tp)
+	putIvScratch(sp)
+	return out
 }
 
 // Clip restricts l to the window [start, end), turning open-ended intervals

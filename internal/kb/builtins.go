@@ -32,6 +32,21 @@ func IsBuiltin(indicator string) bool {
 	return false
 }
 
+// IsBuiltinPred is IsBuiltin without the indicator-string concatenation, for
+// per-condition dispatch on hot paths.
+func IsBuiltinPred(functor string, arity int) bool {
+	switch arity {
+	case 2:
+		switch functor {
+		case "<", ">", "=<", ">=", "=:=", "=\\=", "=", "\\=":
+			return true
+		}
+	case 3:
+		return functor == "absAngleDiff"
+	}
+	return false
+}
+
 // EvalArith evaluates a ground arithmetic expression: numbers, + - * /, and
 // abs/1.
 func EvalArith(t *lang.Term) (float64, error) {
@@ -92,7 +107,7 @@ func SolveBuiltin(atom *lang.Term, s lang.Subst) (substs []lang.Subst, handled b
 	if atom.Kind != lang.Compound {
 		return nil, false, nil
 	}
-	if !IsBuiltin(atom.Indicator()) {
+	if !IsBuiltinPred(atom.Functor, len(atom.Args)) {
 		return nil, false, nil
 	}
 	resolved := s.Resolve(atom)

@@ -9,6 +9,8 @@ package kb
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 
 	"rtecgen/internal/lang"
 )
@@ -18,28 +20,52 @@ import (
 // not safe for concurrent mutation; queries after materialisation are
 // read-only and may run concurrently.
 type KB struct {
-	facts   map[string][]*lang.Term // by indicator
-	byFirst map[string][]*lang.Term // by indicator + ground first argument
-	present map[string]bool         // canonical strings, for dedup
+	facts   map[lang.PredKey][]*lang.Term // by predicate
+	byFirst map[argKey][]*lang.Term       // by predicate + ground first argument
+	present map[string]bool               // canonical strings, for dedup
 	rules   []*lang.Clause
 }
 
 // New returns an empty knowledge base.
 func New() *KB {
 	return &KB{
-		facts:   map[string][]*lang.Term{},
-		byFirst: map[string][]*lang.Term{},
+		facts:   map[lang.PredKey][]*lang.Term{},
+		byFirst: map[argKey][]*lang.Term{},
 		present: map[string]bool{},
 	}
 }
 
+// argKey is the first-argument index key: the predicate plus a canonical
+// encoding of its ground first argument. Atom first arguments (the common
+// case: entity identifiers) index without any string building.
+type argKey struct {
+	pred lang.PredKey
+	kind lang.Kind
+	arg  string
+}
+
 // firstArgKey builds the first-argument index key for a callable term whose
-// first argument is ground, or "" when the index does not apply.
-func firstArgKey(t *lang.Term) string {
-	if len(t.Args) == 0 || !t.Args[0].IsGround() {
-		return ""
+// first argument is ground; ok is false when the index does not apply.
+func firstArgKey(t *lang.Term) (argKey, bool) {
+	if len(t.Args) == 0 {
+		return argKey{}, false
 	}
-	return t.Indicator() + "|" + t.Args[0].String()
+	a := t.Args[0]
+	k := argKey{pred: t.Pred(), kind: a.Kind}
+	switch a.Kind {
+	case lang.Atom:
+		k.arg = a.Functor
+	case lang.Str:
+		k.arg = a.Text
+	case lang.Int:
+		k.arg = strconv.FormatInt(a.Int, 10)
+	default:
+		if !a.IsGround() {
+			return argKey{}, false
+		}
+		k.arg = a.String()
+	}
+	return k, true
 }
 
 // AddFact inserts a ground fact; duplicates are ignored. Non-ground or
@@ -56,9 +82,9 @@ func (k *KB) AddFact(t *lang.Term) error {
 		return nil
 	}
 	k.present[key] = true
-	ind := t.Indicator()
-	k.facts[ind] = append(k.facts[ind], t)
-	if fk := firstArgKey(t); fk != "" {
+	pred := t.Pred()
+	k.facts[pred] = append(k.facts[pred], t)
+	if fk, ok := firstArgKey(t); ok {
 		k.byFirst[fk] = append(k.byFirst[fk], t)
 	}
 	return nil
@@ -71,13 +97,27 @@ func (k *KB) AddRule(c *lang.Clause) { k.rules = append(k.rules, c) }
 func (k *KB) Has(t *lang.Term) bool { return k.present[t.String()] }
 
 // FactsOf returns the facts with the given indicator ("functor/arity").
-func (k *KB) FactsOf(indicator string) []*lang.Term { return k.facts[indicator] }
+func (k *KB) FactsOf(indicator string) []*lang.Term {
+	slash := strings.LastIndexByte(indicator, '/')
+	if slash < 0 {
+		return nil
+	}
+	arity, err := strconv.Atoi(indicator[slash+1:])
+	if err != nil {
+		return nil
+	}
+	return k.facts[lang.PredKey{Functor: indicator[:slash], Arity: arity}]
+}
+
+// FactsOfPred returns the facts of a predicate without building an
+// indicator string.
+func (k *KB) FactsOfPred(pred lang.PredKey) []*lang.Term { return k.facts[pred] }
 
 // Indicators returns the sorted indicators of all stored facts.
 func (k *KB) Indicators() []string {
 	out := make([]string, 0, len(k.facts))
-	for ind := range k.facts {
-		out = append(out, ind)
+	for pred := range k.facts {
+		out = append(out, pred.String())
 	}
 	sort.Strings(out)
 	return out
@@ -126,8 +166,8 @@ func (k *KB) Materialize() error {
 // size.
 func (k *KB) Match(goal *lang.Term, s lang.Subst) []lang.Subst {
 	resolved := s.Resolve(goal)
-	candidates := k.facts[resolved.Indicator()]
-	if fk := firstArgKey(resolved); fk != "" {
+	candidates := k.facts[resolved.Pred()]
+	if fk, ok := firstArgKey(resolved); ok {
 		candidates = k.byFirst[fk]
 	}
 	var out []lang.Subst

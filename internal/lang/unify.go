@@ -37,15 +37,22 @@ func (s Subst) Resolve(t *Term) *Term {
 	if len(t.Args) == 0 {
 		return t
 	}
-	changed := false
-	args := make([]*Term, len(t.Args))
+	// Terms are immutable, so unchanged subtrees are returned as-is; the
+	// argument slice is only copied on the first argument that actually
+	// resolves to something new. Resolving a ground term allocates nothing.
+	var args []*Term
 	for i, a := range t.Args {
-		args[i] = s.Resolve(a)
-		if args[i] != a {
-			changed = true
+		r := s.Resolve(a)
+		if args == nil {
+			if r == a {
+				continue
+			}
+			args = make([]*Term, len(t.Args))
+			copy(args, t.Args[:i])
 		}
+		args[i] = r
 	}
-	if !changed {
+	if args == nil {
 		return t
 	}
 	n := *t

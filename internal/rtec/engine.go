@@ -8,6 +8,7 @@ package rtec
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -55,7 +56,8 @@ func (w Warning) String() string {
 // fluentDef aggregates everything the engine knows about one fluent
 // (identified by its indicator, e.g. "withinArea/2").
 type fluentDef struct {
-	ind        string
+	ind        string       // indicator string, e.g. "withinArea/2"
+	pred       lang.PredKey // same predicate, as a comparable key (no string building)
 	kind       FluentKind
 	inits      []*lang.Clause // simple: initiatedAt rules
 	terms      []*lang.Clause // simple: terminatedAt rules
@@ -68,14 +70,25 @@ type fluentDef struct {
 // Engine is a loaded RTEC reasoner. Build one with New, then call Run.
 // An Engine is immutable after New and safe for concurrent Runs.
 type Engine struct {
-	ed          *lang.EventDescription
-	kb          *kb.KB
-	opts        Options
-	fluents     map[string]*fluentDef
-	order       []string // fluent indicators in dependency (stratum) order
-	inputEvents map[string]bool
-	warnings    []Warning
+	ed            *lang.EventDescription
+	kb            *kb.KB
+	opts          Options
+	fluents       map[string]*fluentDef
+	fluentsByPred map[lang.PredKey]*fluentDef
+	order         []string // fluent indicators in dependency (stratum) order
+	inputEvents   map[string]bool
+	warnings      []Warning
+	// interner maps ground FVP terms to stable IDs with cached canonical
+	// renderings: the per-window caches key by ID, so an FVP's string is
+	// built once per engine lifetime instead of once per cache access.
+	interner *lang.Interner
+	// workers is the resolved size of the per-stratum evaluation pool
+	// (Options.Workers, defaulting to GOMAXPROCS).
+	workers int
 }
+
+// Workers returns the resolved evaluation worker count.
+func (e *Engine) Workers() int { return e.workers }
 
 // KB returns the engine's background knowledge base.
 func (e *Engine) KB() *kb.KB { return e.kb }
@@ -110,6 +123,13 @@ type Options struct {
 	// the paper credits hierarchies with "paving the way for caching");
 	// results are identical, only slower.
 	DisableCache bool
+	// Workers bounds the per-stratum evaluation pool: groundings of the
+	// same stratum are partitioned by entity key onto this many workers,
+	// with results merged in deterministic order, so recognition output is
+	// byte-identical for every value. 0 (the default) resolves to
+	// GOMAXPROCS; 1 evaluates inline on the calling goroutine, reproducing
+	// the classic sequential code path exactly.
+	Workers int
 	// Telemetry, when non-nil, receives the engine's observability signals:
 	// per-run and per-window spans, counters (events ingested, windows
 	// evaluated, FVPs grounded, intervals amalgamated, warnings),
@@ -128,11 +148,17 @@ func New(ed *lang.EventDescription, opts Options) (*Engine, error) {
 		return nil, fmt.Errorf("rtec: background KB: %w", err)
 	}
 	e := &Engine{
-		ed:          ed,
-		kb:          background,
-		opts:        opts,
-		fluents:     map[string]*fluentDef{},
-		inputEvents: map[string]bool{},
+		ed:            ed,
+		kb:            background,
+		opts:          opts,
+		fluents:       map[string]*fluentDef{},
+		fluentsByPred: map[lang.PredKey]*fluentDef{},
+		inputEvents:   map[string]bool{},
+		interner:      lang.NewInterner(),
+		workers:       opts.Workers,
+	}
+	if e.workers <= 0 {
+		e.workers = runtime.GOMAXPROCS(0)
 	}
 
 	for _, c := range ed.Facts() {
@@ -171,8 +197,9 @@ func New(ed *lang.EventDescription, opts Options) (*Engine, error) {
 		ind := fl.Indicator()
 		def := e.fluents[ind]
 		if def == nil {
-			def = &fluentDef{ind: ind, deps: map[string]bool{}}
+			def = &fluentDef{ind: ind, pred: fl.Pred(), deps: map[string]bool{}}
 			e.fluents[ind] = def
+			e.fluentsByPred[def.pred] = def
 		}
 		switch c.Kind() {
 		case lang.KindInitiatedAt:
@@ -228,6 +255,7 @@ func New(ed *lang.EventDescription, opts Options) (*Engine, error) {
 	for ind, def := range e.fluents {
 		if len(def.inits)+len(def.terms)+len(def.holdsFor) == 0 {
 			delete(e.fluents, ind)
+			delete(e.fluentsByPred, def.pred)
 			if err := warn(ind, "no usable rules remain; fluent dropped"); err != nil {
 				return nil, err
 			}
@@ -369,6 +397,9 @@ func (e *Engine) stratify(warn func(fluent, format string, args ...any) error) e
 		visit(ind, nil)
 	}
 	for _, ind := range cyclic {
+		if def, ok := e.fluents[ind]; ok {
+			delete(e.fluentsByPred, def.pred)
+		}
 		delete(e.fluents, ind)
 		if err := warn(ind, "cyclic definition; fluent dropped (RTEC hierarchies must be acyclic)"); err != nil {
 			return err
@@ -412,14 +443,29 @@ func (e *Engine) depsClosure(ind string) []string {
 }
 
 // fvpKey returns the canonical cache key of a ground FVP term '='(F, V).
+// It renders the term, so it only belongs on boundary paths (checkpoint
+// restore, the public Recognition API); within a window the engine keys by
+// intern ID and reads cached renderings from the intern table instead of
+// re-rendering per access.
 func fvpKey(fvp *lang.Term) string { return fvp.String() }
 
-// fluentKeyOf returns the indicator of the fluent inside an FVP term.
+// fluentKeyOf returns the indicator of the fluent inside an FVP term. Like
+// fvpKey, it builds a string and is reserved for boundary paths; hot paths
+// use fvpPred, which compares functor/arity pairs without concatenation.
 func fluentKeyOf(fvp *lang.Term) string {
 	if fvp.Kind == lang.Compound && fvp.Functor == "=" && len(fvp.Args) == 2 && fvp.Args[0].IsCallable() {
 		return fvp.Args[0].Indicator()
 	}
 	return ""
+}
+
+// fvpPred returns the predicate key of the fluent inside an FVP term
+// '='(F, V); ok is false for any other term shape.
+func fvpPred(fvp *lang.Term) (lang.PredKey, bool) {
+	if fvp.Kind == lang.Compound && fvp.Functor == "=" && len(fvp.Args) == 2 && fvp.Args[0].IsCallable() {
+		return fvp.Args[0].Pred(), true
+	}
+	return lang.PredKey{}, false
 }
 
 // describe renders the hierarchy for debugging and documentation.

@@ -13,26 +13,32 @@ import (
 )
 
 // cacheEntry holds the computed maximal intervals of one ground FVP within
-// the current window.
+// the current window. The intern ID and the fluent predicate are computed
+// once, when the entry is created, so cache accesses and the inertia
+// hand-off never re-render or re-parse the FVP term.
 type cacheEntry struct {
-	fvp  *lang.Term // ground '='(F, V)
-	list intervals.List
+	fvp    *lang.Term // ground '='(F, V)
+	id     lang.InternID
+	fluent lang.PredKey
+	list   intervals.List
 }
 
 // windowState is the per-window evaluation context: the indexed events of
-// the window and the bottom-up cache of FVP interval lists.
+// the window and the bottom-up cache of FVP interval lists. Event and fluent
+// indexes are keyed by predicate (functor/arity pairs), and the FVP cache by
+// interned term ID, so hot-path lookups build no strings.
 type windowState struct {
-	eng       *Engine
-	ws, we    int64 // window covers [ws, we)
-	byIndTime map[string]map[int64][]*lang.Term
-	byInd     map[string][]stream.Event
-	cache     map[string]*cacheEntry   // by fvpKey
-	byFluent  map[string][]*cacheEntry // fluent indicator -> entries
-	prevOpen  map[string]*lang.Term    // fvpKey -> fvp, simple FVPs holding at window start
-	warnings  map[string]bool          // dedup of runtime warnings
-	warnSink  *[]Warning
-	tel       *telemetry.Telemetry // may be nil: all uses degrade to no-ops
-	span      *telemetry.Span      // the window span, parent of per-fluent spans
+	eng          *Engine
+	ws, we       int64 // window covers [ws, we)
+	byIndTime    map[lang.PredKey]map[int64][]*lang.Term
+	byInd        map[lang.PredKey][]stream.Event
+	cache        map[lang.InternID]*cacheEntry
+	byFluent     map[lang.PredKey][]*cacheEntry
+	openByFluent map[lang.PredKey][]*lang.Term // simple FVPs holding at window start
+	warnings     map[string]bool               // dedup of runtime warnings
+	warnSink     *[]Warning
+	tel          *telemetry.Telemetry // may be nil: all uses degrade to no-ops
+	span         *telemetry.Span      // the window span, parent of per-fluent spans
 }
 
 func newWindowState(e *Engine, events stream.Stream, ws, we int64, prevOpen map[string]*lang.Term, warnSink *[]Warning, tel *telemetry.Telemetry, span *telemetry.Span) *windowState {
@@ -40,25 +46,41 @@ func newWindowState(e *Engine, events stream.Stream, ws, we int64, prevOpen map[
 		eng:       e,
 		ws:        ws,
 		we:        we,
-		byIndTime: map[string]map[int64][]*lang.Term{},
-		byInd:     map[string][]stream.Event{},
-		cache:     map[string]*cacheEntry{},
-		byFluent:  map[string][]*cacheEntry{},
-		prevOpen:  prevOpen,
+		byIndTime: map[lang.PredKey]map[int64][]*lang.Term{},
+		byInd:     map[lang.PredKey][]stream.Event{},
+		cache:     map[lang.InternID]*cacheEntry{},
+		byFluent:  map[lang.PredKey][]*cacheEntry{},
 		warnings:  map[string]bool{},
 		warnSink:  warnSink,
 		tel:       tel,
 		span:      span,
 	}
 	for _, ev := range events {
-		ind := ev.Atom.Indicator()
-		w.byInd[ind] = append(w.byInd[ind], ev)
-		byTime := w.byIndTime[ind]
+		pred := ev.Atom.Pred()
+		w.byInd[pred] = append(w.byInd[pred], ev)
+		byTime := w.byIndTime[pred]
 		if byTime == nil {
 			byTime = map[int64][]*lang.Term{}
-			w.byIndTime[ind] = byTime
+			w.byIndTime[pred] = byTime
 		}
 		byTime[ev.Time] = append(byTime[ev.Time], ev.Atom)
+	}
+	// Group the carried-over FVPs by fluent once per window (instead of
+	// filtering the whole set per fluent), in canonical key order so the
+	// inertia seeding order is deterministic.
+	if len(prevOpen) > 0 {
+		keys := make([]string, 0, len(prevOpen))
+		for k := range prevOpen {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		w.openByFluent = map[lang.PredKey][]*lang.Term{}
+		for _, k := range keys {
+			fvp := prevOpen[k]
+			if pred, ok := fvpPred(fvp); ok {
+				w.openByFluent[pred] = append(w.openByFluent[pred], fvp)
+			}
+		}
 	}
 	return w
 }
@@ -67,38 +89,49 @@ func newWindowState(e *Engine, events stream.Stream, ws, we int64, prevOpen map[
 // Recognition (for programmatic consumers) and surfaced on the telemetry
 // logger with fluent and window attributes (for operators).
 func (w *windowState) warnf(fluent, format string, args ...any) {
-	msg := fmt.Sprintf(format, args...)
-	key := fluent + "|" + msg
+	w.warn(Warning{Fluent: fluent, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (w *windowState) warn(wn Warning) {
+	key := wn.Fluent + "|" + wn.Msg
 	if w.warnings[key] {
 		return
 	}
 	w.warnings[key] = true
 	w.tel.Counter("rtec.warnings.runtime").Inc()
-	w.tel.Logger().Warn(msg,
-		"component", "rtec", "stage", "recognition", "fluent", fluent,
+	w.tel.Logger().Warn(wn.Msg,
+		"component", "rtec", "stage", "recognition", "fluent", wn.Fluent,
 		"window_start", w.ws, "query_time", w.we)
 	if w.warnSink != nil {
-		*w.warnSink = append(*w.warnSink, Warning{Fluent: fluent, Msg: msg})
+		*w.warnSink = append(*w.warnSink, wn)
 	}
 }
 
 // store unions list into the cache entry for the ground FVP.
 func (w *windowState) store(fvp *lang.Term, list intervals.List) {
-	key := fvpKey(fvp)
-	if ent, ok := w.cache[key]; ok {
+	id := w.eng.interner.ID(fvp)
+	if ent, ok := w.cache[id]; ok {
 		ent.list = intervals.Union(ent.list, list)
 		return
 	}
-	ent := &cacheEntry{fvp: fvp, list: list}
-	w.cache[key] = ent
-	fl := fluentKeyOf(fvp)
-	w.byFluent[fl] = append(w.byFluent[fl], ent)
+	ent := &cacheEntry{fvp: fvp, id: id, list: list}
+	if pred, ok := fvpPred(fvp); ok {
+		ent.fluent = pred
+		w.byFluent[pred] = append(w.byFluent[pred], ent)
+	}
+	w.cache[id] = ent
 }
 
 // listOf returns the cached intervals of a ground FVP (nil when unknown —
-// an undefined or never-holding FVP has no intervals).
+// an undefined or never-holding FVP has no intervals). The lookup goes
+// through the intern table, so it renders no strings and takes only a read
+// lock, making it safe and cheap from parallel workers.
 func (w *windowState) listOf(fvp *lang.Term) intervals.List {
-	if ent, ok := w.cache[fvpKey(fvp)]; ok {
+	id, ok := w.eng.interner.Lookup(fvp)
+	if !ok {
+		return nil
+	}
+	if ent, ok := w.cache[id]; ok {
 		return ent.list
 	}
 	return nil
@@ -107,7 +140,9 @@ func (w *windowState) listOf(fvp *lang.Term) intervals.List {
 // evaluate computes every fluent of the hierarchy bottom-up, caching each
 // fluent's intervals for the window so higher-level definitions reuse them.
 // Each stratum is wrapped in a child span of the window span, and its
-// evaluation time feeds the per-stratum histogram.
+// evaluation time feeds the per-stratum histogram. Strata run in dependency
+// order; within a stratum, rule groundings may fan out onto the engine's
+// worker pool (see parallel.go).
 func (w *windowState) evaluate() {
 	if w.eng.opts.DisableCache {
 		w.evaluateUncached()
@@ -143,21 +178,22 @@ func (w *windowState) evalFluent(ind string) {
 // dependency closure is recomputed from scratch instead of being shared
 // bottom-up. Results are identical to the cached evaluation.
 func (w *windowState) evaluateUncached() {
-	finalCache := map[string]*cacheEntry{}
-	finalByFluent := map[string][]*cacheEntry{}
+	finalCache := map[lang.InternID]*cacheEntry{}
+	finalByFluent := map[lang.PredKey][]*cacheEntry{}
 	for _, ind := range w.eng.order {
-		w.cache = map[string]*cacheEntry{}
-		w.byFluent = map[string][]*cacheEntry{}
+		def := w.eng.fluents[ind]
+		w.cache = map[lang.InternID]*cacheEntry{}
+		w.byFluent = map[lang.PredKey][]*cacheEntry{}
 		for _, dep := range w.eng.depsClosure(ind) {
 			w.evalFluent(dep)
 		}
 		w.evalFluent(ind)
-		for key, ent := range w.cache {
-			if fluentKeyOf(ent.fvp) != ind {
+		for id, ent := range w.cache {
+			if ent.fluent != def.pred {
 				continue
 			}
-			finalCache[key] = ent
-			finalByFluent[ind] = append(finalByFluent[ind], ent)
+			finalCache[id] = ent
+			finalByFluent[def.pred] = append(finalByFluent[def.pred], ent)
 		}
 	}
 	w.cache, w.byFluent = finalCache, finalByFluent
@@ -168,29 +204,30 @@ func (w *windowState) evaluateUncached() {
 // fvpPoints accumulates initiation and termination points per ground FVP.
 type fvpPoints struct {
 	fvp        *lang.Term
-	fluentPart string // canonical string of the fluent term F (without =V)
+	id         lang.InternID
+	fluentPart lang.InternID // interned fluent term F (without =V)
 	inits      []int64
 	terms      []int64
 }
 
 func (w *windowState) evalSimple(def *fluentDef) {
-	points := map[string]*fvpPoints{}
+	in := w.eng.interner
+	points := map[lang.InternID]*fvpPoints{}
 	get := func(fvp *lang.Term) *fvpPoints {
-		key := fvpKey(fvp)
-		p, ok := points[key]
+		id := in.ID(fvp)
+		p, ok := points[id]
 		if !ok {
-			p = &fvpPoints{fvp: fvp, fluentPart: fvp.Args[0].String()}
-			points[key] = p
+			p = &fvpPoints{fvp: fvp, id: id, fluentPart: in.ID(fvp.Args[0])}
+			points[id] = p
 		}
 		return p
 	}
 
 	// Inertia: FVPs open at the window start behave as if initiated just
 	// before it, so their interval resumes at ws.
-	for _, fvp := range w.prevOpen {
-		if fluentKeyOf(fvp) == def.ind {
-			get(fvp).inits = append(get(fvp).inits, w.ws-1)
-		}
+	for _, fvp := range w.openByFluent[def.pred] {
+		p := get(fvp)
+		p.inits = append(p.inits, w.ws-1)
 	}
 
 	// Initiations must be ground: an unbound variable in the head of an
@@ -232,13 +269,15 @@ func (w *windowState) evalSimple(def *fluentDef) {
 	}
 
 	// Values of a simple fluent are mutually exclusive: initiating F=V'
-	// breaks any current interval of F=V (V != V').
-	keys := make([]string, 0, len(points))
+	// breaks any current interval of F=V (V != V'). Keys are ordered by the
+	// FVPs' canonical renderings (cached in the intern table), matching the
+	// historical store order exactly.
+	keys := make([]lang.InternID, 0, len(points))
 	for k := range points {
 		keys = append(keys, k)
 	}
-	sort.Strings(keys)
-	extraTerms := map[string][]int64{}
+	sort.Slice(keys, func(i, j int) bool { return in.StringOf(keys[i]) < in.StringOf(keys[j]) })
+	extraTerms := map[lang.InternID][]int64{}
 	for _, k := range keys {
 		p := points[k]
 		for _, k2 := range keys {
@@ -262,7 +301,10 @@ func (w *windowState) evalSimple(def *fluentDef) {
 
 // evalSimpleRule evaluates one initiatedAt/terminatedAt rule event-driven:
 // it anchors on the rule's first positive happensAt condition, iterates the
-// matching events of the window, and checks the remaining conditions.
+// matching events of the window, and checks the remaining conditions. Each
+// anchor event is one evaluation unit: units run inline with one worker, or
+// entity-sharded onto the pool with slot-ordered merging (see parallel.go),
+// so emit observes the same occurrences in the same order either way.
 func (w *windowState) evalSimpleRule(def *fluentDef, rule *lang.Clause, emit func(fvp *lang.Term, t int64)) {
 	r := rule.RenameApart("_r")
 	anchorIdx := -1
@@ -285,46 +327,61 @@ func (w *windowState) evalSimpleRule(def *fluentDef, rule *lang.Clause, emit fun
 		w.warnf(def.ind, "happensAt pattern %s is not callable; rule skipped", pattern)
 		return
 	}
-	for _, ev := range w.byInd[pattern.Indicator()] {
-		s := lang.NewSubst()
-		if !s.Unify(pattern, ev.Atom) {
-			continue
-		}
-		if !s.Unify(timeArg, lang.NewInt(ev.Time)) {
-			continue
-		}
-		w.solveConditions(def, rest, s, func(final lang.Subst) {
-			emit(final.Resolve(r.Head.Args[0]), ev.Time)
+	events := w.byInd[pattern.Pred()]
+	head := r.Head.Args[0]
+	w.runUnits(len(events),
+		func(i int) uint64 { return eventEntity(events[i]) },
+		func(i int, re *ruleEval) {
+			ev := events[i]
+			s := lang.NewSubst()
+			if !s.Unify(pattern, ev.Atom) {
+				return
+			}
+			if !s.Unify(timeArg, lang.NewInt(ev.Time)) {
+				return
+			}
+			re.solveConditions(def, rest, s, func(final lang.Subst) {
+				re.emit(final.Resolve(head), ev.Time)
+			})
+		},
+		func(a act) {
+			if a.fvp == nil {
+				w.warn(a.warn)
+				return
+			}
+			emit(a.fvp, a.t)
 		})
-	}
 }
 
 // solveConditions evaluates the remaining body conditions of a simple-fluent
-// rule with backtracking, invoking yield for every solution.
-func (w *windowState) solveConditions(def *fluentDef, lits []lang.Literal, s lang.Subst, yield func(lang.Subst)) {
+// rule with backtracking, invoking yield for every solution. It runs inside
+// an evaluation unit: it only reads the shared window state, and routes
+// warnings through the unit context.
+func (re *ruleEval) solveConditions(def *fluentDef, lits []lang.Literal, s lang.Subst, yield func(lang.Subst)) {
 	if len(lits) == 0 {
 		yield(s)
 		return
 	}
+	w := re.w
 	lit := lits[0]
 	rest := lits[1:]
 	atom := lit.Atom
 
 	// Builtins (comparisons, =, absAngleDiff).
-	if atom.Kind == lang.Compound && kb.IsBuiltin(atom.Indicator()) {
+	if atom.Kind == lang.Compound && kb.IsBuiltinPred(atom.Functor, len(atom.Args)) {
 		substs, _, err := kb.SolveBuiltin(atom, s)
 		if err != nil {
-			w.warnf(def.ind, "condition %s: %v", atom, err)
+			re.warnf(def.ind, "condition %s: %v", atom, err)
 			return
 		}
 		if lit.Neg {
 			if len(substs) == 0 {
-				w.solveConditions(def, rest, s, yield)
+				re.solveConditions(def, rest, s, yield)
 			}
 			return
 		}
 		for _, n := range substs {
-			w.solveConditions(def, rest, n, yield)
+			re.solveConditions(def, rest, n, yield)
 		}
 		return
 	}
@@ -335,33 +392,33 @@ func (w *windowState) solveConditions(def *fluentDef, lits []lang.Literal, s lan
 			if w.anyEventMatch(atom, s) {
 				return
 			}
-			w.solveConditions(def, rest, s, yield)
+			re.solveConditions(def, rest, s, yield)
 			return
 		}
 		w.eachEventMatch(atom, s, func(n lang.Subst) {
-			w.solveConditions(def, rest, n, yield)
+			re.solveConditions(def, rest, n, yield)
 		})
 
 	case atom.Functor == "holdsAt" && len(atom.Args) == 2:
 		if t := s.Resolve(atom.Args[1]); t.Kind == lang.Var {
 			// An unbound time-point makes the condition unsafe: negation
 			// would succeed vacuously. Fail the rule and say why.
-			w.warnf(def.ind, "holdsAt condition %s has an unbound time-point; rule fails", atom)
+			re.warnf(def.ind, "holdsAt condition %s has an unbound time-point; rule fails", atom)
 			return
 		}
 		if lit.Neg {
 			if w.anyHoldsAt(atom, s) {
 				return
 			}
-			w.solveConditions(def, rest, s, yield)
+			re.solveConditions(def, rest, s, yield)
 			return
 		}
 		w.eachHoldsAt(atom, s, func(n lang.Subst) {
-			w.solveConditions(def, rest, n, yield)
+			re.solveConditions(def, rest, n, yield)
 		})
 
 	case atom.Functor == "holdsFor":
-		w.warnf(def.ind, "holdsFor condition %s is not allowed in a simple-fluent rule; rule fails", atom)
+		re.warnf(def.ind, "holdsFor condition %s is not allowed in a simple-fluent rule; rule fails", atom)
 		return
 
 	default: // atemporal background knowledge
@@ -370,14 +427,14 @@ func (w *windowState) solveConditions(def *fluentDef, lits []lang.Literal, s lan
 			if len(matches) > 0 {
 				return
 			}
-			w.solveConditions(def, rest, s, yield)
+			re.solveConditions(def, rest, s, yield)
 			return
 		}
-		if len(matches) == 0 && len(w.eng.kb.FactsOf(atom.Indicator())) == 0 {
-			w.warnf(def.ind, "unknown predicate %s; condition fails", atom.Indicator())
+		if len(matches) == 0 && len(w.eng.kb.FactsOfPred(atom.Pred())) == 0 {
+			re.warnf(def.ind, "unknown predicate %s; condition fails", atom.Indicator())
 		}
 		for _, n := range matches {
-			w.solveConditions(def, rest, n, yield)
+			re.solveConditions(def, rest, n, yield)
 		}
 	}
 }
@@ -391,16 +448,16 @@ func (w *windowState) eachEventMatch(atom *lang.Term, s lang.Subst, yield func(l
 	if !pattern.IsCallable() {
 		return
 	}
-	ind := pattern.Indicator()
+	pred := pattern.Pred()
 	if t, ok := timeArg.Number(); ok {
-		for _, ev := range w.byIndTime[ind][int64(t)] {
+		for _, ev := range w.byIndTime[pred][int64(t)] {
 			if n, ok := s.UnifyInto(pattern, ev); ok {
 				yield(n)
 			}
 		}
 		return
 	}
-	for _, ev := range w.byInd[ind] {
+	for _, ev := range w.byInd[pred] {
 		n, ok := s.UnifyInto(pattern, ev.Atom)
 		if !ok {
 			continue
@@ -434,11 +491,11 @@ func (w *windowState) eachHoldsAt(atom *lang.Term, s lang.Subst, yield func(lang
 		}
 		return
 	}
-	fl := fluentKeyOf(fvp)
-	if fl == "" {
+	pred, ok := fvpPred(fvp)
+	if !ok {
 		return
 	}
-	for _, ent := range w.byFluent[fl] {
+	for _, ent := range w.byFluent[pred] {
 		if !ent.list.Contains(t) {
 			continue
 		}
@@ -475,28 +532,42 @@ func (w *windowState) evalSD(def *fluentDef) {
 	}
 }
 
+// evalSDRule evaluates one holdsFor rule. Each candidate substitution is one
+// evaluation unit; candidates only read strictly lower strata, so they run
+// entity-sharded on the worker pool with slot-ordered merging, storing in
+// the same order the sequential evaluation would.
 func (w *windowState) evalSDRule(def *fluentDef, rule *lang.Clause) {
 	r := rule.RenameApart("_r")
 	headFVP := r.Head.Args[0]
 	headIvar := r.Head.Args[1]
+	cands := w.sdCandidates(def, r, headFVP)
 
-	for _, s := range w.sdCandidates(def, r, headFVP) {
-		w.solveSDBody(def, r.Body, s, intervalEnv{}, func(final lang.Subst, env intervalEnv) {
-			fvp := final.Resolve(headFVP)
-			if !fvp.IsGround() {
-				w.warnf(def.ind, "holdsFor rule derives non-ground FVP %s; dropped", fvp)
+	w.runUnits(len(cands),
+		func(i int) uint64 { return lang.Hash(cands[i].Resolve(headFVP)) },
+		func(i int, re *ruleEval) {
+			re.solveSDBody(def, r.Body, cands[i], intervalEnv{}, func(final lang.Subst, env intervalEnv) {
+				fvp := final.Resolve(headFVP)
+				if !fvp.IsGround() {
+					re.warnf(def.ind, "holdsFor rule derives non-ground FVP %s; dropped", fvp)
+					return
+				}
+				out, ok := env[headIvar.Functor]
+				if !ok {
+					re.warnf(def.ind, "head interval variable %s is not produced by the body; dropped", headIvar)
+					return
+				}
+				if len(out) > 0 {
+					re.store(fvp, out)
+				}
+			})
+		},
+		func(a act) {
+			if a.fvp == nil {
+				w.warn(a.warn)
 				return
 			}
-			out, ok := env[headIvar.Functor]
-			if !ok {
-				w.warnf(def.ind, "head interval variable %s is not produced by the body; dropped", headIvar)
-				return
-			}
-			if len(out) > 0 {
-				w.store(fvp, out)
-			}
+			w.store(a.fvp, a.list)
 		})
-	}
 }
 
 // sdCandidates enumerates the candidate substitutions over which a holdsFor
@@ -525,20 +596,27 @@ func (w *windowState) sdCandidates(def *fluentDef, r *lang.Clause, headFVP *lang
 		return out
 	}
 
-	seen := map[string]bool{}
+	// Dedup on the (head, condition) FVP pair, by interned ID: equal IDs
+	// are structurally equal terms, which is what the rendered-string key
+	// used to test.
+	in := w.eng.interner
+	seen := map[[2]lang.InternID]bool{}
 	var out []lang.Subst
 	for _, l := range r.Body {
 		if l.Neg || l.Atom.Functor != "holdsFor" || len(l.Atom.Args) != 2 {
 			continue
 		}
 		condFVP := l.Atom.Args[0]
-		fl := fluentKeyOf(condFVP)
-		for _, ent := range w.byFluent[fl] {
+		pred, ok := fvpPred(condFVP)
+		if !ok {
+			continue
+		}
+		for _, ent := range w.byFluent[pred] {
 			n, ok := lang.NewSubst().UnifyInto(condFVP, ent.fvp)
 			if !ok {
 				continue
 			}
-			key := n.Resolve(headFVP).String() + "|" + n.Resolve(condFVP).String()
+			key := [2]lang.InternID{in.ID(n.Resolve(headFVP)), in.ID(n.Resolve(condFVP))}
 			if seen[key] {
 				continue
 			}
@@ -555,30 +633,32 @@ func (w *windowState) sdCandidates(def *fluentDef, r *lang.Clause, headFVP *lang
 }
 
 // solveSDBody evaluates the body of a holdsFor rule under substitution s and
-// interval environment env.
-func (w *windowState) solveSDBody(def *fluentDef, lits []lang.Literal, s lang.Subst, env intervalEnv, yield func(lang.Subst, intervalEnv)) {
+// interval environment env. Like solveConditions, it runs inside an
+// evaluation unit and only reads the shared window state.
+func (re *ruleEval) solveSDBody(def *fluentDef, lits []lang.Literal, s lang.Subst, env intervalEnv, yield func(lang.Subst, intervalEnv)) {
 	if len(lits) == 0 {
 		yield(s, env)
 		return
 	}
+	w := re.w
 	lit := lits[0]
 	rest := lits[1:]
 	atom := lit.Atom
 
-	if atom.Kind == lang.Compound && kb.IsBuiltin(atom.Indicator()) {
+	if atom.Kind == lang.Compound && kb.IsBuiltinPred(atom.Functor, len(atom.Args)) {
 		substs, _, err := kb.SolveBuiltin(atom, s)
 		if err != nil {
-			w.warnf(def.ind, "condition %s: %v", atom, err)
+			re.warnf(def.ind, "condition %s: %v", atom, err)
 			return
 		}
 		if lit.Neg {
 			if len(substs) == 0 {
-				w.solveSDBody(def, rest, s, env, yield)
+				re.solveSDBody(def, rest, s, env, yield)
 			}
 			return
 		}
 		for _, n := range substs {
-			w.solveSDBody(def, rest, n, env, yield)
+			re.solveSDBody(def, rest, n, env, yield)
 		}
 		return
 	}
@@ -586,11 +666,11 @@ func (w *windowState) solveSDBody(def *fluentDef, lits []lang.Literal, s lang.Su
 	switch atom.Functor {
 	case "holdsFor":
 		if lit.Neg {
-			w.warnf(def.ind, "negated holdsFor is not supported; use relative_complement_all")
+			re.warnf(def.ind, "negated holdsFor is not supported; use relative_complement_all")
 			return
 		}
 		if len(atom.Args) != 2 || atom.Args[1].Kind != lang.Var {
-			w.warnf(def.ind, "holdsFor condition %s must bind a fresh interval variable", atom)
+			re.warnf(def.ind, "holdsFor condition %s must bind a fresh interval variable", atom)
 			return
 		}
 		ivar := atom.Args[1].Functor
@@ -598,24 +678,24 @@ func (w *windowState) solveSDBody(def *fluentDef, lits []lang.Literal, s lang.Su
 		if fvp.IsGround() {
 			n := env.clone()
 			n[ivar] = w.listOf(fvp)
-			w.solveSDBody(def, rest, s, n, yield)
+			re.solveSDBody(def, rest, s, n, yield)
 			return
 		}
-		fl := fluentKeyOf(fvp)
-		for _, ent := range w.byFluent[fl] {
+		pred, _ := fvpPred(fvp)
+		for _, ent := range w.byFluent[pred] {
 			if n, ok := s.UnifyInto(fvp, ent.fvp); ok {
 				ne := env.clone()
 				ne[ivar] = ent.list
-				w.solveSDBody(def, rest, n, ne, yield)
+				re.solveSDBody(def, rest, n, ne, yield)
 			}
 		}
 
 	case "union_all", "intersect_all":
 		if len(atom.Args) != 2 || atom.Args[0].Kind != lang.List || atom.Args[1].Kind != lang.Var {
-			w.warnf(def.ind, "malformed interval construct %s", atom)
+			re.warnf(def.ind, "malformed interval construct %s", atom)
 			return
 		}
-		lists, ok := w.resolveIntervalLists(def, atom.Args[0].Args, env)
+		lists, ok := re.resolveIntervalLists(def, atom.Args[0].Args, env)
 		if !ok {
 			return
 		}
@@ -627,25 +707,25 @@ func (w *windowState) solveSDBody(def *fluentDef, lits []lang.Literal, s lang.Su
 		}
 		n := env.clone()
 		n[atom.Args[1].Functor] = out
-		w.solveSDBody(def, rest, s, n, yield)
+		re.solveSDBody(def, rest, s, n, yield)
 
 	case "relative_complement_all":
 		if len(atom.Args) != 3 || atom.Args[0].Kind != lang.Var || atom.Args[1].Kind != lang.List || atom.Args[2].Kind != lang.Var {
-			w.warnf(def.ind, "malformed interval construct %s", atom)
+			re.warnf(def.ind, "malformed interval construct %s", atom)
 			return
 		}
 		base, ok := env[atom.Args[0].Functor]
 		if !ok {
-			w.warnf(def.ind, "interval variable %s used before being bound", atom.Args[0])
+			re.warnf(def.ind, "interval variable %s used before being bound", atom.Args[0])
 			return
 		}
-		subtract, ok := w.resolveIntervalLists(def, atom.Args[1].Args, env)
+		subtract, ok := re.resolveIntervalLists(def, atom.Args[1].Args, env)
 		if !ok {
 			return
 		}
 		n := env.clone()
 		n[atom.Args[2].Functor] = intervals.RelativeComplement(base, subtract...)
-		w.solveSDBody(def, rest, s, n, yield)
+		re.solveSDBody(def, rest, s, n, yield)
 
 	default: // atemporal background knowledge
 		matches := w.eng.kb.Match(atom, s)
@@ -653,29 +733,29 @@ func (w *windowState) solveSDBody(def *fluentDef, lits []lang.Literal, s lang.Su
 			if len(matches) > 0 {
 				return
 			}
-			w.solveSDBody(def, rest, s, env, yield)
+			re.solveSDBody(def, rest, s, env, yield)
 			return
 		}
-		if len(matches) == 0 && len(w.eng.kb.FactsOf(atom.Indicator())) == 0 {
-			w.warnf(def.ind, "unknown predicate %s; condition fails", atom.Indicator())
+		if len(matches) == 0 && len(w.eng.kb.FactsOfPred(atom.Pred())) == 0 {
+			re.warnf(def.ind, "unknown predicate %s; condition fails", atom.Indicator())
 		}
 		for _, n := range matches {
-			w.solveSDBody(def, rest, n, env, yield)
+			re.solveSDBody(def, rest, n, env, yield)
 		}
 	}
 }
 
 // resolveIntervalLists maps interval variables to their bound lists.
-func (w *windowState) resolveIntervalLists(def *fluentDef, vars []*lang.Term, env intervalEnv) ([]intervals.List, bool) {
+func (re *ruleEval) resolveIntervalLists(def *fluentDef, vars []*lang.Term, env intervalEnv) ([]intervals.List, bool) {
 	out := make([]intervals.List, 0, len(vars))
 	for _, v := range vars {
 		if v.Kind != lang.Var {
-			w.warnf(def.ind, "interval construct argument %s is not a variable", v)
+			re.warnf(def.ind, "interval construct argument %s is not a variable", v)
 			return nil, false
 		}
 		l, ok := env[v.Functor]
 		if !ok {
-			w.warnf(def.ind, "interval variable %s used before being bound", v)
+			re.warnf(def.ind, "interval variable %s used before being bound", v)
 			return nil, false
 		}
 		out = append(out, l)

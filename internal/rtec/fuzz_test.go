@@ -1,0 +1,104 @@
+package rtec
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rtecgen/internal/parser"
+	"rtecgen/internal/stream"
+)
+
+// crossShardED is the fuzz corpus event description for the worker-sharding
+// path: fluents of several entities feed each other across strata, so the
+// effects of units evaluated on different shards must merge correctly. The
+// pair fluent is anchored on two-entity events (sharded by the first
+// argument) but conditioned on the single-entity p fluent, and the top-level
+// busy fluent unions intervals produced by both.
+const crossShardED = `
+inputEvent(p_start(_)).
+inputEvent(p_end(_)).
+inputEvent(q_start(_, _)).
+inputEvent(q_end(_, _)).
+
+initiatedAt(p(X)=true, T) :- happensAt(p_start(X), T).
+terminatedAt(p(X)=true, T) :- happensAt(p_end(X), T).
+
+initiatedAt(pair(X, Y)=true, T) :-
+    happensAt(q_start(X, Y), T),
+    holdsAt(p(X)=true, T).
+terminatedAt(pair(X, Y)=true, T) :- happensAt(q_end(X, Y), T).
+terminatedAt(pair(X, Y)=true, T) :- happensAt(p_end(X), T).
+
+holdsFor(busy(X)=true, I) :-
+    holdsFor(p(X)=true, Ip),
+    holdsFor(pair(X, b1)=true, I1),
+    union_all([Ip, I1], I).
+`
+
+// genCrossShardStream derives a random event stream over crossShardED's
+// input events: enough distinct entities that an 8-way shard split puts
+// interdependent groundings on different workers.
+func genCrossShardStream(r *rand.Rand, horizon int64) stream.Stream {
+	as := []string{"a1", "a2", "a3", "a4", "a5", "a6"}
+	bs := []string{"b1", "b2", "b3"}
+	var s stream.Stream
+	n := 10 + r.Intn(50)
+	for i := 0; i < n; i++ {
+		t := int64(r.Intn(int(horizon)))
+		a := as[r.Intn(len(as))]
+		var src string
+		switch r.Intn(4) {
+		case 0:
+			src = fmt.Sprintf("p_start(%s)", a)
+		case 1:
+			src = fmt.Sprintf("p_end(%s)", a)
+		case 2:
+			src = fmt.Sprintf("q_start(%s, %s)", a, bs[r.Intn(len(bs))])
+		default:
+			src = fmt.Sprintf("q_end(%s, %s)", a, bs[r.Intn(len(bs))])
+		}
+		s = append(s, stream.Event{Time: t, Atom: parser.MustParseTerm(src)})
+	}
+	return s
+}
+
+// FuzzWorkersEquivalence drives the parallel and the sequential evaluator
+// over the same randomly derived stream and window geometry and requires
+// byte-identical recognition, including warning order. The corpus seeds a
+// mixed-entity multi-stratum event description so cross-shard dependency
+// merging is exercised from the first run.
+func FuzzWorkersEquivalence(f *testing.F) {
+	for _, seed := range []int64{1, 7, 42, 1234, 987654321} {
+		f.Add(seed)
+	}
+	ed, err := parser.ParseEventDescription(crossShardED)
+	if err != nil {
+		f.Fatal(err)
+	}
+	seq, err := New(ed, Options{Strict: true, Workers: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	par, err := New(ed, Options{Strict: true, Workers: 8})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		r := rand.New(rand.NewSource(seed))
+		events := genCrossShardStream(r, 500)
+		window := int64(20 + r.Intn(300))
+		a, err1 := seq.Run(events, RunOptions{Window: window})
+		b, err2 := par.Run(events, RunOptions{Window: window})
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("error mismatch: workers=1 %v, workers=8 %v", err1, err2)
+		}
+		if err1 != nil {
+			return
+		}
+		if fa, fb := recognitionFingerprint(t, a), recognitionFingerprint(t, b); fa != fb {
+			t.Fatalf("seed %d window %d: parallel output differs:\n--- workers=1\n%s\n--- workers=8\n%s",
+				seed, window, fa, fb)
+		}
+	})
+}

@@ -1,0 +1,155 @@
+package rtec
+
+import (
+	"fmt"
+	"sync"
+
+	"rtecgen/internal/intervals"
+	"rtecgen/internal/lang"
+	"rtecgen/internal/stream"
+	"rtecgen/internal/telemetry"
+)
+
+// This file implements entity-sharded parallel evaluation of one fluent's
+// rules. A "unit" is the smallest independently evaluable piece of work: one
+// (rule, anchor event) pair for a simple fluent, one (rule, candidate
+// substitution) pair for a statically determined one. Units of the same
+// fluent never observe each other's results — simple-fluent rules store
+// nothing until every rule has run, and SD bodies only read strictly lower
+// strata — so they can run on parallel workers.
+//
+// Determinism: every externally visible effect of a unit (an FVP emission,
+// an interval store, a runtime warning) is buffered as an act in the unit's
+// own slot, in occurrence order. After the pool drains, slots are applied
+// sequentially in unit order, which reproduces the exact effect order of the
+// sequential evaluation — so recognition output, warning order, checkpoint
+// bytes and stream revisions are byte-identical to Workers=1 regardless of
+// how units were sharded onto workers. The entity shard key only decides
+// which worker runs a unit (locality and balance), never the merge order.
+
+// minParallelUnits is the batch size below which spawning workers costs more
+// than it saves; smaller batches run inline on the calling goroutine.
+const minParallelUnits = 8
+
+// act is one buffered effect of an evaluation unit: either a runtime
+// warning (fvp == nil) or an emission/store of fvp with the payload the
+// applying rule expects (occurrence time t for simple rules, interval list
+// for holdsFor rules).
+type act struct {
+	warn Warning
+	fvp  *lang.Term
+	t    int64
+	list intervals.List
+}
+
+// ruleEval is the per-unit evaluation context. In direct (sequential) mode
+// apply is non-nil and effects take place immediately, reproducing the
+// classic single-goroutine code path. In buffered (parallel) mode effects
+// accumulate in buf for the ordered merge.
+type ruleEval struct {
+	w     *windowState
+	apply func(act)
+	buf   []act
+}
+
+func (re *ruleEval) put(a act) {
+	if re.apply != nil {
+		re.apply(a)
+		return
+	}
+	re.buf = append(re.buf, a)
+}
+
+// warnf buffers a runtime warning; dedup and telemetry happen when the act
+// is applied on the merge path, exactly as the sequential code would.
+func (re *ruleEval) warnf(fluent, format string, args ...any) {
+	re.put(act{warn: Warning{Fluent: fluent, Msg: fmt.Sprintf(format, args...)}})
+}
+
+// emit buffers a simple-rule FVP occurrence at time t.
+func (re *ruleEval) emit(fvp *lang.Term, t int64) { re.put(act{fvp: fvp, t: t}) }
+
+// store buffers an SD-rule interval list for fvp.
+func (re *ruleEval) store(fvp *lang.Term, list intervals.List) { re.put(act{fvp: fvp, list: list}) }
+
+// eventEntity is the shard key of an event unit: the event's first argument
+// is its entity (e.g. the vessel of a change_in_speed_start), so events of
+// the same entity land on the same worker.
+func eventEntity(ev stream.Event) uint64 {
+	if len(ev.Atom.Args) > 0 {
+		return lang.Hash(ev.Atom.Args[0])
+	}
+	return lang.Hash(ev.Atom)
+}
+
+// recordPoolStats snapshots the interval scratch-pool counters and returns
+// a func that records the run's delta as hit/miss counters, making buffer
+// reuse observable per run.
+func recordPoolStats(tel *telemetry.Telemetry) func() {
+	gets0, misses0 := intervals.PoolStats()
+	return func() {
+		gets, misses := intervals.PoolStats()
+		dGets, dMisses := gets-gets0, misses-misses0
+		tel.Counter("rtec.intervals.pool.hits").Add(dGets - dMisses)
+		tel.Counter("rtec.intervals.pool.misses").Add(dMisses)
+	}
+}
+
+// runUnits evaluates n units. With a single worker (or a tiny batch) the
+// units run inline in order with immediate effect application — the classic
+// sequential path. Otherwise units are partitioned by their entity shard key
+// onto the engine's worker pool, each unit buffering its effects into its
+// own slot, and the slots are applied in unit order after the pool drains.
+// shard is only consulted on the parallel path.
+func (w *windowState) runUnits(n int, shard func(int) uint64, body func(int, *ruleEval), apply func(act)) {
+	workers := w.eng.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < minParallelUnits {
+		re := ruleEval{w: w, apply: apply}
+		for i := 0; i < n; i++ {
+			body(i, &re)
+		}
+		return
+	}
+
+	shards := make([][]int32, workers)
+	for i := 0; i < n; i++ {
+		s := int(shard(i) % uint64(workers))
+		shards[s] = append(shards[s], int32(i))
+	}
+	// 100 means perfectly balanced shards; workers*100 means every unit
+	// hashed onto a single shard.
+	maxLoad := 0
+	for _, sh := range shards {
+		if len(sh) > maxLoad {
+			maxLoad = len(sh)
+		}
+	}
+	w.tel.Gauge("rtec.shard.imbalance").Set(int64(maxLoad * workers * 100 / n))
+
+	slots := make([][]act, n)
+	var wg sync.WaitGroup
+	for _, sh := range shards {
+		if len(sh) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(idx []int32) {
+			defer wg.Done()
+			for _, i := range idx {
+				re := ruleEval{w: w}
+				body(int(i), &re)
+				slots[i] = re.buf
+			}
+		}(sh)
+	}
+	wg.Wait()
+
+	for _, acts := range slots {
+		for _, a := range acts {
+			apply(a)
+		}
+	}
+}

@@ -201,6 +201,8 @@ func (e *Engine) runWindows(events stream.Stream, opts RunOptions, fn func(*Reco
 		telemetry.Int("start", tl.start), telemetry.Int("end", tl.end))
 	defer run.End()
 	tel.Counter("rtec.events.ingested").Add(int64(len(s)))
+	tel.Gauge("rtec.workers").Set(int64(e.workers))
+	defer recordPoolStats(tel)()
 	tel.Logger().Debug("recognition run",
 		"component", "rtec", "events", len(s),
 		"window", tl.window, "slide", tl.slide, "start", tl.start, "end", tl.end,

@@ -154,6 +154,8 @@ func (e *Engine) newStreamRun(events stream.Stream, opts StreamOptions, fn func(
 // consume ingests the arrivals after the resume point and finalises.
 func (st *streamRun) consume(events stream.Stream) (*StreamResult, error) {
 	tel := st.eng.opts.Telemetry
+	tel.Gauge("rtec.workers").Set(int64(st.eng.workers))
+	defer recordPoolStats(tel)()
 	if st.consumed > len(events) {
 		return nil, fmt.Errorf("rtec: checkpoint consumed %d arrivals but the stream has only %d", st.consumed, len(events))
 	}

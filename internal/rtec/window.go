@@ -167,7 +167,10 @@ func (e *Engine) evalWindow(winEvents stream.Stream, ws, we, nws int64, prevOpen
 		fvps:       map[string]*lang.Term{},
 		nextOpen:   map[string]*lang.Term{},
 	}
-	for key, ent := range w.cache {
+	for _, ent := range w.cache {
+		// The canonical key was rendered once when the FVP was first
+		// interned; this is a cache read, not a re-rendering.
+		key := e.interner.StringOf(ent.id)
 		clipped := intervals.Clip(ent.list, ws, we)
 		if len(clipped) > 0 {
 			out.recognised[key] = clipped
@@ -178,7 +181,7 @@ func (e *Engine) evalWindow(winEvents stream.Stream, ws, we, nws int64, prevOpen
 		}
 		// A simple FVP that (per this window's computation) holds at nws
 		// persists into the next window by the law of inertia.
-		if fl, ok := e.fluents[fluentKeyOf(ent.fvp)]; ok && fl.kind == Simple && ent.list.Contains(nws) {
+		if fl, ok := e.fluentsByPred[ent.fluent]; ok && fl.kind == Simple && ent.list.Contains(nws) {
 			out.nextOpen[key] = ent.fvp
 		}
 	}

@@ -1,0 +1,108 @@
+package similarity
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"rtecgen/internal/lang"
+	"rtecgen/internal/parser"
+)
+
+// manyRules builds n structurally varied rules so the whole-description
+// cost matrix exceeds minParallelCells.
+func manyRules(t *testing.T, n int, prefix string) []*lang.Clause {
+	t.Helper()
+	var src strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&src,
+			"initiatedAt(%s%d(X)=true, T) :- happensAt(start%d(X, a%d), T), holdsAt(base%d(X)=true, T).\n",
+			prefix, i, i, i%3, i%5)
+	}
+	ed, err := parser.ParseEventDescription(src.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ed.Rules()
+}
+
+// withProcs raises GOMAXPROCS for the test so fillCost takes its parallel
+// path even on a single-core runner.
+func withProcs(t *testing.T, n int) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(n)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+}
+
+func TestFillCostParallelMatchesSequential(t *testing.T) {
+	const m, k = 40, 33
+	dist := func(i, j int) float64 { return float64(i*31+j) / float64(m*k) }
+	mk := func() [][]float64 {
+		c := make([][]float64, m)
+		for i := range c {
+			c[i] = make([]float64, m)
+		}
+		return c
+	}
+
+	seq := mk()
+	for i := 0; i < m; i++ {
+		for j := 0; j < k; j++ {
+			seq[i][j] = dist(i, j)
+		}
+	}
+
+	withProcs(t, 8)
+	par := mk()
+	fillCost(par, m, k, dist)
+	for i := range seq {
+		for j := range seq[i] {
+			if seq[i][j] != par[i][j] {
+				t.Fatalf("cell (%d,%d) = %v, want %v", i, j, par[i][j], seq[i][j])
+			}
+		}
+	}
+}
+
+func TestFillCostPropagatesPanic(t *testing.T) {
+	withProcs(t, 8)
+	const m, k = 32, 32
+	cost := make([][]float64, m)
+	for i := range cost {
+		cost[i] = make([]float64, m)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic did not propagate")
+		}
+	}()
+	fillCost(cost, m, k, func(i, j int) float64 {
+		if i == 17 && j == 3 {
+			panic("bad cell")
+		}
+		return 0
+	})
+}
+
+// TestSimilarityParallelDeterministic: the headline metric is unchanged by
+// the parallel cost fill, on rule sets big enough to cross the
+// minParallelCells threshold.
+func TestSimilarityParallelDeterministic(t *testing.T) {
+	kb1 := manyRules(t, 24, "p")
+	kb2 := manyRules(t, 20, "q")
+	want, err := Similarity(kb1, kb2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withProcs(t, 8)
+	for round := 0; round < 5; round++ {
+		got, err := Similarity(kb1, kb2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("round %d: parallel similarity %v, sequential %v", round, got, want)
+		}
+	}
+}

@@ -11,6 +11,9 @@ package similarity
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"rtecgen/internal/hungarian"
 	"rtecgen/internal/lang"
@@ -89,15 +92,72 @@ func assignmentDistance(na, nb int, dist func(i, j int) float64) (float64, error
 	cost := make([][]float64, m)
 	for i := 0; i < m; i++ {
 		cost[i] = make([]float64, m)
-		for j := 0; j < k; j++ {
-			cost[i][j] = dist(i, j)
-		}
 	}
+	fillCost(cost, m, k, dist)
 	_, total, err := hungarian.Solve(cost)
 	if err != nil {
 		return 0, err
 	}
 	return (float64(m-k) + total) / float64(m), nil
+}
+
+// minParallelCells is the matrix size below which the cost of spawning
+// workers exceeds the cell computations; smaller matrices fill inline.
+const minParallelCells = 256
+
+// fillCost computes cost[i][j] = dist(i, j) for the m×k populated block,
+// distributing rows over up to GOMAXPROCS workers. Every cell is a pure
+// function of its indices, so the filled matrix — and with it the optimal
+// assignment — is identical at any worker count. Panics raised by dist
+// (Distance deliberately panics on impossible rule-distance failures) are
+// re-raised on the calling goroutine.
+func fillCost(cost [][]float64, m, k int, dist func(i, j int) float64) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	if workers <= 1 || m*k < minParallelCells {
+		for i := 0; i < m; i++ {
+			for j := 0; j < k; j++ {
+				cost[i][j] = dist(i, j)
+			}
+		}
+		return
+	}
+	var (
+		next    int64
+		wg      sync.WaitGroup
+		panicMu sync.Mutex
+		panicV  any
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicV == nil {
+						panicV = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= m {
+					return
+				}
+				for j := 0; j < k; j++ {
+					cost[i][j] = dist(i, j)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if panicV != nil {
+		panic(panicV)
+	}
 }
 
 // SetDistance computes the distance between two sets of ground expressions
