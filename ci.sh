@@ -16,6 +16,9 @@ fi
 echo "== go vet"
 go vet ./...
 
+echo "== vet-rtec (determinism vet: no wall clock or unseeded rand outside internal/clock)"
+go run ./cmd/vet-rtec .
+
 echo "== go build"
 go build ./...
 
@@ -27,19 +30,39 @@ go test -race ./internal/rtec/... ./internal/fleet/... ./internal/stream/... ./i
     ./internal/eval/... ./internal/similarity/...
 
 echo "== rteclint"
-# The worked example must produce diagnostics (exit 1 under -fail-on error);
-# the gold standards analyzing clean is enforced by the test suite above.
+# The worked example must produce diagnostics (exit 1 under -fail-on error).
 if go run ./cmd/rteclint -domain maritime examples/lint/withinarea_bad.prolog >/dev/null; then
     echo "rteclint: expected diagnostics for examples/lint/withinarea_bad.prolog" >&2
     exit 1
 fi
+# The embedded gold standards must lint diagnostic-free at the strictest
+# threshold.
+go run ./cmd/rteclint -gold -domain maritime -max-severity info > /dev/null
+go run ./cmd/rteclint -gold -domain fleet -max-severity info > /dev/null
+
+echo "== autofix golden gate (rteclint -fix reaches the committed fixpoints)"
+# The corrupted examples must fail as-is, and -fix must repair each one to a
+# lint-clean fixpoint that is byte-identical to the committed golden output.
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+for domain in maritime fleet; do
+    corrupted="examples/lint/corrupted_$domain.prolog"
+    if go run ./cmd/rteclint -domain "$domain" "$corrupted" >/dev/null; then
+        echo "autofix gate: expected diagnostics for $corrupted" >&2
+        exit 1
+    fi
+    go run ./cmd/rteclint -fix -max-severity info -domain "$domain" "$corrupted" > "$tmp/fixed.prolog" 2>/dev/null
+    if ! cmp -s "$corrupted.golden" "$tmp/fixed.prolog"; then
+        echo "autofix gate: -fix output deviates from $corrupted.golden:" >&2
+        diff "$corrupted.golden" "$tmp/fixed.prolog" >&2 || true
+        exit 1
+    fi
+done
 
 echo "== telemetry smoke (instrumented engine run on the maritime example)"
 # Compose a runnable maritime event description (gold standard + scenario
 # background knowledge) and stream, run the engine with tracing and metrics
 # enabled, and fail on a malformed trace or an empty registry dump.
-tmp=$(mktemp -d)
-trap 'rm -rf "$tmp"' EXIT
 go run ./cmd/aisgen -vessels 14 -seed 7 -background "$tmp/bg.rtec" -gold "$tmp/gold.rtec" > "$tmp/events.csv"
 cat "$tmp/gold.rtec" "$tmp/bg.rtec" > "$tmp/ed.rtec"
 go run ./cmd/rtec -ed "$tmp/ed.rtec" -stream "$tmp/events.csv" -window 3600 \
@@ -68,6 +91,23 @@ go run ./cmd/experiments -fig 2a -faults mixed -fault-seed 7 -metrics \
 if ! grep -q '^counter llm\.retries [1-9]' "$tmp/chaos-metrics.txt"; then
     echo "chaos smoke: metrics dump is missing a nonzero llm.retries counter:" >&2
     grep '^counter llm\.' "$tmp/chaos-metrics.txt" >&2 || cat "$tmp/chaos-metrics.txt" >&2
+    exit 1
+fi
+
+echo "== refine smoke (critique-refine loop must converge deterministically)"
+# Two same-seed runs of the refine figure must be byte-identical, and the
+# clean profile must converge in a single round with nothing left to
+# critique (autofixed 7, remaining 0, F1 1.000).
+go run ./cmd/experiments -fig refine -csv -vessels 14 -seed 7 -window 3600 > "$tmp/refine1.csv" 2>/dev/null
+go run ./cmd/experiments -fig refine -csv -vessels 14 -seed 7 -window 3600 > "$tmp/refine2.csv" 2>/dev/null
+if ! cmp -s "$tmp/refine1.csv" "$tmp/refine2.csv"; then
+    echo "refine smoke: two runs with the same seed differ:" >&2
+    diff "$tmp/refine1.csv" "$tmp/refine2.csv" >&2 || true
+    exit 1
+fi
+if ! grep -q '^o1□,1,7,0,0.993,0.947,1.000,$' "$tmp/refine1.csv"; then
+    echo "refine smoke: o1 profile no longer converges in one clean round:" >&2
+    cat "$tmp/refine1.csv" >&2
     exit 1
 fi
 

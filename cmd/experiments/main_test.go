@@ -33,6 +33,23 @@ func TestRunFigure2c(t *testing.T) {
 	}
 }
 
+func TestRunFigureRefine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full recognition run")
+	}
+	o := options{fig: "refine", csv: true, vessels: 14, seed: 7, window: 3600}
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	// Under injected faults the refine loop is skipped: the run must still
+	// succeed without building a testbed.
+	o = options{fig: "refine", csv: true, vessels: 14, seed: 7, window: 3600,
+		faults: "flaky", faultSeed: 1}
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestRunWithTelemetry drives the metrics/trace path of the experiments
 // command: the run must emit a parseable Chrome trace with pipeline spans.
 func TestRunWithTelemetry(t *testing.T) {

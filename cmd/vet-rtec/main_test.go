@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	clean := filepath.Join(dir, "clean.go")
+	if err := os.WriteFile(clean, []byte("package a\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{dir}, &out, &errOut); code != 0 {
+		t.Fatalf("clean dir: exit %d\n%s", code, errOut.String())
+	}
+
+	dirty := filepath.Join(dir, "dirty.go")
+	src := "package a\n\nimport \"time\"\n\nfunc f() time.Time { return time.Now() }\n"
+	if err := os.WriteFile(dirty, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if code := run([]string{dir}, &out, &errOut); code != 1 {
+		t.Fatalf("dirty dir: exit %d", code)
+	}
+	if !strings.Contains(out.String(), "wallclock") {
+		t.Fatalf("finding not printed:\n%s", out.String())
+	}
+
+	if code := run([]string{filepath.Join(dir, "missing")}, &out, &errOut); code != 2 {
+		t.Fatal("missing root must exit 2")
+	}
+}
+
+func TestRunDefaultsToCwd(t *testing.T) {
+	var out, errOut strings.Builder
+	// The command's own directory is clean.
+	if code := run(nil, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d\n%s%s", code, out.String(), errOut.String())
+	}
+}

@@ -1,0 +1,87 @@
+% A machine-repairable corruption of the fleet-management definitions
+% (internal/fleet), mirror of corrupted_maritime.prolog:
+%
+%   go run ./cmd/rteclint -fix -domain fleet examples/lint/corrupted_fleet.prolog
+%
+% reaches a lint-clean fixpoint; the expected output is committed as
+% corrupted_fleet.prolog.golden and checked by the golden round-trip tests
+% of cmd/rteclint.
+
+% R002 with a rename fix: 'ignitian_on' is an edit-distance-1 typo of the
+% declared input event 'ignition_on'.
+initiatedAt(ignitionOn(V)=true, T) :-
+    happensAt(ignitian_on(V), T).
+
+terminatedAt(ignitionOn(V)=true, T) :-
+    happensAt(ignition_off(V), T).
+
+terminatedAt(ignitionOn(V)=true, T) :-
+    happensAt(signal_lost(V), T).
+
+% R011 with a delete fix: 'motionless_end' both initiates and terminates
+% moving(V)=true.
+initiatedAt(moving(V)=true, T) :-
+    happensAt(motionless_end(V), T).
+
+terminatedAt(moving(V)=true, T) :-
+    happensAt(motionless_end(V), T).
+
+terminatedAt(moving(V)=true, T) :-
+    happensAt(motionless_start(V), T).
+
+terminatedAt(moving(V)=true, T) :-
+    happensAt(signal_lost(V), T).
+
+% R002/R014 with fixes: 'zoneType' is a documented alias of the background
+% predicate 'zoneKind', and one of the two copies is redundant.
+initiatedAt(withinZone(V, ZoneKind)=true, T) :-
+    happensAt(entersZone(V, ZoneID), T),
+    zoneType(ZoneID, ZoneKind),
+    zoneType(ZoneID, ZoneKind).
+
+terminatedAt(withinZone(V, ZoneKind)=true, T) :-
+    happensAt(leavesZone(V, ZoneID), T),
+    zoneKind(ZoneID, ZoneKind).
+
+terminatedAt(withinZone(V, ZoneKind)=true, T) :-
+    happensAt(signal_lost(V), T).
+
+% Round-1 fixes cascade: deleting the vacuous '10 > 2' (R016) makes the
+% first clause a duplicate of the second, which round 2 deletes (R006).
+initiatedAt(speeding(V)=true, T) :-
+    happensAt(speedSignal(V, Speed), T),
+    vehicleType(V, Type),
+    typeSpeedLimit(Type, Limit),
+    Speed > Limit,
+    10 > 2.
+
+initiatedAt(speeding(V)=true, T) :-
+    happensAt(speedSignal(V, Speed), T),
+    vehicleType(V, Type),
+    typeSpeedLimit(Type, Limit),
+    Speed > Limit.
+
+terminatedAt(speeding(V)=true, T) :-
+    happensAt(speedSignal(V, Speed), T),
+    vehicleType(V, Type),
+    typeSpeedLimit(Type, Limit),
+    Speed =< Limit.
+
+terminatedAt(speeding(V)=true, T) :-
+    happensAt(signal_lost(V), T).
+
+% The composite activities of the curriculum, consuming the helpers above.
+holdsFor(idling(V)=true, I) :-
+    holdsFor(ignitionOn(V)=true, Ion),
+    holdsFor(moving(V)=true, Im),
+    relative_complement_all(Ion, [Im], I).
+
+holdsFor(offDepotIdling(V)=true, I) :-
+    holdsFor(idling(V)=true, Ii),
+    holdsFor(withinZone(V, depot)=true, Id),
+    relative_complement_all(Ii, [Id], I).
+
+holdsFor(urbanSpeeding(V)=true, I) :-
+    holdsFor(speeding(V)=true, Is),
+    holdsFor(withinZone(V, urban)=true, Iu),
+    intersect_all([Is, Iu], I).

@@ -1,0 +1,49 @@
+% A machine-repairable corruption of maritime definitions, in the style of
+% the careless mistakes the simulated LLM profiles make. Unlike
+% withinarea_bad.prolog, every defect here carries a suggested fix, so
+%
+%   go run ./cmd/rteclint -fix -domain maritime examples/lint/corrupted_maritime.prolog
+%
+% reaches a lint-clean fixpoint. The expected output is committed next to
+% this file (corrupted_maritime.prolog.golden) and checked by the golden
+% round-trip tests of cmd/rteclint.
+
+% R002 with a rename fix: 'entersAreas' is an edit-distance-1 typo of the
+% declared input event 'entersArea'; 'trawlingArea' is a documented alias
+% of the area type 'fishing' (R010).
+initiatedAt(withinArea(Vl, trawlingArea)=true, T) :-
+    happensAt(entersAreas(Vl, AreaID), T),
+    areaType(AreaID, trawlingArea).
+
+% R014 with a delete fix: the duplicated condition.
+terminatedAt(withinArea(Vl, AreaType)=true, T) :-
+    happensAt(leavesArea(Vl, AreaID), T),
+    areaType(AreaID, AreaType),
+    areaType(AreaID, AreaType).
+
+terminatedAt(withinArea(Vl, AreaType)=true, T) :-
+    happensAt(gap_start(Vl), T).
+
+% Round-1 fixes cascade into a round-2 fix: renaming 'gapStart' (alias of
+% 'gap_start') and deleting the vacuous '5 > 3' (R016) makes this clause a
+% duplicate of the next one, which round 2 then deletes (R006).
+initiatedAt(gap(Vl)=farFromPorts, T) :-
+    happensAt(gapStart(Vl), T),
+    5 > 3.
+
+initiatedAt(gap(Vl)=farFromPorts, T) :-
+    happensAt(gap_start(Vl), T).
+
+terminatedAt(gap(Vl)=farFromPorts, T) :-
+    happensAt(gap_end(Vl), T).
+
+% R011 with a delete fix: 'stop_start' both initiates and terminates
+% stopped(Vl)=true, so the termination can never take effect.
+initiatedAt(stopped(Vl)=true, T) :-
+    happensAt(stop_start(Vl), T).
+
+terminatedAt(stopped(Vl)=true, T) :-
+    happensAt(stop_start(Vl), T).
+
+terminatedAt(stopped(Vl)=true, T) :-
+    happensAt(stop_end(Vl), T).

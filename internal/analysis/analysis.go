@@ -58,6 +58,10 @@ type Diagnostic struct {
 	Pos      lang.Position `json:"pos"`
 	Message  string        `json:"message"`
 	Symbol   string        `json:"symbol,omitempty"`
+	// SuggestedFixes are machine-applicable repairs, present only when the
+	// analyzer was given the source text (Options.Source). Each fix is
+	// self-contained; ApplyFixes arbitrates overlaps between fixes.
+	SuggestedFixes []SuggestedFix `json:"suggestedFixes,omitempty"`
 }
 
 func (d Diagnostic) String() string {
@@ -86,6 +90,12 @@ var passes = []Pass{
 	{"R008", "interval-operator-misuse", "union_all/intersect_all/relative_complement_all used with the wrong shape or in the wrong place", runIntervalOperator},
 	{"R009", "malformed-temporal-rule", "an initiatedAt/terminatedAt/holdsFor head does not have the fluent=value shape", runMalformedTemporalHead},
 	{"R010", "unknown-name", "a name is neither RTEC syntax, domain vocabulary, nor defined by the description", runUnknownName},
+	{"R011", "contradictory-initiation", "the same conditions initiate and terminate a fluent-value pair, so its intervals are always empty", runContradictoryInitiation},
+	{"R012", "unreachable-fluent", "a fluent's dependency closure never bottoms out at an input event, or a referenced fluent value is never produced", runUnreachableFluent},
+	{"R013", "sort-inference", "argument sorts inferred from the vocabulary clash, e.g. an entity identifier compared to a number", runSortInference},
+	{"R014", "redundant-condition", "a body condition is duplicated or subsumed by a strictly stronger comparison in the same body", runRedundantCondition},
+	{"R015", "never-terminated", "a simple fluent value is initiated but never terminated, so it holds forever once initiated", runNeverTerminated},
+	{"R016", "vacuous-threshold", "a comparison is trivially true or false given declared constants", runVacuousThreshold},
 }
 
 // Options tunes the analyzer.
@@ -101,6 +111,23 @@ type Options struct {
 	// Roots is non-empty, other unused definitions are warnings rather
 	// than infos.
 	Roots map[string]bool
+	// Source is the text the event description was parsed from. When set,
+	// passes attach SuggestedFixes whose TextEdits are byte offsets into
+	// this exact text; when empty, diagnostics carry no fixes.
+	Source string
+	// Rename, when non-nil, proposes a replacement for an unknown name
+	// flagged by R002/R010 (e.g. a documented alias or a near-miss of the
+	// vocabulary). It returns the replacement, a short reason for the fix
+	// message, and whether a replacement is known.
+	Rename func(name string) (to, reason string, ok bool)
+	// Sorts maps a documented event or background-predicate functor to the
+	// sorts of its arguments (lower-cased pattern argument names), feeding
+	// the R013 sort-inference pass. See prompt.Domain.ArgSorts.
+	Sorts map[string][]string
+	// Constants maps threshold names to known numeric values, letting R016
+	// fold comparisons over threshold-bound variables. Threshold facts
+	// declared by the description itself take precedence.
+	Constants map[string]float64
 	// Telemetry, when non-nil, records per-pass spans (children of Span)
 	// and counters of emitted diagnostics by code ("analysis.diag.R002").
 	Telemetry *telemetry.Telemetry
@@ -133,6 +160,9 @@ func Analyze(ed *lang.EventDescription, opts Options) *Report {
 		sp.End()
 		out = append(out, ds...)
 	}
+	// Order by (Pos, Code, Symbol, Message): the Symbol tie-break keeps
+	// reports byte-stable when several passes flag different symbols of the
+	// same clause at identical positions.
 	sort.SliceStable(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos != b.Pos {
@@ -140,6 +170,9 @@ func Analyze(ed *lang.EventDescription, opts Options) *Report {
 		}
 		if a.Code != b.Code {
 			return a.Code < b.Code
+		}
+		if a.Symbol != b.Symbol {
+			return a.Symbol < b.Symbol
 		}
 		return a.Message < b.Message
 	})

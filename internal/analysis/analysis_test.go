@@ -49,8 +49,8 @@ func wantPos(t *testing.T, d analysis.Diagnostic, line, col int) {
 
 func TestPassCatalogue(t *testing.T) {
 	ps := analysis.Passes()
-	if len(ps) != 10 {
-		t.Fatalf("got %d passes, want 10", len(ps))
+	if len(ps) != 16 {
+		t.Fatalf("got %d passes, want 16", len(ps))
 	}
 	seen := map[string]bool{}
 	for _, p := range ps {
@@ -62,7 +62,7 @@ func TestPassCatalogue(t *testing.T) {
 			t.Errorf("pass %s missing name or doc", p.Code)
 		}
 	}
-	for _, code := range []string{"R001", "R005", "R010"} {
+	for _, code := range []string{"R001", "R005", "R010", "R011", "R016"} {
 		if !seen[code] {
 			t.Errorf("missing pass %s", code)
 		}

@@ -1,0 +1,207 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"rtecgen/internal/analysis"
+	"rtecgen/internal/parser"
+)
+
+func edit(start, end int, text string) analysis.TextEdit {
+	return analysis.TextEdit{Span: analysis.Span{Start: start, End: end}, NewText: text}
+}
+
+func TestApplyFixesOrderAndDedupe(t *testing.T) {
+	src := "abcdef"
+	fixes := []analysis.SuggestedFix{
+		{Message: "b->B", Edits: []analysis.TextEdit{edit(1, 2, "B")}},
+		{Message: "e->E", Edits: []analysis.TextEdit{edit(4, 5, "E")}},
+		{Message: "b->B again", Edits: []analysis.TextEdit{edit(1, 2, "B")}},
+	}
+	got, n := analysis.ApplyFixes(src, fixes)
+	if got != "aBcdEf" {
+		t.Fatalf("got %q", got)
+	}
+	// The identical edit dedupes, but all three fixes count as applied.
+	if n != 3 {
+		t.Fatalf("applied %d fixes, want 3", n)
+	}
+}
+
+func TestApplyFixesConflictSkipsWholeFix(t *testing.T) {
+	src := "abcdef"
+	fixes := []analysis.SuggestedFix{
+		{Message: "first", Edits: []analysis.TextEdit{edit(1, 3, "X")}},
+		// Overlaps the first fix at [2,4): the entire fix is skipped, even
+		// its non-overlapping second edit.
+		{Message: "second", Edits: []analysis.TextEdit{edit(2, 4, "Y"), edit(5, 6, "Z")}},
+	}
+	got, n := analysis.ApplyFixes(src, fixes)
+	if got != "aXdef" || n != 1 {
+		t.Fatalf("got %q with %d applied", got, n)
+	}
+}
+
+func TestApplyFixesBadSpanSkipped(t *testing.T) {
+	src := "abc"
+	fixes := []analysis.SuggestedFix{
+		{Message: "out of range", Edits: []analysis.TextEdit{edit(2, 9, "X")}},
+	}
+	got, n := analysis.ApplyFixes(src, fixes)
+	if got != src || n != 0 {
+		t.Fatalf("got %q with %d applied", got, n)
+	}
+}
+
+const undefinedSrc = `inputEvent(change_in_speed_start(_)).
+
+initiatedAt(changingSpeed(V)=true, T) :-
+    happensAt(chang_speed_start(V), T).
+
+terminatedAt(changingSpeed(V)=true, T) :-
+    happensAt(change_in_speed_start(V), T).
+`
+
+func TestRenameFixAppliesEverywhere(t *testing.T) {
+	vocab := map[string]bool{"change_in_speed_start": true}
+	rename := func(name string) (string, string, bool) {
+		if name == "chang_speed_start" {
+			return "change_in_speed_start", "closest vocabulary name", true
+		}
+		return "", "", false
+	}
+	r := analysis.AnalyzeSource(undefinedSrc, analysis.Options{Vocabulary: vocab, Rename: rename})
+	d := wantCode(t, r, "R002", "chang_speed_start")
+	if len(d.SuggestedFixes) != 1 {
+		t.Fatalf("want one rename fix, got %d", len(d.SuggestedFixes))
+	}
+	fixed, n := analysis.ApplyFixes(undefinedSrc, d.SuggestedFixes)
+	if n != 1 {
+		t.Fatalf("applied %d fixes", n)
+	}
+	if strings.Contains(fixed, "chang_speed_start") {
+		t.Fatalf("old name survives:\n%s", fixed)
+	}
+	r2 := analysis.AnalyzeSource(fixed, analysis.Options{Vocabulary: vocab, Rename: rename})
+	wantNoCode(t, r2, "R002")
+}
+
+func TestDeleteLiteralMiddleAndLast(t *testing.T) {
+	src := `initiatedAt(f(V)=true, T) :-
+    happensAt(ping(V), T),
+    holdsAt(g(V)=true, T),
+    holdsAt(g(V)=true, T),
+    5 > 3.
+`
+	res := analysis.Fix(src, analysis.Options{}, analysis.DefaultFixBudget)
+	if !res.Fixpoint() {
+		t.Fatalf("no fixpoint:\n%s", res.Report.Text())
+	}
+	if strings.Count(res.Source, "holdsAt(g(V)=true, T)") != 1 {
+		t.Fatalf("duplicate literal kept:\n%s", res.Source)
+	}
+	if strings.Contains(res.Source, "5 > 3") {
+		t.Fatalf("vacuous comparison kept:\n%s", res.Source)
+	}
+	if _, err := parser.ParseEventDescription(res.Source); err != nil {
+		t.Fatalf("fixed source unparseable: %v\n%s", err, res.Source)
+	}
+}
+
+func TestFixRoundsStrictlyDecrease(t *testing.T) {
+	res := analysis.Fix(contradictorySrc, analysis.Options{}, analysis.DefaultFixBudget)
+	if len(res.Rounds) == 0 {
+		t.Fatal("no rounds recorded")
+	}
+	for i, rd := range res.Rounds {
+		if rd.After >= rd.Before {
+			t.Fatalf("round %d: %d -> %d diagnostics (not strictly decreasing)", i, rd.Before, rd.After)
+		}
+	}
+	wantNoCode(t, res.Report, "R011")
+}
+
+func TestFixZeroBudgetUsesDefault(t *testing.T) {
+	// A non-positive budget falls back to DefaultFixBudget.
+	res := analysis.Fix(contradictorySrc, analysis.Options{}, 0)
+	if !res.Fixpoint() {
+		t.Fatalf("no fixpoint under the default budget:\n%s", res.Report.Text())
+	}
+	if len(res.Rounds) == 0 || len(res.Rounds) > analysis.DefaultFixBudget {
+		t.Fatalf("got %d rounds, want 1..%d", len(res.Rounds), analysis.DefaultFixBudget)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	before := "a.\nb.\nc.\n"
+	after := "a.\nc.\nd.\n"
+	d := analysis.Diff("ed.prolog", before, after)
+	for _, want := range []string{"--- ed.prolog", "+++ ed.prolog (fixed)", "-b.", "+d.", " a."} {
+		if !strings.Contains(d, want) {
+			t.Fatalf("diff missing %q:\n%s", want, d)
+		}
+	}
+	if analysis.Diff("x", before, before) != "" {
+		t.Fatal("identical inputs must yield an empty diff")
+	}
+}
+
+// FuzzApplyFixes checks the autofix safety contract on arbitrary parseable
+// inputs: the fixed source must still parse, and driving fixes to fixpoint
+// must never raise the diagnostic count.
+func FuzzApplyFixes(f *testing.F) {
+	f.Add(contradictorySrc)
+	f.Add(undefinedSrc)
+	f.Add(`initiatedAt(f(V)=true, T) :-
+    happensAt(ping(V), T),
+    holdsAt(g(V)=true, T),
+    holdsAt(g(V)=true, T),
+    5 > 3.
+`)
+	f.Add("a.\n")
+	f.Add("% only a comment\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		if _, err := parser.ParseEventDescription(src); err != nil {
+			t.Skip()
+		}
+		opts := analysis.Options{}
+		before := analysis.AnalyzeSource(src, opts)
+		res := analysis.Fix(src, opts, analysis.DefaultFixBudget)
+		if _, err := parser.ParseEventDescription(res.Source); err != nil {
+			t.Fatalf("fixed source unparseable: %v\nbefore:\n%s\nafter:\n%s", err, src, res.Source)
+		}
+		if len(res.Report.Diagnostics) > len(before.Diagnostics) {
+			t.Fatalf("fixes raised diagnostics %d -> %d\nbefore:\n%s\nafter:\n%s",
+				len(before.Diagnostics), len(res.Report.Diagnostics), src, res.Source)
+		}
+	})
+}
+
+func TestDeleteClauseWithMultipleConditions(t *testing.T) {
+	// Regression: the clause-end scanner must step past depth-0 commas
+	// separating body literals (it used to loop forever on them).
+	src := `initiatedAt(loiter(Vl)=true, T) :-
+    happensAt(stop_start(Vl), T),
+    union_all(I1, I).
+
+initiatedAt(loiter(V2)=true, T2) :-
+    happensAt(stop_start(V2), T2),
+    union_all(J1, J).
+`
+	r := analysis.AnalyzeSource(src, analysis.Options{})
+	d := wantCode(t, r, "R006", "duplicate of the clause")
+	if len(d.SuggestedFixes) != 1 {
+		t.Fatalf("want a delete-clause fix, got %d", len(d.SuggestedFixes))
+	}
+	fixed, n := analysis.ApplyFixes(src, d.SuggestedFixes)
+	if n != 1 {
+		t.Fatalf("applied %d fixes", n)
+	}
+	if strings.Count(fixed, "initiatedAt(loiter") != 1 {
+		t.Fatalf("duplicate clause not removed:\n%s", fixed)
+	}
+	if _, err := parser.ParseEventDescription(fixed); err != nil {
+		t.Fatalf("fixed source unparseable: %v\n%s", err, fixed)
+	}
+}

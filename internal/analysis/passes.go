@@ -50,6 +50,11 @@ func runUndefinedReference(ctx *context) []Diagnostic {
 	checkEvents := ctx.hasDecls || ctx.opts.Vocabulary != nil
 	var out []Diagnostic
 	seen := map[string]bool{}
+	add := func(r reference, msg string) {
+		d := Diagnostic{Severity: Error, Pos: r.term.Pos, Symbol: r.name, Message: msg}
+		d.SuggestedFixes = ctx.renameFixes(r.name)
+		out = append(out, d)
+	}
 	for _, r := range ctx.refs {
 		switch r.kind {
 		case refFluent:
@@ -57,25 +62,39 @@ func runUndefinedReference(ctx *context) []Diagnostic {
 				continue
 			}
 			seen["f:"+r.name] = true
-			out = append(out, Diagnostic{Severity: Error, Pos: r.term.Pos, Symbol: r.name,
-				Message: fmt.Sprintf("condition over undefined fluent '%s': no initiatedAt/terminatedAt or holdsFor rule defines it", r.name)})
+			add(r, fmt.Sprintf("condition over undefined fluent '%s': no initiatedAt/terminatedAt or holdsFor rule defines it", r.name))
 		case refEvent:
 			if !checkEvents || ctx.events[r.name] || ctx.known(r.name) || ctx.defined(r.name) || seen["e:"+r.name] {
 				continue
 			}
 			seen["e:"+r.name] = true
-			out = append(out, Diagnostic{Severity: Error, Pos: r.term.Pos, Symbol: r.name,
-				Message: fmt.Sprintf("happensAt over unknown event '%s': not a declared input event", r.name)})
+			add(r, fmt.Sprintf("happensAt over unknown event '%s': not a declared input event", r.name))
 		case refPred:
 			if ctx.opts.Vocabulary == nil || ctx.defined(r.name) || ctx.known(r.name) || seen["p:"+r.name] {
 				continue
 			}
 			seen["p:"+r.name] = true
-			out = append(out, Diagnostic{Severity: Error, Pos: r.term.Pos, Symbol: r.name,
-				Message: fmt.Sprintf("call to unknown background predicate '%s'", r.name)})
+			add(r, fmt.Sprintf("call to unknown background predicate '%s'", r.name))
 		}
 	}
 	return out
+}
+
+// renameFixes consults the Rename callback for a repair of an unknown name
+// and, when one is known, renders it as a whole-description rename fix.
+func (ctx *context) renameFixes(name string) []SuggestedFix {
+	if ctx.opts.Rename == nil || !ctx.hasSource() {
+		return nil
+	}
+	to, reason, ok := ctx.opts.Rename(name)
+	if !ok {
+		return nil
+	}
+	fix, ok := ctx.renameFix(name, to, fmt.Sprintf("replace '%s' with '%s' (%s)", name, to, reason))
+	if !ok {
+		return nil
+	}
+	return []SuggestedFix{fix}
 }
 
 // ---------------------------------------------------------------- R003
@@ -335,8 +354,12 @@ func runDuplicateClause(ctx *context) []Diagnostic {
 	for _, c := range ctx.ed.Clauses {
 		key := canonicalClause(c)
 		if first, dup := seen[key]; dup {
-			out = append(out, Diagnostic{Severity: Warning, Pos: c.Pos,
-				Message: fmt.Sprintf("duplicate of the clause at %s", first.Pos)})
+			d := Diagnostic{Severity: Warning, Pos: c.Pos,
+				Message: fmt.Sprintf("duplicate of the clause at %s", first.Pos)}
+			if fix, ok := ctx.deleteClauseFix(c, "delete the duplicate clause"); ok {
+				d.SuggestedFixes = []SuggestedFix{fix}
+			}
+			out = append(out, d)
 			continue
 		}
 		seen[key] = c
@@ -599,8 +622,10 @@ func runUnknownName(ctx *context) []Diagnostic {
 					return true
 				}
 				seen[name] = true
-				out = append(out, Diagnostic{Severity: Warning, Pos: n.Pos, Symbol: name,
-					Message: fmt.Sprintf("'%s' is not in the domain vocabulary and is not defined by the description", name)})
+				d := Diagnostic{Severity: Warning, Pos: n.Pos, Symbol: name,
+					Message: fmt.Sprintf("'%s' is not in the domain vocabulary and is not defined by the description", name)}
+				d.SuggestedFixes = ctx.renameFixes(name)
+				out = append(out, d)
 				return true
 			})
 		}

@@ -99,10 +99,14 @@ type context struct {
 	hasDecls  bool
 	refs      []reference
 	arityUses []arityUse
+	lineOff   []int // byte offset of each line start of opts.Source
 }
 
 func newContext(ed *lang.EventDescription, opts Options) *context {
 	ctx := &context{ed: ed, opts: opts, defs: map[string]*definition{}, events: map[string]bool{}}
+	if opts.Source != "" {
+		ctx.lineOff = lineOffsets(opts.Source)
+	}
 	for _, c := range ed.Clauses {
 		ctx.collectClause(c)
 	}

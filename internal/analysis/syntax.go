@@ -25,12 +25,14 @@ func SyntaxError(err error) Diagnostic {
 	return d
 }
 
-// AnalyzeSource parses src and, on success, analyzes it. On a parse
-// failure the report holds the single R000 diagnostic.
+// AnalyzeSource parses src and, on success, analyzes it with the source
+// text attached (so diagnostics carry suggested fixes). On a parse failure
+// the report holds the single R000 diagnostic.
 func AnalyzeSource(src string, opts Options) *Report {
 	ed, err := parser.ParseEventDescription(src)
 	if err != nil {
 		return &Report{Diagnostics: []Diagnostic{SyntaxError(err)}}
 	}
+	opts.Source = src
 	return Analyze(ed, opts)
 }

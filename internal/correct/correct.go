@@ -8,6 +8,13 @@
 // place: the paper's corrected event descriptions GPT-4o▲, o1■ and Llama-3■
 // retain them, which is why their similarity increase in Figure 2b is
 // small.
+//
+// Both correctors run on top of the analyzer's suggested-fix layer: the
+// generated clauses are rendered into one source text with per-activity
+// marker comments, linted with a rename oracle installed, and the resulting
+// text edits are applied and re-parsed. Apply restricts itself to the
+// rename fixes of R002/R010 (the paper's manual step); AutoFix drives every
+// suggested fix to a fixpoint.
 package correct
 
 import (
@@ -72,6 +79,9 @@ func buildVocabulary(d *prompt.Domain) *vocabulary {
 	for _, val := range d.Values {
 		v.constants[val] = true
 	}
+	for _, c := range d.Constants {
+		v.constants[c] = true
+	}
 	// Area and vessel type constants documented in the background prompts.
 	for _, c := range []string{"fishing", "anchorage", "nearCoast", "nearPorts",
 		"fishingVessel", "cargo", "tanker", "tug", "pilotVessel", "sarVessel", "passenger"} {
@@ -95,6 +105,173 @@ var rtecKeywords = map[string]bool{
 	"absAngleDiff": true, "abs": true, "oneIsTug": true, "oneIsPilot": true,
 }
 
+// Renamer builds the analyzer's rename oracle from the domain vocabulary:
+// documented aliases map to their canonical name, and otherwise the closest
+// vocabulary name within edit distance 2 wins. It is handed to
+// analysis.Options.Rename so that R002/R010 diagnostics carry rename fixes.
+func Renamer(d *prompt.Domain) func(name string) (string, string, bool) {
+	return renamer(buildVocabulary(d), nil)
+}
+
+// occurrence records how a name occurs in the generated clauses, so the
+// edit-distance search looks in the matching name pool.
+type occurrence struct {
+	compound bool
+}
+
+func renamer(v *vocabulary, occ map[string]occurrence) func(string) (string, string, bool) {
+	return func(name string) (string, string, bool) {
+		if rtecKeywords[name] {
+			return "", "", false
+		}
+		if canonical, ok := v.aliases[name]; ok {
+			return canonical, "documented alias", true
+		}
+		compound, known := false, false
+		if occ != nil {
+			o, ok := occ[name]
+			compound, known = o.compound, ok
+		}
+		if known {
+			if to, ok := closestName(name, v, compound); ok {
+				return to, "edit distance", true
+			}
+			return "", "", false
+		}
+		// No occurrence information (e.g. the rteclint CLI): try both pools,
+		// preferring the closer match and predicates on a tie.
+		toP, okP := closestName(name, v, true)
+		toC, okC := closestName(name, v, false)
+		switch {
+		case okP && okC:
+			if editDistance(name, toC) < editDistance(name, toP) {
+				return toC, "edit distance", true
+			}
+			return toP, "edit distance", true
+		case okP:
+			return toP, "edit distance", true
+		case okC:
+			return toC, "edit distance", true
+		}
+		return "", "", false
+	}
+}
+
+func occurrences(gen *prompt.GeneratedED) map[string]occurrence {
+	occ := map[string]occurrence{}
+	for _, r := range gen.Results {
+		for _, c := range r.Clauses {
+			terms := append([]*lang.Term{c.Head}, literalAtoms(c.Body)...)
+			for _, t := range terms {
+				t.Walk(func(n *lang.Term) bool {
+					switch n.Kind {
+					case lang.Compound:
+						occ[n.Functor] = occurrence{compound: true}
+					case lang.Atom:
+						if _, ok := occ[n.Functor]; !ok {
+							occ[n.Functor] = occurrence{}
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+	return occ
+}
+
+// activityMarker prefixes the comment line that separates activities in the
+// combined source rendered by Combined. The key follows, then " ---".
+const activityMarker = "% --- activity:"
+
+// Combined renders the parsed per-activity clauses as one source text, each
+// activity introduced by a marker comment, so analyzer positions — and the
+// diagnostics and fixes built from them — can be attributed back to the
+// activity that produced each clause.
+func Combined(gen *prompt.GeneratedED) string {
+	var b strings.Builder
+	for _, r := range gen.Results {
+		fmt.Fprintf(&b, "%s%s ---\n", activityMarker, r.Request.Key)
+		for _, c := range r.Clauses {
+			b.WriteString(c.String())
+			b.WriteString("\n\n")
+		}
+	}
+	return b.String()
+}
+
+// markerRanges scans a combined source for activity markers and returns the
+// 1-based first and last line of each activity's section, in source order.
+type markerRange struct {
+	key         string
+	first, last int // 1-based line range, inclusive
+}
+
+func markerRanges(src string) []markerRange {
+	var out []markerRange
+	lines := strings.Split(src, "\n")
+	for i, line := range lines {
+		rest, ok := strings.CutPrefix(strings.TrimSpace(line), activityMarker)
+		if !ok {
+			continue
+		}
+		key := strings.TrimSpace(strings.TrimSuffix(rest, "---"))
+		if len(out) > 0 {
+			out[len(out)-1].last = i // line i is 1-based i+1; previous section ends before it
+		}
+		out = append(out, markerRange{key: key, first: i + 1, last: len(lines)})
+	}
+	return out
+}
+
+func activityAt(ranges []markerRange, line int) string {
+	for _, r := range ranges {
+		if line >= r.first && line <= r.last {
+			return r.key
+		}
+	}
+	return ""
+}
+
+// resplit parses a fixed combined source and rebuilds the per-activity
+// results of gen from it, assigning clauses to activities by the marker
+// sections their positions fall in. Raw responses, parse errors and
+// degradation flags are carried over unchanged.
+func resplit(gen *prompt.GeneratedED, src string) (*prompt.GeneratedED, error) {
+	ed, err := parser.ParseEventDescription(src)
+	if err != nil {
+		return nil, err
+	}
+	ranges := markerRanges(src)
+	byKey := map[string][]*lang.Clause{}
+	for _, c := range ed.Clauses {
+		byKey[activityAt(ranges, c.Pos.Line)] = append(byKey[activityAt(ranges, c.Pos.Line)], c)
+	}
+	out := &prompt.GeneratedED{ModelName: gen.ModelName, Scheme: gen.Scheme}
+	for _, r := range gen.Results {
+		nr := prompt.ActivityResult{Request: r.Request, Raw: r.Raw,
+			Errors: append([]string(nil), r.Errors...), Degraded: r.Degraded, Err: r.Err}
+		nr.Clauses = byKey[r.Request.Key]
+		out.Results = append(out.Results, nr)
+	}
+	return out, nil
+}
+
+// lintOptions are the analyzer options both correctors use on the combined
+// source: domain vocabulary, the requested activities as roots, and the
+// rename oracle.
+func lintOptions(gen *prompt.GeneratedED, domain *prompt.Domain, rename func(string) (string, string, bool)) analysis.Options {
+	roots := map[string]bool{}
+	for _, r := range gen.Results {
+		roots[r.Request.Name] = true
+	}
+	return analysis.Options{
+		Vocabulary: domain.KnownNames(),
+		Roots:      roots,
+		Rename:     rename,
+	}
+}
+
 // Corrected is the outcome: the corrected per-activity results and the
 // change log. Before is the analyzer report that drove the corrections;
 // the corrected Gen carries its own post-correction report.
@@ -108,7 +285,10 @@ type Corrected struct {
 // analyzer of internal/analysis: every name the analyzer flags as an
 // undefined reference (R002) or as outside the domain vocabulary (R010) is
 // renamed to the canonical vocabulary name when a confident mapping exists
-// (a documented alias, or an edit distance of at most 2). Names the
+// (a documented alias, or an edit distance of at most 2). The renames are
+// performed through the analyzer's suggested-fix layer: the clauses are
+// rendered to source, the rename fixes attached to R002/R010 diagnostics
+// are applied as text edits, and the result is re-parsed. Names the
 // analyzer does not flag — RTEC syntax, vocabulary names, fluents the
 // description defines itself — are never candidates, so structural errors
 // such as conditions over undefined activities with no plausible
@@ -141,95 +321,107 @@ func ApplyWith(tel *telemetry.Telemetry, gen *prompt.GeneratedED, domain *prompt
 
 func apply(gen *prompt.GeneratedED, domain *prompt.Domain) *Corrected {
 	v := buildVocabulary(domain)
+	rename := renamer(v, occurrences(gen))
+	src := Combined(gen)
+	report := analysis.AnalyzeSource(src, lintOptions(gen, domain, rename))
 
-	// The analyzer supplies the rename candidates. Reuse the report the
-	// pipeline attached when it analyzed the same clause set; hand-built
-	// GeneratedEDs are linted here.
-	report := gen.Report
-	if report == nil {
-		report = gen.Lint(domain)
-	}
-	candidates := map[string]string{} // name -> diagnostic code
+	// Only the rename fixes of R002/R010 are the paper's "minimum required
+	// changes"; every other suggested fix is AutoFix's business.
+	renames := map[string]Change{}
+	var fixes []analysis.SuggestedFix
 	for _, d := range report.Diagnostics {
-		if d.Symbol == "" {
+		if (d.Code != "R002" && d.Code != "R010") || d.Symbol == "" || len(d.SuggestedFixes) == 0 {
 			continue
 		}
-		switch d.Code {
-		case "R002", "R010":
-			if _, ok := candidates[d.Symbol]; !ok {
-				candidates[d.Symbol] = d.Code
-			}
+		if _, ok := renames[d.Symbol]; ok {
+			continue
 		}
-	}
-
-	// Record how each candidate occurs (compound or plain constant), so the
-	// edit-distance search looks in the matching name pool.
-	type occurrence struct {
-		arity    int
-		compound bool
-	}
-	occ := map[string]occurrence{}
-	for _, r := range gen.Results {
-		for _, c := range r.Clauses {
-			for _, t := range append([]*lang.Term{c.Head}, literalAtoms(c.Body)...) {
-				t.Walk(func(n *lang.Term) bool {
-					if _, ok := candidates[n.Functor]; !ok {
-						return true
-					}
-					switch n.Kind {
-					case lang.Compound:
-						occ[n.Functor] = occurrence{arity: len(n.Args), compound: true}
-					case lang.Atom:
-						if _, ok := occ[n.Functor]; !ok {
-							occ[n.Functor] = occurrence{}
-						}
-					}
-					return true
-				})
-			}
+		to, reason, ok := rename(d.Symbol)
+		if !ok {
+			continue
 		}
+		renames[d.Symbol] = Change{From: d.Symbol, To: to, Reason: reason, Code: d.Code}
+		fixes = append(fixes, d.SuggestedFixes...)
 	}
+	fixed, _ := analysis.ApplyFixes(src, fixes)
 
-	// Decide the renames.
-	renames := map[string]Change{}
-	names := make([]string, 0, len(candidates))
-	for n := range candidates {
+	ngen, err := resplit(gen, fixed)
+	if err != nil {
+		// A rename can never break parsing (edits replace names in place),
+		// but fail safe: keep the input unchanged.
+		ngen, renames = resplit0(gen), nil
+	}
+	out := &Corrected{Gen: ngen, Before: report}
+	out.Gen.Lint(domain)
+	names := make([]string, 0, len(renames))
+	for n := range renames {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	for _, name := range names {
-		o := occ[name]
-		if rtecKeywords[name] {
-			continue
-		}
-		if canonical, ok := v.aliases[name]; ok {
-			renames[name] = Change{From: name, To: canonical, Reason: "documented alias", Code: candidates[name]}
-			continue
-		}
-		if to, ok := closestName(name, v, o.compound); ok {
-			renames[name] = Change{From: name, To: to, Reason: "edit distance", Code: candidates[name]}
-		}
+	for _, n := range names {
+		out.Changes = append(out.Changes, renames[n])
 	}
+	return out
+}
 
-	out := &Corrected{Gen: &prompt.GeneratedED{ModelName: gen.ModelName, Scheme: gen.Scheme}, Before: report}
+// resplit0 deep-copies gen without changes, the failure fallback of apply.
+func resplit0(gen *prompt.GeneratedED) *prompt.GeneratedED {
+	out := &prompt.GeneratedED{ModelName: gen.ModelName, Scheme: gen.Scheme}
 	for _, r := range gen.Results {
 		nr := prompt.ActivityResult{Request: r.Request, Raw: r.Raw,
 			Errors: append([]string(nil), r.Errors...), Degraded: r.Degraded, Err: r.Err}
 		for _, c := range r.Clauses {
-			cc := c.Clone()
-			for from, ch := range renames {
-				cc = renameClause(cc, from, ch.To)
-			}
-			nr.Clauses = append(nr.Clauses, cc)
+			nr.Clauses = append(nr.Clauses, c.Clone())
 		}
-		out.Gen.Results = append(out.Gen.Results, nr)
+		out.Results = append(out.Results, nr)
 	}
+	return out
+}
+
+// Fixed is the outcome of AutoFix: the repaired per-activity results, the
+// fixpoint trace, and the diagnostics that no fix could discharge,
+// attributed to the activity whose section they fall in (the empty key
+// collects diagnostics without a position).
+type Fixed struct {
+	Gen       *prompt.GeneratedED
+	Source    string
+	Rounds    []analysis.FixRound
+	Report    *analysis.Report
+	Remaining map[string][]analysis.Diagnostic
+}
+
+// Fixpoint reports whether autofixing stopped with no fix left to apply.
+func (f *Fixed) Fixpoint() bool { return len(f.Report.Fixes()) == 0 }
+
+// AutoFix drives every suggested fix — renames, duplicate-clause and
+// redundant-condition deletions, contradictory initiations, vacuous
+// thresholds — to a fixpoint over the combined source of gen, within
+// analysis.DefaultFixBudget rounds. This is the machine half of the
+// critique–refine loop: what remains in Report is what only the model can
+// repair, and is rendered into the critique turn.
+func AutoFix(gen *prompt.GeneratedED, domain *prompt.Domain) *Fixed {
+	v := buildVocabulary(domain)
+	rename := renamer(v, occurrences(gen))
+	opts := lintOptions(gen, domain, rename)
+	opts.Sorts = domain.ArgSorts()
+	res := analysis.Fix(Combined(gen), opts, analysis.DefaultFixBudget)
+
+	out := &Fixed{Source: res.Source, Rounds: res.Rounds, Report: res.Report,
+		Remaining: map[string][]analysis.Diagnostic{}}
+	ranges := markerRanges(res.Source)
+	for _, d := range res.Report.Diagnostics {
+		key := ""
+		if d.Pos.IsValid() {
+			key = activityAt(ranges, d.Pos.Line)
+		}
+		out.Remaining[key] = append(out.Remaining[key], d)
+	}
+	ngen, err := resplit(gen, res.Source)
+	if err != nil {
+		ngen = resplit0(gen)
+	}
+	out.Gen = ngen
 	out.Gen.Lint(domain)
-	for _, name := range names {
-		if ch, ok := renames[name]; ok {
-			out.Changes = append(out.Changes, ch)
-		}
-	}
 	return out
 }
 
@@ -300,48 +492,6 @@ func min3(a, b, c int) int {
 		a = c
 	}
 	return a
-}
-
-func renameClause(c *lang.Clause, from, to string) *lang.Clause {
-	n := &lang.Clause{Head: renameTerm(c.Head, from, to), Pos: c.Pos}
-	for _, l := range c.Body {
-		n.Body = append(n.Body, lang.Literal{Neg: l.Neg, Atom: renameTerm(l.Atom, from, to)})
-	}
-	return n
-}
-
-func renameTerm(t *lang.Term, from, to string) *lang.Term {
-	switch t.Kind {
-	case lang.Atom:
-		if t.Functor == from {
-			n := *t
-			n.Functor = to
-			return &n
-		}
-		return t
-	case lang.Compound, lang.List:
-		args := make([]*lang.Term, len(t.Args))
-		changed := false
-		for i, a := range t.Args {
-			args[i] = renameTerm(a, from, to)
-			if args[i] != a {
-				changed = true
-			}
-		}
-		name := t.Functor
-		if t.Kind == lang.Compound && name == from {
-			name, changed = to, true
-		}
-		if !changed {
-			return t
-		}
-		n := *t
-		n.Functor = name
-		n.Args = args
-		return &n
-	default:
-		return t
-	}
 }
 
 // Summary renders the change log.

@@ -159,3 +159,101 @@ holdsFor(loitering(Vl)=true, I) :-
 		t.Fatalf("corrected ED unparseable: %v", err)
 	}
 }
+
+func TestCombinedAndResplit(t *testing.T) {
+	gen := &prompt.GeneratedED{
+		ModelName: "test",
+		Results: []prompt.ActivityResult{
+			{Request: prompt.ActivityRequest{Key: "a", Name: "first"}},
+			{Request: prompt.ActivityRequest{Key: "b", Name: "second"}},
+		},
+	}
+	for i, src := range []string{
+		"initiatedAt(first(V)=true, T) :-\n    happensAt(gap_start(V), T).\n",
+		"initiatedAt(second(V)=true, T) :-\n    happensAt(stop_start(V), T).\n",
+	} {
+		ed, err := parser.ParseEventDescription(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen.Results[i].Clauses = ed.Clauses
+	}
+	src := Combined(gen)
+	if strings.Count(src, activityMarker) != 2 {
+		t.Fatalf("want 2 markers:\n%s", src)
+	}
+	back, err := resplit(gen, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range back.Results {
+		if len(r.Clauses) != 1 {
+			t.Fatalf("activity %d: %d clauses", i, len(r.Clauses))
+		}
+	}
+	if back.Results[0].Clauses[0].Head.String() != gen.Results[0].Clauses[0].Head.String() {
+		t.Fatal("clauses attributed to the wrong activity")
+	}
+}
+
+func TestAutoFixReachesFixpoint(t *testing.T) {
+	// A typo'd event name, a duplicated condition and a vacuous comparison:
+	// all three carry fixes, so AutoFix must discharge them, while the
+	// undefined 'fishingGearDeployed' condition has no fix and must remain,
+	// attributed to its activity.
+	gen := genFromSrc(t, "tr", `
+initiatedAt(trawling(Vl)=true, T) :-
+    happensAt(entersAreas(Vl, AreaID), T),
+    holdsAt(withinArea(Vl, fishing)=true, T),
+    holdsAt(withinArea(Vl, fishing)=true, T),
+    holdsAt(fishingGearDeployed(Vl)=true, T),
+    5 > 3.
+`)
+	fx := AutoFix(gen, maritime.PromptDomain())
+	if !fx.Fixpoint() {
+		t.Fatalf("no fixpoint:\n%s", fx.Report.Text())
+	}
+	if len(fx.Rounds) == 0 || len(fx.Rounds) > 3 {
+		t.Fatalf("got %d rounds", len(fx.Rounds))
+	}
+	for i, rd := range fx.Rounds {
+		if rd.After >= rd.Before {
+			t.Fatalf("round %d not strictly decreasing: %+v", i, rd)
+		}
+	}
+	out := fx.Gen.ED().String()
+	if strings.Contains(out, "entersAreas") || strings.Contains(out, "5 > 3") {
+		t.Fatalf("fixable errors survive:\n%s", out)
+	}
+	if strings.Count(out, "withinArea(Vl, fishing)") != 1 {
+		t.Fatalf("duplicate condition survives:\n%s", out)
+	}
+	if !strings.Contains(out, "fishingGearDeployed") {
+		t.Fatal("structural error was autofixed away")
+	}
+	found := false
+	for _, d := range fx.Remaining["tr"] {
+		if d.Symbol == "fishingGearDeployed" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("remaining diagnostics not attributed to 'tr': %v", fx.Remaining)
+	}
+}
+
+func TestRenamerOracle(t *testing.T) {
+	rn := Renamer(maritime.PromptDomain())
+	if to, reason, ok := rn("trawlingArea"); !ok || to != "fishing" || reason != "documented alias" {
+		t.Fatalf("trawlingArea -> %q (%q, %v)", to, reason, ok)
+	}
+	if to, _, ok := rn("entersAreas"); !ok || to != "entersArea" {
+		t.Fatalf("entersAreas -> %q, %v", to, ok)
+	}
+	if _, _, ok := rn("initiatedAt"); ok {
+		t.Fatal("RTEC keywords must never be renamed")
+	}
+	if _, _, ok := rn("completelyUnrelatedName"); ok {
+		t.Fatal("distant names must not map onto the vocabulary")
+	}
+}

@@ -1,0 +1,76 @@
+package correct
+
+import (
+	"testing"
+
+	"rtecgen/internal/analysis"
+	"rtecgen/internal/fleet"
+	"rtecgen/internal/llm"
+	"rtecgen/internal/maritime"
+	"rtecgen/internal/prompt"
+)
+
+// roundTrip runs AutoFix over one generated event description and checks
+// the autofix contract: fixpoint within the round budget, strictly
+// decreasing diagnostic counts per round, and idempotence (a second
+// AutoFix over the repaired ED applies nothing).
+func roundTrip(t *testing.T, gen *prompt.GeneratedED, domain *prompt.Domain) {
+	t.Helper()
+	label := gen.Label()
+	fx := AutoFix(gen, domain)
+	if !fx.Fixpoint() {
+		t.Errorf("%s: no fixpoint within %d rounds:\n%s", label, analysis.DefaultFixBudget, fx.Report.Text())
+		return
+	}
+	if len(fx.Rounds) > analysis.DefaultFixBudget {
+		t.Errorf("%s: %d rounds, budget %d", label, len(fx.Rounds), analysis.DefaultFixBudget)
+	}
+	for i, rd := range fx.Rounds {
+		if rd.After >= rd.Before {
+			t.Errorf("%s round %d: %d -> %d diagnostics (not strictly decreasing)",
+				label, i+1, rd.Before, rd.After)
+		}
+	}
+	again := AutoFix(fx.Gen, domain)
+	if n := len(again.Rounds); n != 0 {
+		t.Errorf("%s: AutoFix is not idempotent: %d further rounds", label, n)
+	}
+}
+
+// TestAutoFixRoundTripMaritimeProfiles drives every simulated model error
+// profile, under both prompting schemes, through the autofixer.
+func TestAutoFixRoundTripMaritimeProfiles(t *testing.T) {
+	domain := maritime.PromptDomain()
+	curriculum := maritime.CurriculumRequests()
+	for _, m := range llm.AllModels() {
+		for _, scheme := range []prompt.Scheme{prompt.FewShot, prompt.ChainOfThought} {
+			gen, err := prompt.RunPipeline(m, scheme, domain, curriculum)
+			if err != nil {
+				t.Fatal(err)
+			}
+			roundTrip(t, gen, domain)
+		}
+	}
+}
+
+// TestAutoFixRoundTripFleetProfiles repeats the round trip on the fleet
+// domain: the same model profiles generate the fleet curriculum from
+// fleet.Knowledge().
+func TestAutoFixRoundTripFleetProfiles(t *testing.T) {
+	domain := fleet.PromptDomain()
+	curriculum := fleet.CurriculumRequests()
+	know := fleet.Knowledge()
+	for _, base := range llm.AllModels() {
+		m, err := llm.NewWithKnowledge(base.Name(), know)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, scheme := range []prompt.Scheme{prompt.FewShot, prompt.ChainOfThought} {
+			gen, err := prompt.RunPipeline(m, scheme, domain, curriculum)
+			if err != nil {
+				t.Fatal(err)
+			}
+			roundTrip(t, gen, domain)
+		}
+	}
+}

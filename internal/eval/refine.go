@@ -1,0 +1,175 @@
+package eval
+
+import (
+	"fmt"
+
+	"rtecgen/internal/analysis"
+	"rtecgen/internal/correct"
+	"rtecgen/internal/maritime"
+	"rtecgen/internal/prompt"
+	"rtecgen/internal/telemetry"
+)
+
+// DefaultRefineBudget caps the critique–refine loop: the initial generation
+// plus at most this many rounds of autofixing and critiquing.
+const DefaultRefineBudget = 3
+
+// RefineRound records one round of the critique–refine loop. Each round
+// autofixes the current event description, scores it, and — unless the
+// round is final — renders the surviving diagnostics into critique turns.
+type RefineRound struct {
+	Round     int      `json:"round"`     // 1-based
+	FixRounds int      `json:"fixRounds"` // autofix fixpoint rounds used
+	Fixed     int      `json:"fixed"`     // fixes applied mechanically
+	Remaining int      `json:"remaining"` // warning+ diagnostics left after autofix
+	Overall   float64  `json:"overall"`   // tree-similarity of the whole ED vs gold
+	Average   float64  `json:"average"`   // mean of per-activity similarities and Overall
+	F1        float64  `json:"f1"`        // testbed F1 average; -1 when no testbed was given
+	Critiqued []string `json:"critiqued"` // activity keys critiqued to produce the next round
+}
+
+// RefineRow is the refine trace of one model under one prompting scheme.
+type RefineRow struct {
+	Model  string
+	Scheme prompt.Scheme
+	Rounds []RefineRound
+	Final  *prompt.GeneratedED // the post-autofix ED of the last round
+}
+
+// Label renders the paper's notation (o1□, GPT-4o△, ...).
+func (r RefineRow) Label() string { return r.Model + r.Scheme.Suffix() }
+
+// Refine runs the critique–refine loop for one model and scheme against the
+// maritime curriculum.
+func Refine(model prompt.Model, scheme prompt.Scheme, budget int) (RefineRow, error) {
+	return RefineWith(nil, model, scheme, budget, nil)
+}
+
+// RefineWith is Refine with observability and an optional recognition
+// testbed for per-round F1 scores. One live session spans all rounds, so
+// each critique sees the full conversation so far.
+//
+// Per round: the per-activity results are combined and autofixed to a
+// fixpoint (machine repairs: renames, deletions of contradictory,
+// duplicated, redundant or vacuous clauses and conditions); the fixed ED is
+// scored against the gold standard; then the diagnostics that no fix could
+// discharge are sent back per activity as prompt C, and the model's revised
+// answers replace the old ones. The loop stops when no warning- or
+// error-level diagnostic survives autofixing, when no surviving diagnostic
+// can be attributed to an activity, or when the round budget is spent.
+func RefineWith(tel *telemetry.Telemetry, model prompt.Model, scheme prompt.Scheme, budget int, tb *Testbed) (RefineRow, error) {
+	if budget <= 0 {
+		budget = DefaultRefineBudget
+	}
+	domain := maritime.PromptDomain()
+	curriculum := maritime.CurriculumRequests()
+	gold := maritime.GoldED()
+
+	root := tel.Span("pipeline.refine",
+		telemetry.String("model", model.Name()), telemetry.String("scheme", scheme.String()),
+		telemetry.Int("budget", int64(budget)))
+	defer root.End()
+
+	s := prompt.NewSessionWith(tel, root, model, scheme, domain)
+	if err := s.Teach(); err != nil {
+		return RefineRow{}, fmt.Errorf("refine %s: %w", model.Name(), err)
+	}
+	results := map[string]prompt.ActivityResult{}
+	for _, req := range curriculum {
+		raw, err := s.Generate(req)
+		if err != nil {
+			return RefineRow{}, fmt.Errorf("refine %s %s: %w", model.Name(), req.Key, err)
+		}
+		results[req.Key] = parseResult(req, raw)
+	}
+
+	row := RefineRow{Model: model.Name(), Scheme: scheme}
+	for round := 1; round <= budget; round++ {
+		gen := &prompt.GeneratedED{ModelName: model.Name(), Scheme: scheme}
+		for _, req := range curriculum {
+			gen.Results = append(gen.Results, results[req.Key])
+		}
+		fx := correct.AutoFix(gen, domain)
+		sim, err := ScoreWith(tel, gold, fx.Gen)
+		if err != nil {
+			return RefineRow{}, fmt.Errorf("refine %s round %d: %w", model.Name(), round, err)
+		}
+		rr := RefineRound{
+			Round: round, FixRounds: len(fx.Rounds),
+			Overall: sim.Overall, Average: sim.Average(), F1: -1,
+		}
+		for _, fr := range fx.Rounds {
+			rr.Fixed += fr.Applied
+		}
+		// Diagnostics that survive autofixing at warning level or above are
+		// the model's to repair; only those attributable to an activity can
+		// be critiqued.
+		critique := map[string][]analysis.Diagnostic{}
+		for key, ds := range fx.Remaining {
+			for _, d := range ds {
+				if d.Severity < analysis.Warning {
+					continue
+				}
+				rr.Remaining++
+				if key != "" {
+					critique[key] = append(critique[key], d)
+				}
+			}
+		}
+		if tb != nil {
+			acc, err := tb.Evaluate(fx.Gen)
+			if err != nil {
+				return RefineRow{}, fmt.Errorf("refine %s round %d: %w", model.Name(), round, err)
+			}
+			rr.F1 = acc.Average()
+		}
+		row.Final = fx.Gen
+		if rr.Remaining > 0 && len(critique) > 0 && round < budget {
+			for _, req := range curriculum {
+				ds, ok := critique[req.Key]
+				if !ok {
+					continue
+				}
+				raw, err := s.Critique(req, ds)
+				if err != nil {
+					return RefineRow{}, fmt.Errorf("refine %s critique %s: %w", model.Name(), req.Key, err)
+				}
+				results[req.Key] = parseResult(req, raw)
+				rr.Critiqued = append(rr.Critiqued, req.Key)
+			}
+		}
+		row.Rounds = append(row.Rounds, rr)
+		if len(rr.Critiqued) == 0 {
+			break
+		}
+	}
+	return row, nil
+}
+
+func parseResult(req prompt.ActivityRequest, raw string) prompt.ActivityResult {
+	clauses, errs := prompt.ParseResponse(raw)
+	return prompt.ActivityResult{Request: req, Raw: raw, Clauses: clauses, Errors: errs}
+}
+
+// FigureRefine runs the critique–refine loop for every model under its best
+// prompting scheme (per the Figure 2a ranking in best) and returns the
+// refine traces in the same order. A nil tb skips the F1 column.
+func FigureRefine(tel *telemetry.Telemetry, models []prompt.Model, best []Row, budget int, tb *Testbed) ([]RefineRow, error) {
+	byName := map[string]prompt.Model{}
+	for _, m := range models {
+		byName[m.Name()] = m
+	}
+	var out []RefineRow
+	for _, b := range best {
+		m, ok := byName[b.Model]
+		if !ok {
+			return nil, fmt.Errorf("refine: no model named %q", b.Model)
+		}
+		row, err := RefineWith(tel, m, b.Scheme, budget, tb)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}

@@ -138,6 +138,9 @@ func GoldED() *lang.EventDescription {
 	return goldED.Clone()
 }
 
+// GoldSource returns the concrete-syntax text of the gold event description.
+func GoldSource() string { return goldSrc }
+
 // TypeSpeedLimits are the per-type speed limits in km/h.
 var TypeSpeedLimits = map[string]float64{
 	TypeTruck: 80,

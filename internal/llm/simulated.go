@@ -122,17 +122,46 @@ func (m *Simulated) Name() string { return m.name }
 // profile. The model only uses vocabulary that the conversation actually
 // taught it, and it infers the prompting scheme from the shape of prompt F.
 func (m *Simulated) Chat(history []prompt.Message, user string) (string, error) {
-	if idx := strings.Index(user, prompt.ActivityMarker); idx >= 0 {
-		rest := user[idx+len(prompt.ActivityMarker):]
-		colon := strings.Index(rest, ":")
-		if colon < 0 {
-			return "I could not identify the requested activity.", nil
-		}
-		name := strings.TrimSpace(rest[:colon])
-		return m.generate(history, name)
+	if name, ok := markedActivity(user, prompt.CritiqueMarker); ok {
+		// A critique turn: the model re-reads its notes more carefully each
+		// time it is pressed on the same activity.
+		return m.generate(history, name, 1+critiqueCount(history, name))
+	}
+	if name, ok := markedActivity(user, prompt.ActivityMarker); ok {
+		return m.generate(history, name, 0)
+	}
+	if strings.Contains(user, prompt.ActivityMarker) || strings.Contains(user, prompt.CritiqueMarker) {
+		return "I could not identify the requested activity.", nil
 	}
 	return fmt.Sprintf("Understood. I will use this information when formalising composite activities for %s.",
 		m.know.Domain.Name), nil
+}
+
+// markedActivity extracts the activity name from a "<marker><name>: ..."
+// payload.
+func markedActivity(user, marker string) (string, bool) {
+	idx := strings.Index(user, marker)
+	if idx < 0 {
+		return "", false
+	}
+	rest := user[idx+len(marker):]
+	colon := strings.Index(rest, ":")
+	if colon < 0 {
+		return "", false
+	}
+	return strings.TrimSpace(rest[:colon]), true
+}
+
+// critiqueCount counts the critique turns already issued for the named
+// activity, so that repeated critiques escalate the revision level.
+func critiqueCount(history []prompt.Message, name string) int {
+	n := 0
+	for _, msg := range history {
+		if msg.Role == "user" && strings.Contains(msg.Content, prompt.CritiqueMarker+name+":") {
+			n++
+		}
+	}
+	return n
 }
 
 // taughtVocabulary extracts the event and threshold names taught by prompts
@@ -207,8 +236,13 @@ func schemeOf(history []prompt.Message) prompt.Scheme {
 	return prompt.ZeroShot
 }
 
-// generate produces the formalisation of the named activity.
-func (m *Simulated) generate(history []prompt.Message, name string) (string, error) {
+// generate produces the formalisation of the named activity. revision 0 is
+// the first attempt; each critique turn raises it by one. At revision 1 the
+// model fixes its careless (rate-sampled) mistakes; from revision 2 on it
+// also repairs the systematic misconceptions of its error profile. The
+// honesty gate is never lifted: vocabulary the conversation did not teach
+// stays unavailable no matter how often the model is critiqued.
+func (m *Simulated) generate(history []prompt.Message, name string, revision int) (string, error) {
 	act, ok := m.know.byName(name)
 	if !ok {
 		return fmt.Sprintf("I am not familiar with an activity named '%s'.", name), nil
@@ -232,7 +266,7 @@ func (m *Simulated) generate(history []prompt.Message, name string) (string, err
 
 	// Named special errors for this (model, scheme, activity).
 	syntaxErr := false
-	if byScheme, ok := m.profile.Special[act.Key]; ok {
+	if byScheme, ok := m.profile.Special[act.Key]; revision < 2 && ok {
 		for _, special := range byScheme[scheme] {
 			if special == "syntax" {
 				syntaxErr = true
@@ -243,7 +277,9 @@ func (m *Simulated) generate(history []prompt.Message, name string) (string, err
 	}
 
 	// Generic rate-based errors.
-	clauses = m.applyGeneric(rng, scheme, act, clauses)
+	if revision < 1 {
+		clauses = m.applyGeneric(rng, scheme, act, clauses)
+	}
 
 	text := renderResponse(scheme, act, clauses)
 	if syntaxErr {

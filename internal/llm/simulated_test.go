@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"rtecgen/internal/analysis"
 	"rtecgen/internal/lang"
 	"rtecgen/internal/maritime"
 	"rtecgen/internal/prompt"
@@ -203,5 +204,84 @@ func TestFnvSeedStability(t *testing.T) {
 	}
 	if a < 0 {
 		t.Fatal("seed must be non-negative")
+	}
+}
+
+// critiqueSession teaches a session, generates the named activity, and
+// applies n critique turns, returning every response in order.
+func critiqueSession(t *testing.T, model string, scheme prompt.Scheme, key string, n int) []string {
+	t.Helper()
+	dom := maritime.PromptDomain()
+	s := prompt.NewSession(MustNew(model), scheme, dom)
+	if err := s.Teach(); err != nil {
+		t.Fatal(err)
+	}
+	var req prompt.ActivityRequest
+	for _, r := range maritime.CurriculumRequests() {
+		if r.Key == key {
+			req = r
+		}
+	}
+	if req.Key == "" {
+		t.Fatalf("no curriculum activity %q", key)
+	}
+	first, err := s.Generate(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := []string{first}
+	diags := []analysis.Diagnostic{{Code: "R002", Severity: analysis.Error, Message: "undefined reference"}}
+	for i := 0; i < n; i++ {
+		rev, err := s.Critique(req, diags)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, rev)
+	}
+	return out
+}
+
+func TestCritiqueEscalatesRevisions(t *testing.T) {
+	// o1's trawling definition carries the systematic trawlingArea naming
+	// error. The first critique fixes careless mistakes but keeps the
+	// misconception; the second critique repairs it too.
+	got := critiqueSession(t, "o1", prompt.FewShot, "tr", 3)
+	if !strings.Contains(got[0], "trawlingArea") || !strings.Contains(got[1], "trawlingArea") {
+		t.Fatalf("systematic error should survive revision 1:\n%s", got[1])
+	}
+	if strings.Contains(got[2], "trawlingArea") {
+		t.Fatalf("systematic error should be repaired at revision 2:\n%s", got[2])
+	}
+	// Revision 2 is the model's best answer: further critiques are stable.
+	if got[3] != got[2] {
+		t.Fatalf("critique did not converge:\nrev2:\n%s\nrev3:\n%s", got[2], got[3])
+	}
+	// The revised answer must be fully parseable.
+	clauses, errs := prompt.ParseResponse(got[2])
+	if len(errs) > 0 || len(clauses) == 0 {
+		t.Fatalf("revised answer unparseable (%d clauses, %v)", len(clauses), errs)
+	}
+}
+
+func TestCritiqueIsDeterministic(t *testing.T) {
+	a := critiqueSession(t, "Gemma-2", prompt.ChainOfThought, "tr", 2)
+	b := critiqueSession(t, "Gemma-2", prompt.ChainOfThought, "tr", 2)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("critique sequence diverged at step %d", i)
+		}
+	}
+}
+
+func TestCritiqueRepairsSyntaxSpecial(t *testing.T) {
+	// Gemma-2 few-shot corrupts the syntax of its anchoredOrMoored answer;
+	// the corruption is a named special, so it survives one critique and is
+	// repaired at revision 2.
+	got := critiqueSession(t, "Gemma-2", prompt.FewShot, "aM", 2)
+	if _, errs := prompt.ParseResponse(got[0]); len(errs) == 0 {
+		t.Fatal("profile no longer corrupts anchoredOrMoored syntax")
+	}
+	if clauses, errs := prompt.ParseResponse(got[2]); len(errs) > 0 || len(clauses) == 0 {
+		t.Fatalf("revision 2 still corrupt: %v", errs)
 	}
 }

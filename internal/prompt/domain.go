@@ -8,6 +8,7 @@ package prompt
 
 import (
 	"fmt"
+	"strings"
 
 	"rtecgen/internal/lang"
 	"rtecgen/internal/parser"
@@ -165,6 +166,43 @@ func (d *Domain) KnownNames() map[string]bool {
 		out[c] = true
 	}
 	return out
+}
+
+// ArgSorts infers the argument-sort table of the documented vocabulary for
+// the R013 sort-inference pass: for every event and background pattern, the
+// lower-cased argument variable names with trailing digits stripped
+// ("Vessel1" -> "vessel"), so a vessel identifier and a speed are different
+// sorts wherever they appear.
+func (d *Domain) ArgSorts() map[string][]string {
+	out := map[string][]string{}
+	add := func(p string) {
+		t, err := parser.ParseTerm(p)
+		if err != nil || t.Kind != lang.Compound {
+			return
+		}
+		sorts := make([]string, len(t.Args))
+		for i, a := range t.Args {
+			if a.Kind == lang.Var {
+				sorts[i] = sortName(a.Functor)
+			}
+		}
+		out[t.Functor] = sorts
+	}
+	for _, e := range d.Events {
+		add(e.Pattern)
+	}
+	for _, b := range d.Background {
+		add(b.Pattern)
+	}
+	return out
+}
+
+// sortName normalises a pattern variable name into a sort: lower-cased,
+// with trailing digits stripped so Vessel1/Vessel2 share the sort "vessel".
+func sortName(v string) string {
+	v = strings.TrimLeft(v, "_")
+	v = strings.TrimRight(v, "0123456789")
+	return strings.ToLower(v)
 }
 
 // KnownEventIndicators returns the "functor/arity" indicators of the

@@ -98,6 +98,19 @@ func (s *Session) Generate(req ActivityRequest) (string, error) {
 	return s.send("G:"+req.Key, BuildG(req))
 }
 
+// Critique sends prompt C for one activity: the diagnostics that the
+// autofixer could not discharge, followed by a request to revise the
+// activity's formalisation. The reply is the model's revised answer for that
+// activity, in the same shape as a Generate reply.
+func (s *Session) Critique(req ActivityRequest, diags []analysis.Diagnostic) (string, error) {
+	if !s.taught {
+		return "", fmt.Errorf("prompt: Critique before Teach")
+	}
+	stop := s.tel.Time("pipeline.micros.critique." + s.Label())
+	defer stop()
+	return s.send("C:"+req.Key, BuildC(req, diags))
+}
+
 // History returns the transcript so far.
 func (s *Session) History() []Message { return append([]Message(nil), s.history...) }
 

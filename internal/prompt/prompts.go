@@ -3,6 +3,8 @@ package prompt
 import (
 	"fmt"
 	"strings"
+
+	"rtecgen/internal/analysis"
 )
 
 // Marker strings that structure the prompts. The simulated models key off
@@ -12,6 +14,11 @@ const (
 	// ActivityMarker precedes the "<name>: <description>" payload of
 	// prompt G.
 	ActivityMarker = "Composite Maritime Activity Description - "
+	// CritiqueMarker precedes the "<name>: <description>" payload of
+	// prompt C, the critique turn of the refine loop: the simulated models
+	// key off it to recognise a revision request, and to tell it apart from
+	// a fresh prompt G.
+	CritiqueMarker = "Revise Composite Activity Definition - "
 )
 
 // BuildR renders prompt R: the syntax of the language of RTEC, based on
@@ -248,4 +255,26 @@ fluents, and threshold values thresholds. You may use any of the output
 fluents that you have already learned.
 
 %s%s: %s`, ActivityMarker, req.Name, req.Description)
+}
+
+// BuildC renders prompt C: the critique turn of the refine loop
+// (Section 3.4). It feeds back the diagnostics the static analyzer could not
+// discharge mechanically and asks the model to revise its formalisation of
+// the named activity. The activity header is re-stated under CritiqueMarker
+// so the model can locate the definition under revision.
+func BuildC(req ActivityRequest, diags []analysis.Diagnostic) string {
+	var b strings.Builder
+	b.WriteString(`Your formalisation of the composite activity below was checked by a static
+analyzer for the language of RTEC. The analyzer reported the findings listed
+here, which could not be repaired mechanically. Revise your rules so that
+none of these findings remain, keeping to the aforementioned input events,
+fluents and threshold values.
+
+Findings:
+`)
+	for i, d := range diags {
+		fmt.Fprintf(&b, "\nFinding %d [%s %s]: %s\n", i+1, d.Severity, d.Code, d.Message)
+	}
+	fmt.Fprintf(&b, "\n%s%s: %s", CritiqueMarker, req.Name, req.Description)
+	return b.String()
 }

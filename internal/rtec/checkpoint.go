@@ -170,7 +170,7 @@ func (st *streamRun) snapshot() checkpointPayload {
 // snapshot or none — never a torn one.
 func (st *streamRun) writeCheckpoint() error {
 	tel := st.eng.opts.Telemetry
-	t0 := time.Now()
+	t0 := time.Now() //rtecvet:allow telemetry timer: real duration of checkpoint encoding
 	payload, err := json.Marshal(st.snapshot())
 	if err != nil {
 		return fmt.Errorf("rtec: checkpoint: %w", err)
@@ -330,7 +330,7 @@ func (st *streamRun) restore(cp *Checkpoint) error {
 // delivered before the snapshot are not re-delivered to fn.
 func (e *Engine) ResumeStream(path string, events stream.Stream, opts StreamOptions, fn func(WindowResult) error) (*StreamResult, error) {
 	tel := e.opts.Telemetry
-	t0 := time.Now()
+	t0 := time.Now() //rtecvet:allow telemetry timer: real duration of checkpoint restore
 	cp, err := LoadCheckpoint(path)
 	if err != nil {
 		return nil, err

@@ -152,7 +152,7 @@ func (e *Engine) evalWindow(winEvents stream.Stream, ws, we, nws int64, prevOpen
 	winHist := tel.Histogram("rtec.window.micros")
 	var t0 time.Time
 	if winHist != nil {
-		t0 = time.Now()
+		t0 = time.Now() //rtecvet:allow telemetry timer: real per-window recognition duration
 	}
 	w := newWindowState(e, winEvents, ws, we, prevOpen, warnSink, tel, wspan)
 	w.evaluate()

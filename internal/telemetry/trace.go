@@ -49,7 +49,7 @@ type SpanEvent struct {
 }
 
 // NewTracer returns a tracer using the real clock.
-func NewTracer() *Tracer { return NewTracerWithClock(time.Now) }
+func NewTracer() *Tracer { return NewTracerWithClock(time.Now) } //rtecvet:allow default tracer stamps real event times
 
 // NewTracerWithClock returns a tracer reading time from now — tests inject
 // a deterministic clock to produce byte-stable traces.
