@@ -11,7 +11,10 @@ package rtecgen_test
 
 import (
 	"fmt"
+	"io"
+	"runtime"
 	"testing"
+	"time"
 
 	"rtecgen/internal/correct"
 	"rtecgen/internal/eval"
@@ -22,6 +25,8 @@ import (
 	"rtecgen/internal/rtec"
 	"rtecgen/internal/similarity"
 	"rtecgen/internal/stream"
+	"rtecgen/internal/telemetry"
+	"rtecgen/internal/telemetry/journal"
 )
 
 func allModels() []prompt.Model {
@@ -152,6 +157,103 @@ func BenchmarkRTECStreamSweep(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkRTECObservability measures the live-observability tax: the same
+// streaming recognition with instrumentation off versus fully on (metrics
+// registry, lag histograms, SLO checks, and the audit journal encoding to a
+// discarded sink). The on/off ns ratio is the overhead CI gates at <5%
+// (cmd/bench -overhead).
+func BenchmarkRTECObservability(b *testing.B) {
+	scen, err := maritime.BuildScenario(maritime.ScenarioConfig{Vessels: 14, Seed: 7, IntervalSec: 60})
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := maritime.Preprocess(scen.Messages, scen.Map, maritime.DefaultPreprocessConfig())
+	ed := maritime.FullED(maritime.GoldED(), scen.Map, scen.Fleet, maritime.ObservedPairs(events))
+	facts := maritime.DynamicFacts(events, scen.Fleet)
+
+	for _, mode := range []string{"off", "metrics", "on"} {
+		name := "obs=" + mode
+		opts := rtec.Options{Strict: true, ExtraFacts: facts}
+		sopts := rtec.StreamOptions{
+			RunOptions: rtec.RunOptions{Window: 3600},
+			MaxDelay:   60,
+		}
+		if mode != "off" {
+			opts.Telemetry = telemetry.New(telemetry.NewRegistry(), nil, nil)
+			sopts.SLO = rtec.SLOOptions{MaxEmitLag: 60, MaxWindowMicros: 10_000_000}
+		}
+		if mode == "on" {
+			sopts.Journal = journal.NewWriter(io.Discard, journal.Options{})
+		}
+		eng, err := rtec.New(ed, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportMetric(float64(len(events)), "events")
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.RunStream(events, sopts, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRTECObservabilityOverhead measures the observability tax in a
+// form CI can gate: the uninstrumented and fully-instrumented streaming
+// runs execute interleaved in the same process, alternating order each
+// pair, and the summed ns ratio is reported as overhead_ratio. Pairing
+// cancels the host-speed drift that makes two separately-timed benchmarks
+// incomparable on shared machines (cmd/bench -overhead gates the ratio).
+func BenchmarkRTECObservabilityOverhead(b *testing.B) {
+	scen, err := maritime.BuildScenario(maritime.ScenarioConfig{Vessels: 14, Seed: 7, IntervalSec: 60})
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := maritime.Preprocess(scen.Messages, scen.Map, maritime.DefaultPreprocessConfig())
+	ed := maritime.FullED(maritime.GoldED(), scen.Map, scen.Fleet, maritime.ObservedPairs(events))
+	facts := maritime.DynamicFacts(events, scen.Fleet)
+
+	engOff, err := rtec.New(ed, rtec.Options{Strict: true, ExtraFacts: facts})
+	if err != nil {
+		b.Fatal(err)
+	}
+	engOn, err := rtec.New(ed, rtec.Options{
+		Strict: true, ExtraFacts: facts,
+		Telemetry: telemetry.New(telemetry.NewRegistry(), nil, nil),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	soptsOff := rtec.StreamOptions{RunOptions: rtec.RunOptions{Window: 3600}, MaxDelay: 60}
+	soptsOn := soptsOff
+	soptsOn.Journal = journal.NewWriter(io.Discard, journal.Options{})
+	soptsOn.SLO = rtec.SLOOptions{MaxEmitLag: 60, MaxWindowMicros: 10_000_000}
+
+	timed := func(eng *rtec.Engine, sopts rtec.StreamOptions) time.Duration {
+		// Settle the collector outside the timed region so neither run pays
+		// the GC debt of the other.
+		runtime.GC()
+		t0 := time.Now() //rtecvet:allow benchmark harness: timing real runs to compare them
+		if _, err := eng.RunStream(events, sopts, nil); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(t0)
+	}
+	var offNs, onNs time.Duration
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			offNs += timed(engOff, soptsOff)
+			onNs += timed(engOn, soptsOn)
+		} else {
+			onNs += timed(engOn, soptsOn)
+			offNs += timed(engOff, soptsOff)
+		}
+	}
+	b.ReportMetric(float64(onNs)/float64(offNs), "overhead_ratio")
 }
 
 // BenchmarkRTECCaching is the ablation of RTEC's hierarchical caching: the

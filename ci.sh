@@ -68,7 +68,7 @@ cat "$tmp/gold.rtec" "$tmp/bg.rtec" > "$tmp/ed.rtec"
 go run ./cmd/rtec -ed "$tmp/ed.rtec" -stream "$tmp/events.csv" -window 3600 \
     -trace "$tmp/trace.json" -metrics > "$tmp/out.txt" 2> "$tmp/metrics.txt"
 go run ./cmd/tracecheck -require rtec.run,rtec.window,rtec.fluent "$tmp/trace.json"
-if ! grep -q '^counter rtec.windows.evaluated' "$tmp/metrics.txt"; then
+if ! grep -q '^counter rtec.windows.evaluated_total' "$tmp/metrics.txt"; then
     echo "telemetry smoke: metrics dump is missing engine counters:" >&2
     cat "$tmp/metrics.txt" >&2
     exit 1
@@ -88,7 +88,7 @@ if ! cmp -s "$tmp/chaos1.txt" "$tmp/chaos2.txt"; then
 fi
 go run ./cmd/experiments -fig 2a -faults mixed -fault-seed 7 -metrics \
     > /dev/null 2> "$tmp/chaos-metrics.txt"
-if ! grep -q '^counter llm\.retries [1-9]' "$tmp/chaos-metrics.txt"; then
+if ! grep -q '^counter llm\.retries_total [1-9]' "$tmp/chaos-metrics.txt"; then
     echo "chaos smoke: metrics dump is missing a nonzero llm.retries counter:" >&2
     grep '^counter llm\.' "$tmp/chaos-metrics.txt" >&2 || cat "$tmp/chaos-metrics.txt" >&2
     exit 1
@@ -126,7 +126,7 @@ if ! cmp -s "$tmp/baseline.csv" "$tmp/streamed.csv"; then
     diff "$tmp/baseline.csv" "$tmp/streamed.csv" >&2 || true
     exit 1
 fi
-if ! grep -q '^counter rtec.duplicate_events [1-9]' "$tmp/stream-metrics.txt"; then
+if ! grep -q '^counter rtec.duplicate_events_total [1-9]' "$tmp/stream-metrics.txt"; then
     echo "streaming gate: metrics dump is missing a nonzero rtec.duplicate_events counter:" >&2
     grep '^counter rtec\.' "$tmp/stream-metrics.txt" >&2 || cat "$tmp/stream-metrics.txt" >&2
     exit 1
@@ -150,7 +150,7 @@ if ! cmp -s "$tmp/baseline.csv" "$tmp/resumed.csv"; then
     diff "$tmp/baseline.csv" "$tmp/resumed.csv" >&2 || true
     exit 1
 fi
-if ! grep -q '^counter rtec.checkpoint.restores 1' "$tmp/resume-metrics.txt"; then
+if ! grep -q '^counter rtec.checkpoint.restores_total 1' "$tmp/resume-metrics.txt"; then
     echo "streaming gate: metrics dump is missing the rtec.checkpoint.restores counter:" >&2
     grep '^counter rtec\.checkpoint' "$tmp/resume-metrics.txt" >&2 || cat "$tmp/resume-metrics.txt" >&2
     exit 1
@@ -166,12 +166,75 @@ if ! cmp -s "$tmp/baseline.csv" "$tmp/parallel.csv"; then
     exit 1
 fi
 
+echo "== live observability gate (serve, scrape, journal, replay)"
+# Run the streaming recognition with the operational endpoints and the audit
+# journal on, scrape /metrics while the server lingers, and validate the
+# exposition with rtectop's assertion mode. The journal must pass
+# tracecheck, replay in rtectop, and be byte-identical across same-seed
+# runs.
+go build -o "$tmp/bin-rtec" ./cmd/rtec
+go build -o "$tmp/bin-rtectop" ./cmd/rtectop
+go build -o "$tmp/bin-tracecheck" ./cmd/tracecheck
+"$tmp/bin-rtec" -ed "$tmp/ed.rtec" -stream "$tmp/shuffled.csv" -window 3600 -csv \
+    -max-delay 900 -slo-emit-lag 900 -journal "$tmp/run1.jsonl" \
+    -listen 127.0.0.1:0 -linger 30s > "$tmp/live.csv" 2> "$tmp/live-err.txt" &
+live_pid=$!
+# Wait for the run to finish (the final stats line) so the scrape sees the
+# complete counters; the server stays up through -linger.
+ok=""
+i=0
+while [ $i -lt 300 ]; do
+    if grep -q '^rtec: stream:' "$tmp/live-err.txt" 2>/dev/null; then
+        ok=1
+        break
+    fi
+    i=$((i + 1))
+    sleep 0.1
+done
+if [ -z "$ok" ]; then
+    echo "live gate: streaming run under -listen never finished:" >&2
+    cat "$tmp/live-err.txt" >&2
+    kill "$live_pid" 2>/dev/null || true
+    exit 1
+fi
+addr=$(sed -n 's/^rtec: metrics listening on //p' "$tmp/live-err.txt")
+if [ -z "$addr" ]; then
+    echo "live gate: no bound address on stderr:" >&2
+    cat "$tmp/live-err.txt" >&2
+    kill "$live_pid" 2>/dev/null || true
+    exit 1
+fi
+"$tmp/bin-rtectop" -once -metrics "http://$addr/metrics" \
+    -require 'rtec_windows_evaluated_total>0,rtec_events_ingested_total>0,rtec_stream_watermark_age,rtec_window_emit_lag>0,rtec_window_e2e_micros>0' \
+    > "$tmp/rtectop-live.txt"
+kill "$live_pid" 2>/dev/null || true
+wait "$live_pid" 2>/dev/null || true
+if ! cmp -s "$tmp/baseline.csv" "$tmp/live.csv"; then
+    echo "live gate: recognition output changed under -listen/-journal:" >&2
+    diff "$tmp/baseline.csv" "$tmp/live.csv" >&2 || true
+    exit 1
+fi
+"$tmp/bin-tracecheck" -journal -require run_start,window,run_end "$tmp/run1.jsonl"
+"$tmp/bin-rtectop" -journal "$tmp/run1.jsonl" \
+    -require 'rtec_windows_evaluated_total>0,rtec_window_emit_lag>0' > "$tmp/rtectop-replay.txt"
+# Same-seed determinism: a second run with identical recognition flags (no
+# server) must journal byte-identically.
+"$tmp/bin-rtec" -ed "$tmp/ed.rtec" -stream "$tmp/shuffled.csv" -window 3600 -csv \
+    -max-delay 900 -slo-emit-lag 900 -journal "$tmp/run2.jsonl" > /dev/null 2>&1
+if ! cmp -s "$tmp/run1.jsonl" "$tmp/run2.jsonl"; then
+    echo "live gate: same-seed journals differ:" >&2
+    diff "$tmp/run1.jsonl" "$tmp/run2.jsonl" >&2 || true
+    exit 1
+fi
+
 echo "== bench smoke (harness must run and emit a valid trajectory file)"
 # One-iteration run of a single benchmark through cmd/bench, then schema
-# validation of both the smoke output and the committed trajectory file.
+# validation of both the smoke output and the committed trajectory file,
+# and the live-observability overhead gate over the committed numbers.
 go run ./cmd/bench -bench 'BenchmarkRTECWindowSweep/window=3600$' -benchtime 1x \
     -out "$tmp/bench-smoke.json" > /dev/null
 go run ./cmd/bench -validate "$tmp/bench-smoke.json"
 go run ./cmd/bench -validate BENCH_rtec.json
+go run ./cmd/bench -overhead BENCH_rtec.json
 
 echo "CI OK"

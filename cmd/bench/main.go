@@ -8,14 +8,20 @@
 //	bench [-bench regexp] [-count N] [-benchtime T] [-dir path]
 //	      [-baseline BENCH_baseline.json] [-out BENCH_rtec.json]
 //	bench -validate BENCH_rtec.json
+//	bench -overhead BENCH_rtec.json [-overhead-max 1.05]
 //	bench -write-baseline [-bench regexp] ...
 //
 // The default selection is the RTEC recognition sweeps (the paper's
-// window-size and stream-size ablations). With -count > 1 the median of the
-// samples is reported, so a noisy outlier run does not skew the trajectory.
-// -validate parses an existing result file against the schema and fails on
-// malformed or empty results — the CI smoke gate. -write-baseline replaces
-// the baseline file with this run's numbers instead of diffing against it.
+// window-size and stream-size ablations) plus the observability on/off
+// pair. With -count > 1 the median of the samples is reported, so a noisy
+// outlier run does not skew the trajectory. -validate parses an existing
+// result file against the schema and fails on malformed or empty results —
+// the CI smoke gate. -overhead reads the overhead_ratio recorded by
+// BenchmarkRTECObservabilityOverhead (instrumented and uninstrumented runs
+// interleaved in one process) and fails when it exceeds -overhead-max (the
+// <5% live-observability tax gate).
+// -write-baseline replaces the baseline file with this run's numbers
+// instead of diffing against it.
 package main
 
 import (
@@ -38,6 +44,9 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	// OverheadRatio is the custom overhead_ratio metric reported by the
+	// paired observability benchmark (instrumented ns / uninstrumented ns).
+	OverheadRatio *float64 `json:"overhead_ratio,omitempty"`
 	// Deltas against the baseline entry of the same name; absent when the
 	// baseline does not cover this benchmark.
 	Speedup     *float64 `json:"speedup,omitempty"`      // baseline ns / ns; > 1 is faster
@@ -58,7 +67,7 @@ const schemaID = "rtec-bench/1"
 
 func main() {
 	var (
-		bench     = flag.String("bench", "BenchmarkRTEC(WindowSweep|StreamSweep)", "benchmark selection regexp (go test -bench)")
+		bench     = flag.String("bench", "BenchmarkRTEC(WindowSweep|StreamSweep|Observability)", "benchmark selection regexp (go test -bench)")
 		count     = flag.Int("count", 1, "samples per benchmark; the median is reported")
 		benchtime = flag.String("benchtime", "", "per-benchmark time or iteration budget (go test -benchtime), e.g. 1x for a smoke run")
 		dir       = flag.String("dir", ".", "module directory containing bench_test.go")
@@ -66,6 +75,8 @@ func main() {
 		out       = flag.String("out", "BENCH_rtec.json", "result file to write (relative to -dir)")
 		writeBase = flag.Bool("write-baseline", false, "write this run's numbers to -baseline instead of diffing")
 		validate  = flag.String("validate", "", "validate an existing result file against the schema and exit")
+		overhead  = flag.String("overhead", "", "gate the observability overhead recorded in this result file and exit")
+		overheadM = flag.Float64("overhead-max", 1.05, "maximum obs=on / obs=off ns ratio the -overhead gate accepts")
 	)
 	flag.Parse()
 
@@ -75,6 +86,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("bench: %s is a valid %s file\n", *validate, schemaID)
+		return
+	}
+	if *overhead != "" {
+		if err := checkOverhead(*overhead, *overheadM); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
 		return
 	}
 	if err := run(*bench, *count, *benchtime, *dir, *baseline, *out, *writeBase); err != nil {
@@ -151,7 +169,7 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
 // parseBenchOutput extracts per-benchmark samples from go test output and
 // aggregates repeated samples of the same benchmark by median.
 func parseBenchOutput(out string) ([]Result, error) {
-	type sample struct{ ns, bytes, allocs float64 }
+	type sample struct{ ns, bytes, allocs, ratio float64 }
 	samples := map[string][]sample{}
 	var order []string
 	for _, line := range strings.Split(out, "\n") {
@@ -177,6 +195,8 @@ func parseBenchOutput(out string) ([]Result, error) {
 				s.bytes = v
 			case "allocs/op":
 				s.allocs = v
+			case "overhead_ratio":
+				s.ratio = v
 			}
 		}
 		if s.ns == 0 {
@@ -190,13 +210,17 @@ func parseBenchOutput(out string) ([]Result, error) {
 	var results []Result
 	for _, name := range order {
 		ss := samples[name]
-		results = append(results, Result{
+		r := Result{
 			Name:        name,
 			Samples:     len(ss),
 			NsPerOp:     median(ss, func(s sample) float64 { return s.ns }),
 			BytesPerOp:  median(ss, func(s sample) float64 { return s.bytes }),
 			AllocsPerOp: median(ss, func(s sample) float64 { return s.allocs }),
-		})
+		}
+		if ratio := median(ss, func(s sample) float64 { return s.ratio }); ratio > 0 {
+			r.OverheadRatio = &ratio
+		}
+		results = append(results, r)
 	}
 	return results, nil
 }
@@ -268,6 +292,34 @@ func writeJSON(path string, f File) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// checkOverhead is the live-observability tax gate: turning the full
+// instrumentation on (metrics, lag histograms, SLOs, journal encoding) must
+// not cost more than max× the uninstrumented streaming run. The gated
+// number is the paired-interleaved overhead_ratio recorded by
+// BenchmarkRTECObservabilityOverhead — the separately-timed obs=on/obs=off
+// entries are kept in the file for the trajectory but are not compared,
+// because two independent timings on a shared host are dominated by drift.
+func checkOverhead(path string, max float64) error {
+	f, err := readFile(path)
+	if err != nil {
+		return err
+	}
+	var ratio float64
+	for _, r := range f.Results {
+		if r.Name == "BenchmarkRTECObservabilityOverhead" && r.OverheadRatio != nil {
+			ratio = *r.OverheadRatio
+		}
+	}
+	if ratio == 0 {
+		return fmt.Errorf("%s: no BenchmarkRTECObservabilityOverhead overhead_ratio recorded", path)
+	}
+	if ratio > max {
+		return fmt.Errorf("%s: observability overhead %.3fx exceeds the %.2fx gate", path, ratio, max)
+	}
+	fmt.Printf("bench: observability overhead %.3fx (gate %.2fx) — ok\n", ratio, max)
+	return nil
 }
 
 // validateFile is the CI smoke gate: the file must parse, carry the schema

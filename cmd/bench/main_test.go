@@ -109,3 +109,49 @@ func TestValidateFile(t *testing.T) {
 		t.Fatal("garbled JSON accepted")
 	}
 }
+
+func TestCheckOverhead(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, ratio float64) string {
+		f := File{Schema: schemaID, Results: []Result{
+			{Name: "BenchmarkRTECObservabilityOverhead", Samples: 3, NsPerOp: 4e8, OverheadRatio: &ratio},
+		}}
+		path := filepath.Join(dir, name)
+		if err := writeJSON(path, f); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	if err := checkOverhead(write("ok.json", 1.02), 1.05); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkOverhead(write("slow.json", 1.20), 1.05); err == nil {
+		t.Fatal("20% overhead passed a 5% gate")
+	}
+
+	missing := File{Schema: schemaID, Results: []Result{{Name: "other", Samples: 1, NsPerOp: 1}}}
+	path := filepath.Join(dir, "missing.json")
+	if err := writeJSON(path, missing); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkOverhead(path, 1.05); err == nil {
+		t.Fatal("missing overhead_ratio accepted")
+	}
+}
+
+func TestParseBenchOutputOverheadRatio(t *testing.T) {
+	out := `BenchmarkRTECObservabilityOverhead 	       6	 392812156 ns/op	         1.005 overhead_ratio
+BenchmarkRTECObservabilityOverhead 	       6	 408003542 ns/op	         1.041 overhead_ratio
+BenchmarkRTECObservabilityOverhead 	       6	 479103225 ns/op	         1.020 overhead_ratio
+`
+	results, err := parseBenchOutput(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].OverheadRatio == nil {
+		t.Fatalf("parsed %+v", results)
+	}
+	if *results[0].OverheadRatio != 1.020 {
+		t.Fatalf("overhead ratio = %v, want median 1.020", *results[0].OverheadRatio)
+	}
+}

@@ -28,17 +28,30 @@
 // lowers the structured-log level to debug, and -pprof serves
 // net/http/pprof plus expvar (including the live metrics registry) for
 // long-running invocations.
+//
+// Live operation: -listen serves the operational endpoints (/metrics in
+// Prometheus text exposition format, /healthz, /debug/vars, /debug/pprof/)
+// for the lifetime of the run; -linger keeps them up after the run finishes
+// so scrapers and rtectop can read the final state. -journal appends the
+// structured recognition audit journal (JSONL; see internal/telemetry/
+// journal) with -journal-cap bounding its size and -journal-wall stamping
+// real wall-clock times instead of the deterministic default. -slo-emit-lag
+// and -slo-window-ms set streaming-lag SLOs whose breaches count in
+// rtec.slo.breaches.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"rtecgen/internal/clock"
 	"rtecgen/internal/parser"
 	"rtecgen/internal/rtec"
 	"rtecgen/internal/stream"
 	"rtecgen/internal/telemetry"
+	"rtecgen/internal/telemetry/journal"
 )
 
 // options carries every flag of the command.
@@ -54,6 +67,13 @@ type options struct {
 	checkpointEvery    int
 	resume             bool
 	crashAfter         int
+	listen             string
+	linger             time.Duration
+	journalPath        string
+	journalCap         int64
+	journalWall        bool
+	sloEmitLag         int64
+	sloWindowMS        int64
 	tel                telemetry.CLIConfig
 }
 
@@ -73,6 +93,13 @@ func main() {
 	flag.IntVar(&o.checkpointEvery, "checkpoint-every", 1, "windows between snapshots")
 	flag.BoolVar(&o.resume, "resume", false, "restore the -checkpoint snapshot and continue the run")
 	flag.IntVar(&o.crashAfter, "crash-after", 0, "fault injection: abort after N windows (0 = never)")
+	flag.StringVar(&o.listen, "listen", "", "serve /metrics, /healthz, /debug/vars and /debug/pprof/ on this address (port 0 picks one; the bound address is printed to stderr)")
+	flag.DurationVar(&o.linger, "linger", 0, "keep the -listen endpoints up this long after the run finishes")
+	flag.StringVar(&o.journalPath, "journal", "", "append the recognition audit journal (JSONL) to this file (streaming ingestion)")
+	flag.Int64Var(&o.journalCap, "journal-cap", 0, "cap the journal size in bytes (0 = unbounded); a journal_capped marker ends a capped journal")
+	flag.BoolVar(&o.journalWall, "journal-wall", false, "stamp journal records with real wall-clock times instead of the deterministic default")
+	flag.Int64Var(&o.sloEmitLag, "slo-emit-lag", 0, "SLO: max event-time lag (frontier minus query time) at first window delivery, in time-points (0 = off)")
+	flag.Int64Var(&o.sloWindowMS, "slo-window-ms", 0, "SLO: max wall-clock latency per window delivery, in milliseconds (0 = off)")
 	flag.StringVar(&o.tel.TracePath, "trace", "", "write a Chrome trace_event JSON of the run to this file")
 	flag.BoolVar(&o.tel.Metrics, "metrics", false, "dump the telemetry registry to stderr at exit")
 	flag.BoolVar(&o.tel.Verbose, "v", false, "structured debug logging to stderr")
@@ -87,9 +114,11 @@ func main() {
 
 // streaming reports whether any flag asks for the out-of-order streaming
 // path. With none of them set the classic batch path runs, byte-identical
-// to previous releases.
+// to previous releases. The audit journal and the SLOs are features of the
+// streaming engine, so asking for them routes the run through it too.
 func (o options) streaming() bool {
-	return o.maxDelay > 0 || o.checkpoint != "" || o.resume || o.crashAfter > 0
+	return o.maxDelay > 0 || o.checkpoint != "" || o.resume || o.crashAfter > 0 ||
+		o.journalPath != "" || o.sloEmitLag > 0 || o.sloWindowMS > 0
 }
 
 func run(o options, stdout, stderr *os.File) error {
@@ -100,7 +129,47 @@ func run(o options, stdout, stderr *os.File) error {
 	if o.resume && o.checkpoint == "" {
 		return fmt.Errorf("-resume needs -checkpoint to name the snapshot")
 	}
+	if o.journalPath != "" && o.resume && o.journalPath == o.checkpoint {
+		return fmt.Errorf("-journal and -checkpoint name the same file")
+	}
 	tel, flush := o.tel.Setup(stderr, stderr, "rtec")
+
+	// The audit journal: one writer for the whole run, wall timestamps only
+	// on request (the deterministic default journals byte-identically across
+	// same-seed runs).
+	var jw *journal.Writer
+	if o.journalPath != "" {
+		jf, err := os.Create(o.journalPath)
+		if err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+		defer jf.Close()
+		jopts := journal.Options{MaxBytes: o.journalCap}
+		if o.journalWall {
+			jopts.Now = clock.Real().Now
+		}
+		jw = journal.NewWriter(jf, jopts)
+	}
+
+	// The operational endpoints serve the live registry for the whole run
+	// (and through -linger, beyond it). Port 0 picks a free port; the bound
+	// address goes to stderr for scrapers to discover.
+	if o.listen != "" {
+		srv := telemetry.NewServer(tel.Registry)
+		srv.Ready("engine", func() error { return nil })
+		if jw != nil {
+			srv.Ready("journal", jw.Err)
+		}
+		addr, err := srv.Start(o.listen)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "rtec: metrics listening on %s\n", addr)
+		if o.linger > 0 {
+			defer clock.Real().Sleep(o.linger)
+		}
+	}
 
 	src, err := os.ReadFile(o.edPath)
 	if err != nil {
@@ -143,7 +212,7 @@ func run(o options, stdout, stderr *os.File) error {
 	}
 	var rec *rtec.Recognition
 	if o.streaming() {
-		rec, err = runStreaming(o, eng, events, stderr)
+		rec, err = runStreaming(o, eng, events, jw, stderr)
 	} else {
 		rec, err = eng.Run(events, rtec.RunOptions{Window: o.window, Slide: o.slide})
 	}
@@ -171,12 +240,17 @@ func run(o options, stdout, stderr *os.File) error {
 // runStreaming drives the out-of-order ingestion path: the CSV rows are an
 // arrival-ordered stream fed through the bounded-delay reorder buffer, with
 // optional checkpointing, resume and fault injection.
-func runStreaming(o options, eng *rtec.Engine, events stream.Stream, stderr *os.File) (*rtec.Recognition, error) {
+func runStreaming(o options, eng *rtec.Engine, events stream.Stream, jw *journal.Writer, stderr *os.File) (*rtec.Recognition, error) {
 	opts := rtec.StreamOptions{
 		RunOptions:      rtec.RunOptions{Window: o.window, Slide: o.slide},
 		MaxDelay:        o.maxDelay,
 		CheckpointPath:  o.checkpoint,
 		CheckpointEvery: o.checkpointEvery,
+		Journal:         jw,
+		SLO: rtec.SLOOptions{
+			MaxEmitLag:      o.sloEmitLag,
+			MaxWindowMicros: o.sloWindowMS * 1000,
+		},
 	}
 	var fn func(rtec.WindowResult) error
 	if o.crashAfter > 0 {

@@ -101,7 +101,7 @@ func TestRunWithTelemetryFlags(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"counter rtec.events.ingested 2", "counter rtec.windows.evaluated"} {
+	for _, want := range []string{"counter rtec.events.ingested_total 2", "counter rtec.windows.evaluated_total"} {
 		if !strings.Contains(string(metrics), want) {
 			t.Fatalf("metrics dump missing %q:\n%s", want, metrics)
 		}

@@ -1,15 +1,22 @@
-// Command tracecheck validates a Chrome trace_event JSON file as written by
-// the telemetry tracer (-trace on cmd/rtec and cmd/experiments). It is the
-// CI gate for the observability path: the file must parse, contain at least
-// one complete ("ph":"X") event with a name and non-negative timestamps, and
-// — when -require is given — contain at least one span whose name matches
-// each required substring.
+// Command tracecheck validates observability artefacts. Its default mode
+// checks a Chrome trace_event JSON file as written by the telemetry tracer
+// (-trace on cmd/rtec and cmd/experiments): the file must parse, contain at
+// least one complete ("ph":"X") event with a name and non-negative
+// timestamps, and — when -require is given — contain at least one span whose
+// name matches each required substring.
+//
+// With -journal the argument is a recognition audit journal (JSONL, as
+// written by cmd/rtec -journal): every line must be a well-formed record,
+// the sequence numbers must be gapless and start at 1, wall-clock stamps
+// must be non-decreasing, and nothing may follow a journal_capped marker.
+// -require then names record types (exact match) that must each appear.
 //
 // Usage:
 //
 //	tracecheck [-require name[,name...]] trace.json
+//	tracecheck -journal [-require type[,type...]] run.jsonl
 //
-// Exit status 0 when the trace is well-formed, 1 otherwise.
+// Exit status 0 when the artefact is well-formed, 1 otherwise.
 package main
 
 import (
@@ -18,6 +25,8 @@ import (
 	"fmt"
 	"os"
 	"strings"
+
+	"rtecgen/internal/telemetry/journal"
 )
 
 type traceFile struct {
@@ -34,16 +43,48 @@ type traceEvent struct {
 }
 
 func main() {
-	require := flag.String("require", "", "comma-separated span-name substrings that must each appear")
+	require := flag.String("require", "", "comma-separated span-name substrings (trace mode) or record types (-journal mode) that must each appear")
+	journalMode := flag.Bool("journal", false, "validate a recognition audit journal (JSONL) instead of a Chrome trace")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck [-require name,...] trace.json")
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-journal] [-require name,...] file")
 		os.Exit(1)
 	}
-	if err := check(flag.Arg(0), *require); err != nil {
+	checkFn := check
+	if *journalMode {
+		checkFn = checkJournal
+	}
+	if err := checkFn(flag.Arg(0), *require); err != nil {
 		fmt.Fprintln(os.Stderr, "tracecheck:", err)
 		os.Exit(1)
 	}
+}
+
+// checkJournal validates an audit journal: well-formed JSONL records with a
+// gapless sequence, sane clocks, and (with -require) the demanded record
+// types present. The structural rules live in journal.Validate; this adds
+// the -require layer and the human-readable summary.
+func checkJournal(path, require string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	stats, err := journal.Validate(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	for _, want := range splitRequire(require) {
+		if stats.Types[want] == 0 {
+			return fmt.Errorf("%s: no %q records among %d", path, want, stats.Records)
+		}
+	}
+	capped := ""
+	if stats.Capped {
+		capped = ", capped"
+	}
+	fmt.Printf("%s: ok (%d records, %d types%s)\n", path, stats.Records, len(stats.Types), capped)
+	return nil
 }
 
 func check(path, require string) error {

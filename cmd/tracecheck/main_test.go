@@ -50,3 +50,47 @@ func TestCheckRejections(t *testing.T) {
 		t.Error("missing file accepted")
 	}
 }
+
+func writeJournal(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const goodJournal = `{"seq":1,"wall_us":0,"type":"run_start","data":{"windows":2}}
+{"seq":2,"wall_us":0,"type":"window","data":{"index":0}}
+{"seq":3,"wall_us":0,"type":"run_end","data":{}}
+`
+
+func TestCheckJournalAcceptsWellFormed(t *testing.T) {
+	path := writeJournal(t, goodJournal)
+	if err := checkJournal(path, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkJournal(path, "run_start,window,run_end"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckJournalRejections(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"not json":      "{\n",
+		"seq gap":       `{"seq":1,"wall_us":0,"type":"a","data":{}}` + "\n" + `{"seq":3,"wall_us":0,"type":"b","data":{}}` + "\n",
+		"clock reverse": `{"seq":1,"wall_us":9,"type":"a","data":{}}` + "\n" + `{"seq":2,"wall_us":3,"type":"b","data":{}}` + "\n",
+	}
+	for name, content := range cases {
+		if err := checkJournal(writeJournal(t, content), ""); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if err := checkJournal(writeJournal(t, goodJournal), "checkpoint"); err == nil {
+		t.Error("missing required record type accepted")
+	}
+	if err := checkJournal(filepath.Join(t.TempDir(), "nope.jsonl"), ""); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -211,7 +211,9 @@ func (st *streamRun) writeCheckpoint() error {
 	tel.Logger().Debug("checkpoint written",
 		"component", "rtec", "path", st.opts.CheckpointPath,
 		"consumed", st.consumed, "windows", st.emitted, "bytes", len(data))
-	return nil
+	return st.obs.journal.Append("checkpoint", journalCheckpoint{
+		Consumed: st.consumed, Windows: st.emitted, Bytes: len(data),
+	})
 }
 
 // Checkpoint is a loaded, checksum-verified snapshot of a streaming run.
@@ -350,5 +352,13 @@ func (e *Engine) ResumeStream(path string, events stream.Stream, opts StreamOpti
 	tel.Histogram("rtec.checkpoint.restore_micros").ObserveDuration(time.Since(t0))
 	tel.Logger().Debug("checkpoint restored",
 		"component", "rtec", "path", path, "consumed", st.consumed, "windows", st.emitted)
+	if err := st.journalRunStart(); err != nil {
+		return nil, err
+	}
+	if err := st.obs.journal.Append("checkpoint_restore", journalRestore{
+		Consumed: st.consumed, Windows: st.emitted,
+	}); err != nil {
+		return nil, err
+	}
 	return st.consume(events)
 }

@@ -149,17 +149,29 @@ func (w *windowState) evaluate() {
 		return
 	}
 	hist := w.tel.Histogram("rtec.stratum.micros")
+	var perLevel map[int]*telemetry.Histogram
+	if hist != nil {
+		perLevel = map[int]*telemetry.Histogram{}
+	}
 	for _, ind := range w.eng.order {
+		level := w.eng.fluents[ind].level
 		sp := w.span.Span("rtec.fluent",
 			telemetry.String("fluent", ind),
-			telemetry.Int("stratum", int64(w.eng.fluents[ind].level)))
+			telemetry.Int("stratum", int64(level)))
 		var t0 time.Time
 		if hist != nil {
 			t0 = time.Now() //rtecvet:allow telemetry timer: real per-window evaluation duration
 		}
 		w.evalFluent(ind)
 		if hist != nil {
-			hist.ObserveDuration(time.Since(t0))
+			d := time.Since(t0)
+			hist.ObserveDuration(d)
+			lh, ok := perLevel[level]
+			if !ok {
+				lh = w.tel.Histogram(stratumHistName(level))
+				perLevel[level] = lh
+			}
+			lh.ObserveDuration(d)
 		}
 		sp.End()
 	}

@@ -2,11 +2,13 @@ package rtec
 
 import (
 	"fmt"
+	"time"
 
 	"rtecgen/internal/intervals"
 	"rtecgen/internal/lang"
 	"rtecgen/internal/stream"
 	"rtecgen/internal/telemetry"
+	"rtecgen/internal/telemetry/journal"
 )
 
 // StreamOptions configure an out-of-order, crash-safe recognition run.
@@ -26,6 +28,14 @@ type StreamOptions struct {
 	// CheckpointEvery is the number of first-time window emissions between
 	// snapshots. Zero defaults to 1 (snapshot after every window).
 	CheckpointEvery int
+	// Journal, when non-nil, receives the structured audit records of the
+	// run: the run plan, degradation admission verdicts, every window
+	// delivery with its assertion/retraction diff, checkpoint events, SLO
+	// breaches and the final statistics. A journal write failure fails the
+	// run — an audit trail with a hole is worse than no run.
+	Journal *journal.Writer
+	// SLO sets the streaming-lag objectives; see SLOOptions.
+	SLO SLOOptions
 }
 
 // StreamStats counts what happened to the arrivals of a streaming run.
@@ -84,6 +94,8 @@ type streamRun struct {
 	warnings  []Warning
 	warnSeen  map[string]bool
 	span      *telemetry.Span
+	obs       *streamObs
+	ranStart  bool // run_start has been journalled
 	fn        func(WindowResult) error
 }
 
@@ -144,6 +156,7 @@ func (e *Engine) newStreamRun(events stream.Stream, opts StreamOptions, fn func(
 			telemetry.Int("start", tl.start), telemetry.Int("end", tl.end),
 			telemetry.Int("max_delay", opts.MaxDelay)),
 	}
+	st.obs = newStreamObs(tel, opts.SLO, opts.Journal)
 	tel.Logger().Debug("streaming recognition run",
 		"component", "rtec", "events", len(events),
 		"window", tl.window, "slide", tl.slide, "start", tl.start, "end", tl.end,
@@ -159,6 +172,9 @@ func (st *streamRun) consume(events stream.Stream) (*StreamResult, error) {
 	if st.consumed > len(events) {
 		return nil, fmt.Errorf("rtec: checkpoint consumed %d arrivals but the stream has only %d", st.consumed, len(events))
 	}
+	if err := st.journalRunStart(); err != nil {
+		return nil, err
+	}
 	for _, e := range events[st.consumed:] {
 		if err := st.ingest(e); err != nil {
 			return nil, err
@@ -171,7 +187,11 @@ func (st *streamRun) consume(events stream.Stream) (*StreamResult, error) {
 		}
 	}
 	tel.Counter("rtec.events.ingested").Add(st.reorder.Stats().Accepted)
-	return st.finalise(), nil
+	res := st.finalise()
+	if err := st.journalRunEnd(); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // ingest processes one arrival: admission, revision of emitted windows a
@@ -179,7 +199,11 @@ func (st *streamRun) consume(events stream.Stream) (*StreamResult, error) {
 // and checkpointing.
 func (st *streamRun) ingest(e stream.Event) error {
 	tel := st.eng.opts.Telemetry
-	switch st.reorder.Push(e) {
+	verdict := st.reorder.Push(e)
+	if err := st.observeAdmission(e, verdict); err != nil {
+		return err
+	}
+	switch verdict {
 	case stream.TooLate:
 		tel.Counter("rtec.dropped_events").Inc()
 	case stream.Duplicate:
@@ -237,11 +261,15 @@ func (st *streamRun) evalSlot(i int, prevOpen map[string]*lang.Term) windowEval 
 // emitNext evaluates and delivers the next unemitted window (revision 0).
 func (st *streamRun) emitNext() error {
 	i := st.emitted
+	t0 := time.Now() //rtecvet:allow telemetry timer: real end-to-end window latency
 	ev := st.evalSlot(i, st.prevOpenInto(i))
 	st.slots[i] = windowSlot{emitted: true, eval: ev}
 	st.emitted++
 	st.sinceCkpt++
-	return st.deliver(i, nil)
+	if err := st.deliver(i, nil); err != nil {
+		return err
+	}
+	return st.observeDelivery(i, nil, nil, time.Since(t0))
 }
 
 // revise re-evaluates the emitted windows a late event at time t
@@ -273,6 +301,7 @@ func (st *streamRun) revise(t int64) error {
 			break
 		}
 		prev := st.slots[i].eval
+		t0 := time.Now() //rtecvet:allow telemetry timer: real end-to-end window latency
 		ev := st.evalSlot(i, st.prevOpenInto(i))
 		carryChanged = !ev.sameOpen(prev)
 		if ev.sameRecognised(prev) {
@@ -285,6 +314,9 @@ func (st *streamRun) revise(t int64) error {
 		st.stats.Revisions++
 		tel.Counter("rtec.revisions").Inc()
 		if err := st.deliver(i, retracted); err != nil {
+			return err
+		}
+		if err := st.observeDelivery(i, &prev, retracted, time.Since(t0)); err != nil {
 			return err
 		}
 	}

@@ -78,6 +78,11 @@ type Reorder struct {
 	buf      Stream          // admitted events, sorted by (time, atom text)
 	seen     map[string]bool // dedup keys of buffered (not yet dropped) events
 	stats    DisorderStats
+	// highWater is the maximum buffer occupancy observed over the lifetime
+	// of this Reorder. It is observability state, not recognition state, so
+	// checkpoints do not persist it: a resumed run starts a fresh high-water
+	// mark for its own process lifetime.
+	highWater int
 }
 
 // NewReorder returns an empty reorder buffer with the given delay bound.
@@ -108,6 +113,13 @@ func (r *Reorder) Watermark() (t int64, ok bool) {
 
 // Stats returns the admission counters so far.
 func (r *Reorder) Stats() DisorderStats { return r.stats }
+
+// Occupancy returns the number of events currently buffered.
+func (r *Reorder) Occupancy() int { return len(r.buf) }
+
+// HighWater returns the maximum occupancy observed since construction — how
+// deep the reorder buffer has had to hold back the revisable past.
+func (r *Reorder) HighWater() int { return r.highWater }
 
 // Push classifies one arriving event and, when admitted, inserts it into
 // the sorted buffer.
@@ -151,6 +163,9 @@ func (r *Reorder) insert(e Event) {
 	r.buf = append(r.buf, Event{})
 	copy(r.buf[i+1:], r.buf[i:])
 	r.buf[i] = e
+	if len(r.buf) > r.highWater {
+		r.highWater = len(r.buf)
+	}
 }
 
 // Buffered returns the admitted, not-yet-dropped events in canonical order.

@@ -1,0 +1,262 @@
+// Package journal is the structured recognition audit log: an append-only,
+// size-capped JSONL file in which a streaming run records what it decided
+// and why — window evaluations, interval assertions and retractions from
+// late-event revisions, checkpoint writes and restores, admission verdicts
+// on late or dropped arrivals, and SLO breaches.
+//
+// Every record carries a monotonically increasing sequence number and a
+// timestamp read from an injectable clock. With the default deterministic
+// clock (a fixed epoch), two same-seed runs produce byte-identical
+// journals, so a journal can be golden-pinned and diffed like any other
+// engine output; a real clock is opt-in for production runs where wall
+// times matter more than reproducibility.
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Record is one journal line. Data holds the type-specific payload as it
+// was marshalled by the writer (struct field order, hence byte layout, is
+// fixed by the payload type's declaration order).
+type Record struct {
+	// Seq is the 1-based monotonic sequence number of the record.
+	Seq int64 `json:"seq"`
+	// WallUS is the clock reading in microseconds since the Unix epoch; 0
+	// under the deterministic default clock.
+	WallUS int64 `json:"wall_us"`
+	// Type names the record kind ("run_start", "window", "checkpoint",
+	// "admission", "slo_breach", "run_end", "journal_capped", ...).
+	Type string `json:"type"`
+	// Data is the type-specific payload.
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// Options configure a Writer.
+type Options struct {
+	// MaxBytes caps the journal size: once appending a record would push
+	// the file past the cap, one final "journal_capped" marker is written
+	// and every later record is counted and dropped. Zero means no cap.
+	MaxBytes int64
+	// Now is the injectable clock stamping WallUS. Nil uses the
+	// deterministic default: a fixed reading of the Unix epoch, so
+	// same-seed runs journal byte-identically.
+	Now func() time.Time
+}
+
+// cappedData is the payload of the final marker record of a capped journal.
+type cappedData struct {
+	MaxBytes int64 `json:"max_bytes"`
+}
+
+// Writer appends records to an underlying stream. Safe for concurrent use;
+// a nil *Writer is a no-op, so instrumented paths thread an optional
+// journal without branching.
+type Writer struct {
+	mu      sync.Mutex
+	w       io.Writer
+	opts    Options
+	seq     int64
+	written int64
+	capped  bool
+	dropped int64
+	err     error
+}
+
+// NewWriter wraps w. The caller owns w's lifetime (closing files, etc.).
+func NewWriter(w io.Writer, opts Options) *Writer {
+	return &Writer{w: w, opts: opts}
+}
+
+// Append marshals data and writes one record. Once an underlying write has
+// failed, every later Append returns the same error without writing (a
+// journal with a hole would validate as corrupt anyway). Appends beyond
+// the size cap are silently counted; see Dropped.
+func (w *Writer) Append(typ string, data any) error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if w.capped {
+		w.dropped++
+		return nil
+	}
+	payload, err := json.Marshal(data)
+	if err != nil {
+		return fmt.Errorf("journal: %s record: %w", typ, err)
+	}
+	line, err := w.encode(typ, payload)
+	if err != nil {
+		return err
+	}
+	if w.opts.MaxBytes > 0 && w.written+int64(len(line)) > w.opts.MaxBytes {
+		// Replace the record with the cap marker: the journal ends with an
+		// explicit truncation notice instead of silently going quiet. The
+		// marker itself may exceed the cap by its own length; the cap is a
+		// guard against unbounded growth, not an exact quota.
+		w.capped = true
+		w.dropped++
+		marker, err := json.Marshal(cappedData{MaxBytes: w.opts.MaxBytes})
+		if err != nil {
+			return err
+		}
+		w.seq-- // the dropped record's number goes to the marker instead
+		line, err = w.encode("journal_capped", marker)
+		if err != nil {
+			return err
+		}
+	}
+	if _, err := w.w.Write(line); err != nil {
+		w.err = fmt.Errorf("journal: %w", err)
+		return w.err
+	}
+	w.written += int64(len(line))
+	return nil
+}
+
+// encode builds one serialised record line, consuming a sequence number.
+// Callers hold w.mu.
+func (w *Writer) encode(typ string, payload json.RawMessage) ([]byte, error) {
+	w.seq++
+	var wall int64
+	if w.opts.Now != nil {
+		wall = w.opts.Now().UnixMicro()
+	}
+	line, err := json.Marshal(Record{Seq: w.seq, WallUS: wall, Type: typ, Data: payload})
+	if err != nil {
+		return nil, fmt.Errorf("journal: %s record: %w", typ, err)
+	}
+	return append(line, '\n'), nil
+}
+
+// Seq returns the sequence number of the last record issued (0 initially).
+func (w *Writer) Seq() int64 {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq
+}
+
+// Dropped returns how many records were discarded past the size cap.
+func (w *Writer) Dropped() int64 {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.dropped
+}
+
+// Capped reports whether the size cap has been hit.
+func (w *Writer) Capped() bool {
+	if w == nil {
+		return false
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.capped
+}
+
+// Err returns the first underlying write error, if any — the readiness
+// verdict of the journal subsystem for /healthz.
+func (w *Writer) Err() error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Stats summarises a validated journal.
+type Stats struct {
+	// Records is the number of well-formed records read.
+	Records int
+	// Types counts records per type.
+	Types map[string]int
+	// Capped reports whether the journal ends in a journal_capped marker.
+	Capped bool
+}
+
+// Read parses a journal stream into records, applying the same structural
+// checks as Validate.
+func Read(r io.Reader) ([]Record, error) {
+	var out []Record
+	err := scan(r, func(rec Record) error {
+		out = append(out, rec)
+		return nil
+	})
+	return out, err
+}
+
+// Validate checks a journal stream: every line must be a well-formed
+// record, sequence numbers must increase by exactly one from 1 (append-only
+// with no holes or duplicates), timestamps must be non-decreasing (clock
+// sanity — the injectable clock never runs backwards), and no record may
+// follow the journal_capped marker.
+func Validate(r io.Reader) (Stats, error) {
+	stats := Stats{Types: map[string]int{}}
+	err := scan(r, func(rec Record) error {
+		stats.Records++
+		stats.Types[rec.Type]++
+		if rec.Type == "journal_capped" {
+			stats.Capped = true
+		}
+		return nil
+	})
+	return stats, err
+}
+
+// scan drives the line-by-line structural validation shared by Read and
+// Validate.
+func scan(r io.Reader, fn func(Record) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	line := 0
+	var prev Record
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			return fmt.Errorf("journal: line %d: empty line", line)
+		}
+		var rec Record
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return fmt.Errorf("journal: line %d: malformed record: %w", line, err)
+		}
+		if rec.Type == "" {
+			return fmt.Errorf("journal: line %d: record without type", line)
+		}
+		if rec.Seq != prev.Seq+1 {
+			return fmt.Errorf("journal: line %d: sequence %d after %d, want %d", line, rec.Seq, prev.Seq, prev.Seq+1)
+		}
+		if rec.WallUS < prev.WallUS {
+			return fmt.Errorf("journal: line %d: clock ran backwards (%d after %d)", line, rec.WallUS, prev.WallUS)
+		}
+		if prev.Type == "journal_capped" {
+			return fmt.Errorf("journal: line %d: record after the journal_capped marker", line)
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+		prev = rec
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if line == 0 {
+		return fmt.Errorf("journal: no records")
+	}
+	return nil
+}

@@ -1,0 +1,193 @@
+package journal
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAppendSequenceAndDeterminism(t *testing.T) {
+	write := func() string {
+		var buf bytes.Buffer
+		w := NewWriter(&buf, Options{})
+		if err := w.Append("run_start", map[string]int{"seed": 42}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Append("window", map[string]int{"t": 10}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Append("run_end", nil); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := write(), write()
+	if a != b {
+		t.Fatalf("same-seed journals differ:\n%s\nvs\n%s", a, b)
+	}
+
+	recs, err := Read(strings.NewReader(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("records = %d, want 3", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Seq != int64(i+1) {
+			t.Errorf("record %d seq = %d", i, rec.Seq)
+		}
+		if rec.WallUS != 0 {
+			t.Errorf("record %d wall_us = %d, want 0 under the deterministic clock", i, rec.WallUS)
+		}
+	}
+	if recs[0].Type != "run_start" || recs[2].Type != "run_end" {
+		t.Fatalf("types = %s..%s", recs[0].Type, recs[2].Type)
+	}
+}
+
+func TestInjectedClock(t *testing.T) {
+	var buf bytes.Buffer
+	now := time.UnixMicro(1700000000000000)
+	w := NewWriter(&buf, Options{Now: func() time.Time {
+		now = now.Add(time.Millisecond)
+		return now
+	}})
+	w.Append("a", nil)
+	w.Append("b", nil)
+	recs, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].WallUS != 1700000000001000 || recs[1].WallUS != 1700000000002000 {
+		t.Fatalf("wall_us = %d, %d", recs[0].WallUS, recs[1].WallUS)
+	}
+}
+
+func TestSizeCapMarker(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Options{MaxBytes: 200})
+	for i := 0; i < 50; i++ {
+		if err := w.Append("window", map[string]int{"i": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !w.Capped() {
+		t.Fatal("writer not capped")
+	}
+	if w.Dropped() == 0 {
+		t.Fatal("no drops counted")
+	}
+	stats, err := Validate(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("capped journal invalid: %v\n%s", err, buf.String())
+	}
+	if !stats.Capped {
+		t.Fatal("Validate missed the cap marker")
+	}
+	if stats.Types["journal_capped"] != 1 {
+		t.Fatalf("cap markers = %d, want 1", stats.Types["journal_capped"])
+	}
+	// The marker must be the last record.
+	recs, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[len(recs)-1].Type != "journal_capped" {
+		t.Fatalf("last record = %s", recs[len(recs)-1].Type)
+	}
+}
+
+// TestConcurrentAppend hammers one writer from many goroutines; run under
+// -race in ci.sh. Sequence numbers must come out gapless.
+func TestConcurrentAppend(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Options{})
+	const goroutines, perG = 8, 200
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				if err := w.Append("window", map[string]int{"g": id, "j": j}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if w.Seq() != goroutines*perG {
+		t.Fatalf("seq = %d, want %d", w.Seq(), goroutines*perG)
+	}
+	stats, err := Validate(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != goroutines*perG {
+		t.Fatalf("records = %d, want %d", stats.Records, goroutines*perG)
+	}
+}
+
+func TestNilWriter(t *testing.T) {
+	var w *Writer
+	if err := w.Append("x", nil); err != nil {
+		t.Fatal(err)
+	}
+	if w.Seq() != 0 || w.Dropped() != 0 || w.Capped() || w.Err() != nil {
+		t.Fatal("nil writer leaked state")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	for name, doc := range map[string]string{
+		"empty":           "",
+		"malformed json":  "{not json}\n",
+		"missing type":    `{"seq":1,"wall_us":0}` + "\n",
+		"seq gap":         `{"seq":1,"wall_us":0,"type":"a"}` + "\n" + `{"seq":3,"wall_us":0,"type":"b"}` + "\n",
+		"seq duplicate":   `{"seq":1,"wall_us":0,"type":"a"}` + "\n" + `{"seq":1,"wall_us":0,"type":"b"}` + "\n",
+		"seq from zero":   `{"seq":0,"wall_us":0,"type":"a"}` + "\n",
+		"clock backwards": `{"seq":1,"wall_us":9,"type":"a"}` + "\n" + `{"seq":2,"wall_us":3,"type":"b"}` + "\n",
+		"after cap":       `{"seq":1,"wall_us":0,"type":"journal_capped"}` + "\n" + `{"seq":2,"wall_us":0,"type":"a"}` + "\n",
+	} {
+		if _, err := Validate(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted:\n%s", name, doc)
+		}
+	}
+}
+
+// errWriter fails after n successful writes.
+type errWriter struct{ n int }
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.n <= 0 {
+		return 0, errSink
+	}
+	e.n--
+	return len(p), nil
+}
+
+var errSink = &stickyErr{}
+
+type stickyErr struct{}
+
+func (*stickyErr) Error() string { return "sink failed" }
+
+func TestStickyError(t *testing.T) {
+	w := NewWriter(&errWriter{n: 1}, Options{})
+	if err := w.Append("a", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append("b", nil); err == nil {
+		t.Fatal("write past failure succeeded")
+	}
+	if err := w.Append("c", nil); err == nil {
+		t.Fatal("sticky error not sticky")
+	}
+	if w.Err() == nil {
+		t.Fatal("Err() lost the failure")
+	}
+}

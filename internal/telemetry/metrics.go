@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -119,6 +120,38 @@ type HistogramSnapshot struct {
 	Sum    float64   `json:"sum"`
 }
 
+// Quantile estimates the q-quantile (0 < q < 1) of the recorded
+// observations by linear interpolation inside the bucket that contains the
+// target rank — the same estimate Prometheus's histogram_quantile computes.
+// The first bucket interpolates from zero; ranks landing in the overflow
+// bucket return the largest finite bound (the estimate cannot exceed what
+// the histogram resolved). An empty histogram returns 0.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var cum float64
+	for i, bound := range h.Bounds {
+		n := float64(h.Counts[i])
+		if cum+n >= rank && n > 0 {
+			lower := 0.0
+			if i > 0 {
+				lower = h.Bounds[i-1]
+			}
+			return lower + (bound-lower)*((rank-cum)/n)
+		}
+		cum += n
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
 // Snapshot is a point-in-time copy of a registry, with deterministic maps
 // (render with WriteText for deterministic ordering).
 type Snapshot struct {
@@ -140,6 +173,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	help     map[string]string
 }
 
 // NewRegistry returns an empty registry.
@@ -148,7 +182,30 @@ func NewRegistry() *Registry {
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
+		help:     map[string]string{},
 	}
+}
+
+// Describe attaches help text to a metric name at registration time. The
+// text surfaces as the HELP line of the Prometheus exposition; metrics
+// without a description are exposed with a generic one. Nil-safe.
+func (r *Registry) Describe(name, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.help[name] = help
+	r.mu.Unlock()
+}
+
+// helpFor returns the registered help text for a raw metric name.
+func (r *Registry) helpFor(name string) string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.help[name]
 }
 
 // Counter returns the named counter, creating it on first use.
@@ -257,10 +314,43 @@ func (r *Registry) Reset() {
 	}
 }
 
+// unitTokens are the unit suffixes recognised in metric names, as whole
+// dot-separated segments ("rtec.checkpoint.bytes") or as underscore
+// suffixes of a segment ("llm.backoff_ms", "rtec.checkpoint.write_micros").
+// They may also appear mid-name for families keyed by a trailing label
+// ("pipeline.micros.teach.o1").
+var unitTokens = []string{"micros", "ms", "bytes", "total", "ratio"}
+
+// hasUnitToken reports whether any dot-separated segment of name is (or
+// ends in) a recognised unit token.
+func hasUnitToken(name string) bool {
+	for _, seg := range strings.Split(name, ".") {
+		for _, u := range unitTokens {
+			if seg == u || strings.HasSuffix(seg, "_"+u) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// CanonicalName returns the dump name of a metric: counters whose name
+// carries no unit token get the conventional "_total" suffix, so every
+// counter in the text dump and the Prometheus exposition reads with an
+// explicit unit ("rtec.revisions_total", "rtec.checkpoint.bytes"). Gauges
+// and histograms are instantaneous or carry their unit in the name already
+// and are returned unchanged.
+func CanonicalName(kind, name string) string {
+	if kind == "counter" && !hasUnitToken(name) {
+		return name + "_total"
+	}
+	return name
+}
+
 // WriteText renders the registry deterministically, one metric per line,
-// sorted by kind then name:
+// sorted by kind then name, with canonical unit suffixes:
 //
-//	counter rtec.windows.evaluated 24
+//	counter rtec.windows.evaluated_total 24
 //	gauge experiments.wall.ms 1234
 //	histogram rtec.window.micros count=24 sum=48211 le500=3 le1000=11 ... inf=0
 //
@@ -271,15 +361,17 @@ func (r *Registry) WriteText(w io.Writer) error {
 	return s.WriteText(w)
 }
 
-// WriteText renders a snapshot in the deterministic text format.
+// WriteText renders a snapshot in the deterministic text format. Names are
+// canonicalised (see CanonicalName) but the sort order is that of the raw
+// registered names, so the dump order is stable under renaming.
 func (s Snapshot) WriteText(w io.Writer) error {
 	for _, name := range sortedKeys(s.Counters) {
-		if _, err := fmt.Fprintf(w, "counter %s %d\n", name, s.Counters[name]); err != nil {
+		if _, err := fmt.Fprintf(w, "counter %s %d\n", CanonicalName("counter", name), s.Counters[name]); err != nil {
 			return err
 		}
 	}
 	for _, name := range sortedKeys(s.Gauges) {
-		if _, err := fmt.Fprintf(w, "gauge %s %d\n", name, s.Gauges[name]); err != nil {
+		if _, err := fmt.Fprintf(w, "gauge %s %d\n", CanonicalName("gauge", name), s.Gauges[name]); err != nil {
 			return err
 		}
 	}

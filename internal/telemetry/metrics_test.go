@@ -129,7 +129,7 @@ func TestSnapshotResetAndText(t *testing.T) {
 	if err := r.WriteText(&sb); err != nil {
 		t.Fatal(err)
 	}
-	want := "counter a.one 1\ncounter b.two 2\ngauge g 9\nhistogram h count=1 sum=1.5 le1=0 le2=1 inf=0\n"
+	want := "counter a.one_total 1\ncounter b.two_total 2\ngauge g 9\nhistogram h count=1 sum=1.5 le1=0 le2=1 inf=0\n"
 	if sb.String() != want {
 		t.Fatalf("WriteText:\n%s\nwant:\n%s", sb.String(), want)
 	}
@@ -142,6 +142,91 @@ func TestSnapshotResetAndText(t *testing.T) {
 	// Names survive a reset so dumps still document instrumented paths.
 	if _, ok := s.Counters["b.two"]; !ok {
 		t.Fatal("Reset dropped registered names")
+	}
+}
+
+// TestCanonicalName pins the unit-suffix rules of the text dump and the
+// Prometheus exposition: counters without a unit token anywhere in the name
+// gain _total; everything else is untouched.
+func TestCanonicalName(t *testing.T) {
+	for _, tc := range []struct{ kind, name, want string }{
+		{"counter", "rtec.windows.evaluated", "rtec.windows.evaluated_total"},
+		{"counter", "llm.retries", "llm.retries_total"},
+		{"counter", "rtec.checkpoint.bytes", "rtec.checkpoint.bytes"},
+		{"counter", "pipeline.micros.teach.o1", "pipeline.micros.teach.o1"},
+		{"counter", "rtec.checkpoint.write_micros", "rtec.checkpoint.write_micros"},
+		{"counter", "llm.backoff_ms", "llm.backoff_ms"},
+		{"counter", "already.total", "already.total"},
+		{"gauge", "rtec.workers", "rtec.workers"},
+		{"histogram", "rtec.window.micros", "rtec.window.micros"},
+	} {
+		if got := CanonicalName(tc.kind, tc.name); got != tc.want {
+			t.Errorf("CanonicalName(%s, %s) = %s, want %s", tc.kind, tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestHistogramQuantile checks the interpolated quantile estimate against
+// known distributions recorded into fine-grained buckets.
+func TestHistogramQuantile(t *testing.T) {
+	bounds := make([]float64, 100)
+	for i := range bounds {
+		bounds[i] = float64((i + 1) * 10) // 10, 20, ..., 1000
+	}
+
+	// Uniform 1..1000: p50 ~ 500, p99 ~ 990, p10 ~ 100.
+	r := NewRegistry()
+	u := r.Histogram("u", bounds)
+	for v := 1; v <= 1000; v++ {
+		u.Observe(float64(v))
+	}
+	us := r.Snapshot().Histograms["u"]
+	for _, tc := range []struct{ q, want, tol float64 }{
+		{0.10, 100, 10}, {0.50, 500, 10}, {0.99, 990, 10},
+	} {
+		if got := us.Quantile(tc.q); got < tc.want-tc.tol || got > tc.want+tc.tol {
+			t.Errorf("uniform Quantile(%g) = %g, want %g ± %g", tc.q, got, tc.want, tc.tol)
+		}
+	}
+
+	// Geometric-ish long tail: 900 obs at 5, 90 at 55, 9 at 505, 1 at 2000
+	// (overflow). p50 sits in the first bucket, p99 lands on the 990th
+	// observation (the last 55), p99.5 reaches the 505s, and p99.99 falls in
+	// the overflow bucket and is clamped to the largest finite bound.
+	g := r.Histogram("g", bounds)
+	for i := 0; i < 900; i++ {
+		g.Observe(5)
+	}
+	for i := 0; i < 90; i++ {
+		g.Observe(55)
+	}
+	for i := 0; i < 9; i++ {
+		g.Observe(505)
+	}
+	g.Observe(2000)
+	gs := r.Snapshot().Histograms["g"]
+	if got := gs.Quantile(0.50); got <= 0 || got > 10 {
+		t.Errorf("tail Quantile(0.5) = %g, want in (0, 10]", got)
+	}
+	if got := gs.Quantile(0.99); got <= 50 || got > 60 {
+		t.Errorf("tail Quantile(0.99) = %g, want in (50, 60]", got)
+	}
+	if got := gs.Quantile(0.995); got <= 500 || got > 510 {
+		t.Errorf("tail Quantile(0.995) = %g, want in (500, 510]", got)
+	}
+	if got := gs.Quantile(0.9999); got != 1000 {
+		t.Errorf("tail Quantile(0.9999) = %g, want clamp to 1000", got)
+	}
+
+	// Degenerate cases: empty histogram and out-of-range q.
+	e := r.Histogram("e", bounds)
+	_ = e
+	es := r.Snapshot().Histograms["e"]
+	if got := es.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile(0.5) = %g, want 0", got)
+	}
+	if got := us.Quantile(1.5); got < 990 {
+		t.Errorf("clamped Quantile(1.5) = %g, want >= p99", got)
 	}
 }
 

@@ -1,0 +1,327 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the Content-Type of the Prometheus text exposition
+// format version this package writes.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// PromName sanitises a registry metric name into a legal Prometheus metric
+// name: every character outside [a-zA-Z0-9_:] becomes "_" (dots included),
+// and a leading digit gains a "_" prefix. The canonical unit suffix is
+// applied first, so counters always expose as ..._total.
+func PromName(kind, name string) string {
+	name = CanonicalName(kind, name)
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a sample value the way the exposition format expects:
+// shortest round-tripping decimal, with +Inf/-Inf/NaN spelled out.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): a # HELP and # TYPE header per metric
+// family — the help text set with Describe, or a generic line — then the
+// samples. Counters expose with the _total suffix, histograms as the
+// conventional _bucket{le="..."} series plus _sum and _count. Output is
+// deterministic: families sort by kind (counter, gauge, histogram) then by
+// raw name, matching WriteText order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	s := r.Snapshot()
+	write := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	header := func(kind, raw, pname string) error {
+		help := r.helpFor(raw)
+		if help == "" {
+			help = fmt.Sprintf("%s %s (registered by rtecgen telemetry)", kind, raw)
+		}
+		if err := write("# HELP %s %s\n", pname, escapeHelp(help)); err != nil {
+			return err
+		}
+		return write("# TYPE %s %s\n", pname, kind)
+	}
+	for _, name := range sortedKeys(s.Counters) {
+		pname := PromName("counter", name)
+		if err := header("counter", name, pname); err != nil {
+			return err
+		}
+		if err := write("%s %d\n", pname, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		pname := PromName("gauge", name)
+		if err := header("gauge", name, pname); err != nil {
+			return err
+		}
+		if err := write("%s %d\n", pname, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	hnames := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		hnames = append(hnames, name)
+	}
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		h := s.Histograms[name]
+		pname := PromName("histogram", name)
+		if err := header("histogram", name, pname); err != nil {
+			return err
+		}
+		var cum int64
+		for i, b := range h.Bounds {
+			cum += h.Counts[i]
+			if err := write("%s_bucket{le=%q} %d\n", pname, promFloat(b), cum); err != nil {
+				return err
+			}
+		}
+		cum += h.Counts[len(h.Bounds)]
+		if err := write("%s_bucket{le=\"+Inf\"} %d\n", pname, cum); err != nil {
+			return err
+		}
+		if err := write("%s_sum %s\n", pname, promFloat(h.Sum)); err != nil {
+			return err
+		}
+		if err := write("%s_count %d\n", pname, cum); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// escapeHelp escapes backslashes and newlines per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// PromMetric is one parsed metric family of an exposition document.
+type PromMetric struct {
+	Name string
+	Type string // counter, gauge, histogram, or untyped
+	Help string
+	// Value is the sample for counters, gauges and untyped metrics.
+	Value float64
+	// Buckets, Sum and Count carry a histogram family; Buckets hold
+	// cumulative counts in le order ending with the +Inf bucket.
+	Buckets []PromBucket
+	Sum     float64
+	Count   float64
+}
+
+// PromBucket is one cumulative histogram bucket: observations <= LE.
+type PromBucket struct {
+	LE         float64 // +Inf for the last bucket
+	Cumulative float64
+}
+
+// Snapshot converts a parsed histogram family back into the registry's
+// snapshot form (per-bucket counts, not cumulative), so consumers can reuse
+// HistogramSnapshot.Quantile on scraped data.
+func (m *PromMetric) Snapshot() HistogramSnapshot {
+	var hs HistogramSnapshot
+	var prev float64
+	for _, b := range m.Buckets {
+		n := b.Cumulative - prev
+		prev = b.Cumulative
+		if math.IsInf(b.LE, 1) {
+			hs.Counts = append(hs.Counts, int64(n))
+			continue
+		}
+		hs.Bounds = append(hs.Bounds, b.LE)
+		hs.Counts = append(hs.Counts, int64(n))
+	}
+	hs.Count = int64(m.Count)
+	hs.Sum = m.Sum
+	return hs
+}
+
+// ParsePrometheus reads a text exposition document and returns its metric
+// families keyed by name. It understands the subset WritePrometheus emits —
+// # HELP / # TYPE headers, bare samples, and histogram _bucket/_sum/_count
+// series with an le label — and rejects structurally malformed lines, so it
+// doubles as the CI validator for /metrics parseability.
+func ParsePrometheus(r io.Reader) (map[string]*PromMetric, error) {
+	out := map[string]*PromMetric{}
+	types := map[string]string{}
+	helps := map[string]string{}
+	get := func(name string) *PromMetric {
+		m, ok := out[name]
+		if !ok {
+			m = &PromMetric{Name: name, Type: "untyped"}
+			if t, ok := types[name]; ok {
+				m.Type = t
+			}
+			m.Help = helps[name]
+			out[name] = m
+		}
+		return m
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 3 && (fields[1] == "HELP" || fields[1] == "TYPE") {
+				name := fields[2]
+				rest := ""
+				if len(fields) == 4 {
+					rest = fields[3]
+				}
+				if fields[1] == "TYPE" {
+					types[name] = rest
+				} else {
+					helps[name] = rest
+				}
+				if m, ok := out[name]; ok {
+					if fields[1] == "TYPE" {
+						m.Type = rest
+					} else {
+						m.Help = rest
+					}
+				}
+			}
+			continue
+		}
+		name, labels, valueStr, err := splitSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("prometheus: line %d: %w", lineNo, err)
+		}
+		value, err := strconv.ParseFloat(valueStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("prometheus: line %d: bad value %q", lineNo, valueStr)
+		}
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			base := strings.TrimSuffix(name, "_bucket")
+			le, ok := labels["le"]
+			if !ok {
+				return nil, fmt.Errorf("prometheus: line %d: histogram bucket without le label", lineNo)
+			}
+			bound, err := parseLE(le)
+			if err != nil {
+				return nil, fmt.Errorf("prometheus: line %d: %w", lineNo, err)
+			}
+			m := get(base)
+			m.Type = "histogram"
+			m.Buckets = append(m.Buckets, PromBucket{LE: bound, Cumulative: value})
+		case strings.HasSuffix(name, "_sum") && types[strings.TrimSuffix(name, "_sum")] == "histogram":
+			get(strings.TrimSuffix(name, "_sum")).Sum = value
+		case strings.HasSuffix(name, "_count") && types[strings.TrimSuffix(name, "_count")] == "histogram":
+			get(strings.TrimSuffix(name, "_count")).Count = value
+		default:
+			get(name).Value = value
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for name, m := range out {
+		if m.Type != "histogram" {
+			continue
+		}
+		if !sort.SliceIsSorted(m.Buckets, func(i, j int) bool { return m.Buckets[i].LE < m.Buckets[j].LE }) {
+			return nil, fmt.Errorf("prometheus: %s: bucket le bounds not ascending", name)
+		}
+		for i := 1; i < len(m.Buckets); i++ {
+			if m.Buckets[i].Cumulative < m.Buckets[i-1].Cumulative {
+				return nil, fmt.Errorf("prometheus: %s: bucket counts not cumulative", name)
+			}
+		}
+	}
+	return out, nil
+}
+
+// parseLE parses a bucket bound, accepting the spelled-out +Inf.
+func parseLE(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad le bound %q", s)
+	}
+	return v, nil
+}
+
+// splitSample splits one sample line into metric name, label map and value
+// text. Only the simple single-label form WritePrometheus emits is
+// supported; a missing value or an unterminated label set is an error.
+func splitSample(line string) (name string, labels map[string]string, value string, err error) {
+	labels = map[string]string{}
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		name = line[:i]
+		end := strings.IndexByte(line, '}')
+		if end < i {
+			return "", nil, "", fmt.Errorf("unterminated label set in %q", line)
+		}
+		for _, pair := range strings.Split(line[i+1:end], ",") {
+			if pair = strings.TrimSpace(pair); pair == "" {
+				continue
+			}
+			kv := strings.SplitN(pair, "=", 2)
+			if len(kv) != 2 {
+				return "", nil, "", fmt.Errorf("malformed label %q", pair)
+			}
+			labels[kv[0]] = strings.Trim(kv[1], `"`)
+		}
+		rest = line[end+1:]
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return "", nil, "", fmt.Errorf("sample without value: %q", line)
+		}
+		return fields[0], labels, fields[1], nil
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 {
+		return "", nil, "", fmt.Errorf("sample without value: %q", line)
+	}
+	return name, labels, fields[0], nil
+}

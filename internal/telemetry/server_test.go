@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestServerHealthz(t *testing.T) {
+	reg := NewRegistry()
+	s := NewServer(reg)
+	s.Ready("engine", func() error { return nil })
+	s.Ready("journal", func() error { return nil })
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func(path string) (int, []byte) {
+		res, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Body.Close()
+		body, err := io.ReadAll(res.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.StatusCode, body
+	}
+
+	code, body := get("/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz = %d: %s", code, body)
+	}
+	var rep struct {
+		Status string            `json:"status"`
+		Checks map[string]string `json:"checks"`
+	}
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != "ok" || rep.Checks["engine"] != "ok" || rep.Checks["journal"] != "ok" {
+		t.Fatalf("healthy report = %+v", rep)
+	}
+
+	// A failing subsystem degrades the whole endpoint to 503 and carries
+	// the failure reason alongside the still-healthy checks.
+	s.Ready("journal", func() error { return errors.New("disk full") })
+	code, body = get("/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded /healthz = %d", code)
+	}
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != "degraded" || rep.Checks["journal"] != "disk full" || rep.Checks["engine"] != "ok" {
+		t.Fatalf("degraded report = %+v", rep)
+	}
+}
+
+func TestServerDebugEndpoints(t *testing.T) {
+	ts := httptest.NewServer(NewServer(NewRegistry()).Handler())
+	defer ts.Close()
+	for _, path := range []string{"/debug/vars", "/debug/pprof/"} {
+		res, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Body.Close()
+		if res.StatusCode != http.StatusOK {
+			t.Errorf("%s = %d, want 200", path, res.StatusCode)
+		}
+	}
+}
+
+// TestServerStartClose exercises the real listener path cmd/rtec -listen
+// uses: bind port 0, scrape over TCP, then shut down.
+func TestServerStartClose(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("rtec.windows.evaluated").Add(3)
+	s := NewServer(reg)
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr == "" || s.Addr() != addr {
+		t.Fatalf("Addr() = %q, Start returned %q", s.Addr(), addr)
+	}
+	res, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "rtec_windows_evaluated_total 3") {
+		t.Fatalf("scrape missing counter:\n%s", body)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerNilSafety(t *testing.T) {
+	var s *Server
+	s.Ready("x", func() error { return nil })
+	if addr, err := s.Start("127.0.0.1:0"); addr != "" || err != nil {
+		t.Fatalf("nil Start = %q, %v", addr, err)
+	}
+	if s.Addr() != "" {
+		t.Fatal("nil Addr not empty")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Handler() == nil {
+		t.Fatal("nil Handler returned nil")
+	}
+}
