@@ -27,7 +27,7 @@ go test ./...
 
 echo "== go test -race (concurrency-sensitive packages)"
 go test -race ./internal/rtec/... ./internal/fleet/... ./internal/stream/... ./internal/telemetry/... \
-    ./internal/eval/... ./internal/similarity/...
+    ./internal/eval/... ./internal/similarity/... ./internal/shard/...
 
 echo "== rteclint"
 # The worked example must produce diagnostics (exit 1 under -fail-on error).
@@ -165,6 +165,46 @@ if ! cmp -s "$tmp/baseline.csv" "$tmp/parallel.csv"; then
     diff "$tmp/baseline.csv" "$tmp/parallel.csv" >&2 || true
     exit 1
 fi
+
+echo "== shard chaos gate (supervised shards must recover byte-identically)"
+# Run the supervised shard runtime over the shuffled stream twice with the
+# same seed: once fault-free and once with a deterministic fault schedule
+# (a torn checkpoint at window 2 plus a panic at window 3 in every shard).
+# The faulted run must restart from checkpoints and still produce the same
+# recognition CSV and the same per-shard journal bytes as the fault-free
+# run, with a nonzero restart counter. The binary is race-instrumented so
+# the supervisor, watchdog and queue paths run under the race detector.
+# Note: both sides are sharded — entity-hash partitioning is only exact for
+# entity-local fluents, so the sharded output is compared against itself,
+# not against the unsharded baseline.
+go build -race -o "$tmp/bin-rtec-race" ./cmd/rtec
+"$tmp/bin-rtec-race" -ed "$tmp/ed.rtec" -stream "$tmp/shuffled.csv" -window 3600 -csv \
+    -max-delay 900 -shards 4 -shard-seed 7 \
+    -checkpoint "$tmp/clean.ckpt" -journal "$tmp/clean.jsonl" \
+    > "$tmp/sharded-clean.csv" 2> /dev/null
+"$tmp/bin-rtec-race" -ed "$tmp/ed.rtec" -stream "$tmp/shuffled.csv" -window 3600 -csv \
+    -max-delay 900 -shards 4 -shard-seed 7 \
+    -checkpoint "$tmp/chaos.ckpt" -journal "$tmp/chaos.jsonl" \
+    -shard-faults 'ckpt-truncate@w2,panic@w3' -metrics \
+    > "$tmp/sharded-chaos.csv" 2> "$tmp/shard-metrics.txt"
+if ! cmp -s "$tmp/sharded-clean.csv" "$tmp/sharded-chaos.csv"; then
+    echo "shard chaos gate: faulted run diverged from the fault-free run:" >&2
+    diff "$tmp/sharded-clean.csv" "$tmp/sharded-chaos.csv" >&2 || true
+    exit 1
+fi
+for k in 0 1 2 3; do
+    if ! cmp -s "$tmp/clean.jsonl.s$k" "$tmp/chaos.jsonl.s$k"; then
+        echo "shard chaos gate: shard $k journal diverged under faults" >&2
+        exit 1
+    fi
+done
+if ! grep -q '^counter rtec.shard.restarts_total [1-9]' "$tmp/shard-metrics.txt"; then
+    echo "shard chaos gate: metrics dump is missing a nonzero rtec.shard.restarts counter:" >&2
+    grep '^counter rtec\.shard' "$tmp/shard-metrics.txt" >&2 || cat "$tmp/shard-metrics.txt" >&2
+    exit 1
+fi
+# The supervisor events in the main journal must drive rtectop's shard board.
+go run ./cmd/rtectop -journal "$tmp/chaos.jsonl" -require 'rtec_shard_restarts_total>0' > /dev/null
 
 echo "== live observability gate (serve, scrape, journal, replay)"
 # Run the streaming recognition with the operational endpoints and the audit

@@ -7,6 +7,7 @@
 //
 //	rtec -ed rules.rtec -stream events.csv [-window W] [-slide S] [-fluent name/arity] [-strict]
 //	     [-lenient] [-workers N] [-max-delay D] [-checkpoint file [-checkpoint-every N] [-resume]]
+//	     [-shards N [-shard-faults spec] [-shard-deadline D] [-shard-queue N] [-shard-overflow policy]]
 //	     [-trace out.json] [-metrics] [-v] [-pprof addr]
 //
 // Stream rows have the form "time,eventName,arg1,arg2,...". With -lenient,
@@ -35,20 +36,39 @@
 // so scrapers and rtectop can read the final state. -journal appends the
 // structured recognition audit journal (JSONL; see internal/telemetry/
 // journal) with -journal-cap bounding its size and -journal-wall stamping
-// real wall-clock times instead of the deterministic default. -slo-emit-lag
-// and -slo-window-ms set streaming-lag SLOs whose breaches count in
+// real wall-clock times instead of the deterministic default. On -resume an
+// existing journal is validated, a torn trailing line is truncated, and the
+// run continues it after a journal_recovered marker. -slo-emit-lag and
+// -slo-window-ms set streaming-lag SLOs whose breaches count in
 // rtec.slo.breaches.
+//
+// Sharded operation: -shards N partitions the stream by consistent entity
+// hash across N supervised engine shards (internal/shard), each with its own
+// checkpoint file ("<-checkpoint>.s<k>") and journal ("<-journal>.s<k>");
+// the main -journal file carries the supervisor's lifecycle events. Shards
+// recover from crashes on their own: panics restart from the last
+// checkpoint, shards stalled past -shard-deadline are killed and restarted,
+// torn checkpoints fall back to the previous generation, and a shard that
+// exhausts its -shard-restarts budget degrades (visible as a 503 on
+// /healthz) instead of taking the run down. -shard-queue and
+// -shard-overflow bound per-shard ingest admission; -shard-faults injects a
+// deterministic failure schedule (e.g. "panic@w3" or
+// "ckpt-truncate@w2,panic@w3:s0") for chaos drills — the output stays
+// byte-identical to a fault-free run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"rtecgen/internal/clock"
 	"rtecgen/internal/parser"
 	"rtecgen/internal/rtec"
+	"rtecgen/internal/shard"
+	"rtecgen/internal/shard/fault"
 	"rtecgen/internal/stream"
 	"rtecgen/internal/telemetry"
 	"rtecgen/internal/telemetry/journal"
@@ -74,6 +94,13 @@ type options struct {
 	journalWall        bool
 	sloEmitLag         int64
 	sloWindowMS        int64
+	shards             int
+	shardFaults        string
+	shardDeadline      time.Duration
+	shardQueue         int
+	shardOverflow      string
+	shardRestarts      int
+	shardSeed          int64
 	tel                telemetry.CLIConfig
 }
 
@@ -100,6 +127,13 @@ func main() {
 	flag.BoolVar(&o.journalWall, "journal-wall", false, "stamp journal records with real wall-clock times instead of the deterministic default")
 	flag.Int64Var(&o.sloEmitLag, "slo-emit-lag", 0, "SLO: max event-time lag (frontier minus query time) at first window delivery, in time-points (0 = off)")
 	flag.Int64Var(&o.sloWindowMS, "slo-window-ms", 0, "SLO: max wall-clock latency per window delivery, in milliseconds (0 = off)")
+	flag.IntVar(&o.shards, "shards", 0, "partition the stream across N supervised engine shards (0/1 = unsharded)")
+	flag.StringVar(&o.shardFaults, "shard-faults", "", `inject a deterministic shard fault schedule, e.g. "panic@w3" or "ckpt-truncate@w2,panic@w3:s0"`)
+	flag.DurationVar(&o.shardDeadline, "shard-deadline", 10*time.Second, "kill and restart a shard making no progress for this long")
+	flag.IntVar(&o.shardQueue, "shard-queue", 256, "per-shard ingest queue depth")
+	flag.StringVar(&o.shardOverflow, "shard-overflow", "block", "full-queue admission policy: block, drop or error")
+	flag.IntVar(&o.shardRestarts, "shard-restarts", 5, "restarts per shard before it degrades")
+	flag.Int64Var(&o.shardSeed, "shard-seed", 7, "seed for per-shard restart backoff jitter")
 	flag.StringVar(&o.tel.TracePath, "trace", "", "write a Chrome trace_event JSON of the run to this file")
 	flag.BoolVar(&o.tel.Metrics, "metrics", false, "dump the telemetry registry to stderr at exit")
 	flag.BoolVar(&o.tel.Verbose, "v", false, "structured debug logging to stderr")
@@ -132,30 +166,66 @@ func run(o options, stdout, stderr *os.File) error {
 	if o.journalPath != "" && o.resume && o.journalPath == o.checkpoint {
 		return fmt.Errorf("-journal and -checkpoint name the same file")
 	}
+	if o.shards > 1 {
+		if o.resume {
+			return fmt.Errorf("-resume does not apply to sharded runs: shards recover from their own checkpoints in-process")
+		}
+		if o.crashAfter > 0 {
+			return fmt.Errorf("-crash-after does not apply to sharded runs: use -shard-faults")
+		}
+	}
 	tel, flush := o.tel.Setup(stderr, stderr, "rtec")
 
 	// The audit journal: one writer for the whole run, wall timestamps only
 	// on request (the deterministic default journals byte-identically across
-	// same-seed runs).
+	// same-seed runs). A resumed run continues the crashed run's journal:
+	// the existing file is validated, a torn trailing line is truncated, and
+	// a journal_recovered marker separates the old records from the new.
+	jopts := journal.Options{MaxBytes: o.journalCap}
+	if o.journalWall {
+		jopts.Now = clock.Real().Now
+	}
 	var jw *journal.Writer
 	if o.journalPath != "" {
-		jf, err := os.Create(o.journalPath)
-		if err != nil {
-			return fmt.Errorf("journal: %w", err)
+		if o.resume {
+			if _, statErr := os.Stat(o.journalPath); statErr == nil {
+				info, err := journal.Recover(o.journalPath)
+				if err != nil {
+					return fmt.Errorf("journal: %w", err)
+				}
+				jf, err := os.OpenFile(o.journalPath, os.O_WRONLY|os.O_APPEND, 0o644)
+				if err != nil {
+					return fmt.Errorf("journal: %w", err)
+				}
+				defer jf.Close()
+				jw = journal.NewWriterResumed(jf, jopts, info)
+				if err := jw.Append("journal_recovered", map[string]int64{
+					"records":         int64(info.Records),
+					"last_seq":        info.LastSeq,
+					"truncated_bytes": info.Truncated,
+				}); err != nil {
+					return fmt.Errorf("journal: %w", err)
+				}
+				fmt.Fprintf(stderr, "rtec: journal: recovered %d records (%d torn bytes truncated)\n",
+					info.Records, info.Truncated)
+			}
 		}
-		defer jf.Close()
-		jopts := journal.Options{MaxBytes: o.journalCap}
-		if o.journalWall {
-			jopts.Now = clock.Real().Now
+		if jw == nil {
+			jf, err := os.Create(o.journalPath)
+			if err != nil {
+				return fmt.Errorf("journal: %w", err)
+			}
+			defer jf.Close()
+			jw = journal.NewWriter(jf, jopts)
 		}
-		jw = journal.NewWriter(jf, jopts)
 	}
 
 	// The operational endpoints serve the live registry for the whole run
 	// (and through -linger, beyond it). Port 0 picks a free port; the bound
 	// address goes to stderr for scrapers to discover.
+	var srv *telemetry.Server
 	if o.listen != "" {
-		srv := telemetry.NewServer(tel.Registry)
+		srv = telemetry.NewServer(tel.Registry)
 		srv.Ready("engine", func() error { return nil })
 		if jw != nil {
 			srv.Ready("journal", jw.Err)
@@ -211,9 +281,12 @@ func run(o options, stdout, stderr *os.File) error {
 		return err
 	}
 	var rec *rtec.Recognition
-	if o.streaming() {
+	switch {
+	case o.shards > 1:
+		rec, err = runSharded(o, eng, events, jw, jopts, srv, tel, stderr)
+	case o.streaming():
 		rec, err = runStreaming(o, eng, events, jw, stderr)
-	} else {
+	default:
 		rec, err = eng.Run(events, rtec.RunOptions{Window: o.window, Slide: o.slide})
 	}
 	if err != nil {
@@ -276,5 +349,96 @@ func runStreaming(o options, eng *rtec.Engine, events stream.Stream, jw *journal
 		return nil, err
 	}
 	fmt.Fprintf(stderr, "rtec: stream: %s\n", res.Stats)
+	return res.Recognition, nil
+}
+
+// runSharded drives the supervised shard runtime: the stream is partitioned
+// by consistent entity hash across -shards crash-recovering engine shards,
+// and the per-shard recognitions are merged. Shard k checkpoints to
+// "<-checkpoint>.s<k>" and journals to "<-journal>.s<k>"; the main journal
+// carries the supervisor's lifecycle events (restarts, kills, degradation).
+func runSharded(o options, eng *rtec.Engine, events stream.Stream, jw *journal.Writer,
+	jopts journal.Options, srv *telemetry.Server, tel *telemetry.Telemetry, stderr *os.File) (*rtec.Recognition, error) {
+	if len(events) == 0 {
+		return nil, fmt.Errorf("sharded runs need a non-empty stream to bound the time-line")
+	}
+	plan, err := fault.Parse(o.shardFaults)
+	if err != nil {
+		return nil, err
+	}
+	overflow, err := shard.ParseOverflow(o.shardOverflow)
+	if err != nil {
+		return nil, err
+	}
+	// Per-shard journal files. The shard runtime stages records and commits
+	// them one checkpoint generation behind, so every file stays
+	// byte-identical to a fault-free run's even across crashes.
+	var journalFor func(k int) io.Writer
+	if o.journalPath != "" {
+		files := make([]*os.File, o.shards)
+		for k := range files {
+			f, err := os.Create(fmt.Sprintf("%s.s%d", o.journalPath, k))
+			if err != nil {
+				return nil, fmt.Errorf("journal: %w", err)
+			}
+			defer f.Close()
+			files[k] = f
+		}
+		journalFor = func(k int) io.Writer { return files[k] }
+	}
+	first, last := events.TimeRange()
+	sup, err := shard.NewSupervisor(eng, shard.Options{
+		Shards: o.shards,
+		Stream: rtec.StreamOptions{
+			RunOptions:      rtec.RunOptions{Window: o.window, Slide: o.slide, Start: first, End: last + 1},
+			MaxDelay:        o.maxDelay,
+			CheckpointPath:  o.checkpoint,
+			CheckpointEvery: o.checkpointEvery,
+			SLO: rtec.SLOOptions{
+				MaxEmitLag:      o.sloEmitLag,
+				MaxWindowMicros: o.sloWindowMS * 1000,
+			},
+		},
+		JournalFor:  journalFor,
+		JournalOpts: jopts,
+		Events:      jw,
+		QueueDepth:  o.shardQueue,
+		Overflow:    overflow,
+		Deadline:    o.shardDeadline,
+		MaxRestarts: o.shardRestarts,
+		Seed:        o.shardSeed,
+		Faults:      plan,
+		Telemetry:   tel,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sup.RegisterHealth(srv)
+	var ingestErr error
+	for _, e := range events {
+		if err := sup.Ingest(e); err != nil {
+			// Strict admission failed; stop feeding but still close cleanly
+			// so the healthy shards' work is accounted for.
+			ingestErr = err
+			break
+		}
+	}
+	res, closeErr := sup.Close()
+	if res != nil {
+		fmt.Fprintf(stderr, "rtec: shards: %s\n", res.Stats)
+		for _, st := range res.Shards {
+			fmt.Fprintf(stderr, "rtec: shard %d: consumed=%d windows=%d restarts=%d kills=%d dropped=%d degraded=%v\n",
+				st.Shard, st.Consumed, st.Windows, st.Restarts, st.Kills, st.Dropped, st.Degraded)
+			if st.Degraded {
+				fmt.Fprintf(stderr, "rtec: shard %d degraded: %s\n", st.Shard, st.Err)
+			}
+		}
+	}
+	if ingestErr != nil {
+		return nil, ingestErr
+	}
+	if closeErr != nil {
+		return nil, closeErr
+	}
 	return res.Recognition, nil
 }

@@ -138,6 +138,9 @@ func journalBoard(path string) (map[string]*telemetry.PromMetric, string, error)
 	var ckptBytes float64
 	var emitLags []float64
 	breaches := map[string]float64{}
+	shardRestarts := map[int]float64{}
+	shardDegraded := map[int]float64{}
+	var shards, kills, restarts, degraded float64
 	var end struct {
 		Observed   float64 `json:"observed"`
 		Late       float64 `json:"late"`
@@ -185,6 +188,30 @@ func journalBoard(path string) (map[string]*telemetry.PromMetric, string, error)
 			ckptBytes += c.Bytes
 		case "checkpoint_restore":
 			restores++
+		case "shards_start":
+			var s struct {
+				Shards float64 `json:"shards"`
+			}
+			_ = unmarshalData(rec.Data, &s)
+			shards = s.Shards
+		case "shard_restart":
+			var s struct {
+				Shard int `json:"shard"`
+			}
+			if err := unmarshalData(rec.Data, &s); err != nil {
+				return nil, "", fmt.Errorf("%s: seq %d: %w", path, rec.Seq, err)
+			}
+			restarts++
+			shardRestarts[s.Shard]++
+		case "shard_kill":
+			kills++
+		case "shard_degraded":
+			var s struct {
+				Shard int `json:"shard"`
+			}
+			_ = unmarshalData(rec.Data, &s)
+			degraded++
+			shardDegraded[s.Shard] = 1
 		case "run_end":
 			haveEnd = true
 			_ = unmarshalData(rec.Data, &end)
@@ -218,6 +245,17 @@ func journalBoard(path string) (map[string]*telemetry.PromMetric, string, error)
 		put("rtec_checkpoint_writes_total", "counter", writes)
 		put("rtec_checkpoint_restores_total", "counter", restores)
 		put("rtec_checkpoint_bytes", "counter", ckptBytes)
+	}
+	if shards > 0 || restarts > 0 || kills > 0 || degraded > 0 {
+		put("rtec_shard_restarts_total", "counter", restarts)
+		put("rtec_shard_kills_total", "counter", kills)
+		put("rtec_shard_degraded", "gauge", degraded)
+		for k, n := range shardRestarts {
+			put(fmt.Sprintf("rtec_shard_s%d_restarts_total", k), "counter", n)
+		}
+		for k, v := range shardDegraded {
+			put(fmt.Sprintf("rtec_shard_s%d_degraded", k), "gauge", v)
+		}
 	}
 	m["rtec_window_emit_lag"] = histMetric("rtec_window_emit_lag", lagBuckets, emitLags)
 
@@ -325,6 +363,46 @@ func render(w io.Writer, header string, m, prev map[string]*telemetry.PromMetric
 		fmt.Fprintln(w, "\nCHECKPOINTS")
 		fmt.Fprintf(w, "  writes %.0f  restores %.0f  bytes %.0f\n", writes, restores, bytes)
 	}
+
+	if ids := shardIDs(m); len(ids) > 0 {
+		restarts, _ := val("rtec_shard_restarts_total")
+		kills, _ := val("rtec_shard_kills_total")
+		degraded, _ := val("rtec_shard_degraded")
+		fmt.Fprintln(w, "\nSHARDS")
+		fmt.Fprintf(w, "  restarts %.0f  kills %.0f  degraded %.0f%s\n",
+			restarts, kills, degraded, rate("rtec_shard_restarts_total"))
+		for _, k := range ids {
+			sv := func(name string) float64 {
+				v, _ := val(fmt.Sprintf("rtec_shard_s%d_%s", k, name))
+				return v
+			}
+			state := "ok"
+			if sv("degraded") > 0 {
+				state = "DEGRADED"
+			}
+			fmt.Fprintf(w, "  s%-3d consumed %-8.0f windows %-6.0f queue %-5.0f restarts %-4.0f %s\n",
+				k, sv("consumed"), sv("windows"), sv("queue_depth"), sv("restarts_total"), state)
+		}
+	}
+}
+
+var shardMetricRE = regexp.MustCompile(`^rtec_shard_s(\d+)_(restarts_total|queue_depth|consumed|windows|degraded)$`)
+
+// shardIDs returns the shard indices present in the metric families, sorted.
+func shardIDs(m map[string]*telemetry.PromMetric) []int {
+	seen := map[int]bool{}
+	for name := range m {
+		if sub := shardMetricRE.FindStringSubmatch(name); sub != nil {
+			k, _ := strconv.Atoi(sub[1])
+			seen[k] = true
+		}
+	}
+	ids := make([]int, 0, len(seen))
+	for k := range seen {
+		ids = append(ids, k)
+	}
+	sort.Ints(ids)
+	return ids
 }
 
 // histLine prints one latency row: count, mean, p50, p95.

@@ -22,6 +22,12 @@ import (
 const (
 	checkpointMagic   = "rtec-checkpoint"
 	checkpointVersion = 1
+
+	// checkpointPrevSuffix names the previous snapshot generation: every
+	// successful checkpoint write first rotates the current file aside, so
+	// a snapshot torn by a crash or a bad disk still leaves one verified
+	// generation to resume from.
+	checkpointPrevSuffix = ".prev"
 )
 
 type checkpointFile struct {
@@ -164,13 +170,21 @@ func (st *streamRun) snapshot() checkpointPayload {
 	return p
 }
 
-// writeCheckpoint serialises the snapshot and writes it atomically: the
-// bytes go to a temporary file in the checkpoint's directory, which is then
-// renamed over the target, so a crash mid-write leaves either the previous
-// snapshot or none — never a torn one.
+// writeCheckpoint serialises the snapshot and writes it torn-proof: the
+// bytes go to a temporary file in the checkpoint's directory and are fsynced
+// before the file is renamed over the target, the previous generation is
+// kept aside under checkpointPrevSuffix, and the directory is synced so the
+// renames themselves survive a power cut. A crash at any point leaves at
+// least one intact, checksum-verified generation.
 func (st *streamRun) writeCheckpoint() error {
 	tel := st.eng.opts.Telemetry
 	t0 := time.Now() //rtecvet:allow telemetry timer: real duration of checkpoint encoding
+	// Count this write before snapshotting, so the payload's own checkpoint
+	// counter includes it: a run restored from the snapshot then reports the
+	// same count as the uninterrupted run at the same point — which keeps
+	// recovered journals (whose checkpoint records embed the payload size)
+	// byte-identical to fault-free ones.
+	st.stats.Checkpoints++
 	payload, err := json.Marshal(st.snapshot())
 	if err != nil {
 		return fmt.Errorf("rtec: checkpoint: %w", err)
@@ -196,15 +210,34 @@ func (st *streamRun) writeCheckpoint() error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("rtec: checkpoint: %w", err)
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("rtec: checkpoint: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("rtec: checkpoint: %w", err)
+	}
+	// Rotate the current generation aside before installing the new one:
+	// if the new file turns out torn (crash between the renames, bad disk),
+	// resume falls back to the previous generation.
+	if _, err := os.Stat(st.opts.CheckpointPath); err == nil {
+		if err := os.Rename(st.opts.CheckpointPath, st.opts.CheckpointPath+checkpointPrevSuffix); err != nil {
+			os.Remove(tmp.Name())
+			return fmt.Errorf("rtec: checkpoint: %w", err)
+		}
 	}
 	if err := os.Rename(tmp.Name(), st.opts.CheckpointPath); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("rtec: checkpoint: %w", err)
 	}
-	st.stats.Checkpoints++
+	// Best-effort directory sync so the renames are durable; some
+	// filesystems refuse fsync on directories, which is fine.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
 	tel.Counter("rtec.checkpoint.writes").Inc()
 	tel.Counter("rtec.checkpoint.bytes").Add(int64(len(data)))
 	tel.Histogram("rtec.checkpoint.write_micros").ObserveDuration(time.Since(t0))
@@ -253,6 +286,23 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 		return nil, fmt.Errorf("rtec: checkpoint %s: payload: %w", path, err)
 	}
 	return &Checkpoint{Consumed: p.Consumed, Windows: p.Emitted, payload: p}, nil
+}
+
+// LoadCheckpointWithFallback loads the snapshot at path; if that file is
+// missing, torn or corrupt, it falls back to the previous generation kept
+// under checkpointPrevSuffix. It returns the checkpoint and the file it
+// actually came from. The error names both generations when neither loads.
+func LoadCheckpointWithFallback(path string) (*Checkpoint, string, error) {
+	cp, err := LoadCheckpoint(path)
+	if err == nil {
+		return cp, path, nil
+	}
+	prev := path + checkpointPrevSuffix
+	cpp, perr := LoadCheckpoint(prev)
+	if perr == nil {
+		return cpp, prev, nil
+	}
+	return nil, "", fmt.Errorf("rtec: checkpoint %s unusable (%v); previous generation unusable too (%v)", path, err, perr)
 }
 
 // restore rebuilds the run state from a verified checkpoint, after
@@ -333,9 +383,14 @@ func (st *streamRun) restore(cp *Checkpoint) error {
 func (e *Engine) ResumeStream(path string, events stream.Stream, opts StreamOptions, fn func(WindowResult) error) (*StreamResult, error) {
 	tel := e.opts.Telemetry
 	t0 := time.Now() //rtecvet:allow telemetry timer: real duration of checkpoint restore
-	cp, err := LoadCheckpoint(path)
+	cp, from, err := LoadCheckpointWithFallback(path)
 	if err != nil {
 		return nil, err
+	}
+	if from != path {
+		tel.Counter("rtec.checkpoint.fallbacks").Inc()
+		tel.Logger().Warn("checkpoint torn; resuming from previous generation",
+			"component", "rtec", "path", path, "fallback", from)
 	}
 	st, empty, err := e.newStreamRun(events, opts, fn)
 	if err != nil {

@@ -244,18 +244,24 @@ func TestResumeRejectsMismatchedRun(t *testing.T) {
 func TestCheckpointWriteIsAtomic(t *testing.T) {
 	e := mustEngine(t, withinAreaED, Options{Strict: true})
 	path, _, _ := writeTestCheckpoint(t, e)
-	// No temporary files are left next to the checkpoint.
+	// Only the current and previous generations remain next to the
+	// checkpoint — no leftover temp files.
 	entries, err := os.ReadDir(filepath.Dir(path))
 	if err != nil {
 		t.Fatal(err)
 	}
+	base := filepath.Base(path)
 	for _, ent := range entries {
-		if strings.HasPrefix(ent.Name(), ".rtec-checkpoint-") {
-			t.Fatalf("leftover temp file %s", ent.Name())
+		if ent.Name() != base && ent.Name() != base+checkpointPrevSuffix {
+			t.Fatalf("unexpected file %s next to the checkpoint", ent.Name())
 		}
 	}
-	if len(entries) != 1 {
-		t.Fatalf("checkpoint dir has %d entries, want 1", len(entries))
+	// Both generations must load and verify.
+	if _, err := LoadCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path + checkpointPrevSuffix); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -317,5 +323,73 @@ func TestChaosShuffleKillResume(t *testing.T) {
 	wantLine := "observed=169 accepted=162 late=98 duplicates=4 dropped=3 revisions=10"
 	if gotLine != wantLine {
 		t.Fatalf("pinned stats changed:\n have %s\n want %s", gotLine, wantLine)
+	}
+}
+
+// TestResumeFromTruncatedCheckpoint is the torn-write regression test: the
+// current checkpoint generation is truncated mid-file (as a crash during the
+// write would leave it without the atomic rename, or a bad disk after it),
+// and resume must fall back to the previous generation and still reproduce
+// the uninterrupted run byte for byte.
+func TestResumeFromTruncatedCheckpoint(t *testing.T) {
+	e := mustEngine(t, withinAreaED, Options{Strict: true})
+	arrivals := chaosArrivals(t, 7, 60)
+	base := StreamOptions{
+		RunOptions: RunOptions{Window: 100},
+		MaxDelay:   60,
+	}
+	want, err := e.RunStream(arrivals, base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := base
+	opts.CheckpointPath = filepath.Join(t.TempDir(), "run.ckpt")
+	opts.CheckpointEvery = 1
+	if _, err := e.RunStream(arrivals, opts, crashAfter(3)); !errors.Is(err, errCrash) {
+		t.Fatalf("interrupted run err = %v, want crash", err)
+	}
+
+	// Tear the current generation in half.
+	raw, err := os.ReadFile(opts.CheckpointPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(opts.CheckpointPath, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(opts.CheckpointPath); err == nil {
+		t.Fatal("truncated checkpoint loaded")
+	}
+	cp, from, err := LoadCheckpointWithFallback(opts.CheckpointPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from != opts.CheckpointPath+checkpointPrevSuffix {
+		t.Fatalf("fallback loaded %s", from)
+	}
+	if cp.Windows == 0 {
+		t.Fatal("previous generation made no progress")
+	}
+
+	got, err := e.ResumeStream(opts.CheckpointPath, arrivals, opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := csvOf(t, want.Recognition), csvOf(t, got.Recognition); a != b {
+		t.Fatalf("resume from previous generation differs:\n%s\nvs\n%s", b, a)
+	}
+
+	// With both generations torn (the resumed run above rewrote fresh
+	// snapshots, so tear both again), resume reports both.
+	if err := os.WriteFile(opts.CheckpointPath, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(opts.CheckpointPath+checkpointPrevSuffix, raw[:3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadCheckpointWithFallback(opts.CheckpointPath); err == nil ||
+		!strings.Contains(err.Error(), "previous generation") {
+		t.Fatalf("double corruption err = %v", err)
 	}
 }

@@ -180,13 +180,20 @@ func (st *streamRun) consume(events stream.Stream) (*StreamResult, error) {
 			return nil, err
 		}
 	}
-	// Flush: evaluate and deliver the windows the frontier never reached.
+	return st.finish()
+}
+
+// finish ends the run: it evaluates and delivers the windows the frontier
+// never reached (the events still buffered in the reorder buffer are part of
+// those evaluations — a stream ending before the watermark passes them must
+// not lose them), amalgamates the result and journals the end of the run.
+func (st *streamRun) finish() (*StreamResult, error) {
 	for st.emitted < len(st.slots) {
 		if err := st.emitNext(); err != nil {
 			return nil, err
 		}
 	}
-	tel.Counter("rtec.events.ingested").Add(st.reorder.Stats().Accepted)
+	st.eng.opts.Telemetry.Counter("rtec.events.ingested").Add(st.reorder.Stats().Accepted)
 	res := st.finalise()
 	if err := st.journalRunEnd(); err != nil {
 		return nil, err

@@ -1,0 +1,123 @@
+package fault
+
+import "testing"
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, spec := range []string{
+		"panic@w3",
+		"hang@w2:s1",
+		"ckpt-truncate@w2,panic@w3:s0!",
+		"",
+	} {
+		p, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		if got := p.String(); got != spec {
+			t.Errorf("Parse(%q).String() = %q", spec, got)
+		}
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	for _, spec := range []string{
+		"explode@w3",       // unknown kind
+		"panic",            // no window
+		"panic@3",          // missing w
+		"panic@w0",         // window must be >= 1
+		"panic@wx",         // not a number
+		"panic@w2:x1",      // bad shard scope
+		"panic@w2:s-1",     // negative shard
+		"hang@w1,bogus@w2", // one bad trigger poisons the spec
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted", spec)
+		}
+	}
+}
+
+func TestScopeAndLatch(t *testing.T) {
+	p, err := Parse("panic@w2:s1,hang@w3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, s1 := p.ForShard(0), p.ForShard(1)
+
+	// Shard 0 is out of the panic's scope; the unscoped hang applies.
+	if got := s0.OnDeliver(2); got != None {
+		t.Fatalf("s0 window 2 = %s, want none", got)
+	}
+	if got := s0.OnDeliver(3); got != Hang {
+		t.Fatalf("s0 window 3 = %s, want hang", got)
+	}
+	// Fire-once: the replay after a restart passes window 3 cleanly.
+	if got := s0.OnDeliver(3); got != None {
+		t.Fatalf("s0 window 3 replay = %s, want none (latched)", got)
+	}
+
+	if got := s1.OnDeliver(2); got != Panic {
+		t.Fatalf("s1 window 2 = %s, want panic", got)
+	}
+	if got := s1.OnDeliver(2); got != None {
+		t.Fatalf("s1 window 2 replay = %s, want none (latched)", got)
+	}
+	if s1.Fired() != 1 {
+		t.Fatalf("s1 fired = %d, want 1", s1.Fired())
+	}
+}
+
+func TestEveryRepeats(t *testing.T) {
+	p, err := Parse("panic@w1!")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := p.ForShard(0)
+	for i := 0; i < 3; i++ {
+		if got := in.OnDeliver(1); got != Panic {
+			t.Fatalf("repeat %d = %s, want panic", i, got)
+		}
+	}
+}
+
+func TestOnCheckpoint(t *testing.T) {
+	p, err := Parse("ckpt-truncate@w2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := p.ForShard(0)
+	if in.OnCheckpoint(1) {
+		t.Fatal("fired below the trigger window")
+	}
+	if !in.OnCheckpoint(2) {
+		t.Fatal("did not fire at the trigger window")
+	}
+	if in.OnCheckpoint(3) {
+		t.Fatal("fired twice")
+	}
+	// A panic trigger never truncates.
+	p2, _ := Parse("panic@w1")
+	if p2.ForShard(0).OnCheckpoint(5) {
+		t.Fatal("panic trigger truncated a checkpoint")
+	}
+}
+
+func TestSeedForDistinct(t *testing.T) {
+	a, b := SeedFor(7, "shard-0"), SeedFor(7, "shard-1")
+	if a == b {
+		t.Fatal("per-shard seeds collide")
+	}
+	if a != SeedFor(7, "shard-0") {
+		t.Fatal("seed not deterministic")
+	}
+}
+
+func TestZero(t *testing.T) {
+	var p *Plan
+	if !p.Zero() {
+		t.Fatal("nil plan not zero")
+	}
+	in := p.ForShard(3)
+	if in.OnDeliver(1) != None || in.OnCheckpoint(1) {
+		t.Fatal("nil plan fired")
+	}
+}

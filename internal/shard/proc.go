@@ -1,0 +1,454 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"rtecgen/internal/rtec"
+	"rtecgen/internal/shard/fault"
+	"rtecgen/internal/stream"
+	"rtecgen/internal/telemetry"
+)
+
+// errKilled is the sentinel a shard's consumer loop returns when the
+// watchdog killed it (a hang, or a stall past the deadline); the run loop
+// restarts the shard from its last checkpoint like any other crash.
+var errKilled = errors.New("shard killed by deadline watchdog")
+
+// permanentError marks a failure no restart can fix (journal sink broken,
+// both checkpoint generations unusable past the acked queue prefix, ...).
+type permanentError struct{ err error }
+
+func (p permanentError) Error() string { return p.err.Error() }
+func (p permanentError) Unwrap() error { return p.err }
+
+// proc is one supervised shard: a bounded ingest queue with
+// checkpoint-acked retention, a consumer goroutine driving an incremental
+// engine runner over the queue, a staged journal committing one checkpoint
+// generation behind, and the crash-recovery state that makes restarts
+// byte-invisible.
+type proc struct {
+	id  int
+	sup *Supervisor
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// Queue state (guarded by mu). q holds the retained arrivals; base is
+	// the absolute index of q[0]. The tail past `acked` is retained for
+	// replay even though the consumer (cursor `taken`) is past it.
+	q        []stream.Event
+	base     int
+	taken    int // absolute index of the next arrival the consumer takes
+	closed   bool
+	killed   bool
+	done     bool
+	degraded bool
+	failErr  error
+	lastMove time.Time // progress stamp for the deadline watchdog
+	dropped  int64     // lenient overflow drops
+	overflow int64     // soft admissions past the depth bound (idle consumer)
+
+	// Consumer-side state (owned by the consumer goroutine and, between
+	// attempts, the run loop; never touched by the producer).
+	inj          *fault.Injector
+	stage        *stagedJournal
+	prevB, lastB stageBoundary
+	ckptSeen     int64
+	delivered    int // absolute count of first-time window deliveries
+	restarts     int64
+	kills        int64
+	result       *rtec.StreamResult
+
+	// Hoisted per-shard instruments.
+	mDepth, mConsumed, mWindows, mDegraded *telemetry.Gauge
+	mRestarts                              *telemetry.Counter
+}
+
+// touch stamps the progress clock.
+func (p *proc) touch() {
+	p.mu.Lock()
+	p.lastMove = p.sup.clk.Now()
+	p.mu.Unlock()
+}
+
+// stale reports whether the shard has made no progress for the deadline,
+// while having work it should be doing.
+func (p *proc) stale(now time.Time) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.done || p.killed {
+		return false
+	}
+	busy := p.taken < p.base+len(p.q) || p.closed
+	return busy && now.Sub(p.lastMove) > p.sup.opts.Deadline
+}
+
+// kill asks the watchdog's victim to abandon its current attempt: the
+// consumer observes the flag at its next queue wait or hang point and
+// returns errKilled to the run loop.
+func (p *proc) kill() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.killed || p.done {
+		return
+	}
+	p.killed = true
+	p.kills++
+	p.lastMove = p.sup.clk.Now() // give the restart a fresh deadline
+	p.sup.tel.Counter("rtec.shard.kills").Inc()
+	p.cond.Broadcast()
+}
+
+// next blocks until an arrival is available at the consumer cursor, the
+// queue is closed and drained (ok=false, nil error), or the shard is
+// killed.
+func (p *proc) next() (stream.Event, bool, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if p.killed {
+			return stream.Event{}, false, errKilled
+		}
+		if p.taken < p.base+len(p.q) {
+			e := p.q[p.taken-p.base]
+			p.taken++
+			return e, true, nil
+		}
+		if p.closed {
+			return stream.Event{}, false, nil
+		}
+		// Idle-waiting for input is progress, not a hang.
+		p.lastMove = p.sup.clk.Now()
+		p.cond.Wait()
+	}
+}
+
+// ack drops the queue prefix below the absolute index upto — called when a
+// checkpoint generation commits, making replay below it unnecessary.
+func (p *proc) ack(upto int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if upto > p.base {
+		n := upto - p.base
+		if n > len(p.q) {
+			n = len(p.q)
+		}
+		p.q = append(p.q[:0], p.q[n:]...)
+		p.base += n
+	}
+	p.mDepth.Set(int64(len(p.q)))
+	p.cond.Broadcast()
+}
+
+// push admits one arrival under the shard's overflow policy. Only the
+// supervisor's ingest goroutine calls it.
+func (p *proc) push(e stream.Event) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if p.degraded {
+			switch p.sup.opts.Overflow {
+			case OverflowDrop:
+				p.dropped++
+				p.sup.tel.Counter("rtec.shard.queue.dropped").Inc()
+				return nil
+			default:
+				// Strict — and blocking on a dead shard would hang forever.
+				return fmt.Errorf("shard %d degraded: %w", p.id, p.failErr)
+			}
+		}
+		if len(p.q) < p.sup.opts.QueueDepth {
+			p.q = append(p.q, e)
+			p.mDepth.Set(int64(len(p.q)))
+			p.cond.Broadcast()
+			return nil
+		}
+		switch p.sup.opts.Overflow {
+		case OverflowDrop:
+			p.dropped++
+			p.sup.tel.Counter("rtec.shard.queue.dropped").Inc()
+			return nil
+		case OverflowError:
+			return fmt.Errorf("shard %d ingest queue full (%d arrivals)", p.id, len(p.q))
+		}
+		// OverflowBlock. If the consumer has already taken everything, the
+		// queue is full of retention (arrivals kept for checkpoint replay),
+		// not backlog; no checkpoint ack can arrive without new input, so
+		// blocking would deadlock. Admit softly and count the excursion —
+		// the true retention bound is the checkpoint interval, not
+		// QueueDepth.
+		if p.taken >= p.base+len(p.q) {
+			p.q = append(p.q, e)
+			p.overflow++
+			p.sup.tel.Counter("rtec.shard.queue.overflow").Inc()
+			p.mDepth.Set(int64(len(p.q)))
+			p.cond.Broadcast()
+			return nil
+		}
+		// Consumer is behind: wait for it, watching the deadline.
+		now := p.sup.clk.Now()
+		if !p.killed && now.Sub(p.lastMove) > p.sup.opts.Deadline {
+			p.mu.Unlock()
+			p.kill()
+			p.mu.Lock()
+			continue
+		}
+		p.mu.Unlock()
+		p.sup.clk.Sleep(p.sup.pollQuantum())
+		p.mu.Lock()
+	}
+}
+
+// closeQueue marks end of input and refreshes every progress stamp so the
+// drain watchdog starts from now.
+func (p *proc) closeQueue() {
+	p.mu.Lock()
+	p.closed = true
+	p.lastMove = p.sup.clk.Now()
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// deliverHook is the per-window callback wired into the shard's engine
+// runner: it stamps progress, advances the absolute delivery counter and
+// acts out scheduled faults at first-time deliveries.
+func (p *proc) deliverHook(wr rtec.WindowResult) error {
+	p.touch()
+	if wr.Revision != 0 {
+		return nil
+	}
+	p.delivered++
+	switch p.inj.OnDeliver(p.delivered) {
+	case fault.Panic:
+		p.sup.tel.Counter("rtec.shard.faults").Inc()
+		panic(fmt.Sprintf("injected panic at window %d of shard %d", p.delivered, p.id))
+	case fault.Hang:
+		p.sup.tel.Counter("rtec.shard.faults").Inc()
+		return p.hangUntilKilled()
+	}
+	return nil
+}
+
+// hangUntilKilled blocks like a wedged shard until the watchdog's kill.
+func (p *proc) hangUntilKilled() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for !p.killed {
+		p.cond.Wait()
+	}
+	return errKilled
+}
+
+// buildRunner constructs the engine runner for one attempt: a fresh run on
+// the first attempt (or when nothing was ever checkpointed), otherwise a
+// resume from the best usable checkpoint generation, with the staged
+// journal rolled back to the matching boundary so the replay regenerates
+// byte-identical records.
+func (p *proc) buildRunner() (*rtec.StreamRunner, error) {
+	opts := p.sup.runnerOpts(p.id, p.stage.writer())
+	if p.ckptSeen == 0 {
+		if err := p.stage.rollbackTo(p.prevB); err != nil {
+			return nil, permanentError{err}
+		}
+		r, err := p.sup.eng.NewStreamRunner(opts, p.deliverHook)
+		if err != nil {
+			return nil, permanentError{err}
+		}
+		p.delivered = 0
+		return r, nil
+	}
+	cp, from, err := rtec.LoadCheckpointWithFallback(opts.CheckpointPath)
+	if err != nil {
+		return nil, permanentError{fmt.Errorf("shard %d: %w", p.id, err)}
+	}
+	var b stageBoundary
+	switch cp.Consumed {
+	case p.lastB.consumed:
+		b = p.lastB
+	case p.prevB.consumed:
+		b = p.prevB
+		p.lastB = p.prevB
+		p.sup.tel.Counter("rtec.shard.ckpt.fallbacks").Inc()
+	default:
+		return nil, permanentError{fmt.Errorf("shard %d: checkpoint %s consumed %d matches no staged generation (%d or %d)",
+			p.id, from, cp.Consumed, p.prevB.consumed, p.lastB.consumed)}
+	}
+	if err := p.stage.rollbackTo(b); err != nil {
+		return nil, permanentError{err}
+	}
+	r, err := p.sup.eng.ResumeStreamRunner(cp, opts, p.deliverHook)
+	if err != nil {
+		return nil, permanentError{err}
+	}
+	p.delivered = cp.Windows
+	return r, nil
+}
+
+// attempt runs the shard until the queue drains or something goes wrong.
+// Panics (injected or real) surface as errors for the run loop to restart.
+func (p *proc) attempt() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.sup.tel.Counter("rtec.shard.panics").Inc()
+			err = fmt.Errorf("shard %d panicked: %v", p.id, r)
+		}
+	}()
+	runner, err := p.buildRunner()
+	if err != nil {
+		return err
+	}
+	defer runner.Abort() // no-op once Finish ran
+	// Align the checkpoint watermark with the runner's actual generation:
+	// after a previous-generation fallback the resumed run re-writes
+	// checkpoints the crashed attempt already saw, and each re-write must
+	// re-run the commit protocol (idempotently) to keep the staged
+	// boundaries in step.
+	p.ckptSeen = runner.Checkpoints()
+	p.syncCursor(runner.Consumed())
+	for {
+		e, ok, err := p.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if err := runner.Ingest(e); err != nil {
+			return err
+		}
+		p.touch()
+		p.mConsumed.Set(int64(runner.Consumed()))
+		p.mWindows.Set(int64(runner.Windows()))
+		if runner.Checkpoints() > p.ckptSeen {
+			p.ckptSeen = runner.Checkpoints()
+			if err := p.onCheckpoint(runner); err != nil {
+				return err
+			}
+		}
+	}
+	res, err := runner.Finish()
+	if err != nil {
+		return err
+	}
+	if err := p.stage.commitAll(); err != nil {
+		return permanentError{err}
+	}
+	p.mWindows.Set(int64(runner.Windows()))
+	p.mConsumed.Set(int64(runner.Consumed()))
+	p.result = res
+	return nil
+}
+
+// syncCursor points the consumer cursor at the absolute replay position.
+func (p *proc) syncCursor(at int) {
+	p.mu.Lock()
+	p.taken = at
+	p.lastMove = p.sup.clk.Now()
+	p.mu.Unlock()
+}
+
+// onCheckpoint runs the generation-lagged commit protocol after the engine
+// wrote a checkpoint: act out a scheduled checkpoint-truncate fault, flush
+// the staged journal through the PREVIOUS checkpoint's boundary, ack the
+// queue below it, and shift the boundaries.
+func (p *proc) onCheckpoint(runner *rtec.StreamRunner) error {
+	if p.inj.OnCheckpoint(runner.Windows()) {
+		p.sup.tel.Counter("rtec.shard.faults").Inc()
+		if err := truncateFile(p.sup.checkpointPath(p.id)); err != nil {
+			return permanentError{fmt.Errorf("shard %d: injected truncate: %w", p.id, err)}
+		}
+	}
+	if err := p.stage.commitThrough(p.lastB); err != nil {
+		return permanentError{err}
+	}
+	p.ack(p.lastB.consumed)
+	p.prevB = p.lastB
+	p.lastB = p.stage.boundary(runner.Consumed())
+	return nil
+}
+
+// truncateFile tears a file in half — the deterministic torn-write fault.
+func truncateFile(path string) error {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	return os.Truncate(path, fi.Size()/2)
+}
+
+// run is the shard's supervision loop: attempts, restarts with capped
+// jittered backoff, and degradation once restarts are exhausted or the
+// failure is permanent.
+func (p *proc) run() {
+	rng := rand.New(rand.NewSource(fault.SeedFor(p.sup.opts.Seed, fmt.Sprintf("shard-%d", p.id))))
+	for {
+		err := p.attempt()
+		if err == nil {
+			p.mu.Lock()
+			p.done = true
+			p.cond.Broadcast()
+			p.mu.Unlock()
+			p.mConsumed.Set(int64(p.result.Stats.Observed))
+			return
+		}
+		var perm permanentError
+		permanent := errors.As(err, &perm)
+		if permanent || p.restarts >= int64(p.sup.opts.MaxRestarts) {
+			p.degrade(err, permanent)
+			return
+		}
+		p.mu.Lock()
+		p.restarts++
+		p.mu.Unlock()
+		p.mRestarts.Inc()
+		p.sup.tel.Counter("rtec.shard.restarts").Inc()
+		p.sup.journalEvent("shard_restart", shardRestartEvent{
+			Shard: p.id, Attempt: p.restarts, Reason: err.Error(),
+			Consumed: p.lastB.consumed, Windows: p.delivered,
+		})
+		p.sup.tel.Logger().Warn("shard restarting",
+			"component", "shard", "shard", p.id, "attempt", p.restarts, "err", err)
+		p.sup.clk.Sleep(backoff(rng, p.restarts))
+		p.mu.Lock()
+		p.killed = false
+		p.lastMove = p.sup.clk.Now()
+		p.mu.Unlock()
+	}
+}
+
+// degrade marks the shard permanently failed: the queue stops accepting
+// (per policy), /healthz reports it, and Close returns a partial result.
+func (p *proc) degrade(err error, permanent bool) {
+	p.mu.Lock()
+	p.degraded = true
+	p.done = true
+	p.failErr = err
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.mDegraded.Set(1)
+	p.sup.tel.Gauge("rtec.shard.degraded").Add(1)
+	reason := "restarts exhausted"
+	if permanent {
+		reason = "permanent failure"
+	}
+	p.sup.journalEvent("shard_degraded", shardDegradedEvent{
+		Shard: p.id, Restarts: p.restarts, Reason: reason, Err: err.Error(),
+	})
+	p.sup.tel.Logger().Error("shard degraded",
+		"component", "shard", "shard", p.id, "restarts", p.restarts, "err", err)
+}
+
+// backoff is the capped full-jitter restart delay: base 10ms doubling per
+// attempt, capped at 1s, jittered over [half, full).
+func backoff(rng *rand.Rand, attempt int64) time.Duration {
+	d := 10 * time.Millisecond << uint(attempt-1)
+	if d > time.Second || d <= 0 {
+		d = time.Second
+	}
+	half := d / 2
+	return half + time.Duration(rng.Int63n(int64(half)))
+}

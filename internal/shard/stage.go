@@ -1,0 +1,111 @@
+package shard
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"rtecgen/internal/telemetry/journal"
+)
+
+// stageBoundary is a commit point of a shard's staged journal: the engine
+// state it corresponds to (arrivals consumed at the checkpoint), the journal
+// writer's sequencing mark, and the absolute byte offset of the journal at
+// that point. A shard restarting from a checkpoint rolls its stage back to
+// the matching boundary and replays — regenerating the exact bytes the
+// crashed attempt had staged, so the recovered journal is byte-identical to
+// a fault-free run's.
+type stageBoundary struct {
+	consumed int
+	mark     journal.Mark
+	offset   int64
+}
+
+// stagedJournal buffers a shard's journal records in memory and commits
+// them to the backing sink one checkpoint generation behind the engine.
+// The lag is the crash-consistency discipline: a record reaches the file
+// only once the NEXT checkpoint lands, which proves the engine state that
+// produced the record can never be rolled back past it. Everything after
+// the last committed boundary is still replayable from a checkpoint, so a
+// crash discards and regenerates it instead of leaving a torn or
+// duplicated audit trail. A nil *stagedJournal is a no-op (shard journals
+// are optional), like a nil journal.Writer.
+type stagedJournal struct {
+	out       io.Writer
+	w         *journal.Writer
+	buf       bytes.Buffer // staged records past `committed`
+	committed int64        // absolute bytes flushed to out
+}
+
+// newStagedJournal stages records for out. out may not be nil — callers
+// keep a nil *stagedJournal instead.
+func newStagedJournal(out io.Writer, opts journal.Options) *stagedJournal {
+	s := &stagedJournal{out: out}
+	s.w = journal.NewWriter(&s.buf, opts)
+	return s
+}
+
+// writer returns the journal writer the engine appends through. Nil-safe.
+func (s *stagedJournal) writer() *journal.Writer {
+	if s == nil {
+		return nil
+	}
+	return s.w
+}
+
+// boundary captures the current stage position for the checkpoint that
+// consumed `consumed` arrivals.
+func (s *stagedJournal) boundary(consumed int) stageBoundary {
+	if s == nil {
+		return stageBoundary{consumed: consumed}
+	}
+	return stageBoundary{consumed: consumed, mark: s.w.Mark(), offset: s.committed + int64(s.buf.Len())}
+}
+
+// commitThrough flushes staged bytes up to the boundary to the sink.
+func (s *stagedJournal) commitThrough(b stageBoundary) error {
+	if s == nil {
+		return nil
+	}
+	n := b.offset - s.committed
+	if n < 0 {
+		return fmt.Errorf("shard: journal boundary %d behind committed %d", b.offset, s.committed)
+	}
+	if n == 0 {
+		return nil
+	}
+	if _, err := s.out.Write(s.buf.Next(int(n))); err != nil {
+		return fmt.Errorf("shard: journal commit: %w", err)
+	}
+	s.committed = b.offset
+	return nil
+}
+
+// commitAll flushes everything staged — the end-of-run commit, once no
+// rollback can happen any more.
+func (s *stagedJournal) commitAll() error {
+	if s == nil {
+		return nil
+	}
+	return s.commitThrough(s.boundary(0))
+}
+
+// rollbackTo discards the staged suffix past the boundary and rewinds the
+// writer's sequencing, so a replay regenerates identical records. It fails
+// if the boundary predates the committed prefix — those bytes are on disk
+// and gone for good, which callers treat as an unrecoverable shard.
+func (s *stagedJournal) rollbackTo(b stageBoundary) error {
+	if s == nil {
+		return nil
+	}
+	keep := b.offset - s.committed
+	if keep < 0 {
+		return fmt.Errorf("shard: journal rollback to %d behind committed %d", b.offset, s.committed)
+	}
+	if keep > int64(s.buf.Len()) {
+		return fmt.Errorf("shard: journal rollback to %d past staged end %d", b.offset, s.committed+int64(s.buf.Len()))
+	}
+	s.buf.Truncate(int(keep))
+	s.w.Rollback(b.mark)
+	return nil
+}

@@ -1,0 +1,123 @@
+package shard
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rtecgen/internal/telemetry/journal"
+)
+
+func TestStagedJournalCommitLag(t *testing.T) {
+	var sink bytes.Buffer
+	s := newStagedJournal(&sink, journal.Options{})
+	zero := s.boundary(0)
+	if err := s.w.Append("a", map[string]int{"n": 1}); err != nil {
+		t.Fatal(err)
+	}
+	b1 := s.boundary(3)
+	if err := s.w.Append("b", map[string]int{"n": 2}); err != nil {
+		t.Fatal(err)
+	}
+	b2 := s.boundary(7)
+
+	// Nothing reaches the sink until a boundary commits.
+	if sink.Len() != 0 {
+		t.Fatalf("sink has %d bytes before any commit", sink.Len())
+	}
+	if err := s.commitThrough(zero); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Len() != 0 {
+		t.Fatal("zero boundary committed bytes")
+	}
+	if err := s.commitThrough(b1); err != nil {
+		t.Fatal(err)
+	}
+	if got := sink.String(); !strings.Contains(got, `"a"`) || strings.Contains(got, `"b"`) {
+		t.Fatalf("commit through b1 flushed the wrong records: %q", got)
+	}
+	// Re-committing an already-committed boundary is a no-op.
+	if err := s.commitThrough(b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.commitAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sink.String(); !strings.Contains(got, `"b"`) {
+		t.Fatalf("commitAll lost the staged tail: %q", got)
+	}
+	_ = b2
+}
+
+func TestStagedJournalRollbackRegeneratesBytes(t *testing.T) {
+	var sink bytes.Buffer
+	s := newStagedJournal(&sink, journal.Options{})
+	if err := s.w.Append("a", map[string]int{"n": 1}); err != nil {
+		t.Fatal(err)
+	}
+	b := s.boundary(1)
+	if err := s.w.Append("b", map[string]int{"n": 2}); err != nil {
+		t.Fatal(err)
+	}
+	uninterrupted := s.buf.String()
+
+	// Crash: discard the uncommitted suffix past b, replay record "b".
+	if err := s.rollbackTo(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.w.Append("b", map[string]int{"n": 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.buf.String(); got != uninterrupted {
+		t.Fatalf("replayed stage differs:\n%q\nvs\n%q", got, uninterrupted)
+	}
+	if err := s.commitAll(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.String() != uninterrupted {
+		t.Fatalf("sink differs from uninterrupted stage:\n%q\nvs\n%q", sink.String(), uninterrupted)
+	}
+}
+
+func TestStagedJournalRollbackBehindCommitFails(t *testing.T) {
+	var sink bytes.Buffer
+	s := newStagedJournal(&sink, journal.Options{})
+	zero := s.boundary(0)
+	if err := s.w.Append("a", nil); err != nil {
+		t.Fatal(err)
+	}
+	b := s.boundary(1)
+	if err := s.commitThrough(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.rollbackTo(zero); err == nil {
+		t.Fatal("rollback behind the committed prefix accepted")
+	}
+	if err := s.rollbackTo(stageBoundary{offset: b.offset + 99}); err == nil {
+		t.Fatal("rollback past the staged end accepted")
+	}
+	if err := s.commitThrough(zero); err == nil {
+		t.Fatal("commit behind the committed prefix accepted")
+	}
+}
+
+func TestStagedJournalNil(t *testing.T) {
+	var s *stagedJournal
+	if s.writer() != nil {
+		t.Fatal("nil stage returned a writer")
+	}
+	b := s.boundary(5)
+	if b.consumed != 5 {
+		t.Fatal("nil stage lost the consumed count")
+	}
+	if err := s.commitThrough(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.commitAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.rollbackTo(b); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -199,6 +199,23 @@ func (r *Reorder) Drop(below int64) int {
 	return len(r.Release(below))
 }
 
+// Close drains the buffer at end of stream: it pops and returns every
+// buffered event in canonical order, regardless of the watermark. When a
+// stream ends before the watermark passes its final events, an in-order
+// consumer that only ever calls Release(watermark) would silently lose the
+// still-held tail — Close is the drain that flushes it. The buffer remains
+// usable afterwards (admission state and stats are kept), so a consumer may
+// keep pushing if the stream turns out not to be over after all.
+func (r *Reorder) Close() Stream {
+	out := make(Stream, len(r.buf))
+	copy(out, r.buf)
+	r.buf = r.buf[:0]
+	for _, e := range out {
+		delete(r.seen, dedupKey(e))
+	}
+	return out
+}
+
 // ReorderState is the serialisable snapshot of a reorder buffer, used by
 // the engine's crash-safe checkpoints.
 type ReorderState struct {

@@ -135,3 +135,66 @@ func TestAdmissionString(t *testing.T) {
 		}
 	}
 }
+
+// TestReorderCloseDrainsTail pins the end-of-stream drain: an in-order
+// consumer that releases only up to the watermark holds back the final
+// MaxDelay's worth of events; Close must flush exactly that tail instead of
+// silently dropping it.
+func TestReorderCloseDrainsTail(t *testing.T) {
+	r := NewReorder(10)
+	pushAll(t, r,
+		[]Event{ev(100, "a"), ev(95, "b"), ev(120, "c"), ev(118, "d"), ev(125, "e")},
+		[]Admission{Admitted, AdmittedLate, Admitted, AdmittedLate, Admitted})
+
+	// The in-order consumer's steady state: release the settled prefix.
+	w, _ := r.Watermark() // 115
+	released := r.Release(w)
+	if len(released) != 2 {
+		t.Fatalf("released %d settled events, want 2", len(released))
+	}
+
+	// Stream ends. The watermark never advanced past 118/120/125: without a
+	// drain those three buffered events would be lost.
+	tail := r.Close()
+	if len(tail) != 3 {
+		t.Fatalf("Close drained %d events, want 3", len(tail))
+	}
+	for i, wantT := range []int64{118, 120, 125} {
+		if tail[i].Time != wantT {
+			t.Fatalf("tail[%d].Time = %d, want %d", i, tail[i].Time, wantT)
+		}
+	}
+	if r.Occupancy() != 0 {
+		t.Fatalf("occupancy after Close = %d", r.Occupancy())
+	}
+	// Total emitted = released + drained = every accepted event.
+	if got, want := int64(len(released)+len(tail)), r.Stats().Accepted; got != want {
+		t.Fatalf("emitted %d events, accepted %d: in-flight events dropped", got, want)
+	}
+
+	// The buffer stays usable: admission state survives the drain, so a
+	// late-beyond-bound arrival is still rejected, and new events flow.
+	if got := r.Push(ev(90, "z")); got != TooLate {
+		t.Fatalf("post-Close stale push = %s, want too-late", got)
+	}
+	if got := r.Push(ev(130, "f")); got != Admitted {
+		t.Fatalf("post-Close push = %s, want admitted", got)
+	}
+	if got := len(r.Close()); got != 1 {
+		t.Fatalf("second Close drained %d, want 1", got)
+	}
+}
+
+// TestReorderCloseEmpty: draining an empty or fully-released buffer is a
+// no-op.
+func TestReorderCloseEmpty(t *testing.T) {
+	r := NewReorder(5)
+	if got := r.Close(); len(got) != 0 {
+		t.Fatalf("Close on empty buffer returned %d events", len(got))
+	}
+	r.Push(ev(10, "a"))
+	r.Release(11)
+	if got := r.Close(); len(got) != 0 {
+		t.Fatalf("Close after full release returned %d events", len(got))
+	}
+}

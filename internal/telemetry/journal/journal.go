@@ -14,9 +14,11 @@ package journal
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"sync"
 	"time"
 )
@@ -138,6 +140,40 @@ func (w *Writer) encode(typ string, payload json.RawMessage) ([]byte, error) {
 	return append(line, '\n'), nil
 }
 
+// Mark is a point in a writer's sequencing state, captured by (*Writer).Mark
+// and restored by Rollback. The shard runtime journals speculatively into an
+// in-memory stage and, when a crashed shard replays from its checkpoint,
+// rolls the writer back to the mark taken at that checkpoint so the replayed
+// records reuse the same sequence numbers — keeping the recovered journal
+// byte-identical to a fault-free run. Mark/Rollback only restore the
+// writer's own counters; rewinding the underlying byte sink (truncating the
+// staged buffer) is the caller's job.
+type Mark struct {
+	seq, written, dropped int64
+	capped                bool
+}
+
+// Mark captures the writer's current sequencing state.
+func (w *Writer) Mark() Mark {
+	if w == nil {
+		return Mark{}
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return Mark{seq: w.seq, written: w.written, dropped: w.dropped, capped: w.capped}
+}
+
+// Rollback restores the state captured by a Mark. A sticky write error is
+// not cleared: a journal with a hole stays failed.
+func (w *Writer) Rollback(m Mark) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.seq, w.written, w.dropped, w.capped = m.seq, m.written, m.dropped, m.capped
+}
+
 // Seq returns the sequence number of the last record issued (0 initially).
 func (w *Writer) Seq() int64 {
 	if w == nil {
@@ -227,25 +263,9 @@ func scan(r io.Reader, fn func(Record) error) error {
 	var prev Record
 	for sc.Scan() {
 		line++
-		raw := sc.Bytes()
-		if len(raw) == 0 {
-			return fmt.Errorf("journal: line %d: empty line", line)
-		}
-		var rec Record
-		if err := json.Unmarshal(raw, &rec); err != nil {
-			return fmt.Errorf("journal: line %d: malformed record: %w", line, err)
-		}
-		if rec.Type == "" {
-			return fmt.Errorf("journal: line %d: record without type", line)
-		}
-		if rec.Seq != prev.Seq+1 {
-			return fmt.Errorf("journal: line %d: sequence %d after %d, want %d", line, rec.Seq, prev.Seq, prev.Seq+1)
-		}
-		if rec.WallUS < prev.WallUS {
-			return fmt.Errorf("journal: line %d: clock ran backwards (%d after %d)", line, rec.WallUS, prev.WallUS)
-		}
-		if prev.Type == "journal_capped" {
-			return fmt.Errorf("journal: line %d: record after the journal_capped marker", line)
+		rec, err := checkLine(line, sc.Bytes(), prev)
+		if err != nil {
+			return err
 		}
 		if err := fn(rec); err != nil {
 			return err
@@ -259,4 +279,101 @@ func scan(r io.Reader, fn func(Record) error) error {
 		return fmt.Errorf("journal: no records")
 	}
 	return nil
+}
+
+// RecoverInfo describes what Recover found and kept.
+type RecoverInfo struct {
+	// Records is the number of complete records kept.
+	Records int
+	// LastSeq is the sequence number of the last kept record (0 if none).
+	LastSeq int64
+	// Written is the file size in bytes after recovery.
+	Written int64
+	// Truncated is how many trailing bytes of a torn record were cut.
+	Truncated int64
+	// Capped reports whether the kept journal ends in a journal_capped
+	// marker, so a resumed writer keeps dropping instead of re-appending.
+	Capped bool
+}
+
+// Recover makes a journal file left behind by a crashed run appendable
+// again. A crash can tear the final record mid-write; Recover validates the
+// file with the same structural checks as Validate, truncates a trailing
+// partial line (one that is unterminated, or whose bytes fail validation
+// with nothing after it), and refuses anything worse: a bad record followed
+// by complete ones is mid-file corruption, not a torn tail.
+func Recover(path string) (RecoverInfo, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return RecoverInfo{}, err
+	}
+	var info RecoverInfo
+	off, line := 0, 0
+	var prev Record
+	for off < len(raw) {
+		nl := bytes.IndexByte(raw[off:], '\n')
+		seg := raw[off:]
+		torn := nl < 0 // the write was cut before the line terminator
+		if !torn {
+			seg = raw[off : off+nl]
+		}
+		line++
+		rec, cerr := checkLine(line, seg, prev)
+		if torn || cerr != nil {
+			if !torn && off+nl+1 < len(raw) {
+				return RecoverInfo{}, cerr
+			}
+			// A complete-looking record without its newline is still partial
+			// by JSONL discipline — cut it with the rest of the tail.
+			info.Truncated = int64(len(raw) - off)
+			if err := os.Truncate(path, int64(off)); err != nil {
+				return RecoverInfo{}, fmt.Errorf("journal: truncate: %w", err)
+			}
+			break
+		}
+		info.Records++
+		info.LastSeq = rec.Seq
+		if rec.Type == "journal_capped" {
+			info.Capped = true
+		}
+		prev = rec
+		off += nl + 1
+	}
+	info.Written = int64(off)
+	return info, nil
+}
+
+// NewWriterResumed wraps w like NewWriter but continues a recovered
+// journal: the next record takes sequence info.LastSeq+1, the size cap
+// accounts for the bytes already on disk, and a journal recovered past its
+// cap marker stays capped. Runs that stamped wall-clock times must resume
+// with a wall clock too, or validation's monotonicity check will fail at
+// the resume boundary.
+func NewWriterResumed(w io.Writer, opts Options, info RecoverInfo) *Writer {
+	return &Writer{w: w, opts: opts, seq: info.LastSeq, written: info.Written, capped: info.Capped}
+}
+
+// checkLine applies the structural checks to one raw journal line given the
+// previous accepted record.
+func checkLine(line int, raw []byte, prev Record) (Record, error) {
+	if len(raw) == 0 {
+		return Record{}, fmt.Errorf("journal: line %d: empty line", line)
+	}
+	var rec Record
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return Record{}, fmt.Errorf("journal: line %d: malformed record: %w", line, err)
+	}
+	if rec.Type == "" {
+		return Record{}, fmt.Errorf("journal: line %d: record without type", line)
+	}
+	if rec.Seq != prev.Seq+1 {
+		return Record{}, fmt.Errorf("journal: line %d: sequence %d after %d, want %d", line, rec.Seq, prev.Seq, prev.Seq+1)
+	}
+	if rec.WallUS < prev.WallUS {
+		return Record{}, fmt.Errorf("journal: line %d: clock ran backwards (%d after %d)", line, rec.WallUS, prev.WallUS)
+	}
+	if prev.Type == "journal_capped" {
+		return Record{}, fmt.Errorf("journal: line %d: record after the journal_capped marker", line)
+	}
+	return rec, nil
 }

@@ -2,6 +2,7 @@ package journal
 
 import (
 	"bytes"
+	"os"
 	"strings"
 	"sync"
 	"testing"
@@ -189,5 +190,180 @@ func TestStickyError(t *testing.T) {
 	}
 	if w.Err() == nil {
 		t.Fatal("Err() lost the failure")
+	}
+}
+
+// TestMarkRollback replays a writer past a mark and checks the rolled-back
+// writer regenerates byte-identical records — the invariant the shard
+// runtime's staged journal depends on for crash-identical recovery.
+func TestMarkRollback(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Options{})
+	w.Append("run_start", nil)
+	w.Append("window", map[string]int{"t": 1})
+	m := w.Mark()
+	keep := buf.Len()
+	w.Append("window", map[string]int{"t": 2})
+	w.Append("window", map[string]int{"t": 3})
+	suffix := string(buf.Bytes()[keep:])
+
+	// Roll back and replay: the same appends must produce the same bytes.
+	buf.Truncate(keep)
+	w.Rollback(m)
+	if w.Seq() != 2 {
+		t.Fatalf("seq after rollback = %d, want 2", w.Seq())
+	}
+	w.Append("window", map[string]int{"t": 2})
+	w.Append("window", map[string]int{"t": 3})
+	if got := string(buf.Bytes()[keep:]); got != suffix {
+		t.Fatalf("replayed suffix differs:\n%q\nvs\n%q", got, suffix)
+	}
+	if _, err := Validate(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarkRollbackRestoresCap(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Options{MaxBytes: 120})
+	w.Append("run_start", nil)
+	m := w.Mark()
+	for i := 0; i < 10; i++ {
+		w.Append("window", map[string]int{"i": i})
+	}
+	if !w.Capped() {
+		t.Fatal("writer not capped")
+	}
+	w.Rollback(m)
+	if w.Capped() || w.Dropped() != 0 {
+		t.Fatal("rollback kept the cap state")
+	}
+}
+
+func TestNilWriterMark(t *testing.T) {
+	var w *Writer
+	w.Rollback(w.Mark()) // must not panic
+}
+
+func writeJournalFile(t *testing.T, path string, tail string) {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Options{})
+	w.Append("run_start", nil)
+	w.Append("window", map[string]int{"t": 1})
+	w.Append("window", map[string]int{"t": 2})
+	buf.WriteString(tail)
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoverTruncatesTornTail(t *testing.T) {
+	for name, tail := range map[string]string{
+		"cut mid-record":      `{"seq":4,"wall_us":0,"type":"wind`,
+		"cut before newline":  `{"seq":4,"wall_us":0,"type":"window"}`,
+		"malformed last line": "{garbage}\n",
+	} {
+		t.Run(name, func(t *testing.T) {
+			path := t.TempDir() + "/j.jsonl"
+			writeJournalFile(t, path, tail)
+			info, err := Recover(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info.Records != 3 || info.LastSeq != 3 {
+				t.Fatalf("info = %+v, want 3 records through seq 3", info)
+			}
+			if info.Truncated == 0 {
+				t.Fatal("nothing truncated")
+			}
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int64(len(raw)) != info.Written {
+				t.Fatalf("file size %d != Written %d", len(raw), info.Written)
+			}
+			// The recovered file validates and a resumed writer continues it.
+			if _, err := Validate(bytes.NewReader(raw)); err != nil {
+				t.Fatal(err)
+			}
+			f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			w := NewWriterResumed(f, Options{}, info)
+			if err := w.Append("journal_recovered", nil); err != nil {
+				t.Fatal(err)
+			}
+			raw, _ = os.ReadFile(path)
+			recs, err := Read(bytes.NewReader(raw))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if last := recs[len(recs)-1]; last.Seq != 4 || last.Type != "journal_recovered" {
+				t.Fatalf("last record = %+v", last)
+			}
+		})
+	}
+}
+
+func TestRecoverCleanAndEmpty(t *testing.T) {
+	path := t.TempDir() + "/j.jsonl"
+	writeJournalFile(t, path, "")
+	info, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Records != 3 || info.Truncated != 0 {
+		t.Fatalf("clean journal: info = %+v", info)
+	}
+
+	empty := t.TempDir() + "/empty.jsonl"
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	info, err = Recover(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Records != 0 || info.Written != 0 {
+		t.Fatalf("empty journal: info = %+v", info)
+	}
+}
+
+func TestRecoverRefusesMidFileCorruption(t *testing.T) {
+	path := t.TempDir() + "/j.jsonl"
+	writeJournalFile(t, path, "{garbage}\n"+`{"seq":4,"wall_us":0,"type":"window"}`+"\n")
+	if _, err := Recover(path); err == nil {
+		t.Fatal("mid-file corruption recovered")
+	}
+}
+
+func TestRecoverKeepsCap(t *testing.T) {
+	path := t.TempDir() + "/j.jsonl"
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Options{MaxBytes: 120})
+	for i := 0; i < 10; i++ {
+		w.Append("window", map[string]int{"i": i})
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	info, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Capped {
+		t.Fatal("cap marker lost in recovery")
+	}
+	var sink bytes.Buffer
+	rw := NewWriterResumed(&sink, Options{MaxBytes: 120}, info)
+	if err := rw.Append("window", nil); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Len() != 0 || rw.Dropped() != 1 {
+		t.Fatal("resumed writer appended past the cap marker")
 	}
 }
