@@ -27,7 +27,7 @@ go test ./...
 
 echo "== go test -race (concurrency-sensitive packages)"
 go test -race ./internal/rtec/... ./internal/fleet/... ./internal/stream/... ./internal/telemetry/... \
-    ./internal/eval/... ./internal/similarity/... ./internal/shard/...
+    ./internal/eval/... ./internal/similarity/... ./internal/shard/... ./internal/serve/...
 
 echo "== rteclint"
 # The worked example must produce diagnostics (exit 1 under -fail-on error).
@@ -266,6 +266,107 @@ if ! cmp -s "$tmp/run1.jsonl" "$tmp/run2.jsonl"; then
     diff "$tmp/run1.jsonl" "$tmp/run2.jsonl" >&2 || true
     exit 1
 fi
+
+echo "== rtecd gate (daemon drain, resume byte-identity, overload throttling)"
+# Serve the same event description through the rtecd daemon: POST half the
+# NDJSON stream, SIGTERM mid-run (graceful drain into suspend checkpoints),
+# restart with -resume, re-POST the full stream and finish. The final CSV
+# and every per-shard journal must be byte-identical to the one-shot
+# sharded cmd/rtec run above (same geometry, same arrival order: disorder
+# emits the same seeded permutation in either serialisation). The daemon
+# binary is race-instrumented.
+go build -race -o "$tmp/bin-rtecd" ./cmd/rtecd
+go run ./cmd/disorder -in "$tmp/events.csv" -out "$tmp/shuffled.ndjson" -out-format ndjson \
+    -max-delay 900 -seed 13 -dup-every 50 2>/dev/null
+first=$(awk -F, 'NR==1{m=$1} $1<m{m=$1} END{print m}' "$tmp/events.csv")
+last=$(awk -F, 'NR==1{M=$1} $1>M{M=$1} END{print M}' "$tmp/events.csv")
+rtecd_flags="-ed $tmp/ed.rtec -listen 127.0.0.1:0 -window 3600 -max-delay 900
+    -start $first -end $((last + 1)) -shards 4 -shard-seed 7 -shard-overflow block
+    -checkpoint $tmp/d.ckpt -journal $tmp/d.jsonl"
+start_rtecd() {
+    # $1: extra flags; sets $rtecd_pid and $rtecd_addr.
+    : > "$tmp/rtecd-err.txt"
+    # shellcheck disable=SC2086
+    "$tmp/bin-rtecd" $1 2> "$tmp/rtecd-err.txt" &
+    rtecd_pid=$!
+    rtecd_addr=""
+    i=0
+    while [ $i -lt 300 ]; do
+        rtecd_addr=$(sed -n 's/^rtecd: listening on //p' "$tmp/rtecd-err.txt")
+        [ -n "$rtecd_addr" ] && break
+        i=$((i + 1))
+        sleep 0.1
+    done
+    if [ -z "$rtecd_addr" ]; then
+        echo "rtecd gate: daemon never bound:" >&2
+        cat "$tmp/rtecd-err.txt" >&2
+        kill "$rtecd_pid" 2>/dev/null || true
+        exit 1
+    fi
+}
+post_ok() {
+    # $1: NDJSON file to POST; fails the gate on any non-200.
+    code=$(curl -s -o "$tmp/ingest-resp.txt" -w '%{http_code}' \
+        --data-binary @"$1" "http://$rtecd_addr/ingest")
+    if [ "$code" != 200 ]; then
+        echo "rtecd gate: POST /ingest of $1 answered $code:" >&2
+        cat "$tmp/ingest-resp.txt" >&2
+        exit 1
+    fi
+}
+half=$(($(wc -l < "$tmp/shuffled.ndjson") / 2))
+head -n "$half" "$tmp/shuffled.ndjson" > "$tmp/firsthalf.ndjson"
+start_rtecd "$rtecd_flags"
+post_ok "$tmp/firsthalf.ndjson"
+kill -TERM "$rtecd_pid"
+if ! wait "$rtecd_pid"; then
+    echo "rtecd gate: SIGTERM drain exited non-zero:" >&2
+    cat "$tmp/rtecd-err.txt" >&2
+    exit 1
+fi
+if ! grep -q '^rtecd: drained (suspended)$' "$tmp/rtecd-err.txt"; then
+    echo "rtecd gate: drain did not park into the suspended state:" >&2
+    cat "$tmp/rtecd-err.txt" >&2
+    exit 1
+fi
+start_rtecd "$rtecd_flags -resume"
+post_ok "$tmp/shuffled.ndjson"
+# The live scrape must drive rtectop's DAEMON board.
+"$tmp/bin-rtectop" -once -metrics "http://$rtecd_addr/metrics" \
+    -require 'serve_state,serve_ingest_requests_total>0,serve_windows_published_total>0' \
+    > "$tmp/rtectop-daemon.txt"
+curl -s -X POST "http://$rtecd_addr/finish" > "$tmp/rtecd.csv"
+kill -TERM "$rtecd_pid"
+wait "$rtecd_pid" || true
+if ! cmp -s "$tmp/sharded-clean.csv" "$tmp/rtecd.csv"; then
+    echo "rtecd gate: drained-and-resumed daemon CSV diverged from one-shot cmd/rtec:" >&2
+    diff "$tmp/sharded-clean.csv" "$tmp/rtecd.csv" >&2 || true
+    exit 1
+fi
+for k in 0 1 2 3; do
+    if ! cmp -s "$tmp/clean.jsonl.s$k" "$tmp/d.jsonl.s$k"; then
+        echo "rtecd gate: shard $k journal diverged across drain-and-resume" >&2
+        exit 1
+    fi
+done
+# Overload: a one-slot ingest queue with a throttled pump must answer 429
+# (with Retry-After) to a burst of concurrent POSTs, visibly in the metrics.
+head -n 5 "$tmp/shuffled.ndjson" > "$tmp/burst.ndjson"
+start_rtecd "-ed $tmp/ed.rtec -listen 127.0.0.1:0 -window 3600 -max-delay 900
+    -start $first -end $((last + 1)) -checkpoint $tmp/burst.ckpt
+    -ingest-queue 1 -ingest-delay 100ms"
+burst_pids=""
+for i in 1 2 3 4 5 6 7 8; do
+    curl -s -o /dev/null --data-binary @"$tmp/burst.ndjson" "http://$rtecd_addr/ingest" &
+    burst_pids="$burst_pids $!"
+done
+for p in $burst_pids; do
+    wait "$p" || true
+done
+"$tmp/bin-rtectop" -once -metrics "http://$rtecd_addr/metrics" \
+    -require 'serve_ingest_throttled_total>0' > /dev/null
+kill -TERM "$rtecd_pid"
+wait "$rtecd_pid" || true
 
 echo "== bench smoke (harness must run and emit a valid trajectory file)"
 # One-iteration run of a single benchmark through cmd/bench, then schema

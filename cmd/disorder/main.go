@@ -7,11 +7,15 @@
 //
 // Usage:
 //
-//	disorder -in events.csv -out shuffled.csv [-max-delay D] [-seed S] [-dup-every N]
+//	disorder -in events.csv -out shuffled.csv [-out-format csv|ndjson]
+//	         [-max-delay D] [-seed S] [-dup-every N]
 //
 // -dup-every N re-emits every Nth event immediately after its original, an
-// exact duplicate the ingestion layer must count and discard. A summary of
-// the perturbation is printed to stderr.
+// exact duplicate the ingestion layer must count and discard. -out-format
+// ndjson emits rtecd's ingest wire format instead of CSV — the same seed
+// produces the same arrival order in either serialisation, which is what
+// lets the CI gate compare an rtecd run against a cmd/rtec one. A summary
+// of the perturbation is printed to stderr.
 package main
 
 import (
@@ -25,16 +29,18 @@ import (
 )
 
 type options struct {
-	in, out  string
-	maxDelay int64
-	seed     int64
-	dupEvery int
+	in, out   string
+	outFormat string
+	maxDelay  int64
+	seed      int64
+	dupEvery  int
 }
 
 func main() {
 	var o options
 	flag.StringVar(&o.in, "in", "", "input event stream CSV (required)")
-	flag.StringVar(&o.out, "out", "", "output CSV of the perturbed arrival order (required)")
+	flag.StringVar(&o.out, "out", "", "output file of the perturbed arrival order (required)")
+	flag.StringVar(&o.outFormat, "out-format", "csv", `output serialisation: "csv" or "ndjson" (rtecd's ingest wire format; same seed, same arrival order)`)
 	flag.Int64Var(&o.maxDelay, "max-delay", 0, "maximum delivery delay in time-points")
 	flag.Int64Var(&o.seed, "seed", 1, "random seed (runs are byte-reproducible per seed)")
 	flag.IntVar(&o.dupEvery, "dup-every", 0, "duplicate every Nth event (0 = none)")
@@ -67,11 +73,20 @@ func run(o options, stderr *os.File) error {
 
 	perturbed, late, dups := perturb(events, o.maxDelay, o.seed, o.dupEvery)
 
+	var write func(stream.Stream, *os.File) error
+	switch o.outFormat {
+	case "csv", "":
+		write = func(s stream.Stream, f *os.File) error { return s.WriteCSV(f) }
+	case "ndjson":
+		write = func(s stream.Stream, f *os.File) error { return s.WriteNDJSON(f) }
+	default:
+		return fmt.Errorf("unknown -out-format %q (want csv or ndjson)", o.outFormat)
+	}
 	out, err := os.Create(o.out)
 	if err != nil {
 		return err
 	}
-	if err := perturbed.WriteCSV(out); err != nil {
+	if err := write(perturbed, out); err != nil {
 		out.Close()
 		return err
 	}

@@ -10,9 +10,15 @@
 //	     [-shards N [-shard-faults spec] [-shard-deadline D] [-shard-queue N] [-shard-overflow policy]]
 //	     [-trace out.json] [-metrics] [-v] [-pprof addr]
 //
-// Stream rows have the form "time,eventName,arg1,arg2,...". With -lenient,
-// malformed rows are quarantined and reported on stderr instead of aborting
-// the run.
+// Stream rows have the form "time,eventName,arg1,arg2,..."; -format ndjson
+// reads rtecd's wire format instead ({"time":10,"atom":"f(a)"} per line).
+// With -lenient, malformed rows are quarantined and reported on stderr
+// instead of aborting the run.
+//
+// With -checkpoint set, SIGINT/SIGTERM park the run instead of killing it:
+// the engine stops at the next arrival boundary, writes a suspend
+// checkpoint, closes the journal cleanly and exits with code 3; rerunning
+// with -resume continues byte-identically to an uninterrupted run.
 //
 // Streaming robustness: -max-delay D treats the CSV as an arrival-ordered
 // stream that may be out of order by up to D time-points — late events
@@ -58,10 +64,13 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"rtecgen/internal/clock"
@@ -77,6 +86,7 @@ import (
 // options carries every flag of the command.
 type options struct {
 	edPath, streamPath string
+	format             string
 	window, slide      int64
 	fluent             string
 	strict, csvOut     bool
@@ -107,7 +117,8 @@ type options struct {
 func main() {
 	var o options
 	flag.StringVar(&o.edPath, "ed", "", "event-description file (required)")
-	flag.StringVar(&o.streamPath, "stream", "", "input event stream CSV (required)")
+	flag.StringVar(&o.streamPath, "stream", "", "input event stream file (required)")
+	flag.StringVar(&o.format, "format", "csv", `input stream serialisation: "csv" or "ndjson" (rtecd's wire format)`)
 	flag.Int64Var(&o.window, "window", 0, "window size ω in time-points (0 = whole stream)")
 	flag.Int64Var(&o.slide, "slide", 0, "slide between query times (0 = window)")
 	flag.StringVar(&o.fluent, "fluent", "", "only print FVPs of this fluent indicator, e.g. trawling/1")
@@ -141,6 +152,13 @@ func main() {
 	flag.Parse()
 
 	if err := run(o, os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, rtec.ErrSuspended) {
+			// A graceful park, not a failure: the suspend checkpoint is on
+			// disk and -resume continues byte-identically. Exit code 3
+			// distinguishes it for process supervisors.
+			fmt.Fprintln(os.Stderr, "rtec:", err)
+			os.Exit(3)
+		}
 		fmt.Fprintln(os.Stderr, "rtec:", err)
 		os.Exit(1)
 	}
@@ -234,7 +252,9 @@ func run(o options, stdout, stderr *os.File) error {
 		if err != nil {
 			return err
 		}
-		defer srv.Close()
+		// Shutdown, not Close: a scraper mid-request at exit gets its
+		// response instead of a reset connection.
+		defer srv.Shutdown(0) //nolint:errcheck // deadline-bounded best effort
 		fmt.Fprintf(stderr, "rtec: metrics listening on %s\n", addr)
 		if o.linger > 0 {
 			defer clock.Real().Sleep(o.linger)
@@ -254,24 +274,9 @@ func run(o options, stdout, stderr *os.File) error {
 		return err
 	}
 	defer f.Close()
-	var events stream.Stream
-	if o.lenient {
-		var bad []stream.BadRow
-		events, bad, err = stream.ReadCSVLenient(f)
-		if err != nil {
-			return err
-		}
-		if len(bad) > 0 {
-			fmt.Fprintf(stderr, "rtec: quarantined %d malformed stream rows:\n", len(bad))
-			for _, b := range bad {
-				fmt.Fprintf(stderr, "  %s\n", b)
-			}
-		}
-	} else {
-		events, err = stream.ReadCSV(f)
-		if err != nil {
-			return err
-		}
+	events, err := readStream(o, f, stderr)
+	if err != nil {
+		return err
 	}
 
 	// Load and runtime warnings surface on the telemetry logger (with
@@ -310,6 +315,33 @@ func run(o options, stdout, stderr *os.File) error {
 	return flush()
 }
 
+// readStream parses the input stream in the configured serialisation (-format
+// csv or ndjson), quarantining malformed rows under -lenient.
+func readStream(o options, f *os.File, stderr *os.File) (stream.Stream, error) {
+	readStrict, readLenient := stream.ReadCSV, stream.ReadCSVLenient
+	switch o.format {
+	case "csv", "":
+	case "ndjson":
+		readStrict, readLenient = stream.ReadNDJSON, stream.ReadNDJSONLenient
+	default:
+		return nil, fmt.Errorf("unknown -format %q (want csv or ndjson)", o.format)
+	}
+	if !o.lenient {
+		return readStrict(f)
+	}
+	events, bad, err := readLenient(f)
+	if err != nil {
+		return nil, err
+	}
+	if len(bad) > 0 {
+		fmt.Fprintf(stderr, "rtec: quarantined %d malformed stream rows:\n", len(bad))
+		for _, b := range bad {
+			fmt.Fprintf(stderr, "  %s\n", b)
+		}
+	}
+	return events, nil
+}
+
 // runStreaming drives the out-of-order ingestion path: the CSV rows are an
 // arrival-ordered stream fed through the bounded-delay reorder buffer, with
 // optional checkpointing, resume and fault injection.
@@ -324,6 +356,24 @@ func runStreaming(o options, eng *rtec.Engine, events stream.Stream, jw *journal
 			MaxEmitLag:      o.sloEmitLag,
 			MaxWindowMicros: o.sloWindowMS * 1000,
 		},
+	}
+	// SIGINT/SIGTERM park the run instead of killing it: the engine stops
+	// at the next arrival boundary, writes a suspend checkpoint, the
+	// journal closes cleanly and -resume continues byte-identically.
+	// Without a checkpoint path there is nowhere to park, so signals keep
+	// their default fatal behaviour.
+	if o.checkpoint != "" {
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(sigc)
+		opts.Interrupt = func() bool {
+			select {
+			case <-sigc:
+				return true
+			default:
+				return false
+			}
+		}
 	}
 	var fn func(rtec.WindowResult) error
 	if o.crashAfter > 0 {
@@ -346,6 +396,9 @@ func runStreaming(o options, eng *rtec.Engine, events stream.Stream, jw *journal
 		res, err = eng.RunStream(events, opts, fn)
 	}
 	if err != nil {
+		if errors.Is(err, rtec.ErrSuspended) {
+			fmt.Fprintf(stderr, "rtec: suspended: checkpoint written to %s; rerun with -resume to continue\n", o.checkpoint)
+		}
 		return nil, err
 	}
 	fmt.Fprintf(stderr, "rtec: stream: %s\n", res.Stats)

@@ -3,9 +3,12 @@
 // same board: throughput, streaming lag, per-window and per-stratum latency,
 // SLO status and checkpoint activity.
 //
-//   - -metrics URL polls the /metrics endpoint served by `rtec -listen`
-//     (Prometheus text exposition) every -interval, redrawing in place;
-//     rates are computed from consecutive scrapes.
+//   - -metrics URL polls the /metrics endpoint served by `rtec -listen` or
+//     the rtecd daemon (Prometheus text exposition) every -interval,
+//     redrawing in place; rates are computed from consecutive scrapes. When
+//     the scrape comes from rtecd, a DAEMON section leads the board with the
+//     lifecycle state, ingest admission counters (throttles, unavailability,
+//     timeouts, rejects) and subscription fan-out health.
 //   - -journal file replays a recognition audit journal (JSONL, written by
 //     `rtec -journal`) and renders the run's final board once.
 //
@@ -320,6 +323,35 @@ func render(w io.Writer, header string, m, prev map[string]*telemetry.PromMetric
 		}
 	}
 
+	if st, ok := val("serve_state"); ok {
+		name := "?"
+		if i := int(st); i >= 0 && i < len(daemonStates) {
+			name = daemonStates[i]
+		}
+		queue, _ := val("serve_ingest_queue")
+		fmt.Fprintln(w, "DAEMON")
+		fmt.Fprintf(w, "  state %s  ingest queue %.0f\n", name, queue)
+		line("ingest requests", "serve_ingest_requests_total")
+		line("ingest events", "serve_ingest_events_total")
+		line("windows published", "serve_windows_published_total")
+		throttled, _ := val("serve_ingest_throttled_total")
+		unavailable, _ := val("serve_ingest_unavailable_total")
+		timeouts, _ := val("serve_ingest_timeouts_total")
+		rejected, _ := val("serve_ingest_rejected_total")
+		fmt.Fprintf(w, "  %-20s %.0f / %.0f / %.0f / %.0f\n",
+			"429/503/timeout/400", throttled, unavailable, timeouts, rejected)
+		if bad, ok := val("stream_badrows_total"); ok && bad > 0 {
+			fmt.Fprintf(w, "  %-20s %12.0f\n", "quarantined rows", bad)
+		}
+		active, _ := val("serve_subs_active")
+		delivered, _ := val("serve_subs_delivered_total")
+		dropped, _ := val("serve_subs_dropped_total")
+		evicted, _ := val("serve_subs_evicted_total")
+		fmt.Fprintf(w, "  subscribers %.0f  delivered %.0f%s  dropped %.0f  evicted %.0f\n",
+			active, delivered, rate("serve_subs_delivered_total"), dropped, evicted)
+		fmt.Fprintln(w)
+	}
+
 	fmt.Fprintln(w, "THROUGHPUT")
 	line("windows evaluated", "rtec_windows_evaluated_total")
 	line("events ingested", "rtec_events_ingested_total")
@@ -385,6 +417,10 @@ func render(w io.Writer, header string, m, prev map[string]*telemetry.PromMetric
 		}
 	}
 }
+
+// daemonStates mirrors the rtecd lifecycle encoding behind the serve_state
+// gauge (see internal/serve).
+var daemonStates = [...]string{"starting", "ready", "draining", "suspended", "finishing", "finished"}
 
 var shardMetricRE = regexp.MustCompile(`^rtec_shard_s(\d+)_(restarts_total|queue_depth|consumed|windows|degraded)$`)
 

@@ -55,6 +55,13 @@ type checkpointPayload struct {
 	Emitted     int   `json:"emitted"`
 	Revisions   int64 `json:"revisions"`
 	Checkpoints int64 `json:"checkpoints"`
+	// SinceCkpt is the number of windows emitted since the last cadence
+	// checkpoint. Cadence snapshots always record 0 (the counter is reset
+	// before the write), so the field is omitted there and the on-disk bytes
+	// are unchanged; suspend checkpoints taken mid-cadence record the true
+	// count so the resumed run fires its next cadence checkpoint at the same
+	// absolute window as an uninterrupted one.
+	SinceCkpt int `json:"since_ckpt,omitempty"`
 
 	Frontier int64        `json:"frontier"`
 	Started  bool         `json:"started"`
@@ -136,6 +143,7 @@ func (st *streamRun) snapshot() checkpointPayload {
 		Emitted:     st.emitted,
 		Revisions:   st.stats.Revisions,
 		Checkpoints: st.stats.Checkpoints,
+		SinceCkpt:   st.sinceCkpt,
 		Frontier:    rs.Frontier,
 		Started:     rs.Started,
 		Disorder: ckptDisorder{
@@ -170,24 +178,62 @@ func (st *streamRun) snapshot() checkpointPayload {
 	return p
 }
 
-// writeCheckpoint serialises the snapshot and writes it torn-proof: the
+// writeCheckpoint takes a cadence snapshot. The write is counted before
+// snapshotting, so the payload's own checkpoint counter includes it: a run
+// restored from the snapshot then reports the same count as the
+// uninterrupted run at the same point — which keeps recovered journals
+// (whose checkpoint records embed the payload size) byte-identical to
+// fault-free ones.
+func (st *streamRun) writeCheckpoint() error {
+	tel := st.eng.opts.Telemetry
+	t0 := time.Now() //rtecvet:allow telemetry timer: real duration of checkpoint encoding
+	st.stats.Checkpoints++
+	n, err := st.writeSnapshotFile()
+	if err != nil {
+		return err
+	}
+	tel.Counter("rtec.checkpoint.writes").Inc()
+	tel.Counter("rtec.checkpoint.bytes").Add(int64(n))
+	tel.Histogram("rtec.checkpoint.write_micros").ObserveDuration(time.Since(t0))
+	tel.Logger().Debug("checkpoint written",
+		"component", "rtec", "path", st.opts.CheckpointPath,
+		"consumed", st.consumed, "windows", st.emitted, "bytes", n)
+	return st.obs.journal.Append("checkpoint", journalCheckpoint{
+		Consumed: st.consumed, Windows: st.emitted, Bytes: n,
+	})
+}
+
+// writeSuspendCheckpoint snapshots the run for a graceful suspension
+// (signal-triggered drain). Unlike a cadence checkpoint it does NOT bump
+// the checkpoint counter and does NOT journal a record: a suspend may land
+// between any two arrivals, and the resumed run must report the same
+// checkpoint count and journal bytes as an uninterrupted one.
+func (st *streamRun) writeSuspendCheckpoint() error {
+	if st.opts.CheckpointPath == "" {
+		return fmt.Errorf("rtec: cannot suspend: no checkpoint path configured")
+	}
+	if _, err := st.writeSnapshotFile(); err != nil {
+		return err
+	}
+	tel := st.eng.opts.Telemetry
+	tel.Counter("rtec.checkpoint.suspends").Inc()
+	tel.Logger().Debug("suspend checkpoint written",
+		"component", "rtec", "path", st.opts.CheckpointPath,
+		"consumed", st.consumed, "windows", st.emitted)
+	return nil
+}
+
+// writeSnapshotFile serialises the snapshot and writes it torn-proof: the
 // bytes go to a temporary file in the checkpoint's directory and are fsynced
 // before the file is renamed over the target, the previous generation is
 // kept aside under checkpointPrevSuffix, and the directory is synced so the
 // renames themselves survive a power cut. A crash at any point leaves at
-// least one intact, checksum-verified generation.
-func (st *streamRun) writeCheckpoint() error {
-	tel := st.eng.opts.Telemetry
-	t0 := time.Now() //rtecvet:allow telemetry timer: real duration of checkpoint encoding
-	// Count this write before snapshotting, so the payload's own checkpoint
-	// counter includes it: a run restored from the snapshot then reports the
-	// same count as the uninterrupted run at the same point — which keeps
-	// recovered journals (whose checkpoint records embed the payload size)
-	// byte-identical to fault-free ones.
-	st.stats.Checkpoints++
+// least one intact, checksum-verified generation. It returns the size of
+// the written envelope in bytes.
+func (st *streamRun) writeSnapshotFile() (int, error) {
 	payload, err := json.Marshal(st.snapshot())
 	if err != nil {
-		return fmt.Errorf("rtec: checkpoint: %w", err)
+		return 0, fmt.Errorf("rtec: checkpoint: %w", err)
 	}
 	h := fnv.New64a()
 	h.Write(payload)
@@ -198,26 +244,26 @@ func (st *streamRun) writeCheckpoint() error {
 		Payload:  payload,
 	})
 	if err != nil {
-		return fmt.Errorf("rtec: checkpoint: %w", err)
+		return 0, fmt.Errorf("rtec: checkpoint: %w", err)
 	}
 	dir := filepath.Dir(st.opts.CheckpointPath)
 	tmp, err := os.CreateTemp(dir, ".rtec-checkpoint-*")
 	if err != nil {
-		return fmt.Errorf("rtec: checkpoint: %w", err)
+		return 0, fmt.Errorf("rtec: checkpoint: %w", err)
 	}
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		return fmt.Errorf("rtec: checkpoint: %w", err)
+		return 0, fmt.Errorf("rtec: checkpoint: %w", err)
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		return fmt.Errorf("rtec: checkpoint: %w", err)
+		return 0, fmt.Errorf("rtec: checkpoint: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
-		return fmt.Errorf("rtec: checkpoint: %w", err)
+		return 0, fmt.Errorf("rtec: checkpoint: %w", err)
 	}
 	// Rotate the current generation aside before installing the new one:
 	// if the new file turns out torn (crash between the renames, bad disk),
@@ -225,12 +271,12 @@ func (st *streamRun) writeCheckpoint() error {
 	if _, err := os.Stat(st.opts.CheckpointPath); err == nil {
 		if err := os.Rename(st.opts.CheckpointPath, st.opts.CheckpointPath+checkpointPrevSuffix); err != nil {
 			os.Remove(tmp.Name())
-			return fmt.Errorf("rtec: checkpoint: %w", err)
+			return 0, fmt.Errorf("rtec: checkpoint: %w", err)
 		}
 	}
 	if err := os.Rename(tmp.Name(), st.opts.CheckpointPath); err != nil {
 		os.Remove(tmp.Name())
-		return fmt.Errorf("rtec: checkpoint: %w", err)
+		return 0, fmt.Errorf("rtec: checkpoint: %w", err)
 	}
 	// Best-effort directory sync so the renames are durable; some
 	// filesystems refuse fsync on directories, which is fine.
@@ -238,15 +284,7 @@ func (st *streamRun) writeCheckpoint() error {
 		d.Sync()
 		d.Close()
 	}
-	tel.Counter("rtec.checkpoint.writes").Inc()
-	tel.Counter("rtec.checkpoint.bytes").Add(int64(len(data)))
-	tel.Histogram("rtec.checkpoint.write_micros").ObserveDuration(time.Since(t0))
-	tel.Logger().Debug("checkpoint written",
-		"component", "rtec", "path", st.opts.CheckpointPath,
-		"consumed", st.consumed, "windows", st.emitted, "bytes", len(data))
-	return st.obs.journal.Append("checkpoint", journalCheckpoint{
-		Consumed: st.consumed, Windows: st.emitted, Bytes: len(data),
-	})
+	return len(data), nil
 }
 
 // Checkpoint is a loaded, checksum-verified snapshot of a streaming run.
@@ -369,7 +407,7 @@ func (st *streamRun) restore(cp *Checkpoint) error {
 	st.consumed = p.Consumed
 	st.stats.Revisions = p.Revisions
 	st.stats.Checkpoints = p.Checkpoints
-	st.sinceCkpt = 0
+	st.sinceCkpt = p.SinceCkpt
 	return nil
 }
 

@@ -91,6 +91,25 @@ func (r *StreamRunner) Finish() (*StreamResult, error) {
 	return r.st.finish()
 }
 
+// Suspend parks the runner at the current arrival boundary for a graceful
+// drain: it writes a suspend checkpoint (StreamOptions.CheckpointPath must
+// be set) without counting it as a cadence checkpoint or journalling a
+// record, then releases the runner. A runner resumed from that snapshot and
+// fed the remaining arrivals produces output byte-identical to an
+// uninterrupted run.
+func (r *StreamRunner) Suspend() error {
+	if r.finished {
+		return fmt.Errorf("rtec: Suspend after Finish")
+	}
+	if err := r.st.writeSuspendCheckpoint(); err != nil {
+		return err
+	}
+	r.finished = true
+	r.st.span.End()
+	r.donePool()
+	return nil
+}
+
 // Abort releases the runner's telemetry span without finishing the run,
 // after a crash or kill; the runner is dead afterwards.
 func (r *StreamRunner) Abort() {

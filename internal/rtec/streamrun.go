@@ -1,6 +1,7 @@
 package rtec
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -10,6 +11,12 @@ import (
 	"rtecgen/internal/telemetry"
 	"rtecgen/internal/telemetry/journal"
 )
+
+// ErrSuspended reports that a streaming run stopped early at a clean
+// arrival boundary because StreamOptions.Interrupt asked it to. A suspend
+// checkpoint has been written; ResumeStream (or a resumed StreamRunner)
+// continues the run byte-identically.
+var ErrSuspended = errors.New("rtec: run suspended")
 
 // StreamOptions configure an out-of-order, crash-safe recognition run.
 type StreamOptions struct {
@@ -34,6 +41,12 @@ type StreamOptions struct {
 	// breaches and the final statistics. A journal write failure fails the
 	// run — an audit trail with a hole is worse than no run.
 	Journal *journal.Writer
+	// Interrupt, when non-nil, is polled between arrivals: when it returns
+	// true the run writes a suspend checkpoint (CheckpointPath must be set)
+	// and stops with ErrSuspended at a clean arrival boundary. ResumeStream
+	// then continues the run so the final output — recognition, journal
+	// bytes, statistics — is byte-identical to an uninterrupted one.
+	Interrupt func() bool
 	// SLO sets the streaming-lag objectives; see SLOOptions.
 	SLO SLOOptions
 }
@@ -176,11 +189,23 @@ func (st *streamRun) consume(events stream.Stream) (*StreamResult, error) {
 		return nil, err
 	}
 	for _, e := range events[st.consumed:] {
+		if st.opts.Interrupt != nil && st.opts.Interrupt() {
+			return nil, st.suspend()
+		}
 		if err := st.ingest(e); err != nil {
 			return nil, err
 		}
 	}
 	return st.finish()
+}
+
+// suspend stops the run at an arrival boundary: it snapshots the state so
+// ResumeStream can continue byte-identically, and reports ErrSuspended.
+func (st *streamRun) suspend() error {
+	if err := st.writeSuspendCheckpoint(); err != nil {
+		return err
+	}
+	return ErrSuspended
 }
 
 // finish ends the run: it evaluates and delivers the windows the frontier
@@ -240,10 +265,12 @@ func (st *streamRun) ingest(e stream.Event) error {
 			every = 1
 		}
 		if st.sinceCkpt >= every {
+			// Reset before the write, so the cadence snapshot itself records
+			// since_ckpt=0 — what a restore must start the next cadence from.
+			st.sinceCkpt = 0
 			if err := st.writeCheckpoint(); err != nil {
 				return err
 			}
-			st.sinceCkpt = 0
 		}
 	}
 	return nil

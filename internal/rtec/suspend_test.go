@@ -1,0 +1,110 @@
+package rtec
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+// interruptAfter returns a StreamOptions.Interrupt that fires once n
+// arrivals have been consumed — the test double for a SIGTERM landing
+// mid-stream.
+func interruptAfter(n int) func() bool {
+	return func() bool {
+		n--
+		return n < 0
+	}
+}
+
+func TestInterruptSuspendsWithCheckpoint(t *testing.T) {
+	e := mustEngine(t, withinAreaED, Options{Strict: true})
+	arrivals := chaosArrivals(t, 7, 60)
+	opts := StreamOptions{
+		RunOptions:      RunOptions{Window: 100},
+		MaxDelay:        60,
+		CheckpointPath:  filepath.Join(t.TempDir(), "run.ckpt"),
+		CheckpointEvery: 2,
+		Interrupt:       interruptAfter(5),
+	}
+	res, err := e.RunStream(arrivals, opts, nil)
+	if !errors.Is(err, ErrSuspended) {
+		t.Fatalf("interrupted run: res=%v err=%v, want ErrSuspended", res, err)
+	}
+	cp, err := LoadCheckpoint(opts.CheckpointPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Consumed != 5 {
+		t.Fatalf("suspend checkpoint consumed %d arrivals, want 5", cp.Consumed)
+	}
+}
+
+func TestInterruptWithoutCheckpointPathFails(t *testing.T) {
+	e := mustEngine(t, withinAreaED, Options{Strict: true})
+	opts := StreamOptions{
+		RunOptions: RunOptions{Window: 100},
+		MaxDelay:   60,
+		Interrupt:  interruptAfter(0),
+	}
+	_, err := e.RunStream(chaosArrivals(t, 7, 60), opts, nil)
+	if err == nil || errors.Is(err, ErrSuspended) {
+		t.Fatalf("suspend without a checkpoint path = %v, want a configuration error", err)
+	}
+}
+
+// TestSuspendResumeByteIdentity: a run parked by Interrupt at any arrival
+// boundary and resumed over the same stream produces output byte-identical
+// to an uninterrupted run — the cmd/rtec SIGTERM contract. CheckpointEvery
+// is 2 so most park points land mid-cadence, exercising the persisted
+// since-checkpoint counter.
+func TestSuspendResumeByteIdentity(t *testing.T) {
+	e := mustEngine(t, withinAreaED, Options{Strict: true})
+	arrivals := chaosArrivals(t, 7, 60)
+	base := StreamOptions{
+		RunOptions: RunOptions{Window: 100},
+		MaxDelay:   60,
+	}
+	want, err := e.RunStream(arrivals, base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCSV := csvOf(t, want.Recognition)
+
+	// A cadence baseline for the checkpoint count: the suspend snapshot is
+	// out-of-cadence and must not disturb the schedule.
+	cadenceOpts := base
+	cadenceOpts.CheckpointPath = filepath.Join(t.TempDir(), "cadence.ckpt")
+	cadenceOpts.CheckpointEvery = 2
+	cadence, err := e.RunStream(arrivals, cadenceOpts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for park := 1; park < len(arrivals); park += 7 {
+		opts := base
+		opts.CheckpointPath = filepath.Join(t.TempDir(), "run.ckpt")
+		opts.CheckpointEvery = 2
+		opts.Interrupt = interruptAfter(park)
+		if _, err := e.RunStream(arrivals, opts, nil); !errors.Is(err, ErrSuspended) {
+			t.Fatalf("park@%d: err = %v, want ErrSuspended", park, err)
+		}
+		opts.Interrupt = nil
+		got, err := e.ResumeStream(opts.CheckpointPath, arrivals, opts, nil)
+		if err != nil {
+			t.Fatalf("park@%d: resume: %v", park, err)
+		}
+		if gotCSV := csvOf(t, got.Recognition); gotCSV != wantCSV {
+			t.Fatalf("park@%d: resumed CSV differs from uninterrupted run:\n%s\nvs\n%s", park, gotCSV, wantCSV)
+		}
+		if got.Stats.Observed != want.Stats.Observed ||
+			got.Stats.Accepted != want.Stats.Accepted ||
+			got.Stats.Revisions != want.Stats.Revisions ||
+			got.Stats.Dropped != want.Stats.Dropped {
+			t.Fatalf("park@%d: resumed stats = %s, uninterrupted = %s", park, got.Stats, want.Stats)
+		}
+		if got.Stats.Checkpoints != cadence.Stats.Checkpoints {
+			t.Fatalf("park@%d: suspend disturbed the checkpoint cadence: %d snapshots, want %d",
+				park, got.Stats.Checkpoints, cadence.Stats.Checkpoints)
+		}
+	}
+}

@@ -19,6 +19,24 @@ import (
 // restarts the shard from its last checkpoint like any other crash.
 var errKilled = errors.New("shard killed by deadline watchdog")
 
+// errSuspend is the sentinel next returns once a suspend was requested and
+// the queue backlog is drained; errParked is what attempt returns after the
+// runner's state reached disk, telling the run loop to stop without a
+// result and without a restart.
+var (
+	errSuspend = errors.New("shard suspend requested")
+	errParked  = errors.New("shard parked")
+)
+
+// ErrQueueFull reports a strict-policy admission rejection: the target
+// shard's ingest queue was full. The arrival was not admitted; callers may
+// surface this as backpressure (HTTP 429) and retry.
+var ErrQueueFull = errors.New("ingest queue full")
+
+// ErrDegraded reports an arrival routed to a permanently failed shard under
+// a strict policy. Retrying cannot succeed within this run.
+var ErrDegraded = errors.New("shard degraded")
+
 // permanentError marks a failure no restart can fix (journal sink broken,
 // both checkpoint generations unusable past the acked queue prefix, ...).
 type permanentError struct{ err error }
@@ -40,17 +58,25 @@ type proc struct {
 	// Queue state (guarded by mu). q holds the retained arrivals; base is
 	// the absolute index of q[0]. The tail past `acked` is retained for
 	// replay even though the consumer (cursor `taken`) is past it.
-	q        []stream.Event
-	base     int
-	taken    int // absolute index of the next arrival the consumer takes
-	closed   bool
-	killed   bool
-	done     bool
-	degraded bool
-	failErr  error
-	lastMove time.Time // progress stamp for the deadline watchdog
-	dropped  int64     // lenient overflow drops
-	overflow int64     // soft admissions past the depth bound (idle consumer)
+	q         []stream.Event
+	base      int
+	taken     int // absolute index of the next arrival the consumer takes
+	closed    bool
+	killed    bool
+	done      bool
+	degraded  bool
+	suspend   bool // drain the backlog, then park instead of waiting
+	suspended bool // parked: state is on disk, no result produced
+	failErr   error
+	lastMove  time.Time // progress stamp for the deadline watchdog
+	dropped   int64     // lenient overflow drops
+	overflow  int64     // soft admissions past the depth bound (idle consumer)
+	// skipBelow is the cross-process resume cursor: arrivals below this
+	// absolute index were consumed by the previous process's checkpoint, so
+	// push advances base past them instead of buffering a replayed prefix
+	// the consumer will never need.
+	skipBelow int
+	skipped   int64
 
 	// Consumer-side state (owned by the consumer goroutine and, between
 	// attempts, the run loop; never touched by the producer).
@@ -62,6 +88,8 @@ type proc struct {
 	restarts     int64
 	kills        int64
 	result       *rtec.StreamResult
+	resumeCkpt   *rtec.Checkpoint // cross-process resume snapshot, if any
+	parkedAt     int              // arrivals consumed when the shard parked
 
 	// Hoisted per-shard instruments.
 	mDepth, mConsumed, mWindows, mDegraded *telemetry.Gauge
@@ -121,6 +149,12 @@ func (p *proc) next() (stream.Event, bool, error) {
 		if p.closed {
 			return stream.Event{}, false, nil
 		}
+		// A suspend parks only once the backlog is drained: the arrival
+		// checks above win, so everything already admitted is processed
+		// (and checkpointed) before the shard stops.
+		if p.suspend {
+			return stream.Event{}, false, errSuspend
+		}
 		// Idle-waiting for input is progress, not a hang.
 		p.lastMove = p.sup.clk.Now()
 		p.cond.Wait()
@@ -150,6 +184,14 @@ func (p *proc) push(e stream.Event) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for {
+		// Replayed prefix of a cross-process resume: the checkpoint already
+		// covers this arrival, so account for its queue position without
+		// buffering it.
+		if p.base+len(p.q) < p.skipBelow {
+			p.base++
+			p.skipped++
+			return nil
+		}
 		if p.degraded {
 			switch p.sup.opts.Overflow {
 			case OverflowDrop:
@@ -158,7 +200,7 @@ func (p *proc) push(e stream.Event) error {
 				return nil
 			default:
 				// Strict — and blocking on a dead shard would hang forever.
-				return fmt.Errorf("shard %d degraded: %w", p.id, p.failErr)
+				return fmt.Errorf("shard %d %w: %v", p.id, ErrDegraded, p.failErr)
 			}
 		}
 		if len(p.q) < p.sup.opts.QueueDepth {
@@ -173,7 +215,7 @@ func (p *proc) push(e stream.Event) error {
 			p.sup.tel.Counter("rtec.shard.queue.dropped").Inc()
 			return nil
 		case OverflowError:
-			return fmt.Errorf("shard %d ingest queue full (%d arrivals)", p.id, len(p.q))
+			return fmt.Errorf("shard %d %w (%d arrivals)", p.id, ErrQueueFull, len(p.q))
 		}
 		// OverflowBlock. If the consumer has already taken everything, the
 		// queue is full of retention (arrivals kept for checkpoint replay),
@@ -213,11 +255,27 @@ func (p *proc) closeQueue() {
 	p.mu.Unlock()
 }
 
+// suspendQueue asks the shard to drain its admitted backlog and then park
+// at a clean arrival boundary instead of waiting for more input.
+func (p *proc) suspendQueue() {
+	p.mu.Lock()
+	p.suspend = true
+	p.lastMove = p.sup.clk.Now()
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
 // deliverHook is the per-window callback wired into the shard's engine
 // runner: it stamps progress, advances the absolute delivery counter and
 // acts out scheduled faults at first-time deliveries.
 func (p *proc) deliverHook(wr rtec.WindowResult) error {
 	p.touch()
+	// Fan deliveries (and revisions) out to the supervisor-level observer.
+	// Crash replays re-deliver replayed windows, so observers see
+	// at-least-once semantics; they must not block (see Options.OnWindow).
+	if h := p.sup.opts.OnWindow; h != nil {
+		h(p.id, wr)
+	}
 	if wr.Revision != 0 {
 		return nil
 	}
@@ -251,6 +309,21 @@ func (p *proc) hangUntilKilled() error {
 func (p *proc) buildRunner() (*rtec.StreamRunner, error) {
 	opts := p.sup.runnerOpts(p.id, p.stage.writer())
 	if p.ckptSeen == 0 {
+		// Cross-process resume: continue from the previous process's suspend
+		// (or last cadence) checkpoint. Both staged generations were pinned
+		// to its boundary at construction, so an in-process crash before the
+		// first new checkpoint rolls back to it and lands here again.
+		if p.resumeCkpt != nil {
+			if err := p.stage.rollbackTo(p.lastB); err != nil {
+				return nil, permanentError{err}
+			}
+			r, err := p.sup.eng.ResumeStreamRunner(p.resumeCkpt, opts, p.deliverHook)
+			if err != nil {
+				return nil, permanentError{err}
+			}
+			p.delivered = p.resumeCkpt.Windows
+			return r, nil
+		}
 		if err := p.stage.rollbackTo(p.prevB); err != nil {
 			return nil, permanentError{err}
 		}
@@ -312,6 +385,9 @@ func (p *proc) attempt() (err error) {
 	for {
 		e, ok, err := p.next()
 		if err != nil {
+			if errors.Is(err, errSuspend) {
+				return p.park(runner)
+			}
 			return err
 		}
 		if !ok {
@@ -341,6 +417,25 @@ func (p *proc) attempt() (err error) {
 	p.mConsumed.Set(int64(runner.Consumed()))
 	p.result = res
 	return nil
+}
+
+// park suspends the runner for a graceful cross-process drain: the engine
+// writes a suspend checkpoint at its current arrival boundary and the
+// staged journal commits everything — every staged record was generated by
+// an arrival the checkpoint covers, so nothing committed can ever need a
+// rollback, and the resumed process regenerates nothing twice.
+func (p *proc) park(runner *rtec.StreamRunner) error {
+	consumed, windows := runner.Consumed(), runner.Windows()
+	if err := runner.Suspend(); err != nil {
+		return permanentError{fmt.Errorf("shard %d suspend: %w", p.id, err)}
+	}
+	if err := p.stage.commitAll(); err != nil {
+		return permanentError{err}
+	}
+	p.mConsumed.Set(int64(consumed))
+	p.mWindows.Set(int64(windows))
+	p.parkedAt = consumed
+	return errParked
 }
 
 // syncCursor points the consumer cursor at the absolute replay position.
@@ -393,6 +488,14 @@ func (p *proc) run() {
 			p.cond.Broadcast()
 			p.mu.Unlock()
 			p.mConsumed.Set(int64(p.result.Stats.Observed))
+			return
+		}
+		if errors.Is(err, errParked) {
+			p.mu.Lock()
+			p.done = true
+			p.suspended = true
+			p.cond.Broadcast()
+			p.mu.Unlock()
 			return
 		}
 		var perm permanentError

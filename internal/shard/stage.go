@@ -45,6 +45,18 @@ func newStagedJournal(out io.Writer, opts journal.Options) *stagedJournal {
 	return s
 }
 
+// newStagedJournalResumed stages records for a journal file recovered from
+// a previous process: the writer continues the recovered sequence instead of
+// restarting at 1, so the appended suffix validates against the committed
+// prefix. The stage's own offsets restart at zero — everything the previous
+// process committed is already in the file, and the suspend protocol
+// guarantees nothing staged was lost.
+func newStagedJournalResumed(out io.Writer, opts journal.Options, info journal.RecoverInfo) *stagedJournal {
+	s := &stagedJournal{out: out}
+	s.w = journal.NewWriterResumed(&s.buf, opts, info)
+	return s
+}
+
 // writer returns the journal writer the engine appends through. Nil-safe.
 func (s *stagedJournal) writer() *journal.Writer {
 	if s == nil {

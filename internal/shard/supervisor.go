@@ -22,6 +22,7 @@ package shard
 import (
 	"fmt"
 	"io"
+	"os"
 	"sync"
 	"time"
 
@@ -88,6 +89,23 @@ type Options struct {
 	JournalFor func(k int) io.Writer
 	// JournalOpts configure the per-shard journal writers.
 	JournalOpts journal.Options
+	// Resume continues a run a previous process parked with Suspend: each
+	// shard whose checkpoint file exists restores from it, and the replayed
+	// arrival prefix below the checkpoint is skipped at admission instead of
+	// buffered. The caller must re-Ingest the same stream in the same order.
+	// Requires Stream.CheckpointPath.
+	Resume bool
+	// JournalInfoFor, when non-nil under Resume, returns shard k's recovered
+	// journal state (nil when the journal is fresh): the staged writer then
+	// continues the committed sequence instead of restarting at 1, so the
+	// appended suffix validates against the prefix already on disk.
+	JournalInfoFor func(k int) *journal.RecoverInfo
+	// OnWindow, when non-nil, observes every window delivery and revision of
+	// every shard after the shard's own processing. It is called from shard
+	// goroutines concurrently and must not block — a slow observer stalls
+	// its shard's progress deadline. Crash replays re-deliver windows, so
+	// delivery is at-least-once.
+	OnWindow func(shard int, wr rtec.WindowResult)
 	// Events, when non-nil, receives the supervisor's own lifecycle records
 	// (shards_start, shard_restart, shard_kill, shard_degraded, shards_end).
 	// Restart events exist only in faulted runs, so this trail is kept
@@ -134,15 +152,16 @@ type Result struct {
 
 // ShardStatus is one shard's final report.
 type ShardStatus struct {
-	Shard    int    `json:"shard"`
-	Consumed int64  `json:"consumed"`
-	Windows  int    `json:"windows"`
-	Restarts int64  `json:"restarts"`
-	Kills    int64  `json:"kills"`
-	Dropped  int64  `json:"dropped"`
-	Overflow int64  `json:"overflow"`
-	Degraded bool   `json:"degraded"`
-	Err      string `json:"err,omitempty"`
+	Shard     int    `json:"shard"`
+	Consumed  int64  `json:"consumed"`
+	Windows   int    `json:"windows"`
+	Restarts  int64  `json:"restarts"`
+	Kills     int64  `json:"kills"`
+	Dropped   int64  `json:"dropped"`
+	Overflow  int64  `json:"overflow"`
+	Degraded  bool   `json:"degraded"`
+	Suspended bool   `json:"suspended,omitempty"`
+	Err       string `json:"err,omitempty"`
 }
 
 // Supervisor journal payloads. Field order fixes the byte layout.
@@ -172,6 +191,17 @@ type shardDegradedEvent struct {
 	Restarts int64  `json:"restarts"`
 	Reason   string `json:"reason"`
 	Err      string `json:"err"`
+}
+
+type shardsSuspendEvent struct {
+	Shards int `json:"shards"`
+}
+
+type shardsSuspendedEvent struct {
+	Shards   int   `json:"shards"`
+	Degraded int   `json:"degraded"`
+	Consumed int64 `json:"consumed"`
+	Windows  int64 `json:"windows"`
 }
 
 type shardsEndEvent struct {
@@ -224,6 +254,9 @@ func NewSupervisor(eng *rtec.Engine, opts Options) (*Supervisor, error) {
 	if opts.Clock == nil {
 		opts.Clock = clock.Real()
 	}
+	if opts.Resume && opts.Stream.CheckpointPath == "" {
+		return nil, fmt.Errorf("shard: Resume needs a checkpoint path to restore from")
+	}
 	s := &Supervisor{eng: eng, opts: opts, tel: opts.Telemetry, clk: opts.Clock}
 	s.describeMetrics()
 	s.journalEvent("shards_start", shardsStartEvent{
@@ -248,7 +281,32 @@ func NewSupervisor(eng *rtec.Engine, opts Options) (*Supervisor, error) {
 		p.cond = sync.NewCond(&p.mu)
 		if opts.JournalFor != nil {
 			if out := opts.JournalFor(k); out != nil {
-				p.stage = newStagedJournal(out, opts.JournalOpts)
+				var info *journal.RecoverInfo
+				if opts.Resume && opts.JournalInfoFor != nil {
+					info = opts.JournalInfoFor(k)
+				}
+				if info != nil {
+					p.stage = newStagedJournalResumed(out, opts.JournalOpts, *info)
+				} else {
+					p.stage = newStagedJournal(out, opts.JournalOpts)
+				}
+			}
+		}
+		if opts.Resume {
+			cp, err := s.loadResume(k)
+			if err != nil {
+				return nil, err
+			}
+			if cp != nil {
+				// Pin both staged generations and the consumer cursor to the
+				// snapshot's position before any push or attempt can race.
+				// base stays 0: the replayed prefix advances it one skipped
+				// arrival at a time until it catches up with the cursor.
+				p.resumeCkpt = cp
+				p.skipBelow = cp.Consumed
+				p.taken = cp.Consumed
+				b := p.stage.boundary(cp.Consumed)
+				p.prevB, p.lastB = b, b
 			}
 		}
 		s.procs = append(s.procs, p)
@@ -257,6 +315,32 @@ func NewSupervisor(eng *rtec.Engine, opts Options) (*Supervisor, error) {
 		go p.run()
 	}
 	return s, nil
+}
+
+// loadResume loads shard k's cross-process resume snapshot. A shard with no
+// checkpoint file (neither generation) starts fresh — legal when the
+// previous process suspended before this shard ever checkpointed; an empty
+// snapshot (nothing consumed, nothing delivered) also starts fresh, so the
+// run_start record is journalled on the first ingest exactly as an
+// uninterrupted run would.
+func (s *Supervisor) loadResume(k int) (*rtec.Checkpoint, error) {
+	path := s.checkpointPath(k)
+	if !fileExists(path) && !fileExists(path+".prev") {
+		return nil, nil
+	}
+	cp, _, err := rtec.LoadCheckpointWithFallback(path)
+	if err != nil {
+		return nil, fmt.Errorf("shard %d resume: %w", k, err)
+	}
+	if cp.Consumed == 0 && cp.Windows == 0 {
+		return nil, nil
+	}
+	return cp, nil
+}
+
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
 }
 
 // shardMetric names shard k's instrument: rtec.shard.s<k>.<name>.
@@ -357,21 +441,7 @@ func (s *Supervisor) Close() (*Result, error) {
 	for _, p := range s.procs {
 		p.closeQueue()
 	}
-	for _, p := range s.procs {
-		for {
-			p.mu.Lock()
-			done := p.done
-			p.mu.Unlock()
-			if done {
-				break
-			}
-			if p.stale(s.clk.Now()) {
-				s.journalEvent("shard_kill", shardKillEvent{Shard: p.id})
-				p.kill()
-			}
-			s.clk.Sleep(s.pollQuantum())
-		}
-	}
+	s.waitDrain()
 	res := &Result{}
 	recs := make([]*rtec.Recognition, 0, len(s.procs))
 	end := shardsEndEvent{Shards: len(s.procs)}
@@ -406,6 +476,74 @@ func (s *Supervisor) Close() (*Result, error) {
 		return res, firstErr
 	}
 	return res, nil
+}
+
+// waitDrain blocks until every shard's consumer is done, keeping the
+// deadline watchdog running so a shard that wedges during the drain is
+// killed and restarted rather than hanging the caller forever.
+func (s *Supervisor) waitDrain() {
+	for _, p := range s.procs {
+		for {
+			p.mu.Lock()
+			done := p.done
+			p.mu.Unlock()
+			if done {
+				break
+			}
+			if p.stale(s.clk.Now()) {
+				s.journalEvent("shard_kill", shardKillEvent{Shard: p.id})
+				p.kill()
+			}
+			s.clk.Sleep(s.pollQuantum())
+		}
+	}
+}
+
+// Suspend parks the runtime for a graceful cross-process restart: every
+// shard finishes the arrivals it has already admitted, writes a suspend
+// checkpoint at that boundary and commits its staged journal through it.
+// No merged result is produced — a new process constructed with
+// Options.Resume and re-fed the same stream continues the run with output
+// byte-identical to an uninterrupted one. Requires Stream.CheckpointPath.
+// Like Close, Suspend must come from the Ingest goroutine.
+func (s *Supervisor) Suspend() ([]ShardStatus, error) {
+	if s.closed {
+		return nil, fmt.Errorf("shard: Suspend after Close")
+	}
+	if s.opts.Stream.CheckpointPath == "" {
+		return nil, fmt.Errorf("shard: Suspend needs a checkpoint path to park into")
+	}
+	s.closed = true
+	s.journalEvent("shards_suspend", shardsSuspendEvent{Shards: len(s.procs)})
+	for _, p := range s.procs {
+		p.suspendQueue()
+	}
+	s.waitDrain()
+	end := shardsSuspendedEvent{Shards: len(s.procs)}
+	var sts []ShardStatus
+	var firstErr error
+	for _, p := range s.procs {
+		st := ShardStatus{
+			Shard: p.id, Restarts: p.restarts, Kills: p.kills,
+			Dropped: p.dropped, Overflow: p.overflow,
+			Degraded: p.degraded, Suspended: p.suspended,
+		}
+		if p.degraded {
+			st.Err = p.failErr.Error()
+			end.Degraded++
+			if firstErr == nil {
+				firstErr = fmt.Errorf("shard %d failed to park: %w", p.id, p.failErr)
+			}
+		} else {
+			st.Consumed = int64(p.parkedAt)
+			st.Windows = p.delivered
+			end.Consumed += int64(p.parkedAt)
+			end.Windows += int64(p.delivered)
+		}
+		sts = append(sts, st)
+	}
+	s.journalEvent("shards_suspended", end)
+	return sts, firstErr
 }
 
 func addStats(dst *rtec.StreamStats, src rtec.StreamStats) {

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"fmt"
@@ -9,6 +10,7 @@ import (
 	"net/http/pprof"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Server is the embeddable operational endpoint of a long-lived run: it
@@ -59,6 +61,17 @@ func (s *Server) Ready(name string, check func() error) {
 	s.mu.Unlock()
 }
 
+// Handle mounts an application handler on the server's mux alongside the
+// operational endpoints — rtecd serves its ingest and subscription API
+// through this, so one port carries both. Mount before Start; the mux
+// panics on duplicate patterns, same as http.Handle.
+func (s *Server) Handle(pattern string, h http.Handler) {
+	if s == nil {
+		return
+	}
+	s.mux.Handle(pattern, h)
+}
+
 // Handler returns the server's mux, for embedding under an existing
 // http.Server (tests use this with httptest).
 func (s *Server) Handler() http.Handler {
@@ -99,8 +112,8 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Close stops the listener immediately. In-flight scrapes are aborted; the
-// process is exiting anyway.
+// Close stops the listener immediately. In-flight scrapes are aborted;
+// prefer Shutdown on any exit path that is not already a failure.
 func (s *Server) Close() error {
 	if s == nil {
 		return nil
@@ -112,6 +125,34 @@ func (s *Server) Close() error {
 		return nil
 	}
 	return srv.Close()
+}
+
+// Shutdown stops accepting connections and drains in-flight requests,
+// waiting at most timeout (zero defaults to 5s) before aborting whatever
+// is left. A scraper that hit /metrics just as the run ended gets its
+// response instead of a reset connection.
+func (s *Server) Shutdown(timeout time.Duration) error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	srv := s.srv
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		// The drain deadline passed with requests still in flight (a stuck
+		// SSE subscriber, a wedged scraper): abort them, the bound is the
+		// contract.
+		return srv.Close()
+	}
+	return nil
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -7,7 +7,9 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func TestServerHealthz(t *testing.T) {
@@ -120,5 +122,96 @@ func TestServerNilSafety(t *testing.T) {
 	}
 	if s.Handler() == nil {
 		t.Fatal("nil Handler returned nil")
+	}
+}
+
+// TestServerShutdownDrainsInFlight starts a scrape whose readiness check
+// blocks mid-request, calls Shutdown concurrently, and asserts the scrape
+// still completes with a full response — where Close would reset it.
+func TestServerShutdownDrainsInFlight(t *testing.T) {
+	reg := NewRegistry()
+	s := NewServer(reg)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s.Ready("slow", func() error {
+		once.Do(func() { close(entered) })
+		<-release
+		return nil
+	})
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		res, err := http.Get("http://" + addr + "/healthz")
+		if err != nil {
+			got <- err
+			return
+		}
+		defer res.Body.Close()
+		body, err := io.ReadAll(res.Body)
+		if err == nil && !strings.Contains(string(body), `"slow": "ok"`) {
+			err = errors.New("truncated healthz body: " + string(body))
+		}
+		got <- err
+	}()
+	<-entered // the request is in flight
+	done := make(chan error, 1)
+	go func() { done <- s.Shutdown(2 * time.Second) }()
+	// Shutdown must wait for the in-flight request, not abort it.
+	select {
+	case err := <-done:
+		t.Fatalf("Shutdown returned before the in-flight request: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	if err := <-got; err != nil {
+		t.Fatalf("in-flight request aborted by Shutdown: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	// New connections are refused after the drain.
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Fatal("server still accepting after Shutdown")
+	}
+}
+
+func TestServerShutdownTimeoutAborts(t *testing.T) {
+	reg := NewRegistry()
+	s := NewServer(reg)
+	entered := make(chan struct{})
+	var once sync.Once
+	s.Ready("wedged", func() error {
+		once.Do(func() { close(entered) })
+		select {} // never returns: a wedged subscriber
+	})
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go http.Get("http://" + addr + "/healthz") //nolint:errcheck // aborted by design
+	<-entered
+	if err := s.Shutdown(50 * time.Millisecond); err != nil {
+		t.Fatalf("Shutdown after timeout: %v", err)
+	}
+}
+
+func TestServerHandleMountsApplicationRoutes(t *testing.T) {
+	s := NewServer(NewRegistry())
+	s.Handle("/ingest", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+	}))
+	var nilServer *Server
+	nilServer.Handle("/x", http.NotFoundHandler()) // no-op, must not panic
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("POST", "/ingest", nil))
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("mounted handler not served: %d", rec.Code)
+	}
+	if err := s.Shutdown(0); err != nil { // nil srv: no-op
+		t.Fatal(err)
 	}
 }
