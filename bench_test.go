@@ -143,6 +143,50 @@ func BenchmarkRTECWindowSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkRTECSlideSweep is the ablation for incremental sliding-window
+// evaluation: the same stream recognised at window ω=3600 under increasing
+// overlap (slide ω/2, ω/4, ω/8), with the delta layer on versus the full
+// re-evaluation oracle (DisableDelta). Each sub-benchmark reports its window
+// count so per-window cost is comparable across slides: with delta on it
+// stays roughly flat as overlap grows, while the oracle pays the full ω per
+// window regardless.
+func BenchmarkRTECSlideSweep(b *testing.B) {
+	scen, err := maritime.BuildScenario(maritime.ScenarioConfig{Vessels: 16, Seed: 7, IntervalSec: 60})
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := maritime.Preprocess(scen.Messages, scen.Map, maritime.DefaultPreprocessConfig())
+	ed := maritime.FullED(maritime.GoldED(), scen.Map, scen.Fleet, maritime.ObservedPairs(events))
+	facts := maritime.DynamicFacts(events, scen.Fleet)
+	const window = int64(3600)
+	for _, mode := range []string{"delta", "full"} {
+		eng, err := rtec.New(ed, rtec.Options{
+			Strict: true, ExtraFacts: facts, DisableDelta: mode == "full",
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, ratio := range []int64{2, 4, 8} {
+			slide := window / ratio
+			windows := 0
+			if err := eng.RunWindows(events, rtec.RunOptions{Window: window, Slide: slide}, func(rtec.WindowResult) error {
+				windows++
+				return nil
+			}); err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("slide=%d/%s", slide, mode), func(b *testing.B) {
+				b.ReportMetric(float64(windows), "windows")
+				for i := 0; i < b.N; i++ {
+					if _, err := eng.Run(events, rtec.RunOptions{Window: window, Slide: slide}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkRTECStreamSweep scales the fleet (and with it the stream) at a
 // fixed window: recognition cost should grow near-linearly with the stream.
 func BenchmarkRTECStreamSweep(b *testing.B) {

@@ -166,6 +166,69 @@ if ! cmp -s "$tmp/baseline.csv" "$tmp/parallel.csv"; then
     exit 1
 fi
 
+echo "== delta gate (incremental sliding windows must match full re-evaluation byte-for-byte)"
+# Slide-heavy streaming run (ω=3600, slide=900: 4x overlap) over the
+# disordered stream, race-instrumented. The incremental delta layer must
+# produce the same CSV, the same audit journal bytes and the same final
+# checkpoint envelope as the -no-delta full re-evaluation oracle, while
+# actually reusing carried state (nonzero rtec.delta.reused counter). A kill
+# mid-slide plus -resume must restore the delta sidecar (warm resume) and
+# still converge to the identical CSV.
+go build -race -o "$tmp/bin-rtec-race" ./cmd/rtec
+"$tmp/bin-rtec-race" -ed "$tmp/ed.rtec" -stream "$tmp/shuffled.csv" -window 3600 -slide 900 -csv \
+    -max-delay 900 -journal "$tmp/delta.jsonl" -checkpoint "$tmp/delta.ckpt" -metrics \
+    > "$tmp/delta.csv" 2> "$tmp/delta-metrics.txt"
+"$tmp/bin-rtec-race" -ed "$tmp/ed.rtec" -stream "$tmp/shuffled.csv" -window 3600 -slide 900 -csv \
+    -max-delay 900 -journal "$tmp/full.jsonl" -checkpoint "$tmp/full.ckpt" -no-delta \
+    > "$tmp/full.csv" 2> /dev/null
+if ! cmp -s "$tmp/delta.csv" "$tmp/full.csv"; then
+    echo "delta gate: incremental recognition diverged from full re-evaluation:" >&2
+    diff "$tmp/delta.csv" "$tmp/full.csv" >&2 || true
+    exit 1
+fi
+if ! cmp -s "$tmp/delta.jsonl" "$tmp/full.jsonl"; then
+    echo "delta gate: incremental audit journal diverged from full re-evaluation:" >&2
+    diff "$tmp/delta.jsonl" "$tmp/full.jsonl" >&2 || true
+    exit 1
+fi
+if ! cmp -s "$tmp/delta.ckpt" "$tmp/full.ckpt"; then
+    echo "delta gate: final checkpoint envelope differs between delta and full modes" >&2
+    exit 1
+fi
+if ! grep -q '^counter rtec.delta.reused_total [1-9]' "$tmp/delta-metrics.txt"; then
+    echo "delta gate: metrics dump is missing a nonzero rtec.delta.reused counter:" >&2
+    grep '^counter rtec\.delta' "$tmp/delta-metrics.txt" >&2 || cat "$tmp/delta-metrics.txt" >&2
+    exit 1
+fi
+# A worker pool must not change the incremental output either.
+"$tmp/bin-rtec-race" -ed "$tmp/ed.rtec" -stream "$tmp/shuffled.csv" -window 3600 -slide 900 -csv \
+    -max-delay 900 -workers 8 > "$tmp/delta-par.csv" 2> /dev/null
+if ! cmp -s "$tmp/delta.csv" "$tmp/delta-par.csv"; then
+    echo "delta gate: -workers 8 incremental recognition diverged:" >&2
+    diff "$tmp/delta.csv" "$tmp/delta-par.csv" >&2 || true
+    exit 1
+fi
+# Kill mid-slide, resume warm: the restored delta sidecar must show up in
+# the metrics and the resumed run must still match byte-for-byte.
+if "$tmp/bin-rtec-race" -ed "$tmp/ed.rtec" -stream "$tmp/shuffled.csv" -window 3600 -slide 900 -csv \
+    -max-delay 900 -checkpoint "$tmp/delta-crash.ckpt" -crash-after 3 > /dev/null 2>&1; then
+    echo "delta gate: -crash-after 3 did not abort the slide-heavy run" >&2
+    exit 1
+fi
+"$tmp/bin-rtec-race" -ed "$tmp/ed.rtec" -stream "$tmp/shuffled.csv" -window 3600 -slide 900 -csv \
+    -max-delay 900 -checkpoint "$tmp/delta-crash.ckpt" -resume -metrics \
+    > "$tmp/delta-resumed.csv" 2> "$tmp/delta-resume-metrics.txt"
+if ! cmp -s "$tmp/delta.csv" "$tmp/delta-resumed.csv"; then
+    echo "delta gate: kill-and-resume mid-slide diverged from the uninterrupted run:" >&2
+    diff "$tmp/delta.csv" "$tmp/delta-resumed.csv" >&2 || true
+    exit 1
+fi
+if ! grep -q '^counter rtec.delta.sidecar_restores_total 1' "$tmp/delta-resume-metrics.txt"; then
+    echo "delta gate: resume did not restore the delta sidecar (cold resume):" >&2
+    grep '^counter rtec\.delta' "$tmp/delta-resume-metrics.txt" >&2 || cat "$tmp/delta-resume-metrics.txt" >&2
+    exit 1
+fi
+
 echo "== shard chaos gate (supervised shards must recover byte-identically)"
 # Run the supervised shard runtime over the shuffled stream twice with the
 # same seed: once fault-free and once with a deterministic fault schedule

@@ -8,6 +8,7 @@
 //	bench [-bench regexp] [-count N] [-benchtime T] [-dir path]
 //	      [-baseline BENCH_baseline.json] [-out BENCH_rtec.json]
 //	bench -validate BENCH_rtec.json
+//	bench -soak [-soak-vessels N] [-soak-horizon S] [-soak-window W] [-soak-slide S]
 //	bench -overhead BENCH_rtec.json [-overhead-max 1.05]
 //	bench -write-baseline [-bench regexp] ...
 //
@@ -21,7 +22,10 @@
 // interleaved in one process) and fails when it exceeds -overhead-max (the
 // <5% live-observability tax gate).
 // -write-baseline replaces the baseline file with this run's numbers
-// instead of diffing against it.
+// instead of diffing against it. -soak is the Brest-scale streaming soak:
+// it synthesises a fleet of thousands of vessels with ais.StreamFleet,
+// preprocesses it incrementally and recognises it with sliding windows,
+// reporting sustained events/s, p50/p99 window latency and peak RSS.
 package main
 
 import (
@@ -47,6 +51,11 @@ type Result struct {
 	// OverheadRatio is the custom overhead_ratio metric reported by the
 	// paired observability benchmark (instrumented ns / uninstrumented ns).
 	OverheadRatio *float64 `json:"overhead_ratio,omitempty"`
+	// Windows is the windows-per-op metric reported by the slide-sweep
+	// benchmark; NsPerWindow divides NsPerOp by it, making runs with
+	// different window counts (slide ratios) directly comparable.
+	Windows     *float64 `json:"windows,omitempty"`
+	NsPerWindow *float64 `json:"ns_per_window,omitempty"`
 	// Deltas against the baseline entry of the same name; absent when the
 	// baseline does not cover this benchmark.
 	Speedup     *float64 `json:"speedup,omitempty"`      // baseline ns / ns; > 1 is faster
@@ -55,7 +64,7 @@ type Result struct {
 
 // File is the schema of BENCH_rtec.json and of the committed baseline.
 type File struct {
-	Schema     string   `json:"schema"` // "rtec-bench/1"
+	Schema     string   `json:"schema"` // "rtec-bench/2"
 	GoVersion  string   `json:"go_version"`
 	GOMAXPROCS int      `json:"gomaxprocs"`
 	Bench      string   `json:"bench"`
@@ -63,11 +72,11 @@ type File struct {
 	Results    []Result `json:"results"`
 }
 
-const schemaID = "rtec-bench/1"
+const schemaID = "rtec-bench/2"
 
 func main() {
 	var (
-		bench     = flag.String("bench", "BenchmarkRTEC(WindowSweep|StreamSweep|Observability)", "benchmark selection regexp (go test -bench)")
+		bench     = flag.String("bench", "BenchmarkRTEC(WindowSweep|SlideSweep|StreamSweep|Observability)", "benchmark selection regexp (go test -bench)")
 		count     = flag.Int("count", 1, "samples per benchmark; the median is reported")
 		benchtime = flag.String("benchtime", "", "per-benchmark time or iteration budget (go test -benchtime), e.g. 1x for a smoke run")
 		dir       = flag.String("dir", ".", "module directory containing bench_test.go")
@@ -77,8 +86,29 @@ func main() {
 		validate  = flag.String("validate", "", "validate an existing result file against the schema and exit")
 		overhead  = flag.String("overhead", "", "gate the observability overhead recorded in this result file and exit")
 		overheadM = flag.Float64("overhead-max", 1.05, "maximum obs=on / obs=off ns ratio the -overhead gate accepts")
+
+		soak        = flag.Bool("soak", false, "run the Brest-scale streaming soak instead of the benchmark suite")
+		soakVessels = flag.Int("soak-vessels", 1000, "soak fleet size")
+		soakHorizon = flag.Int64("soak-horizon", 2*3600, "soak stream horizon in simulated seconds")
+		soakWindow  = flag.Int64("soak-window", 3600, "soak recognition window size")
+		soakSlide   = flag.Int64("soak-slide", 900, "soak recognition slide")
+		soakDelta   = flag.Bool("soak-delta", true, "soak with incremental sliding-window evaluation (false: full re-evaluation)")
 	)
 	flag.Parse()
+
+	if *soak {
+		if err := runSoak(soakConfig{
+			Vessels: *soakVessels,
+			Horizon: *soakHorizon,
+			Window:  *soakWindow,
+			Slide:   *soakSlide,
+			Delta:   *soakDelta,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *validate != "" {
 		if err := validateFile(*validate); err != nil {
@@ -169,7 +199,7 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
 // parseBenchOutput extracts per-benchmark samples from go test output and
 // aggregates repeated samples of the same benchmark by median.
 func parseBenchOutput(out string) ([]Result, error) {
-	type sample struct{ ns, bytes, allocs, ratio float64 }
+	type sample struct{ ns, bytes, allocs, ratio, windows float64 }
 	samples := map[string][]sample{}
 	var order []string
 	for _, line := range strings.Split(out, "\n") {
@@ -197,6 +227,8 @@ func parseBenchOutput(out string) ([]Result, error) {
 				s.allocs = v
 			case "overhead_ratio":
 				s.ratio = v
+			case "windows":
+				s.windows = v
 			}
 		}
 		if s.ns == 0 {
@@ -219,6 +251,11 @@ func parseBenchOutput(out string) ([]Result, error) {
 		}
 		if ratio := median(ss, func(s sample) float64 { return s.ratio }); ratio > 0 {
 			r.OverheadRatio = &ratio
+		}
+		if w := median(ss, func(s sample) float64 { return s.windows }); w > 0 {
+			npw := r.NsPerOp / w
+			r.Windows = &w
+			r.NsPerWindow = &npw
 		}
 		results = append(results, r)
 	}
@@ -264,6 +301,9 @@ func printTable(f File) {
 	for _, r := range f.Results {
 		line := fmt.Sprintf("  %-50s %14.0f ns/op %12.0f B/op %10.0f allocs/op",
 			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		if r.NsPerWindow != nil {
+			line += fmt.Sprintf("   %.0f ns/window", *r.NsPerWindow)
+		}
 		if r.Speedup != nil {
 			line += fmt.Sprintf("   %.2fx vs baseline", *r.Speedup)
 		}

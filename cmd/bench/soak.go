@@ -1,0 +1,189 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"rtecgen/internal/ais"
+	"rtecgen/internal/maritime"
+	"rtecgen/internal/rtec"
+	"rtecgen/internal/stream"
+	"rtecgen/internal/telemetry"
+)
+
+// soakConfig parameterises the Brest-scale streaming soak.
+type soakConfig struct {
+	Vessels int
+	Horizon int64
+	Window  int64
+	Slide   int64
+	Delta   bool
+}
+
+// soakMaxDelay is the disorder tolerance of the soak run. The fleet
+// generator scripts communication gaps of up to 4800 s of silence, and the
+// preprocessor backdates each gap_start to the last signal before the
+// silence, so events arrive up to one gap (plus one reporting interval)
+// behind the frontier.
+const soakMaxDelay = 5400
+
+// runSoak generates a fleet with ais.StreamFleet, preprocesses it
+// incrementally and recognises the event stream with sliding windows,
+// reporting sustained throughput, window-latency quantiles and peak RSS —
+// the numbers that tell whether the engine holds up at Brest scale rather
+// than on the 60-vessel scenario of the unit tests.
+func runSoak(cfg soakConfig) error {
+	if cfg.Vessels <= 0 || cfg.Horizon <= 0 || cfg.Window <= 0 || cfg.Slide <= 0 {
+		return fmt.Errorf("soak: vessels, horizon, window and slide must be positive: %+v", cfg)
+	}
+	mode := "delta"
+	if !cfg.Delta {
+		mode = "full"
+	}
+	fmt.Printf("bench: soak fleet=%d horizon=%ds window=%d slide=%d mode=%s\n",
+		cfg.Vessels, cfg.Horizon, cfg.Window, cfg.Slide, mode)
+
+	fleet, specs := maritime.FleetSpecs(cfg.Vessels, 7)
+	m := maritime.BrestMap()
+	if err := m.Validate(); err != nil {
+		return err
+	}
+
+	// Generation + incremental preprocessing: bounded by the fleet size,
+	// not the horizon. The event stream is kept in arrival order (gap_start
+	// events are backdated); the recogniser's bounded-delay reordering
+	// admits them, exercising the same path a live feed would.
+	genStart := time.Now() //rtecvet:allow real wall-clock: soak throughput is a wall-clock number
+	pre := maritime.NewPreprocessor(m, maritime.DefaultPreprocessConfig())
+	var evs stream.Stream
+	messages := 0
+	if err := ais.StreamFleet(ais.FleetConfig{
+		Specs:   specs,
+		Seed:    7,
+		Horizon: cfg.Horizon,
+	}, func(msg ais.Message) error {
+		messages++
+		evs = append(evs, pre.Feed(msg)...)
+		return nil
+	}); err != nil {
+		return err
+	}
+	evs = append(evs, pre.Flush()...)
+	genDur := time.Since(genStart)
+	fmt.Printf("bench: soak generated %d messages -> %d events in %s (%.0f events/s)\n",
+		messages, len(evs), genDur.Round(time.Millisecond), rate(len(evs), genDur))
+
+	ed := maritime.FullED(maritime.GoldED(), m, fleet, nil)
+	reg := telemetry.NewRegistry()
+	eng, err := rtec.New(ed, rtec.Options{
+		Strict:       true,
+		ExtraFacts:   maritime.DynamicFacts(evs, fleet),
+		DisableDelta: !cfg.Delta,
+		Telemetry:    telemetry.New(reg, nil, nil),
+	})
+	if err != nil {
+		return err
+	}
+
+	rssDone := make(chan struct{})
+	peakRSS := make(chan int64, 1)
+	go sampleRSS(rssDone, peakRSS)
+
+	recStart := time.Now() //rtecvet:allow real wall-clock: soak throughput is a wall-clock number
+	windows, revisions := 0, 0
+	_, err = eng.RunStream(evs, rtec.StreamOptions{
+		RunOptions: rtec.RunOptions{Window: cfg.Window, Slide: cfg.Slide},
+		MaxDelay:   soakMaxDelay,
+	}, func(wr rtec.WindowResult) error {
+		if wr.Revision == 0 {
+			windows++
+		} else {
+			revisions++
+		}
+		return nil
+	})
+	recDur := time.Since(recStart)
+	close(rssDone)
+	if err != nil {
+		return err
+	}
+
+	snap := reg.Snapshot()
+	fmt.Printf("bench: soak recognised %d windows (+%d revisions) in %s: %.0f events/s sustained\n",
+		windows, revisions, recDur.Round(time.Millisecond), rate(len(evs), recDur))
+	if h, ok := snap.Histograms["rtec.window.e2e_micros"]; ok {
+		fmt.Printf("bench: soak window latency p50=%.1fms p99=%.1fms\n",
+			h.Quantile(0.5)/1000, h.Quantile(0.99)/1000)
+	}
+	if cfg.Delta {
+		reused := snap.Counters["rtec.delta.reused"]
+		dirty := snap.Counters["rtec.delta.dirty"]
+		expired := snap.Counters["rtec.delta.expired"]
+		if total := reused + dirty + expired; total > 0 {
+			fmt.Printf("bench: soak delta reuse %.1f%% (reused=%d dirty=%d expired=%d)\n",
+				100*float64(reused)/float64(total), reused, dirty, expired)
+		}
+	}
+	fmt.Printf("bench: soak peak RSS %d MB\n", <-peakRSS/(1<<20))
+	return nil
+}
+
+func rate(n int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(n) / d.Seconds()
+}
+
+// sampleRSS polls the process's resident-set high-water mark until done is
+// closed, then delivers the peak in bytes. On Linux VmHWM from
+// /proc/self/status is the kernel's own peak-RSS accounting; elsewhere (or
+// if unreadable) the Go heap's Sys figure stands in.
+func sampleRSS(done <-chan struct{}, out chan<- int64) {
+	peak := int64(0)
+	tick := time.NewTicker(250 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if v := readRSS(); v > peak {
+			peak = v
+		}
+		select {
+		case <-done:
+			if v := readRSS(); v > peak {
+				peak = v
+			}
+			out <- peak
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+func readRSS() int64 {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return int64(ms.Sys)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) >= 2 {
+			if kb, err := strconv.ParseInt(fields[1], 10, 64); err == nil {
+				return kb << 10
+			}
+		}
+	}
+	return 0
+}

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	rtec -ed rules.rtec -stream events.csv [-window W] [-slide S] [-fluent name/arity] [-strict]
-//	     [-lenient] [-workers N] [-max-delay D] [-checkpoint file [-checkpoint-every N] [-resume]]
+//	     [-lenient] [-workers N] [-no-delta] [-max-delay D] [-checkpoint file [-checkpoint-every N] [-resume]]
 //	     [-shards N [-shard-faults spec] [-shard-deadline D] [-shard-queue N] [-shard-overflow policy]]
 //	     [-trace out.json] [-metrics] [-v] [-pprof addr]
 //
@@ -92,6 +92,7 @@ type options struct {
 	strict, csvOut     bool
 	lenient            bool
 	workers            int
+	noDelta            bool
 	maxDelay           int64
 	checkpoint         string
 	checkpointEvery    int
@@ -126,6 +127,7 @@ func main() {
 	flag.BoolVar(&o.csvOut, "csv", false, "emit CSV (fluent,fvp,since,until) instead of holdsFor lines")
 	flag.BoolVar(&o.lenient, "lenient", false, "quarantine malformed stream rows instead of aborting")
 	flag.IntVar(&o.workers, "workers", 0, "window-evaluation worker goroutines (0 = GOMAXPROCS, 1 = sequential); output is identical at any count")
+	flag.BoolVar(&o.noDelta, "no-delta", false, "disable incremental sliding-window evaluation (full re-evaluation oracle); output is identical, only slower")
 	flag.Int64Var(&o.maxDelay, "max-delay", 0, "bounded-delay disorder tolerance in time-points (streaming ingestion)")
 	flag.StringVar(&o.checkpoint, "checkpoint", "", "write crash-safe snapshots to this file (streaming ingestion)")
 	flag.IntVar(&o.checkpointEvery, "checkpoint-every", 1, "windows between snapshots")
@@ -281,7 +283,7 @@ func run(o options, stdout, stderr *os.File) error {
 
 	// Load and runtime warnings surface on the telemetry logger (with
 	// fluent and window attributes) as the engine encounters them.
-	eng, err := rtec.New(ed, rtec.Options{Strict: o.strict, Workers: o.workers, Telemetry: tel})
+	eng, err := rtec.New(ed, rtec.Options{Strict: o.strict, Workers: o.workers, DisableDelta: o.noDelta, Telemetry: tel})
 	if err != nil {
 		return err
 	}

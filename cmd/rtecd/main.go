@@ -60,6 +60,7 @@ type options struct {
 	workers       int
 	strict        bool
 	lenient       bool
+	noDelta       bool
 
 	checkpoint      string
 	checkpointEvery int
@@ -99,6 +100,7 @@ func main() {
 	flag.IntVar(&o.workers, "workers", 0, "window-evaluation worker goroutines (0 = GOMAXPROCS)")
 	flag.BoolVar(&o.strict, "strict", false, "fail on any event-description problem instead of warning")
 	flag.BoolVar(&o.lenient, "lenient", false, "quarantine malformed NDJSON lines instead of rejecting the request")
+	flag.BoolVar(&o.noDelta, "no-delta", false, "disable incremental sliding-window evaluation (full re-evaluation oracle); output is identical, only slower")
 	flag.StringVar(&o.checkpoint, "checkpoint", "", "checkpoint base path (required): shard k parks into \"<base>.s<k>\" on drain")
 	flag.IntVar(&o.checkpointEvery, "checkpoint-every", 1, "windows between snapshots")
 	flag.StringVar(&o.journalPath, "journal", "", "append the lifecycle journal here and shard k's audit journal to \"<file>.s<k>\"")
@@ -160,7 +162,7 @@ func run(o options, stderr *os.File) error {
 	if err != nil {
 		return fmt.Errorf("%s: %w", o.edPath, err)
 	}
-	eng, err := rtec.New(ed, rtec.Options{Strict: o.strict, Workers: o.workers, Telemetry: tel})
+	eng, err := rtec.New(ed, rtec.Options{Strict: o.strict, Workers: o.workers, DisableDelta: o.noDelta, Telemetry: tel})
 	if err != nil {
 		return err
 	}

@@ -361,6 +361,15 @@ func render(w io.Writer, header string, m, prev map[string]*telemetry.PromMetric
 	drop, _ := val("rtec_dropped_events_total")
 	fmt.Fprintf(w, "  %-20s %.0f / %.0f / %.0f\n", "late / dup / dropped", late, dup, drop)
 
+	if reused, ok := val("rtec_delta_reused_total"); ok {
+		dirty, _ := val("rtec_delta_dirty_total")
+		expired, _ := val("rtec_delta_expired_total")
+		ratio, _ := val("rtec_delta_reuse_ratio")
+		fmt.Fprintln(w, "\nDELTA")
+		fmt.Fprintf(w, "  reuse %.1f%%  reused %.0f%s  dirty %.0f  expired %.0f\n",
+			ratio, reused, rate("rtec_delta_reused_total"), dirty, expired)
+	}
+
 	if _, ok := val("rtec_stream_frontier"); ok {
 		fr, _ := val("rtec_stream_frontier")
 		wm, _ := val("rtec_stream_watermark")

@@ -1,0 +1,188 @@
+package ais
+
+import (
+	"container/heap"
+	"fmt"
+
+	"math/rand"
+
+	"rtecgen/internal/geo"
+)
+
+// VesselSpec describes one vessel of a streamed fleet: its identity and the
+// speed band it sails at.
+type VesselSpec struct {
+	ID    string
+	Type  string
+	MinKn float64
+	MaxKn float64
+}
+
+// FleetConfig parameterises StreamFleet.
+type FleetConfig struct {
+	// Specs is the fleet roster; one lazily generated trajectory per entry.
+	Specs []VesselSpec
+	// Seed drives all randomness. Per-vessel sources derive from it, so a
+	// vessel's trajectory depends only on (Seed, its index, its spec).
+	Seed int64
+	// Interval is the AIS reporting cadence in seconds. Default 60.
+	Interval int64
+	// Horizon ends the stream: messages at or after it are cut. Required.
+	Horizon int64
+	// Width and Height bound the sailing region in km. Default 100×100.
+	Width, Height float64
+}
+
+func (cfg FleetConfig) withDefaults() (FleetConfig, error) {
+	if len(cfg.Specs) == 0 {
+		return cfg, fmt.Errorf("ais: fleet needs at least one vessel spec")
+	}
+	if cfg.Horizon <= 0 {
+		return cfg, fmt.Errorf("ais: fleet horizon must be positive, got %d", cfg.Horizon)
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 60
+	}
+	if cfg.Width <= 0 {
+		cfg.Width = 100
+	}
+	if cfg.Height <= 0 {
+		cfg.Height = 100
+	}
+	for i, s := range cfg.Specs {
+		if s.ID == "" || s.MinKn <= 0 || s.MaxKn < s.MinKn {
+			return cfg, fmt.Errorf("ais: invalid vessel spec %d: %+v", i, s)
+		}
+	}
+	return cfg, nil
+}
+
+// StreamFleet synthesises AIS traffic for an arbitrarily large fleet and
+// hands it to emit in (Time, Vessel) order — the order SortMessages
+// produces — without materialising the stream. Memory is bounded by the
+// fleet size (one pending trajectory leg per vessel), not by the horizon,
+// so Brest-scale soaks (thousands of vessels over many simulated hours) run
+// in constant space. Each vessel sails passage legs between random points
+// at a speed from its band, occasionally stopping or going silent — the
+// same behaviour mix as the scenario's filler traffic. emit returning an
+// error stops the stream and returns that error.
+func StreamFleet(cfg FleetConfig, emit func(Message) error) error {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return err
+	}
+	h := make(fleetHeap, 0, len(cfg.Specs))
+	for i := range cfg.Specs {
+		v := newFleetVessel(cfg, i)
+		if m, ok := v.next(); ok {
+			h = append(h, fleetPending{m, v})
+		}
+	}
+	heap.Init(&h)
+	for h.Len() > 0 {
+		p := h[0]
+		if err := emit(p.msg); err != nil {
+			return err
+		}
+		if m, ok := p.v.next(); ok {
+			h[0].msg = m
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+	}
+	return nil
+}
+
+// fleetVessel generates one vessel's trajectory leg by leg, buffering only
+// the current leg's messages.
+type fleetVessel struct {
+	cfg  FleetConfig
+	spec VesselSpec
+	rng  *rand.Rand
+	tr   *Track
+	buf  []Message
+	i    int
+	done bool
+}
+
+func newFleetVessel(cfg FleetConfig, idx int) *fleetVessel {
+	spec := cfg.Specs[idx]
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(idx)*1_000_003 + 1))
+	start := geo.Point{X: rng.Float64() * cfg.Width, Y: rng.Float64() * cfg.Height}
+	t0 := rng.Int63n(1800)
+	v := &fleetVessel{cfg: cfg, spec: spec, rng: rng}
+	v.tr = NewTrack(spec.ID, spec.Type, start, t0, cfg.Interval, rng.Int63())
+	return v
+}
+
+// next returns the vessel's next message before the horizon. Per-vessel
+// message times are nondecreasing, so the first message at or past the
+// horizon ends the vessel.
+func (v *fleetVessel) next() (Message, bool) {
+	for !v.done {
+		if v.i < len(v.buf) {
+			m := v.buf[v.i]
+			v.i++
+			if m.Time >= v.cfg.Horizon {
+				v.done = true
+				return Message{}, false
+			}
+			return m, true
+		}
+		if v.tr.Time() >= v.cfg.Horizon {
+			v.done = true
+			return Message{}, false
+		}
+		// A leg whose destination is within one step emits nothing and does
+		// not advance time; the source has advanced, so retrying converges.
+		v.leg()
+		v.buf = v.tr.Drain()
+		v.i = 0
+	}
+	return Message{}, false
+}
+
+// leg scripts one more behaviour leg: a passage to a random point at a
+// speed from the vessel's band, occasionally followed by a stop or a
+// communication gap.
+func (v *fleetVessel) leg() {
+	speed := v.spec.MinKn + v.rng.Float64()*(v.spec.MaxKn-v.spec.MinKn)
+	dest := geo.Point{
+		X: 5 + v.rng.Float64()*(v.cfg.Width-10),
+		Y: 5 + v.rng.Float64()*(v.cfg.Height-10),
+	}
+	v.tr.SailTo(dest, speed)
+	switch v.rng.Intn(4) {
+	case 0:
+		v.tr.Stop(600 + v.rng.Int63n(1800))
+	case 1:
+		v.tr.Gap(speed, 2400+v.rng.Int63n(2400))
+	}
+}
+
+// fleetPending is one vessel's next undelivered message.
+type fleetPending struct {
+	msg Message
+	v   *fleetVessel
+}
+
+// fleetHeap is a min-heap on (Time, Vessel), the SortMessages order.
+type fleetHeap []fleetPending
+
+func (h fleetHeap) Len() int { return len(h) }
+func (h fleetHeap) Less(i, j int) bool {
+	if h[i].msg.Time != h[j].msg.Time {
+		return h[i].msg.Time < h[j].msg.Time
+	}
+	return h[i].msg.Vessel < h[j].msg.Vessel
+}
+func (h fleetHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *fleetHeap) Push(x any)   { *h = append(*h, x.(fleetPending)) }
+func (h *fleetHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

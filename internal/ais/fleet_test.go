@@ -1,0 +1,125 @@
+package ais
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func testSpecs(n int) []VesselSpec {
+	specs := make([]VesselSpec, 0, n)
+	for i := 0; i < n; i++ {
+		specs = append(specs, VesselSpec{
+			ID:    fmt.Sprintf("s%03d", i),
+			Type:  "cargo",
+			MinKn: 8,
+			MaxKn: 16,
+		})
+	}
+	return specs
+}
+
+func collectFleet(t *testing.T, cfg FleetConfig) []Message {
+	t.Helper()
+	var msgs []Message
+	if err := StreamFleet(cfg, func(m Message) error {
+		msgs = append(msgs, m)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return msgs
+}
+
+func TestStreamFleetOrderedAndBounded(t *testing.T) {
+	cfg := FleetConfig{Specs: testSpecs(25), Seed: 11, Horizon: 2 * 3600}
+	msgs := collectFleet(t, cfg)
+	if len(msgs) == 0 {
+		t.Fatal("fleet emitted no messages")
+	}
+	vessels := map[string]bool{}
+	for i, m := range msgs {
+		if m.Time >= cfg.Horizon {
+			t.Fatalf("message %d at t=%d is past the horizon %d", i, m.Time, cfg.Horizon)
+		}
+		if i > 0 {
+			prev := msgs[i-1]
+			if m.Time < prev.Time || (m.Time == prev.Time && m.Vessel < prev.Vessel) {
+				t.Fatalf("messages %d..%d out of (Time, Vessel) order: %v then %v",
+					i-1, i, prev, m)
+			}
+		}
+		vessels[m.Vessel] = true
+	}
+	if len(vessels) != len(cfg.Specs) {
+		t.Fatalf("only %d of %d vessels reported", len(vessels), len(cfg.Specs))
+	}
+	// The emission order is exactly what SortMessages would produce, so a
+	// streamed fleet and a materialised one are interchangeable.
+	sorted := make([]Message, len(msgs))
+	copy(sorted, msgs)
+	SortMessages(sorted)
+	if !reflect.DeepEqual(msgs, sorted) {
+		t.Fatal("stream order differs from SortMessages order")
+	}
+}
+
+func TestStreamFleetDeterministic(t *testing.T) {
+	cfg := FleetConfig{Specs: testSpecs(12), Seed: 3, Horizon: 3 * 3600}
+	a := collectFleet(t, cfg)
+	b := collectFleet(t, cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same config produced different streams")
+	}
+	cfg.Seed = 4
+	c := collectFleet(t, cfg)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestStreamFleetScalesWithFleetAndHorizon(t *testing.T) {
+	small := collectFleet(t, FleetConfig{Specs: testSpecs(10), Seed: 5, Horizon: 2 * 3600})
+	big := collectFleet(t, FleetConfig{Specs: testSpecs(40), Seed: 5, Horizon: 2 * 3600})
+	long := collectFleet(t, FleetConfig{Specs: testSpecs(10), Seed: 5, Horizon: 6 * 3600})
+	if len(big) < 2*len(small) {
+		t.Fatalf("4x fleet grew stream only %d -> %d", len(small), len(big))
+	}
+	if len(long) < 2*len(small) {
+		t.Fatalf("3x horizon grew stream only %d -> %d", len(small), len(long))
+	}
+}
+
+func TestStreamFleetEmitErrorStops(t *testing.T) {
+	cfg := FleetConfig{Specs: testSpecs(5), Seed: 9, Horizon: 3600}
+	boom := errors.New("boom")
+	n := 0
+	err := StreamFleet(cfg, func(Message) error {
+		n++
+		if n == 7 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if n != 7 {
+		t.Fatalf("emit called %d times after error, want 7", n)
+	}
+}
+
+func TestStreamFleetConfigValidation(t *testing.T) {
+	cases := []FleetConfig{
+		{Seed: 1, Horizon: 3600},                                            // no specs
+		{Specs: testSpecs(2), Seed: 1},                                      // no horizon
+		{Specs: []VesselSpec{{ID: "x", MinKn: 5, MaxKn: 2}}, Horizon: 3600}, // inverted band
+		{Specs: []VesselSpec{{MinKn: 2, MaxKn: 5}}, Horizon: 3600},          // empty ID
+	}
+	for i, cfg := range cases {
+		if err := StreamFleet(cfg, func(Message) error { return nil }); err == nil {
+			t.Errorf("case %d: config %+v accepted, want error", i, cfg)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package maritime
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rtecgen/internal/ais"
+)
+
+// FleetSpecs synthesises the roster of a Brest-scale streamed fleet: n
+// vessels with the same type mix as the scenario's filler traffic, each
+// sailing inside its service-speed band from TypeSpeeds. It returns the
+// fleet records (for background facts) and the matching specs for
+// ais.StreamFleet; both are deterministic in seed.
+func FleetSpecs(n int, seed int64) ([]Vessel, []ais.VesselSpec) {
+	rng := rand.New(rand.NewSource(seed * 104729))
+	types := []string{TypeCargo, TypeTanker, TypePassenger, TypeCargo, TypeFishing}
+	fleet := make([]Vessel, 0, n)
+	specs := make([]ais.VesselSpec, 0, n)
+	for i := 0; i < n; i++ {
+		vtype := types[rng.Intn(len(types))]
+		ts := TypeSpeeds[vtype]
+		id := fmt.Sprintf("s%05d", i)
+		fleet = append(fleet, Vessel{ID: id, Type: vtype})
+		specs = append(specs, ais.VesselSpec{ID: id, Type: vtype, MinKn: ts.Min, MaxKn: ts.Max})
+	}
+	return fleet, specs
+}

@@ -1,0 +1,85 @@
+package maritime
+
+import (
+	"reflect"
+	"testing"
+
+	"rtecgen/internal/ais"
+	"rtecgen/internal/stream"
+)
+
+func TestFleetSpecsDeterministicAndBanded(t *testing.T) {
+	fleet, specs := FleetSpecs(50, 7)
+	if len(fleet) != 50 || len(specs) != 50 {
+		t.Fatalf("got %d fleet / %d specs, want 50/50", len(fleet), len(specs))
+	}
+	ids := map[string]bool{}
+	for i, s := range specs {
+		if fleet[i].ID != s.ID || fleet[i].Type != s.Type {
+			t.Fatalf("fleet[%d] %+v does not match spec %+v", i, fleet[i], s)
+		}
+		ts, ok := TypeSpeeds[s.Type]
+		if !ok {
+			t.Fatalf("spec %d has unknown type %q", i, s.Type)
+		}
+		if s.MinKn != ts.Min || s.MaxKn != ts.Max {
+			t.Fatalf("spec %d band [%g, %g] differs from TypeSpeeds %+v", i, s.MinKn, s.MaxKn, ts)
+		}
+		if ids[s.ID] {
+			t.Fatalf("duplicate vessel ID %q", s.ID)
+		}
+		ids[s.ID] = true
+	}
+	_, again := FleetSpecs(50, 7)
+	if !reflect.DeepEqual(specs, again) {
+		t.Fatal("same seed produced different specs")
+	}
+}
+
+// The incremental preprocessor over a streamed fleet must reproduce the
+// batch pipeline exactly: same events, and once sorted, the same stream.
+func TestPreprocessorIncrementalMatchesBatch(t *testing.T) {
+	_, specs := FleetSpecs(20, 13)
+	cfg := ais.FleetConfig{Specs: specs, Seed: 13, Horizon: 2 * 3600}
+	var msgs []ais.Message
+	m := BrestMap()
+	pcfg := DefaultPreprocessConfig()
+	p := NewPreprocessor(m, pcfg)
+	var incremental stream.Stream
+	maxBackdate := int64(0)
+	if err := ais.StreamFleet(cfg, func(msg ais.Message) error {
+		msgs = append(msgs, msg)
+		for _, e := range p.Feed(msg) {
+			if lag := msg.Time - e.Time; lag > maxBackdate {
+				maxBackdate = lag
+			}
+			incremental = append(incremental, e)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	incremental = append(incremental, p.Flush()...)
+	incremental.Sort()
+
+	batch := Preprocess(msgs, m, pcfg)
+	if len(batch) == 0 {
+		t.Fatal("batch preprocessing produced no events")
+	}
+	if len(incremental) != len(batch) {
+		t.Fatalf("incremental produced %d events, batch %d", len(incremental), len(batch))
+	}
+	for i := range batch {
+		if incremental[i].Time != batch[i].Time ||
+			incremental[i].Atom.String() != batch[i].Atom.String() {
+			t.Fatalf("event %d differs: incremental %d %s, batch %d %s", i,
+				incremental[i].Time, incremental[i].Atom,
+				batch[i].Time, batch[i].Atom)
+		}
+	}
+	// gap_start backdating is the only out-of-order emission; it never
+	// exceeds the longest silence the generator scripts (a Gap leg).
+	if maxBackdate > 4800+int64(cfg.Interval) {
+		t.Fatalf("event backdated %d s behind the frontier, beyond any scripted gap", maxBackdate)
+	}
+}

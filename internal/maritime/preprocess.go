@@ -57,117 +57,166 @@ func Preprocess(msgs []ais.Message, m *geo.Map, cfg PreprocessConfig) stream.Str
 	copy(sorted, msgs)
 	ais.SortMessages(sorted)
 
+	p := NewPreprocessor(m, cfg)
+	var out stream.Stream
+	for _, msg := range sorted {
+		out = append(out, p.Feed(msg)...)
+	}
+	out = append(out, p.Flush()...)
+	out.Sort()
+	return out
+}
+
+// Preprocessor is the incremental form of Preprocess: it consumes AIS
+// messages one at a time in (Time, Vessel) order — the order SortMessages
+// and ais.StreamFleet produce — holding only the per-vessel detection state
+// and the current timestamp's message batch, so arbitrarily long streams
+// preprocess in memory bounded by the fleet size.
+//
+// The concatenation of every Feed return value plus the final Flush is the
+// same event multiset, emitted in the same sequence, as Preprocess over the
+// whole message slice — sorting it yields a byte-identical stream. The
+// emission itself is NOT globally time-ordered: a communication gap emits
+// its gap_start backdated to the vessel's last signal before the silence,
+// i.e. the full gap duration behind the frontier. Streaming consumers
+// therefore need a disorder tolerance of at least the longest silence they
+// expect (rtec StreamOptions.MaxDelay) to admit every event.
+type Preprocessor struct {
+	m      *geo.Map
+	cfg    PreprocessConfig
+	states map[string]*vesselState
+	prox   *proximityTracker
+	batch  []ais.Message
+}
+
+// NewPreprocessor starts an incremental preprocessing pass.
+func NewPreprocessor(m *geo.Map, cfg PreprocessConfig) *Preprocessor {
+	return &Preprocessor{
+		m:      m,
+		cfg:    cfg,
+		states: map[string]*vesselState{},
+		prox:   newProximityTracker(cfg.ProximityKm, cfg.GapSeconds),
+	}
+}
+
+// Feed applies one message and returns the events it gives rise to.
+// Messages must arrive in nondecreasing (Time, Vessel) order. The returned
+// slice is only valid until the next call; append it elsewhere to keep it.
+func (p *Preprocessor) Feed(msg ais.Message) stream.Stream {
 	var out stream.Stream
 	emit := func(t int64, functor string, args ...*lang.Term) {
 		out = append(out, stream.Event{Time: t, Atom: lang.NewCompound(functor, args...)})
 	}
 	atom := lang.NewAtom
 
-	states := map[string]*vesselState{}
-	prox := newProximityTracker(cfg.ProximityKm, cfg.GapSeconds)
-
 	// Proximity is evaluated once per timestamp, after every message of that
 	// timestamp has been applied; evaluating mid-timestamp against stale
 	// positions produces spurious end/start flickers.
-	flushProximity := func(batch []ais.Message) {
-		for _, pe := range prox.step(batch) {
-			emit(pe.t, pe.functor, atom(pe.v1), atom(pe.v2))
+	if len(p.batch) > 0 && p.batch[0].Time != msg.Time {
+		p.flushProximity(emit)
+	}
+	p.batch = append(p.batch, msg)
+
+	st := p.states[msg.Vessel]
+	if st == nil {
+		st = &vesselState{areas: map[string]bool{}}
+		p.states[msg.Vessel] = st
+	}
+	v := atom(msg.Vessel)
+
+	gapEnded := false
+	if st.hasPrev && msg.Time-st.prevTime > p.cfg.GapSeconds {
+		// The gap started when we last heard from the vessel.
+		emit(st.prevTime, "gap_start", v)
+		emit(msg.Time, "gap_end", v)
+		gapEnded = true
+		// Gap resets the state machines; current conditions re-initiate.
+		st.stopped, st.slow, st.changing = false, false, false
+		st.areas = map[string]bool{}
+	}
+
+	// Velocity signal at every message.
+	emit(msg.Time, "velocity", v,
+		lang.NewFloat(round2(msg.SpeedKn)),
+		lang.NewFloat(round2(msg.COG)),
+		lang.NewFloat(round2(msg.Heading)))
+
+	// Area transitions.
+	cur := map[string]bool{}
+	for _, a := range p.m.AreasAt(msg.Pos) {
+		cur[a.ID] = true
+	}
+	curIDs := sortedKeys(cur)
+	for _, id := range curIDs {
+		if !st.areas[id] {
+			emit(msg.Time, "entersArea", v, atom(id))
 		}
 	}
-	var batch []ais.Message
-
-	for _, msg := range sorted {
-		if len(batch) > 0 && batch[0].Time != msg.Time {
-			flushProximity(batch)
-			batch = batch[:0]
+	for _, id := range sortedKeys(st.areas) {
+		if !cur[id] {
+			emit(msg.Time, "leavesArea", v, atom(id))
 		}
-		batch = append(batch, msg)
-		st := states[msg.Vessel]
-		if st == nil {
-			st = &vesselState{areas: map[string]bool{}}
-			states[msg.Vessel] = st
-		}
-		v := atom(msg.Vessel)
-
-		gapEnded := false
-		if st.hasPrev && msg.Time-st.prevTime > cfg.GapSeconds {
-			// The gap started when we last heard from the vessel.
-			emit(st.prevTime, "gap_start", v)
-			emit(msg.Time, "gap_end", v)
-			gapEnded = true
-			// Gap resets the state machines; current conditions re-initiate.
-			st.stopped, st.slow, st.changing = false, false, false
-			st.areas = map[string]bool{}
-		}
-
-		// Velocity signal at every message.
-		emit(msg.Time, "velocity", v,
-			lang.NewFloat(round2(msg.SpeedKn)),
-			lang.NewFloat(round2(msg.COG)),
-			lang.NewFloat(round2(msg.Heading)))
-
-		// Area transitions.
-		cur := map[string]bool{}
-		for _, a := range m.AreasAt(msg.Pos) {
-			cur[a.ID] = true
-		}
-		curIDs := sortedKeys(cur)
-		for _, id := range curIDs {
-			if !st.areas[id] {
-				emit(msg.Time, "entersArea", v, atom(id))
-			}
-		}
-		for _, id := range sortedKeys(st.areas) {
-			if !cur[id] {
-				emit(msg.Time, "leavesArea", v, atom(id))
-			}
-		}
-		st.areas = cur
-
-		// Stop / slow-motion state machines.
-		isStopped := msg.SpeedKn < cfg.StoppedMax
-		isSlow := !isStopped && msg.SpeedKn < cfg.SlowMax
-		if isStopped != st.stopped {
-			if isStopped {
-				emit(msg.Time, "stop_start", v)
-			} else {
-				emit(msg.Time, "stop_end", v)
-			}
-			st.stopped = isStopped
-		}
-		if isSlow != st.slow {
-			if isSlow {
-				emit(msg.Time, "slow_motion_start", v)
-			} else {
-				emit(msg.Time, "slow_motion_end", v)
-			}
-			st.slow = isSlow
-		}
-
-		// Speed- and heading-change detection needs a previous signal from
-		// before the current leg (not across a gap).
-		if st.hasPrev && !gapEnded {
-			dSpeed := math.Abs(msg.SpeedKn - st.prevMsg.SpeedKn)
-			if !st.changing && dSpeed > cfg.SpeedDelta {
-				emit(msg.Time, "change_in_speed_start", v)
-				st.changing = true
-			} else if st.changing && dSpeed < cfg.SpeedDelta/2 {
-				emit(msg.Time, "change_in_speed_end", v)
-				st.changing = false
-			}
-			if kb.AngleDiff(msg.Heading, st.prevMsg.Heading) > cfg.HeadingDelta {
-				emit(msg.Time, "change_in_heading", v)
-			}
-		}
-
-		st.hasPrev = true
-		st.prevTime = msg.Time
-		st.prevMsg = msg
 	}
-	flushProximity(batch)
+	st.areas = cur
 
-	out.Sort()
+	// Stop / slow-motion state machines.
+	isStopped := msg.SpeedKn < p.cfg.StoppedMax
+	isSlow := !isStopped && msg.SpeedKn < p.cfg.SlowMax
+	if isStopped != st.stopped {
+		if isStopped {
+			emit(msg.Time, "stop_start", v)
+		} else {
+			emit(msg.Time, "stop_end", v)
+		}
+		st.stopped = isStopped
+	}
+	if isSlow != st.slow {
+		if isSlow {
+			emit(msg.Time, "slow_motion_start", v)
+		} else {
+			emit(msg.Time, "slow_motion_end", v)
+		}
+		st.slow = isSlow
+	}
+
+	// Speed- and heading-change detection needs a previous signal from
+	// before the current leg (not across a gap).
+	if st.hasPrev && !gapEnded {
+		dSpeed := math.Abs(msg.SpeedKn - st.prevMsg.SpeedKn)
+		if !st.changing && dSpeed > p.cfg.SpeedDelta {
+			emit(msg.Time, "change_in_speed_start", v)
+			st.changing = true
+		} else if st.changing && dSpeed < p.cfg.SpeedDelta/2 {
+			emit(msg.Time, "change_in_speed_end", v)
+			st.changing = false
+		}
+		if kb.AngleDiff(msg.Heading, st.prevMsg.Heading) > p.cfg.HeadingDelta {
+			emit(msg.Time, "change_in_heading", v)
+		}
+	}
+
+	st.hasPrev = true
+	st.prevTime = msg.Time
+	st.prevMsg = msg
 	return out
+}
+
+// Flush ends the stream: it evaluates proximity over the final timestamp's
+// batch and returns the resulting events. The preprocessor must not be fed
+// again afterwards.
+func (p *Preprocessor) Flush() stream.Stream {
+	var out stream.Stream
+	p.flushProximity(func(t int64, functor string, args ...*lang.Term) {
+		out = append(out, stream.Event{Time: t, Atom: lang.NewCompound(functor, args...)})
+	})
+	return out
+}
+
+func (p *Preprocessor) flushProximity(emit func(t int64, functor string, args ...*lang.Term)) {
+	for _, pe := range p.prox.step(p.batch) {
+		emit(pe.t, pe.functor, lang.NewAtom(pe.v1), lang.NewAtom(pe.v2))
+	}
+	p.batch = p.batch[:0]
 }
 
 func round2(v float64) float64 { return math.Round(v*100) / 100 }

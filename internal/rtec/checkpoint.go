@@ -192,6 +192,9 @@ func (st *streamRun) writeCheckpoint() error {
 	if err != nil {
 		return err
 	}
+	if err := st.writeDeltaSidecar(); err != nil {
+		return err
+	}
 	tel.Counter("rtec.checkpoint.writes").Inc()
 	tel.Counter("rtec.checkpoint.bytes").Add(int64(n))
 	tel.Histogram("rtec.checkpoint.write_micros").ObserveDuration(time.Since(t0))
@@ -213,6 +216,9 @@ func (st *streamRun) writeSuspendCheckpoint() error {
 		return fmt.Errorf("rtec: cannot suspend: no checkpoint path configured")
 	}
 	if _, err := st.writeSnapshotFile(); err != nil {
+		return err
+	}
+	if err := st.writeDeltaSidecar(); err != nil {
 		return err
 	}
 	tel := st.eng.opts.Telemetry
@@ -408,6 +414,16 @@ func (st *streamRun) restore(cp *Checkpoint) error {
 	st.stats.Revisions = p.Revisions
 	st.stats.Checkpoints = p.Checkpoints
 	st.sinceCkpt = p.SinceCkpt
+
+	// Warm-start the delta layer from the sidecar when one matches this
+	// snapshot exactly; otherwise the first post-resume window evaluates in
+	// full and the carry chain rebuilds — identical output either way.
+	if st.deltaOn && st.opts.CheckpointPath != "" {
+		if ds, ok := st.loadDeltaSidecar(cp); ok {
+			st.delta = ds
+			st.eng.opts.Telemetry.Counter("rtec.delta.sidecar_restores").Inc()
+		}
+	}
 	return nil
 }
 

@@ -244,15 +244,17 @@ func TestResumeRejectsMismatchedRun(t *testing.T) {
 func TestCheckpointWriteIsAtomic(t *testing.T) {
 	e := mustEngine(t, withinAreaED, Options{Strict: true})
 	path, _, _ := writeTestCheckpoint(t, e)
-	// Only the current and previous generations remain next to the
-	// checkpoint — no leftover temp files.
+	// Only the current and previous generations plus the delta sidecar
+	// remain next to the checkpoint — no leftover temp files.
 	entries, err := os.ReadDir(filepath.Dir(path))
 	if err != nil {
 		t.Fatal(err)
 	}
 	base := filepath.Base(path)
 	for _, ent := range entries {
-		if ent.Name() != base && ent.Name() != base+checkpointPrevSuffix {
+		switch ent.Name() {
+		case base, base + checkpointPrevSuffix, base + deltaSidecarSuffix:
+		default:
 			t.Fatalf("unexpected file %s next to the checkpoint", ent.Name())
 		}
 	}

@@ -1,0 +1,357 @@
+package rtec
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"rtecgen/internal/maritime"
+	"rtecgen/internal/parser"
+	"rtecgen/internal/stream"
+	"rtecgen/internal/telemetry"
+	"rtecgen/internal/telemetry/journal"
+)
+
+// deltaOracle builds a pair of engines over the same event description: one
+// with delta evaluation on (the default) and one with the full re-evaluation
+// oracle, differing in nothing else.
+func deltaOracle(t *testing.T, src string, workers int) (*Engine, *Engine) {
+	t.Helper()
+	delta := mustEngine(t, src, Options{Strict: true, Workers: workers})
+	full := mustEngine(t, src, Options{Strict: true, Workers: workers, DisableDelta: true})
+	return delta, full
+}
+
+// TestDeltaEligibilityAnalysis pins the static analysis: the test EDs'
+// time-local simple fluents replay, a rule conditioned at a fixed time-point
+// (not the anchor variable) disqualifies its fluent, and SD fluents never
+// carry acts.
+func TestDeltaEligibilityAnalysis(t *testing.T) {
+	e := mustEngine(t, withinAreaED, Options{Strict: true})
+	for ind, def := range e.fluents {
+		if !def.deltaEligible {
+			t.Fatalf("%s not delta-eligible: every withinAreaED rule is time-local", ind)
+		}
+	}
+
+	h := mustEngine(t, hierarchyED, Options{Strict: true})
+	for ind, def := range h.fluents {
+		want := def.kind == Simple
+		if def.deltaEligible != want {
+			t.Fatalf("%s eligibility = %v, want %v (kind %v)", ind, def.deltaEligible, want, def.kind)
+		}
+	}
+
+	nonLocal := `
+inputEvent(a_start(_)).
+inputEvent(a_end(_)).
+
+initiatedAt(g(X)=true, T) :- happensAt(a_start(X), T).
+terminatedAt(g(X)=true, T) :- happensAt(a_end(X), T).
+
+initiatedAt(f(X)=true, T) :-
+    happensAt(a_start(X), T),
+    holdsAt(g(X)=true, 5).
+terminatedAt(f(X)=true, T) :- happensAt(a_end(X), T).
+`
+	n := mustEngine(t, nonLocal, Options{Strict: true})
+	if !n.fluents["g/1"].deltaEligible {
+		t.Fatal("g/1 should be eligible")
+	}
+	if n.fluents["f/1"].deltaEligible {
+		t.Fatal("f/1 conditioned at a fixed time-point must not be eligible")
+	}
+}
+
+// TestDeltaBatchEquivalence: for random streams, window geometries and
+// worker counts, delta evaluation is byte-identical — CSV rows and warning
+// order included — to full re-evaluation.
+func TestDeltaBatchEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		src  string
+		gen  func(*rand.Rand, int64) stream.Stream
+	}{
+		{"withinArea", withinAreaED, genRandomStream},
+		{"hierarchy", hierarchyED, genHierarchyStream},
+		{"crossShard", crossShardED, genCrossShardStream},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			f := func(seed int64, parallel bool) bool {
+				workers := 1
+				if parallel {
+					workers = 8
+				}
+				delta, full := deltaOracle(t, tc.src, workers)
+				r := rand.New(rand.NewSource(seed))
+				events := tc.gen(r, 500)
+				window := int64(20 + r.Intn(300))
+				slide := int64(1 + r.Intn(int(window)))
+				opts := RunOptions{Window: window, Slide: slide}
+				a, err1 := delta.Run(events, opts)
+				b, err2 := full.Run(events, opts)
+				if err1 != nil || err2 != nil {
+					t.Logf("seed %d: errors %v / %v", seed, err1, err2)
+					return false
+				}
+				fa, fb := recognitionFingerprint(t, a), recognitionFingerprint(t, b)
+				if fa != fb {
+					t.Logf("seed %d window %d slide %d workers %d:\n--- delta\n%s\n--- full\n%s",
+						seed, window, slide, workers, fa, fb)
+					return false
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// genHierarchyStream derives a random stream over hierarchyED's inputs.
+func genHierarchyStream(r *rand.Rand, horizon int64) stream.Stream {
+	var events stream.Stream
+	for i := 0; i < 5+r.Intn(40); i++ {
+		t := int64(r.Intn(int(horizon)))
+		x := []string{"x", "y", "z"}[r.Intn(3)]
+		ev := []string{"a_start", "a_end", "b_start", "b_end"}[r.Intn(4)]
+		events = append(events, stream.Event{
+			Time: t, Atom: parser.MustParseTerm(ev + "(" + x + ")"),
+		})
+	}
+	return events
+}
+
+// TestDeltaMaritimeByteIdentical drives the realistic workload: sliding
+// windows over the gold maritime event description, delta vs full, at
+// several overlap ratios and worker counts.
+func TestDeltaMaritimeByteIdentical(t *testing.T) {
+	scen, err := maritime.BuildScenario(maritime.ScenarioConfig{Vessels: 6, Seed: 7, IntervalSec: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := maritime.Preprocess(scen.Messages, scen.Map, maritime.DefaultPreprocessConfig())
+	ed := maritime.FullED(maritime.GoldED(), scen.Map, scen.Fleet, maritime.ObservedPairs(events))
+	facts := maritime.DynamicFacts(events, scen.Fleet)
+	for _, workers := range []int{1, 8} {
+		delta, err := New(ed, Options{Strict: true, ExtraFacts: facts, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := New(ed, Options{Strict: true, ExtraFacts: facts, Workers: workers, DisableDelta: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, slideDiv := range []int64{2, 4} {
+			opts := RunOptions{Window: 3600, Slide: 3600 / slideDiv}
+			a, err1 := delta.Run(events, opts)
+			b, err2 := full.Run(events, opts)
+			if err1 != nil || err2 != nil {
+				t.Fatal(err1, err2)
+			}
+			if fa, fb := recognitionFingerprint(t, a), recognitionFingerprint(t, b); fa != fb {
+				t.Fatalf("workers=%d slide=%d: delta output differs from full", workers, opts.Slide)
+			}
+		}
+	}
+}
+
+// TestDeltaReuseCounters: a slide-heavy run must actually replay — the
+// rtec.delta.reused counter is nonzero, the reuse ratio gauge is set, and
+// the oracle mode records nothing.
+func TestDeltaReuseCounters(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	e := mustEngine(t, withinAreaED, Options{Strict: true, Telemetry: telemetry.New(reg, nil, nil)})
+	r := rand.New(rand.NewSource(3))
+	events := genRandomStream(r, 800)
+	if _, err := e.Run(events, RunOptions{Window: 200, Slide: 50}); err != nil {
+		t.Fatal(err)
+	}
+	if reused := reg.Counter("rtec.delta.reused").Value(); reused == 0 {
+		t.Fatal("rtec.delta.reused = 0: the delta layer never replayed")
+	}
+	if dirty := reg.Counter("rtec.delta.dirty").Value(); dirty == 0 {
+		t.Fatal("rtec.delta.dirty = 0: the slide-admitted tail was never recomputed")
+	}
+	if ratio := reg.Gauge("rtec.delta.reuse_ratio").Value(); ratio <= 0 || ratio > 100 {
+		t.Fatalf("rtec.delta.reuse_ratio = %d, want within (0, 100]", ratio)
+	}
+
+	oreg := telemetry.NewRegistry()
+	oracle := mustEngine(t, withinAreaED, Options{Strict: true, DisableDelta: true, Telemetry: telemetry.New(oreg, nil, nil)})
+	if _, err := oracle.Run(events, RunOptions{Window: 200, Slide: 50}); err != nil {
+		t.Fatal(err)
+	}
+	if v := oreg.Counter("rtec.delta.reused").Value() + oreg.Counter("rtec.delta.dirty").Value(); v != 0 {
+		t.Fatalf("oracle mode recorded %d delta units, want 0", v)
+	}
+}
+
+// TestDeltaStreamByteIdentity: under seeded disorder, revisions and
+// checkpointing, the delta path reproduces the oracle's CSV, journal bytes,
+// statistics and checkpoint envelope bytes — the whole externally visible
+// surface.
+func TestDeltaStreamByteIdentity(t *testing.T) {
+	for _, seed := range []int64{3, 19} {
+		arrivals := chaosArrivals(t, seed, 60)
+		mk := func(j *journal.Writer, ckpt string) StreamOptions {
+			return StreamOptions{
+				RunOptions:      RunOptions{Window: 120, Slide: 30},
+				MaxDelay:        60,
+				Journal:         j,
+				CheckpointPath:  ckpt,
+				CheckpointEvery: 2,
+			}
+		}
+		delta, full := deltaOracle(t, withinAreaED, 4)
+
+		var dJ, fJ bytes.Buffer
+		dCkpt := filepath.Join(t.TempDir(), "delta.ckpt")
+		fCkpt := filepath.Join(t.TempDir(), "full.ckpt")
+		dRes, err := delta.RunStream(arrivals, mk(journal.NewWriter(&dJ, journal.Options{}), dCkpt), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fRes, err := full.RunStream(arrivals, mk(journal.NewWriter(&fJ, journal.Options{}), fCkpt), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a, b := recognitionFingerprint(t, dRes.Recognition), recognitionFingerprint(t, fRes.Recognition); a != b {
+			t.Fatalf("seed %d: delta stream output differs from full", seed)
+		}
+		if dRes.Stats != fRes.Stats {
+			t.Fatalf("seed %d: stats differ: %s vs %s", seed, dRes.Stats, fRes.Stats)
+		}
+		if !bytes.Equal(dJ.Bytes(), fJ.Bytes()) {
+			t.Fatalf("seed %d: journal bytes differ:\n%s\nvs\n%s", seed, dJ.String(), fJ.String())
+		}
+		dBytes, err := os.ReadFile(dCkpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fBytes, err := os.ReadFile(fCkpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(dBytes, fBytes) {
+			t.Fatalf("seed %d: checkpoint envelope bytes differ between delta and full", seed)
+		}
+	}
+}
+
+// TestDeltaSidecarWarmResume: a run killed mid-stream resumes warm from the
+// delta sidecar — the restore counter fires, the resumed stretch still
+// replays, and the final output is byte-identical to the uninterrupted run.
+func TestDeltaSidecarWarmResume(t *testing.T) {
+	arrivals := chaosArrivals(t, 11, 60)
+	base := StreamOptions{
+		RunOptions:      RunOptions{Window: 120, Slide: 30},
+		MaxDelay:        60,
+		CheckpointEvery: 1,
+	}
+
+	want, err := mustEngine(t, withinAreaED, Options{Strict: true}).RunStream(arrivals, base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(corruptSidecar bool) (string, *telemetry.Registry) {
+		reg := telemetry.NewRegistry()
+		e := mustEngine(t, withinAreaED, Options{Strict: true, Telemetry: telemetry.New(reg, nil, nil)})
+		opts := base
+		opts.CheckpointPath = filepath.Join(t.TempDir(), "run.ckpt")
+		half := len(arrivals) / 2
+		fail := 0
+		opts.Interrupt = func() bool { fail++; return fail == half }
+		if _, err := e.RunStream(arrivals, opts, nil); err != ErrSuspended {
+			t.Fatalf("interrupted run err = %v, want ErrSuspended", err)
+		}
+		if corruptSidecar {
+			if err := os.WriteFile(opts.CheckpointPath+deltaSidecarSuffix, []byte("garbage"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		opts.Interrupt = nil
+		reused0 := reg.Counter("rtec.delta.reused").Value()
+		res, err := e.ResumeStream(opts.CheckpointPath, arrivals, opts, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reg.Counter("rtec.delta.reused").Value() <= reused0 {
+			t.Fatal("resumed stretch never replayed")
+		}
+		return recognitionFingerprint(t, res.Recognition), reg
+	}
+
+	warm, wreg := run(false)
+	if warm != recognitionFingerprint(t, want.Recognition) {
+		t.Fatal("warm resume differs from uninterrupted run")
+	}
+	if v := wreg.Counter("rtec.delta.sidecar_restores").Value(); v != 1 {
+		t.Fatalf("sidecar restores = %d, want 1", v)
+	}
+
+	cold, creg := run(true)
+	if cold != recognitionFingerprint(t, want.Recognition) {
+		t.Fatal("cold resume (corrupt sidecar) differs from uninterrupted run")
+	}
+	if v := creg.Counter("rtec.delta.sidecar_restores").Value(); v != 0 {
+		t.Fatalf("corrupt sidecar restored anyway (%d restores)", v)
+	}
+}
+
+// FuzzDeltaEquivalence is the differential fuzz target of the delta layer:
+// random streams over the cross-shard hierarchy, random window geometry,
+// worker count and seeded disorder, requiring the delta path's stream
+// output and journal bytes to match full re-evaluation exactly.
+func FuzzDeltaEquivalence(f *testing.F) {
+	for _, seed := range []int64{1, 7, 42, 1234, 987654321} {
+		f.Add(seed)
+	}
+	ed, err := parser.ParseEventDescription(crossShardED)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		r := rand.New(rand.NewSource(seed))
+		workers := []int{1, 4, 8}[r.Intn(3)]
+		delta, err1 := New(ed, Options{Strict: true, Workers: workers})
+		full, err2 := New(ed, Options{Strict: true, Workers: workers, DisableDelta: true})
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		events := genCrossShardStream(r, 600)
+		events.Sort()
+		window := int64(20 + r.Intn(300))
+		slide := int64(1 + r.Intn(int(window)))
+		maxDelay := int64(r.Intn(100))
+		arrivals := boundedShuffle(r, events, maxDelay)
+		opts := StreamOptions{
+			RunOptions: RunOptions{Window: window, Slide: slide},
+			MaxDelay:   maxDelay,
+		}
+		var dJ, fJ bytes.Buffer
+		dOpts, fOpts := opts, opts
+		dOpts.Journal = journal.NewWriter(&dJ, journal.Options{})
+		fOpts.Journal = journal.NewWriter(&fJ, journal.Options{})
+		a, err1 := delta.RunStream(arrivals, dOpts, nil)
+		b, err2 := full.RunStream(arrivals, fOpts, nil)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("error mismatch: delta %v, full %v", err1, err2)
+		}
+		if err1 != nil {
+			return
+		}
+		if fa, fb := recognitionFingerprint(t, a.Recognition), recognitionFingerprint(t, b.Recognition); fa != fb {
+			t.Fatalf("seed %d window %d slide %d workers %d delay %d: delta differs:\n--- delta\n%s\n--- full\n%s",
+				seed, window, slide, workers, maxDelay, fa, fb)
+		}
+		if !bytes.Equal(dJ.Bytes(), fJ.Bytes()) {
+			t.Fatalf("seed %d: journal bytes differ", seed)
+		}
+	})
+}

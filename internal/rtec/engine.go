@@ -65,6 +65,12 @@ type fluentDef struct {
 	groundings []*lang.Clause // grounding declarations for this fluent
 	deps       map[string]bool
 	level      int
+	// deltaEligible marks a simple fluent whose every rule is time-local
+	// (see timeLocalRule in delta.go): its per-anchor-time acts may be
+	// replayed across window slides.
+	deltaEligible bool
+	// sortedDeps is deps in deterministic order, for the dirty-region union.
+	sortedDeps []string
 }
 
 // Engine is a loaded RTEC reasoner. Build one with New, then call Run.
@@ -123,6 +129,12 @@ type Options struct {
 	// the paper credits hierarchies with "paving the way for caching");
 	// results are identical, only slower.
 	DisableCache bool
+	// DisableDelta turns off incremental sliding-window evaluation: every
+	// window is evaluated from scratch instead of replaying the previous
+	// window's cached derivations for the unchanged overlap (see delta.go).
+	// Results are identical, only slower — the full re-evaluation path is
+	// the differential-testing oracle for the delta layer.
+	DisableDelta bool
 	// Workers bounds the per-stratum evaluation pool: groundings of the
 	// same stratum are partitioned by entity key onto this many workers,
 	// with results merged in deterministic order, so recognition output is
@@ -283,6 +295,27 @@ func New(ed *lang.EventDescription, opts Options) (*Engine, error) {
 
 	if err := e.stratify(warn); err != nil {
 		return nil, err
+	}
+
+	// Static delta eligibility and the deterministic dependency order the
+	// dirty-region propagation unions over (see delta.go). Eligibility is a
+	// property of the rules alone, so it is decided once per engine.
+	for _, def := range e.fluents {
+		if def.kind == Simple {
+			def.deltaEligible = true
+			for _, c := range append(append([]*lang.Clause{}, def.inits...), def.terms...) {
+				if !timeLocalRule(c) {
+					def.deltaEligible = false
+					break
+				}
+			}
+		}
+		for d := range def.deps {
+			if _, ok := e.fluents[d]; ok {
+				def.sortedDeps = append(def.sortedDeps, d)
+			}
+		}
+		sort.Strings(def.sortedDeps)
 	}
 	return e, nil
 }

@@ -39,6 +39,15 @@ type windowState struct {
 	warnSink     *[]Warning
 	tel          *telemetry.Telemetry // may be nil: all uses degrade to no-ops
 	span         *telemetry.Span      // the window span, parent of per-fluent spans
+
+	// Delta-layer state (see delta.go); all nil/false when the window is
+	// evaluated without a delta context.
+	delta    *deltaCtx
+	changed  map[string]intervals.List // per evaluated fluent: region where its output diverged from the carried state
+	curReuse bool                      // the fluent being evaluated replays cached acts
+	curDirty intervals.List            // its dirty region (valid when curReuse)
+	curPrev  *fluentDelta              // its carried state (nil without one)
+	curNext  *fluentDelta              // its capture target (nil when not capturing)
 }
 
 func newWindowState(e *Engine, events stream.Stream, ws, we int64, prevOpen map[string]*lang.Term, warnSink *[]Warning, tel *telemetry.Telemetry, span *telemetry.Span) *windowState {
@@ -179,11 +188,13 @@ func (w *windowState) evaluate() {
 
 func (w *windowState) evalFluent(ind string) {
 	def := w.eng.fluents[ind]
+	w.beginFluentDelta(def)
 	if def.kind == Simple {
 		w.evalSimple(def)
 	} else {
 		w.evalSD(def)
 	}
+	w.endFluentDelta(def)
 }
 
 // evaluateUncached is the caching ablation: for every fluent, its full
@@ -252,8 +263,8 @@ func (w *windowState) evalSimple(def *fluentDef) {
 		t       int64
 	}
 	var wildcards []wildcard
-	for _, rule := range def.inits {
-		w.evalSimpleRule(def, rule, func(fvp *lang.Term, t int64) {
+	for ri, rule := range def.inits {
+		w.evalSimpleRule(def, ri, rule, func(fvp *lang.Term, t int64) {
 			if !fvp.IsGround() {
 				w.warnf(def.ind, "initiatedAt rule derives non-ground FVP %s; occurrence dropped", fvp)
 				return
@@ -262,8 +273,8 @@ func (w *windowState) evalSimple(def *fluentDef) {
 			p.inits = append(p.inits, t)
 		})
 	}
-	for _, rule := range def.terms {
-		w.evalSimpleRule(def, rule, func(fvp *lang.Term, t int64) {
+	for ri, rule := range def.terms {
+		w.evalSimpleRule(def, len(def.inits)+ri, rule, func(fvp *lang.Term, t int64) {
 			if !fvp.IsGround() {
 				wildcards = append(wildcards, wildcard{pattern: fvp, t: t})
 				return
@@ -316,8 +327,12 @@ func (w *windowState) evalSimple(def *fluentDef) {
 // matching events of the window, and checks the remaining conditions. Each
 // anchor event is one evaluation unit: units run inline with one worker, or
 // entity-sharded onto the pool with slot-ordered merging (see parallel.go),
-// so emit observes the same occurrences in the same order either way.
-func (w *windowState) evalSimpleRule(def *fluentDef, rule *lang.Clause, emit func(fvp *lang.Term, t int64)) {
+// so emit observes the same occurrences in the same order either way. slot
+// identifies the rule within the fluent (inits first, then terms) for the
+// delta layer's per-rule act cache: under an active delta context the units
+// at clean anchor times replay the previous window's cached acts instead of
+// re-deriving (see replaySimpleRule in delta.go).
+func (w *windowState) evalSimpleRule(def *fluentDef, slot int, rule *lang.Clause, emit func(fvp *lang.Term, t int64)) {
 	r := rule.RenameApart("_r")
 	anchorIdx := -1
 	for i, l := range r.Body {
@@ -341,28 +356,49 @@ func (w *windowState) evalSimpleRule(def *fluentDef, rule *lang.Clause, emit fun
 	}
 	events := w.byInd[pattern.Pred()]
 	head := r.Head.Args[0]
+	unit := func(i int, re *ruleEval) {
+		ev := events[i]
+		re.t = ev.Time
+		s := lang.NewSubst()
+		if !s.Unify(pattern, ev.Atom) {
+			return
+		}
+		if !s.Unify(timeArg, lang.NewInt(ev.Time)) {
+			return
+		}
+		re.solveConditions(def, rest, s, func(final lang.Subst) {
+			re.emit(final.Resolve(head), ev.Time)
+		})
+	}
+	apply := func(a act) {
+		if a.fvp == nil {
+			w.warn(a.warn)
+			return
+		}
+		emit(a.fvp, a.t)
+	}
+
+	var rec map[int64][]act // capture target: acts of this rule by anchor time
+	if w.curNext != nil && w.curNext.acts != nil {
+		rec = w.curNext.acts[slot]
+	}
+	if w.curReuse {
+		w.replaySimpleRule(events, w.curPrev.acts[slot], rec, unit, apply)
+		return
+	}
+	if w.delta != nil {
+		w.delta.dirty += int64(len(events))
+	}
+	if rec != nil {
+		inner := apply
+		apply = func(a act) {
+			rec[a.t] = append(rec[a.t], a)
+			inner(a)
+		}
+	}
 	w.runUnits(len(events),
 		func(i int) uint64 { return eventEntity(events[i]) },
-		func(i int, re *ruleEval) {
-			ev := events[i]
-			s := lang.NewSubst()
-			if !s.Unify(pattern, ev.Atom) {
-				return
-			}
-			if !s.Unify(timeArg, lang.NewInt(ev.Time)) {
-				return
-			}
-			re.solveConditions(def, rest, s, func(final lang.Subst) {
-				re.emit(final.Resolve(head), ev.Time)
-			})
-		},
-		func(a act) {
-			if a.fvp == nil {
-				w.warn(a.warn)
-				return
-			}
-			emit(a.fvp, a.t)
-		})
+		unit, apply)
 }
 
 // solveConditions evaluates the remaining body conditions of a simple-fluent

@@ -75,6 +75,11 @@ func newStreamObs(tel *telemetry.Telemetry, slo SLOOptions, jw *journal.Writer) 
 		"rtec.windows.evaluated":          "window evaluations, including re-evaluations forced by late events",
 		"rtec.events.ingested":            "events admitted into the run (in-order plus late-within-bound)",
 		"rtec.revisions":                  "re-deliveries of already-emitted windows caused by late events",
+		"rtec.delta.reused":               "anchor events replayed from the previous window's cached rule effects",
+		"rtec.delta.dirty":                "anchor events recomputed because the slide admitted or invalidated them",
+		"rtec.delta.expired":              "cached anchor times dropped at the expired left edge of the slide",
+		"rtec.delta.reuse_ratio":          "percentage of anchor-event work avoided by delta reuse in the last window",
+		"rtec.delta.sidecar_restores":     "delta sidecars restored next to a checkpoint (warm incremental resume)",
 	} {
 		reg.Describe(name, help)
 	}
@@ -195,7 +200,7 @@ func (st *streamRun) journalRunStart() error {
 	st.ranStart = true
 	return st.obs.journal.Append("run_start", journalRunStart{
 		EDSum:   st.eng.edFingerprint(),
-		Windows: len(st.tl.qs),
+		Windows: st.tl.n,
 		Window:  st.tl.window, Slide: st.tl.slide,
 		Start: st.tl.start, End: st.tl.end,
 		MaxDelay: st.opts.MaxDelay,
@@ -238,8 +243,8 @@ func (st *streamRun) observeDelivery(i int, prev *windowEval, retracted map[stri
 	}
 
 	var emitLag int64
-	if frontier, ok := st.reorder.Frontier(); ok && frontier > st.tl.qs[i] {
-		emitLag = frontier - st.tl.qs[i]
+	if frontier, ok := st.reorder.Frontier(); ok && frontier > st.tl.q(i) {
+		emitLag = frontier - st.tl.q(i)
 	}
 	o.emitLag.Observe(float64(emitLag))
 	slot := &st.slots[i]
@@ -260,7 +265,7 @@ func (st *streamRun) observeDelivery(i int, prev *windowEval, retracted map[stri
 	return o.journal.Append("window", journalWindow{
 		Index:       i,
 		WindowStart: st.tl.windowStart(i),
-		QueryTime:   st.tl.qs[i],
+		QueryTime:   st.tl.q(i),
 		Revision:    slot.revision,
 		EmitLag:     emitLag,
 		Fluents:     len(slot.eval.recognised),

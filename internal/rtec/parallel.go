@@ -45,11 +45,14 @@ type act struct {
 // ruleEval is the per-unit evaluation context. In direct (sequential) mode
 // apply is non-nil and effects take place immediately, reproducing the
 // classic single-goroutine code path. In buffered (parallel) mode effects
-// accumulate in buf for the ordered merge.
+// accumulate in buf for the ordered merge. t is the anchor time of the unit
+// being evaluated (simple-fluent rules only): warning acts carry it so the
+// delta layer can cache them per anchor time alongside emissions.
 type ruleEval struct {
 	w     *windowState
 	apply func(act)
 	buf   []act
+	t     int64
 }
 
 func (re *ruleEval) put(a act) {
@@ -63,7 +66,7 @@ func (re *ruleEval) put(a act) {
 // warnf buffers a runtime warning; dedup and telemetry happen when the act
 // is applied on the merge path, exactly as the sequential code would.
 func (re *ruleEval) warnf(fluent, format string, args ...any) {
-	re.put(act{warn: Warning{Fluent: fluent, Msg: fmt.Sprintf(format, args...)}})
+	re.put(act{warn: Warning{Fluent: fluent, Msg: fmt.Sprintf(format, args...)}, t: re.t})
 }
 
 // emit buffers a simple-rule FVP occurrence at time t.
@@ -114,6 +117,37 @@ func (w *windowState) runUnits(n int, shard func(int) uint64, body func(int, *ru
 		return
 	}
 
+	for _, acts := range w.runUnitsParallel(n, workers, shard, body) {
+		for _, a := range acts {
+			apply(a)
+		}
+	}
+}
+
+// runUnitsCollect evaluates n units and returns their buffered acts per unit
+// instead of applying them — the delta replay path needs the per-unit
+// slices to interleave recomputed acts with cached ones in time order. The
+// same inline-below-threshold policy as runUnits applies.
+func (w *windowState) runUnitsCollect(n int, shard func(int) uint64, body func(int, *ruleEval)) [][]act {
+	workers := w.eng.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < minParallelUnits {
+		slots := make([][]act, n)
+		for i := 0; i < n; i++ {
+			re := ruleEval{w: w}
+			body(i, &re)
+			slots[i] = re.buf
+		}
+		return slots
+	}
+	return w.runUnitsParallel(n, workers, shard, body)
+}
+
+// runUnitsParallel partitions the units by entity shard key onto the worker
+// pool and returns the per-unit act buffers in unit order.
+func (w *windowState) runUnitsParallel(n, workers int, shard func(int) uint64, body func(int, *ruleEval)) [][]act {
 	shards := make([][]int32, workers)
 	for i := 0; i < n; i++ {
 		s := int(shard(i) % uint64(workers))
@@ -146,10 +180,5 @@ func (w *windowState) runUnits(n int, shard func(int) uint64, body func(int, *ru
 		}(sh)
 	}
 	wg.Wait()
-
-	for _, acts := range slots {
-		for _, a := range acts {
-			apply(a)
-		}
-	}
+	return slots
 }

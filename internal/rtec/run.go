@@ -206,12 +206,26 @@ func (e *Engine) runWindows(events stream.Stream, opts RunOptions, fn func(*Reco
 	tel.Logger().Debug("recognition run",
 		"component", "rtec", "events", len(s),
 		"window", tl.window, "slide", tl.slide, "start", tl.start, "end", tl.end,
-		"windows", len(tl.qs), "fluents", len(e.order))
+		"windows", tl.n, "fluents", len(e.order))
 
+	deltaOn := !e.opts.DisableDelta && !e.opts.DisableCache
+	var carried *deltaState
 	prevOpen := map[string]*lang.Term{}
-	for i, q := range tl.qs {
+	for i := 0; i < tl.n; i++ {
+		q := tl.q(i)
 		ws := tl.windowStart(i)
-		ev := e.evalWindow(s.Window(ws, q), ws, q, tl.nextWindowStart(i), prevOpen, &rec.Warnings, run)
+		var dctx *deltaCtx
+		if deltaOn {
+			dctx = &deltaCtx{capture: true}
+			if carried != nil && carried.ws == tl.windowStart(i-1) && carried.we == tl.q(i-1) {
+				dctx.prev = carried
+				dctx.base = intervals.List{{Start: carried.we, End: q}}
+			}
+		}
+		ev := e.evalWindow(s.Window(ws, q), ws, q, tl.nextWindowStart(i), prevOpen, &rec.Warnings, run, dctx)
+		if dctx != nil {
+			carried = dctx.next
+		}
 		for key, clipped := range ev.recognised {
 			rec.byKey[key] = intervals.Union(rec.byKey[key], clipped)
 			if _, ok := rec.fvps[key]; !ok {

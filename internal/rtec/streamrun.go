@@ -103,13 +103,18 @@ type streamRun struct {
 	emitted   int // slots[:emitted] have been delivered at least once
 	consumed  int // arrivals fully processed (for checkpoint resume)
 	sinceCkpt int
-	stats     StreamStats
-	warnings  []Warning
-	warnSeen  map[string]bool
-	span      *telemetry.Span
-	obs       *streamObs
-	ranStart  bool // run_start has been journalled
-	fn        func(WindowResult) error
+	// delta is the interval/act state carried out of the last full-stream
+	// evaluation of window emitted-1, feeding the incremental evaluation of
+	// window emitted. deltaOn caches the engine-level enablement decision.
+	delta    *deltaState
+	deltaOn  bool
+	stats    StreamStats
+	warnings []Warning
+	warnSeen map[string]bool
+	span     *telemetry.Span
+	obs      *streamObs
+	ranStart bool // run_start has been journalled
+	fn       func(WindowResult) error
 }
 
 // RunStream performs windowed recognition over an arrival-ordered stream
@@ -159,7 +164,8 @@ func (e *Engine) newStreamRun(events stream.Stream, opts StreamOptions, fn func(
 		opts:     opts,
 		tl:       tl,
 		reorder:  stream.NewReorder(opts.MaxDelay),
-		slots:    make([]windowSlot, len(tl.qs)),
+		slots:    make([]windowSlot, tl.n),
+		deltaOn:  !e.opts.DisableDelta && !e.opts.DisableCache,
 		warnSeen: map[string]bool{},
 		fn:       fn,
 		span: tel.Span("rtec.run",
@@ -173,7 +179,7 @@ func (e *Engine) newStreamRun(events stream.Stream, opts StreamOptions, fn func(
 	tel.Logger().Debug("streaming recognition run",
 		"component", "rtec", "events", len(events),
 		"window", tl.window, "slide", tl.slide, "start", tl.start, "end", tl.end,
-		"windows", len(tl.qs), "fluents", len(e.order), "max_delay", opts.MaxDelay)
+		"windows", tl.n, "fluents", len(e.order), "max_delay", opts.MaxDelay)
 	return st, false, nil
 }
 
@@ -250,7 +256,7 @@ func (st *streamRun) ingest(e stream.Event) error {
 	// Deliver every window whose query time the frontier has now passed.
 	for st.emitted < len(st.slots) {
 		frontier, ok := st.reorder.Frontier()
-		if !ok || frontier < st.tl.qs[st.emitted] {
+		if !ok || frontier < st.tl.q(st.emitted) {
 			break
 		}
 		if err := st.emitNext(); err != nil {
@@ -286,17 +292,36 @@ func (st *streamRun) prevOpenInto(i int) map[string]*lang.Term {
 }
 
 // evalSlot evaluates window i over the currently admitted events.
-func (st *streamRun) evalSlot(i int, prevOpen map[string]*lang.Term) windowEval {
-	ws, we := st.tl.windowStart(i), st.tl.qs[i]
+func (st *streamRun) evalSlot(i int, prevOpen map[string]*lang.Term, dctx *deltaCtx) windowEval {
+	ws, we := st.tl.windowStart(i), st.tl.q(i)
 	winEvents := st.reorder.Buffered().Window(ws, we)
-	return st.eng.evalWindow(winEvents, ws, we, st.tl.nextWindowStart(i), prevOpen, st.warnSink(), st.span)
+	return st.eng.evalWindow(winEvents, ws, we, st.tl.nextWindowStart(i), prevOpen, st.warnSink(), st.span, dctx)
+}
+
+// slotDeltaCtx builds the delta context for evaluating window i on the
+// emission path: capture the outgoing state for window i+1, and replay the
+// carried state when it describes exactly window i-1.
+func (st *streamRun) slotDeltaCtx(i int) *deltaCtx {
+	if !st.deltaOn {
+		return nil
+	}
+	dctx := &deltaCtx{capture: true}
+	if i > 0 && st.delta != nil && st.delta.ws == st.tl.windowStart(i-1) && st.delta.we == st.tl.q(i-1) {
+		dctx.prev = st.delta
+		dctx.base = intervals.List{{Start: st.delta.we, End: st.tl.q(i)}}
+	}
+	return dctx
 }
 
 // emitNext evaluates and delivers the next unemitted window (revision 0).
 func (st *streamRun) emitNext() error {
 	i := st.emitted
 	t0 := time.Now() //rtecvet:allow telemetry timer: real end-to-end window latency
-	ev := st.evalSlot(i, st.prevOpenInto(i))
+	dctx := st.slotDeltaCtx(i)
+	ev := st.evalSlot(i, st.prevOpenInto(i), dctx)
+	if dctx != nil {
+		st.delta = dctx.next
+	}
 	st.slots[i] = windowSlot{emitted: true, eval: ev}
 	st.emitted++
 	st.sinceCkpt++
@@ -316,7 +341,7 @@ func (st *streamRun) revise(t int64) error {
 	tel := st.eng.opts.Telemetry
 	first := -1
 	for i := 0; i < st.emitted; i++ {
-		if st.tl.qs[i] <= t {
+		if st.tl.q(i) <= t {
 			continue // window ends at or before t; scan on
 		}
 		if st.tl.windowStart(i) > t {
@@ -330,13 +355,24 @@ func (st *streamRun) revise(t int64) error {
 	}
 	carryChanged := false
 	for i := first; i < st.emitted; i++ {
-		direct := st.tl.windowStart(i) <= t && t < st.tl.qs[i]
+		direct := st.tl.windowStart(i) <= t && t < st.tl.q(i)
 		if !direct && !carryChanged {
 			break
 		}
 		prev := st.slots[i].eval
 		t0 := time.Now() //rtecvet:allow telemetry timer: real end-to-end window latency
-		ev := st.evalSlot(i, st.prevOpenInto(i))
+		// Revisions re-evaluate from scratch (no replayable prior state for
+		// the revised event set), but the last emitted window recaptures so
+		// the carried state feeding window emitted matches its latest
+		// evaluation.
+		var dctx *deltaCtx
+		if st.deltaOn && i == st.emitted-1 {
+			dctx = &deltaCtx{capture: true}
+		}
+		ev := st.evalSlot(i, st.prevOpenInto(i), dctx)
+		if dctx != nil {
+			st.delta = dctx.next
+		}
 		carryChanged = !ev.sameOpen(prev)
 		if ev.sameRecognised(prev) {
 			st.slots[i].eval = ev // keep the carry-over current even when the output is unchanged
@@ -362,7 +398,7 @@ func (st *streamRun) deliver(i int, retracted map[string]intervals.List) error {
 	if st.fn == nil {
 		return nil
 	}
-	ws, we := st.tl.windowStart(i), st.tl.qs[i]
+	ws, we := st.tl.windowStart(i), st.tl.q(i)
 	if we <= ws {
 		return nil // degenerate empty window: nothing to report
 	}
@@ -388,7 +424,7 @@ func (st *streamRun) horizon() (int64, bool) {
 	}
 	h := st.tl.end
 	for i := range st.slots {
-		if i >= st.emitted || st.tl.qs[i] > w {
+		if i >= st.emitted || st.tl.q(i) > w {
 			h = st.tl.windowStart(i)
 			break
 		}

@@ -11,14 +11,16 @@ import (
 )
 
 // timeline is the concrete recognition plan resolved from RunOptions and a
-// stream: the time-line bounds, the window geometry and the query times.
-// Both the in-order runner (runWindows) and the out-of-order streaming
-// runner (RunStream) plan windows through it, so they agree exactly on
-// which windows exist and where they start.
+// stream: the time-line bounds, the window geometry and the query-time
+// count. Query times are computed on demand (q(i)) rather than materialised
+// into a slice, so planning a months-long soak run costs O(1) memory. Both
+// the in-order runner (runWindows) and the out-of-order streaming runner
+// (RunStream) plan windows through it, so they agree exactly on which
+// windows exist and where they start.
 type timeline struct {
 	start, end    int64
 	window, slide int64
-	qs            []int64 // query times; window i covers [windowStart(i), qs[i])
+	n             int // number of windows; window i covers [windowStart(i), q(i))
 }
 
 // planTimeline resolves opts against the stream. empty is true for the
@@ -49,18 +51,28 @@ func planTimeline(s stream.Stream, opts RunOptions) (tl *timeline, empty bool, e
 	}
 
 	// Query times q = start+window, start+window+slide, ..., end; each
-	// window covers [max(start, q-window), q).
-	tl = &timeline{start: start, end: end, window: window, slide: slide}
-	for q := start + window; q < end; q += slide {
-		tl.qs = append(tl.qs, q)
+	// window covers [max(start, q-window), q). The count is closed-form:
+	// the interior query times are those strictly before end, plus the
+	// final window ending exactly at end.
+	tl = &timeline{start: start, end: end, window: window, slide: slide, n: 1}
+	if span := end - start - window; span > 0 {
+		tl.n = int((span+slide-1)/slide) + 1
 	}
-	tl.qs = append(tl.qs, end)
 	return tl, false, nil
+}
+
+// q returns the query time of window i: the interior query times advance by
+// the slide, and the last window always ends exactly at the time-line end.
+func (tl *timeline) q(i int) int64 {
+	if i == tl.n-1 {
+		return tl.end
+	}
+	return tl.start + tl.window + int64(i)*tl.slide
 }
 
 // windowStart returns the left edge of window i.
 func (tl *timeline) windowStart(i int) int64 {
-	ws := tl.qs[i] - tl.window
+	ws := tl.q(i) - tl.window
 	if ws < tl.start {
 		ws = tl.start
 	}
@@ -71,7 +83,7 @@ func (tl *timeline) windowStart(i int) int64 {
 // window — the time-point at which simple FVPs must still hold to persist
 // into the next window by the law of inertia.
 func (tl *timeline) nextWindowStart(i int) int64 {
-	if i+1 >= len(tl.qs) {
+	if i+1 >= tl.n {
 		return -1
 	}
 	return tl.windowStart(i + 1)
@@ -144,7 +156,13 @@ func (we windowEval) retractionsAgainst(prev windowEval) map[string]intervals.Li
 // nws (none when nws < 0). This is the shared evaluation core of the
 // in-order and the out-of-order runners: both produce byte-identical
 // recognition for the same window inputs because both go through here.
-func (e *Engine) evalWindow(winEvents stream.Stream, ws, we, nws int64, prevOpen map[string]*lang.Term, warnSink *[]Warning, parent *telemetry.Span) windowEval {
+//
+// dctx, when non-nil, threads the delta layer through the evaluation: the
+// previous window's carried state seeds act replay for clean anchor times,
+// and the state of this evaluation is captured for the next slide (see
+// delta.go). A nil dctx is the full re-evaluation the delta path must stay
+// byte-identical to.
+func (e *Engine) evalWindow(winEvents stream.Stream, ws, we, nws int64, prevOpen map[string]*lang.Term, warnSink *[]Warning, parent *telemetry.Span, dctx *deltaCtx) windowEval {
 	tel := e.opts.Telemetry
 	wspan := parent.Span("rtec.window",
 		telemetry.Int("window_start", ws), telemetry.Int("query_time", we),
@@ -155,7 +173,13 @@ func (e *Engine) evalWindow(winEvents stream.Stream, ws, we, nws int64, prevOpen
 		t0 = time.Now() //rtecvet:allow telemetry timer: real per-window recognition duration
 	}
 	w := newWindowState(e, winEvents, ws, we, prevOpen, warnSink, tel, wspan)
+	if dctx != nil && !e.opts.DisableCache {
+		dctx.attach(w)
+	}
 	w.evaluate()
+	if w.delta != nil {
+		w.delta.flush(tel)
+	}
 	if winHist != nil {
 		winHist.ObserveDuration(time.Since(t0))
 	}
